@@ -1,0 +1,44 @@
+(* Experiment runner: `experiments` runs the whole suite; pass ids
+   (e.g. `experiments E4 E7`) to run a subset, or `--list`. *)
+
+module E = Wavesyn_experiments.Experiments
+
+open Cmdliner
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids to run (default: all).")
+
+let run list ids =
+  if list then begin
+    List.iter (fun e -> Printf.printf "%-4s %s\n" e.E.id e.E.title) E.all;
+    `Ok ()
+  end
+  else if ids = [] then begin
+    E.run_all ();
+    `Ok ()
+  end
+  else begin
+    let missing = List.filter (fun id -> E.find id = None) ids in
+    match missing with
+    | [] ->
+        List.iter
+          (fun id ->
+            match E.find id with
+            | Some e ->
+                Printf.printf "=== %s: %s ===\n%s\n" e.E.id e.E.title (e.E.run ())
+            | None -> ())
+          ids;
+        `Ok ()
+    | bad -> `Error (false, "unknown experiment id(s): " ^ String.concat ", " bad)
+  end
+
+let cmd =
+  let doc = "Regenerate the wavesyn experiment tables (E1-E11)." in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(ret (const run $ list_flag $ ids))
+
+let () = exit (Cmd.eval cmd)

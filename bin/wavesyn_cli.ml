@@ -1,0 +1,287 @@
+(* wavesyn command-line interface.
+
+   Subcommands:
+     generate   emit a synthetic dataset (one value per line)
+     decompose  print the Haar transform / resolution table of a dataset
+     threshold  build a synopsis with a chosen algorithm and report errors
+     query      answer a range-sum query exactly and from a synopsis *)
+
+module Haar1d = Wavesyn_haar.Haar1d
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Range_query = Wavesyn_synopsis.Range_query
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Greedy_maxerr = Wavesyn_baselines.Greedy_maxerr
+module Prob_synopsis = Wavesyn_baselines.Prob_synopsis
+module Signal = Wavesyn_datagen.Signal
+module Prng = Wavesyn_util.Prng
+
+open Cmdliner
+
+(* --- shared data-source arguments --- *)
+
+let read_file path =
+  let ic = open_in path in
+  let values = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then values := float_of_string line :: !values
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in ic;
+      raise e);
+  Array.of_list (List.rev !values)
+
+let generate_named name ~n ~seed =
+  let rng = Prng.create ~seed in
+  match name with
+  | "zipf" -> Signal.zipf ~rng ~n ~alpha:1.2 ~scale:100.
+  | "bumps" -> Signal.gaussian_bumps ~rng ~n ~bumps:5 ~amplitude:50.
+  | "walk" -> Signal.random_walk ~rng ~n ~step:3.
+  | "periodic" -> Signal.noisy_periodic ~rng ~n ~period:(n / 4) ~amplitude:20. ~noise:2.
+  | "spikes" -> Signal.spikes ~rng ~n ~count:(Stdlib.max 1 (n / 16)) ~amplitude:60.
+  | "steps" -> Signal.piecewise_constant ~rng ~n ~segments:6 ~amplitude:30.
+  | "uniform" -> Signal.uniform ~rng ~n ~lo:0. ~hi:100.
+  | other -> failwith (Printf.sprintf "unknown generator %S" other)
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH"
+         ~doc:"Read the dataset from $(docv) (one float per line).")
+
+let gen_arg =
+  Arg.(value & opt (some string) None & info [ "gen"; "g" ] ~docv:"NAME"
+         ~doc:"Generate a dataset: zipf, bumps, walk, periodic, spikes, steps, uniform.")
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Generated dataset size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let load_data file gen n seed =
+  match (file, gen) with
+  | Some path, None -> Haar1d.pad_pow2 (read_file path)
+  | None, Some g -> Haar1d.pad_pow2 (generate_named g ~n ~seed)
+  | None, None -> Haar1d.pad_pow2 (generate_named "zipf" ~n ~seed)
+  | Some _, Some _ -> failwith "pass either --file or --gen, not both"
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run gen n seed =
+    let data = generate_named (Option.value ~default:"zipf" gen) ~n ~seed in
+    Array.iter (fun x -> Printf.printf "%g\n" x) data
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a synthetic dataset.")
+    Term.(const run $ gen_arg $ n_arg $ seed_arg)
+
+(* --- decompose --- *)
+
+let decompose_cmd =
+  let table_flag =
+    Arg.(value & flag & info [ "table" ] ~doc:"Print the full resolution table.")
+  in
+  let run file gen n seed table =
+    let data = load_data file gen n seed in
+    if table then
+      List.iter
+        (fun row ->
+          Printf.printf "resolution %d | averages:" row.Haar1d.resolution;
+          Array.iter (Printf.printf " %g") row.Haar1d.averages;
+          (match row.Haar1d.details with
+          | None -> ()
+          | Some d ->
+              Printf.printf " | details:";
+              Array.iter (Printf.printf " %g") d);
+          print_newline ())
+        (Haar1d.resolution_table data)
+    else
+      Array.iter (fun c -> Printf.printf "%g\n" c) (Haar1d.decompose data)
+  in
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"Print the Haar wavelet transform.")
+    Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ table_flag)
+
+(* --- threshold --- *)
+
+let algo_arg =
+  Arg.(value & opt string "minmax-rel"
+       & info [ "algo"; "a" ] ~docv:"ALGO"
+           ~doc:"Algorithm: minmax-rel, minmax-abs, l2, greedy-maxerr, prob-var, prob-bias.")
+
+let budget_arg =
+  Arg.(value & opt int 8 & info [ "budget"; "B" ] ~docv:"B" ~doc:"Synopsis budget.")
+
+let sanity_arg =
+  Arg.(value & opt float 1.0 & info [ "sanity"; "s" ] ~docv:"S"
+         ~doc:"Sanity bound for relative error.")
+
+let build_synopsis ~data ~budget ~sanity = function
+  | "minmax-rel" ->
+      (Minmax_dp.solve ~data ~budget (Metrics.Rel { sanity })).Minmax_dp.synopsis
+  | "minmax-abs" -> (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.synopsis
+  | "l2" -> Greedy_l2.threshold ~data ~budget
+  | "greedy-maxerr" -> Greedy_maxerr.threshold ~data ~budget (Metrics.Rel { sanity })
+  | "prob-var" ->
+      let plan =
+        Prob_synopsis.build ~data ~budget Prob_synopsis.Min_rel_var
+          (Metrics.Rel { sanity })
+      in
+      Prob_synopsis.round plan (Prng.create ~seed:1)
+  | "prob-bias" ->
+      let plan =
+        Prob_synopsis.build ~data ~budget Prob_synopsis.Min_rel_bias
+          (Metrics.Rel { sanity })
+      in
+      Prob_synopsis.round plan (Prng.create ~seed:1)
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+let threshold_cmd =
+  let target_arg =
+    Arg.(value & opt (some float) None
+         & info [ "target" ] ~docv:"ERR"
+             ~doc:"Instead of a fixed budget, find the smallest budget whose \
+                   optimal maximum error is at most $(docv) (minmax algorithms only).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Write the synopsis to $(docv).")
+  in
+  let run file gen n seed algo budget sanity target out =
+    let data = load_data file gen n seed in
+    let syn =
+      match target with
+      | None -> build_synopsis ~data ~budget ~sanity algo
+      | Some t ->
+          let metric =
+            match algo with
+            | "minmax-abs" -> Metrics.Abs
+            | "minmax-rel" -> Metrics.Rel { sanity }
+            | other ->
+                failwith
+                  (Printf.sprintf "--target requires a minmax algorithm, got %S" other)
+          in
+          (Minmax_dp.budget_for ~data ~target:t metric).Minmax_dp.synopsis
+    in
+    let approx = Synopsis.reconstruct syn in
+    let summary = Metrics.summary ~sanity ~data ~approx () in
+    Printf.printf "algorithm: %s  budget: %d  retained: %d  N: %d\n" algo budget
+      (Synopsis.size syn) (Array.length data);
+    Printf.printf "synopsis: %s\n" (Synopsis.describe syn);
+    Format.printf "errors: %a@." Metrics.pp_summary summary;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Synopsis.to_string syn);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "threshold" ~doc:"Build a synopsis and report its errors.")
+    Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
+          $ budget_arg $ sanity_arg $ target_arg $ out_arg)
+
+(* --- evaluate --- *)
+
+let synopsis_file_arg =
+  Arg.(required & opt (some string) None
+       & info [ "synopsis" ] ~docv:"PATH" ~doc:"Synopsis file (from threshold --out).")
+
+let evaluate_cmd =
+  let run file gen n seed sanity path =
+    let data = load_data file gen n seed in
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let syn = Synopsis.of_string text in
+    if Synopsis.n syn <> Array.length data then
+      failwith "synopsis domain does not match the dataset";
+    let approx = Synopsis.reconstruct syn in
+    let summary = Metrics.summary ~sanity ~data ~approx () in
+    Printf.printf "synopsis: %d coefficients over %d cells\n" (Synopsis.size syn)
+      (Synopsis.n syn);
+    Format.printf "errors: %a@." Metrics.pp_summary summary
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Evaluate a stored synopsis against a dataset.")
+    Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ sanity_arg
+          $ synopsis_file_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run file gen n seed budget sanity =
+    let data = load_data file gen n seed in
+    let algos =
+      [ "minmax-rel"; "minmax-abs"; "l2"; "greedy-maxerr"; "prob-var" ]
+    in
+    Printf.printf "%-14s %5s %10s %10s %10s\n" "algorithm" "size" "max-abs"
+      "max-rel" "rms";
+    List.iter
+      (fun algo ->
+        let syn = build_synopsis ~data ~budget ~sanity algo in
+        let approx = Synopsis.reconstruct syn in
+        let s = Metrics.summary ~sanity ~data ~approx () in
+        Printf.printf "%-14s %5d %10.4f %10.4f %10.4f\n" algo
+          (Synopsis.size syn) s.Metrics.max_abs s.Metrics.max_rel s.Metrics.rms)
+      algos
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all thresholding algorithms on a dataset.")
+    Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ budget_arg
+          $ sanity_arg)
+
+(* --- quantile --- *)
+
+let quantile_cmd =
+  let q_arg =
+    Arg.(required & pos 0 (some float) None & info [] ~docv:"Q"
+           ~doc:"Quantile in [0,1].")
+  in
+  let run file gen n seed algo budget sanity q =
+    let data = load_data file gen n seed in
+    let syn = build_synopsis ~data ~budget ~sanity algo in
+    let est = Wavesyn_aqp.Quantiles.estimate syn ~q in
+    let exact = Wavesyn_aqp.Quantiles.exact data ~q in
+    Printf.printf "q=%g  exact position: %d  estimated: %d  (domain %d)\n" q
+      exact est (Array.length data)
+  in
+  Cmd.v
+    (Cmd.info "quantile" ~doc:"Estimate a quantile from a synopsis.")
+    Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
+          $ budget_arg $ sanity_arg $ q_arg)
+
+(* --- query --- *)
+
+let query_cmd =
+  let lo_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"LO") in
+  let hi_arg = Arg.(required & pos 1 (some int) None & info [] ~docv:"HI") in
+  let run file gen n seed algo budget sanity lo hi =
+    let data = load_data file gen n seed in
+    let syn = build_synopsis ~data ~budget ~sanity algo in
+    let exact = Range_query.range_sum_exact data ~lo ~hi in
+    let approx = Range_query.range_sum syn ~lo ~hi in
+    Printf.printf "range [%d, %d]  exact: %g  approx: %g  abs err: %g  rel err: %g\n"
+      lo hi exact approx
+      (Float.abs (exact -. approx))
+      (Float.abs (exact -. approx) /. Float.max (Float.abs exact) 1.)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a range-sum query from a synopsis.")
+    Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
+          $ budget_arg $ sanity_arg $ lo_arg $ hi_arg)
+
+let main =
+  let doc = "Deterministic wavelet thresholding for maximum-error metrics." in
+  Cmd.group
+    (Cmd.info "wavesyn" ~doc ~version:"1.0.0")
+    [ generate_cmd; decompose_cmd; threshold_cmd; evaluate_cmd; compare_cmd;
+      query_cmd; quantile_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,89 @@
+The paper's Section 2.1 example end-to-end through the CLI.
+
+  $ printf '2\n2\n0\n2\n3\n5\n4\n4\n' > paper.txt
+
+Decompose (matches W_A = [11/4, -5/4, 1/2, 0, 0, -1, -1, 0]):
+
+  $ wavesyn decompose --file paper.txt
+  2.75
+  -1.25
+  0.5
+  0
+  0
+  -1
+  -1
+  0
+
+The full resolution table of Section 2.1:
+
+  $ wavesyn decompose --file paper.txt --table
+  resolution 3 | averages: 2 2 0 2 3 5 4 4
+  resolution 2 | averages: 2 1 4 4 | details: 0 -1 -1 0
+  resolution 1 | averages: 1.5 4 | details: 0.5 0
+  resolution 0 | averages: 2.75 | details: -1.25
+
+Optimal deterministic thresholding, stored and re-evaluated:
+
+  $ wavesyn threshold --file paper.txt -B 3 -a minmax-abs --out syn.txt
+  algorithm: minmax-abs  budget: 3  retained: 3  N: 8
+  synopsis: {c0=2.75; c1=-1.25; c5=-1}
+  errors: max_abs=1 max_rel=0.5 mean_abs=0.5 mean_rel=0.222917 rms=0.612372
+  wrote syn.txt
+
+  $ wavesyn evaluate --file paper.txt --synopsis syn.txt
+  synopsis: 3 coefficients over 8 cells
+  errors: max_abs=1 max_rel=0.5 mean_abs=0.5 mean_rel=0.222917 rms=0.612372
+
+Range-sum queries answered from the synopsis:
+
+  $ wavesyn query --file paper.txt -B 3 -a minmax-abs 2 5
+  range [2, 5]  exact: 10  approx: 11  abs err: 1  rel err: 0.1
+
+Algorithm comparison table:
+
+  $ wavesyn compare --file paper.txt -B 3
+  algorithm       size    max-abs    max-rel        rms
+  minmax-rel         3     1.0000     0.5000     0.6124
+  minmax-abs         3     1.0000     0.5000     0.6124
+  l2                 3     1.0000     0.5000     0.6124
+  greedy-maxerr      3     4.0000     1.5000     3.0208
+  prob-var           3     1.0000     0.5000     0.6124
+
+The dual problem: smallest budget reaching a target error:
+
+  $ wavesyn threshold --file paper.txt -a minmax-abs --target 1.5
+  algorithm: minmax-abs  budget: 8  retained: 2  N: 8
+  synopsis: {c0=2.75; c1=-1.25}
+  errors: max_abs=1.5 max_rel=1.5 mean_abs=0.625 mean_rel=0.347917 rms=0.790569
+
+Quantile estimation straight from a synopsis:
+
+  $ wavesyn quantile --gen bumps -n 64 --seed 3 -B 10 -a minmax-abs 0.5
+  q=0.5  exact position: 36  estimated: 36  (domain 64)
+
+Experiment runner registry:
+
+  $ wavesyn-experiments --list
+  E1   Section 2.1 decomposition table
+  E2   Figure 1(a) error tree and reconstruction identities
+  E3   Figure 1(b)/Figure 2 multi-dimensional structure
+  E4   Maximum relative error vs. budget, per algorithm
+  E5   Maximum absolute error vs. budget, per algorithm
+  E6   MinMaxErr runtime scaling (Theorem 3.1)
+  E7   Epsilon-additive scheme vs. guarantee (Theorem 3.2)
+  E8   (1+eps) absolute-error scheme (Theorem 3.4)
+  E9   Sanity-bound sweep for relative error
+  E10  Range-query workload accuracy (AQP extension)
+  E11  Streaming maintenance (extension)
+  E12  MinMaxErr design-choice ablations
+  E13  Exhaustive multi-d DP state blowup (Section 3.2 argument)
+  E14  Unrestricted coefficient values (closing question)
+  E15  Wavelets vs. optimal histograms at equal storage
+  E16  Budget placement by resolution level
+  E17  Progressive refinement / price of nestedness
+  E18  Synopses under a bit budget (precision vs count)
+  E19  Haar vs Daubechies-4 bases (closing question)
+
+  $ wavesyn-experiments E99
+  experiments: unknown experiment id(s): E99
+  [124]

@@ -1,0 +1,78 @@
+(* Error guarantees: why max-error synopses matter.
+
+   Builds B-coefficient synopses of a skewed frequency vector with the
+   conventional L2-greedy method, the paper's optimal MinMaxErr DP, and
+   a probabilistic MinRelVar synopsis [7,8], then prints the per-value
+   error profile each one delivers.
+
+   Run with:  dune exec examples/error_guarantees.exe *)
+
+module Metrics = Wavesyn_synopsis.Metrics
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Prob_synopsis = Wavesyn_baselines.Prob_synopsis
+module Signal = Wavesyn_datagen.Signal
+module Prng = Wavesyn_util.Prng
+module Stats = Wavesyn_util.Stats
+
+let n = 128
+let budget = 20
+let sanity = 20.0
+
+let () =
+  let rng = Prng.create ~seed:2718 in
+  let data = Signal.gaussian_bumps ~rng ~n ~bumps:4 ~amplitude:300. in
+  let metric = Metrics.Rel { sanity } in
+
+  let minmax = (Minmax_dp.solve ~data ~budget metric).Minmax_dp.synopsis in
+  let greedy = Greedy_l2.threshold ~data ~budget in
+  let plan = Prob_synopsis.build ~data ~budget Prob_synopsis.Min_rel_var metric in
+  let prob = Prob_synopsis.round plan (Prng.create ~seed:7) in
+
+  let profile name syn =
+    let approx = Synopsis.reconstruct syn in
+    let errs = Metrics.per_point metric ~data ~approx in
+    Printf.printf
+      "%-12s size %2d | max rel err %7.4f | mean %7.4f | p95 %7.4f\n" name
+      (Synopsis.size syn)
+      (Wavesyn_util.Float_util.max_abs errs)
+      (Stats.mean errs) (Stats.percentile errs 95.)
+  in
+  Printf.printf
+    "Per-value relative error (N=%d, B=%d, sanity bound s=%g):\n\n" n budget
+    sanity;
+  profile "l2-greedy" greedy;
+  profile "minmax-dp" minmax;
+  profile "minrelvar" prob;
+
+  (* The probabilistic scheme's quality depends on the coin flips: show
+     the spread across 100 independent roundings. *)
+  let eval = Prob_synopsis.evaluate plan ~data metric ~trials:100 ~seed:123 in
+  Printf.printf
+    "\nminrelvar across 100 coin-flip sequences:\n\
+    \  best %7.4f | mean %7.4f | p95 %7.4f | worst %7.4f  (mean size %.1f)\n"
+    eval.Prob_synopsis.best_max_err eval.Prob_synopsis.mean_max_err
+    eval.Prob_synopsis.p95_max_err eval.Prob_synopsis.worst_max_err
+    eval.Prob_synopsis.mean_size;
+
+  let opt = Metrics.of_synopsis metric ~data minmax in
+  Printf.printf
+    "\nThe deterministic optimum (%.4f) needs no luck: every coin-flip\n\
+     sequence of the probabilistic scheme is at or above it.\n"
+    opt;
+
+  (* Where does the worst error land for each method? *)
+  let worst name syn =
+    let approx = Synopsis.reconstruct syn in
+    let s = Metrics.summary ~sanity ~data ~approx () in
+    Printf.printf
+      "%-12s worst value at i=%3d (d=%8.3f, reconstructed %8.3f)\n" name
+      s.Metrics.argmax_rel
+      data.(s.Metrics.argmax_rel)
+      (Synopsis.reconstruct_point syn s.Metrics.argmax_rel)
+  in
+  print_newline ();
+  worst "l2-greedy" greedy;
+  worst "minmax-dp" minmax;
+  worst "minrelvar" prob

@@ -1,0 +1,48 @@
+(* Multi-measure budget sharing: one global coefficient budget split
+   across several measures of the same OLAP domain (the "extended
+   wavelets" scenario of the related work [4]), with the paper's
+   max-error objective.
+
+   Run with:  dune exec examples/multi_measure.exe *)
+
+module Multi_measure = Wavesyn_core.Multi_measure
+module Metrics = Wavesyn_synopsis.Metrics
+module Signal = Wavesyn_datagen.Signal
+module Prng = Wavesyn_util.Prng
+
+let () =
+  let rng = Prng.create ~seed:9090 in
+  let n = 64 in
+  (* Three measures over the same daily domain with very different
+     volatility: revenue (wild), units (moderate), returns (nearly
+     flat). *)
+  let revenue =
+    Array.map (fun x -> x *. 40.) (Signal.random_walk ~rng ~n ~step:1.)
+  in
+  let units = Signal.gaussian_bumps ~rng ~n ~bumps:3 ~amplitude:120. in
+  let returns = Array.map (fun x -> 10. +. x) (Signal.uniform ~rng ~n ~lo:0. ~hi:2.) in
+  let measures = [| revenue; units; returns |] in
+  let names = [| "revenue"; "units"; "returns" |] in
+  let budget = 18 in
+  let metric = Metrics.Abs in
+
+  Printf.printf
+    "Sharing one budget of %d coefficients across %d measures (N = %d)\n\n"
+    budget (Array.length measures) n;
+
+  let report label a =
+    Printf.printf "%s: worst max error %.3f\n" label a.Multi_measure.max_err;
+    Array.iteri
+      (fun i b ->
+        Printf.printf "  %-8s budget %2d  max err %8.3f\n" names.(i) b
+          a.Multi_measure.per_measure_err.(i))
+      a.Multi_measure.budgets;
+    print_newline ()
+  in
+  report "even split (B/M each)" (Multi_measure.even_split ~measures ~budget metric);
+  report "optimal shared budget" (Multi_measure.solve ~measures ~budget metric);
+
+  print_endline
+    "The optimizer starves the flat measures (their error is already tiny)\n\
+     and spends the budget where the data is volatile, minimizing the worst\n\
+     guarantee across all measures."

@@ -1,0 +1,84 @@
+(* Network monitoring over an append-only stream: maintain a one-pass
+   wavelet synopsis of per-port traffic counts in O(B + log N) memory,
+   then answer heavy-hitter, quantile and range questions from the
+   synopsis alone — the Gilbert et al. [10] scenario the paper cites,
+   wired to this library's query layer.
+
+   Run with:  dune exec examples/network_monitor.exe *)
+
+module One_pass = Wavesyn_stream.One_pass
+module Quantiles = Wavesyn_aqp.Quantiles
+module Range_query = Wavesyn_synopsis.Range_query
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Signal = Wavesyn_datagen.Signal
+module Prng = Wavesyn_util.Prng
+
+let () =
+  let rng = Prng.create ~seed:8080 in
+  let ports = 1024 in
+
+  (* Per-port byte counts: heavy-tailed with a few hot services. *)
+  let traffic = Signal.zipf ~rng ~n:ports ~alpha:1.05 ~scale:1_000_000. in
+
+  (* The monitor sees ports in order (one pass, no buffering). *)
+  let budget = 48 in
+  let monitor = One_pass.create ~budget () in
+  let peak_memory = ref 0 in
+  Array.iter
+    (fun bytes ->
+      One_pass.feed monitor bytes;
+      if One_pass.working_set monitor > !peak_memory then
+        peak_memory := One_pass.working_set monitor)
+    traffic;
+
+  Printf.printf
+    "streamed %d ports; synopsis budget %d; peak working set %d items\n\
+     (vs %d raw counters a naive monitor would hold)\n\n"
+    (One_pass.count monitor) budget !peak_memory ports;
+
+  let syn = One_pass.finish monitor in
+
+  (* 1. Total traffic and port-range subtotals. *)
+  let total_exact = Array.fold_left ( +. ) 0. traffic in
+  let total_est = Range_query.range_sum syn ~lo:0 ~hi:(ports - 1) in
+  Printf.printf "total bytes      exact %.3e   estimate %.3e   (err %.2f%%)\n"
+    total_exact total_est
+    (100. *. Float.abs (total_est -. total_exact) /. total_exact);
+  List.iter
+    (fun (lo, hi) ->
+      let exact = ref 0. in
+      for i = lo to hi do
+        exact := !exact +. traffic.(i)
+      done;
+      let est = Range_query.range_sum syn ~lo ~hi in
+      Printf.printf "ports %4d-%4d   exact %.3e   estimate %.3e\n" lo hi
+        !exact est)
+    [ (0, 127); (128, 511); (512, 1023) ];
+
+  (* 2. Traffic quantiles: which port id splits the traffic mass? *)
+  print_newline ();
+  List.iter
+    (fun q ->
+      Printf.printf
+        "q=%.2f of traffic mass reached by port %4d (exact: %4d)\n" q
+        (Quantiles.estimate syn ~q)
+        (Quantiles.exact traffic ~q))
+    [ 0.5; 0.9; 0.99 ];
+
+  (* 3. Heavy hitters: the largest reconstructed counters. *)
+  let approx = Synopsis.reconstruct syn in
+  let ranked =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) approx)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    |> List.filteri (fun k _ -> k < 5)
+  in
+  Printf.printf "\ntop-5 ports by reconstructed traffic:\n";
+  List.iter
+    (fun (port, est) ->
+      Printf.printf "  port %4d  estimate %.3e  exact %.3e\n" port est
+        traffic.(port))
+    ranked;
+
+  print_endline
+    "\nAll answers come from the 48-coefficient synopsis; the monitor never\n\
+     held more than a few dozen numbers while streaming a thousand ports."

@@ -1,0 +1,85 @@
+(* OLAP range sums over a 2-D data cube (the Vitter-Wang scenario [21]),
+   answered from multi-dimensional synopses built with the paper's
+   Section 3.2 approximation schemes.
+
+   Run with:  dune exec examples/olap_range_sum.exe *)
+
+module Cube = Wavesyn_aqp.Cube
+module Metrics = Wavesyn_synopsis.Metrics
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Signal = Wavesyn_datagen.Signal
+module Ndarray = Wavesyn_util.Ndarray
+module Prng = Wavesyn_util.Prng
+
+let () =
+  let rng = Prng.create ~seed:4242 in
+  (* sales[product_group][week]: smooth seasonal structure plus a few
+     promotional spikes, rounded to integer units. *)
+  let side = 16 in
+  let base = Signal.grid_bumps ~rng ~side ~bumps:5 ~amplitude:90. in
+  let sales =
+    Ndarray.init ~dims:[| side; side |] (fun idx ->
+        let spike =
+          if Prng.bernoulli rng 0.04 then float_of_int (20 + Prng.int rng 40)
+          else 0.
+        in
+        Float.round (Ndarray.get base idx +. spike))
+  in
+  let cube = Cube.create ~name:"sales(product, week)" sales in
+  Printf.printf "cube %s: %dx%d cells\n\n" (Cube.name cube) side side;
+
+  let budget = 20 in
+  let strategies =
+    [
+      Cube.L2_greedy_md;
+      Cube.Additive { epsilon = 0.1; metric = Metrics.Abs };
+      Cube.Abs_approx { epsilon = 0.25 };
+    ]
+  in
+  let queries =
+    [
+      ("Q1 quadrant", [| (0, 7); (0, 7) |]);
+      ("Q2 row band", [| (4, 6); (0, 15) |]);
+      ("Q3 window", [| (5, 11); (8, 13) |]);
+      ("Q4 single cell", [| (3, 3); (9, 9) |]);
+      ("Q5 full cube", [| (0, 15); (0, 15) |]);
+    ]
+  in
+  List.iter
+    (fun strategy ->
+      let syn = Cube.build cube ~budget strategy in
+      Printf.printf
+        "--- %s: %d coefficients retained, per-cell guarantee (abs) %.2f ---\n"
+        (Cube.md_strategy_name strategy)
+        (Synopsis.Md.size syn)
+        (Cube.guarantee cube syn Metrics.Abs);
+      Printf.printf "%-16s %10s %10s %9s\n" "query" "exact" "approx" "rel err";
+      List.iter
+        (fun (name, ranges) ->
+          let a = Cube.range_sum cube syn ~ranges in
+          Printf.printf "%-16s %10.1f %10.1f %9.4f\n" name a.Cube.exact
+            a.Cube.approx a.Cube.rel_err)
+        queries;
+      print_newline ())
+    strategies;
+
+  (* Group-by directly in the coefficient domain: roll up the week
+     dimension to get per-product totals without reconstructing. *)
+  let syn = Cube.build cube ~budget (Cube.Additive { epsilon = 0.1; metric = Metrics.Abs }) in
+  let per_product = Cube.roll_up cube syn ~dim:1 in
+  let exact_totals =
+    Wavesyn_synopsis.Marginal.marginal_exact (Cube.data cube) ~dim:1
+  in
+  let approx_totals = Wavesyn_synopsis.Synopsis.reconstruct per_product in
+  print_endline "GROUP BY product (rolled up in the coefficient domain):";
+  Printf.printf "%-10s %10s %10s\n" "product" "exact" "approx";
+  for p = 0 to 4 do
+    Printf.printf "%-10d %10.1f %10.1f\n" p exact_totals.(p) approx_totals.(p)
+  done;
+  print_newline ();
+
+  print_endline
+    "Each query is answered in O(B * D) from the synopsis alone. The\n\
+     Section 3.2 schemes bound the worst-case error of every cell, so any\n\
+     aggregate inherits a deterministic error bound; roll-ups stay in the\n\
+     coefficient domain (no reconstruction)."

@@ -1,0 +1,61 @@
+(* Quickstart: the paper's Section 2.1 example end-to-end.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Haar1d = Wavesyn_haar.Haar1d
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+
+let data = [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |]
+
+let print_array label a =
+  Printf.printf "%-14s" label;
+  Array.iter (Printf.printf " %6.2f") a;
+  print_newline ()
+
+let () =
+  print_endline "wavesyn quickstart: A = [2; 2; 0; 2; 3; 5; 4; 4]";
+  print_endline "";
+
+  (* 1. Decompose. *)
+  let wavelet = Haar1d.decompose data in
+  print_array "data" data;
+  print_array "wavelet W_A" wavelet;
+  print_endline "";
+
+  (* 2. Threshold down to B = 2 coefficients, two ways. *)
+  let budget = 2 in
+  let metric = Metrics.Abs in
+
+  let optimal = Minmax_dp.solve ~data ~budget metric in
+  let greedy = Greedy_l2.threshold ~data ~budget in
+
+  Printf.printf "budget B = %d\n" budget;
+  Printf.printf "MinMaxErr keeps   : %s  (optimal max abs error %.3f)\n"
+    (Synopsis.describe optimal.Minmax_dp.synopsis)
+    optimal.Minmax_dp.max_err;
+  Printf.printf "L2 greedy keeps   : %s  (max abs error %.3f)\n"
+    (Synopsis.describe greedy)
+    (Metrics.of_synopsis metric ~data greedy);
+  print_endline "";
+
+  (* 3. Reconstruct approximate data from each synopsis. *)
+  print_array "exact" data;
+  print_array "minmax approx" (Synopsis.reconstruct optimal.Minmax_dp.synopsis);
+  print_array "greedy approx" (Synopsis.reconstruct greedy);
+  print_endline "";
+
+  (* 4. Point queries straight from the synopsis. *)
+  Printf.printf "point query d4: exact %.2f, minmax %.2f, greedy %.2f\n"
+    data.(4)
+    (Synopsis.reconstruct_point optimal.Minmax_dp.synopsis 4)
+    (Synopsis.reconstruct_point greedy 4);
+
+  (* 5. The guarantee: the DP value is the exact worst-case error. *)
+  Printf.printf
+    "\nEvery reconstructed value is within %.3f of the truth - a guarantee\n\
+     the L2-optimal synopsis (worst error %.3f) cannot give.\n"
+    optimal.Minmax_dp.max_err
+    (Metrics.of_synopsis metric ~data greedy)

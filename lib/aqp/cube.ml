@@ -1,0 +1,67 @@
+module Ndarray = Wavesyn_util.Ndarray
+module Float_util = Wavesyn_util.Float_util
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Range_query = Wavesyn_synopsis.Range_query
+
+type t = { name : string; data : Ndarray.t }
+
+type md_strategy =
+  | L2_greedy_md
+  | Additive of { epsilon : float; metric : Metrics.error_metric }
+  | Abs_approx of { epsilon : float }
+
+let md_strategy_name = function
+  | L2_greedy_md -> "l2-greedy"
+  | Additive { epsilon; _ } -> Printf.sprintf "additive(eps=%g)" epsilon
+  | Abs_approx { epsilon } -> Printf.sprintf "abs-approx(eps=%g)" epsilon
+
+let create ~name data =
+  if Ndarray.ndim data <> 2 then invalid_arg "Cube.create: expected 2-D data";
+  let dims = Ndarray.dims data in
+  let side = Float_util.next_pow2 (Stdlib.max dims.(0) dims.(1)) in
+  let padded =
+    if dims.(0) = side && dims.(1) = side then Ndarray.copy data
+    else
+      Ndarray.init ~dims:[| side; side |] (fun idx ->
+          if idx.(0) < dims.(0) && idx.(1) < dims.(1) then Ndarray.get data idx
+          else 0.)
+  in
+  { name; data = padded }
+
+let of_tuples ~name ~dims:(d0, d1) tuples =
+  if d0 < 1 || d1 < 1 then invalid_arg "Cube.of_tuples: empty dimensions";
+  let counts = Ndarray.create ~dims:[| d0; d1 |] 0. in
+  List.iter
+    (fun (x, y) ->
+      if x < 0 || x >= d0 || y < 0 || y >= d1 then
+        invalid_arg "Cube.of_tuples: coordinate out of range";
+      let idx = [| x; y |] in
+      Ndarray.set counts idx (Ndarray.get counts idx +. 1.))
+    tuples;
+  create ~name counts
+
+let name t = t.name
+let data t = t.data
+
+let build t ~budget strategy =
+  match strategy with
+  | L2_greedy_md -> Wavesyn_baselines.Greedy_l2.threshold_md ~data:t.data ~budget
+  | Additive { epsilon; metric } ->
+      (Wavesyn_core.Approx_additive.solve ~data:t.data ~budget ~epsilon metric)
+        .Wavesyn_core.Approx_additive.synopsis
+  | Abs_approx { epsilon } ->
+      (Wavesyn_core.Approx_abs.solve ~data:t.data ~budget ~epsilon)
+        .Wavesyn_core.Approx_abs.synopsis
+
+type answer = { exact : float; approx : float; abs_err : float; rel_err : float }
+
+let range_sum t syn ~ranges =
+  let exact = Range_query.range_sum_exact_md t.data ~ranges in
+  let approx = Range_query.range_sum_md syn ~ranges in
+  let abs_err = Float.abs (exact -. approx) in
+  { exact; approx; abs_err; rel_err = abs_err /. Float.max (Float.abs exact) 1. }
+
+let roll_up _t syn ~dim = Wavesyn_synopsis.Marginal.sum_out_2d syn ~dim
+
+let guarantee t syn metric = Metrics.of_md_synopsis metric ~data:t.data syn

@@ -1,0 +1,45 @@
+(** Two-dimensional OLAP cubes: the multi-dimensional AQP scenario of
+    Vitter & Wang [21], answered from multi-dimensional synopses built
+    with the Section 3.2 approximation schemes. *)
+
+type t
+
+type md_strategy =
+  | L2_greedy_md
+  | Additive of { epsilon : float; metric : Wavesyn_synopsis.Metrics.error_metric }
+      (** ε-additive scheme of Section 3.2.1 *)
+  | Abs_approx of { epsilon : float }
+      (** (1+ε) absolute-error scheme of Section 3.2.2 *)
+
+val md_strategy_name : md_strategy -> string
+
+val create : name:string -> Wavesyn_util.Ndarray.t -> t
+(** Wrap a 2-D measure grid; dimensions are padded with zeros up to a
+    common power of two. *)
+
+val of_tuples :
+  name:string -> dims:int * int -> (int * int) list -> t
+(** Build a 2-D count cube from coordinate pairs; raises
+    [Invalid_argument] on out-of-range coordinates. *)
+
+val name : t -> string
+val data : t -> Wavesyn_util.Ndarray.t
+
+val build : t -> budget:int -> md_strategy -> Wavesyn_synopsis.Synopsis.Md.md
+
+type answer = { exact : float; approx : float; abs_err : float; rel_err : float }
+
+val range_sum :
+  t -> Wavesyn_synopsis.Synopsis.Md.md -> ranges:(int * int) array -> answer
+(** Inclusive per-dimension bounds. *)
+
+val roll_up : t -> Wavesyn_synopsis.Synopsis.Md.md -> dim:int -> Wavesyn_synopsis.Synopsis.t
+(** Group-by on the remaining dimension: sum out [dim] entirely in the
+    coefficient domain (O(B), see {!Wavesyn_synopsis.Marginal}). *)
+
+val guarantee :
+  t ->
+  Wavesyn_synopsis.Synopsis.Md.md ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  float
+(** Maximum per-cell reconstruction error of the synopsis. *)

@@ -1,0 +1,24 @@
+module Haar1d = Wavesyn_haar.Haar1d
+
+type t = { name : string; domain : int; freqs : float array }
+
+let create ~name freqs =
+  if Array.length freqs = 0 then invalid_arg "Relation.create: empty domain";
+  { name; domain = Array.length freqs; freqs = Haar1d.pad_pow2 freqs }
+
+let of_tuples ~name ~domain values =
+  if domain < 1 then invalid_arg "Relation.of_tuples: empty domain";
+  let freqs = Array.make domain 0. in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= domain then
+        invalid_arg "Relation.of_tuples: value out of domain";
+      freqs.(v) <- freqs.(v) +. 1.)
+    values;
+  create ~name freqs
+
+let name t = t.name
+let domain t = t.domain
+let padded_domain t = Array.length t.freqs
+let frequencies t = t.freqs
+let total t = Wavesyn_util.Float_util.sum t.freqs

@@ -1,0 +1,30 @@
+(** Frequency-vector relations: the data model of wavelet-based
+    approximate query processing (attribute domain -> count / measure).
+
+    A relation wraps a named attribute whose domain is [[0, domain)]
+    and a measure value per domain point (typically a tuple count).
+    Domains are padded to the next power of two internally, as all
+    wavelet machinery requires. *)
+
+type t
+
+val create : name:string -> float array -> t
+(** Wrap a measure vector (padded with zeros to a power of two). *)
+
+val of_tuples : name:string -> domain:int -> int list -> t
+(** Build the frequency vector of a list of attribute values in
+    [[0, domain)]; raises [Invalid_argument] on out-of-range values. *)
+
+val name : t -> string
+
+val domain : t -> int
+(** Original (unpadded) domain size. *)
+
+val padded_domain : t -> int
+(** Power-of-two internal size. *)
+
+val frequencies : t -> float array
+(** Padded measure vector (not a copy; do not mutate). *)
+
+val total : t -> float
+(** Sum of all measures. *)

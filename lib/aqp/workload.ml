@@ -1,0 +1,86 @@
+module Prng = Wavesyn_util.Prng
+module Stats = Wavesyn_util.Stats
+
+type query =
+  | Point of int
+  | Range_sum of int * int
+  | Selectivity of int * int
+  | Quantile of float
+
+let pp_query ppf = function
+  | Point i -> Format.fprintf ppf "point(%d)" i
+  | Range_sum (lo, hi) -> Format.fprintf ppf "sum[%d..%d]" lo hi
+  | Selectivity (lo, hi) -> Format.fprintf ppf "sel[%d..%d]" lo hi
+  | Quantile q -> Format.fprintf ppf "quantile(%g)" q
+
+type mix = { points : int; ranges : int; selectivities : int; quantiles : int }
+
+let default_mix = { points = 25; ranges = 25; selectivities = 25; quantiles = 25 }
+
+let generate ~rng ~n ?(mix = default_mix) () =
+  let range () =
+    let lo = Prng.int rng n in
+    let hi = lo + Prng.int rng (n - lo) in
+    (lo, hi)
+  in
+  let qs =
+    List.concat
+      [
+        List.init mix.points (fun _ -> Point (Prng.int rng n));
+        List.init mix.ranges (fun _ ->
+            let lo, hi = range () in
+            Range_sum (lo, hi));
+        List.init mix.selectivities (fun _ ->
+            let lo, hi = range () in
+            Selectivity (lo, hi));
+        List.init mix.quantiles (fun _ ->
+            Quantile (0.05 +. Prng.float rng 0.9));
+      ]
+  in
+  let arr = Array.of_list qs in
+  Prng.shuffle rng arr;
+  Array.to_list arr
+
+type kind_report = {
+  kind : string;
+  count : int;
+  mean_rel_err : float;
+  max_rel_err : float;
+}
+
+let run engine queries =
+  let relation = Engine.relation engine in
+  let data = Relation.frequencies relation in
+  let n = Array.length data in
+  let buckets : (string, float list ref) Hashtbl.t = Hashtbl.create 4 in
+  let record kind err =
+    match Hashtbl.find_opt buckets kind with
+    | Some l -> l := err :: !l
+    | None -> Hashtbl.replace buckets kind (ref [ err ])
+  in
+  List.iter
+    (fun q ->
+      match q with
+      | Point i -> record "point" (Engine.point engine i).Engine.rel_err
+      | Range_sum (lo, hi) ->
+          record "range-sum" (Engine.range_sum engine ~lo ~hi).Engine.rel_err
+      | Selectivity (lo, hi) ->
+          record "selectivity" (Engine.selectivity engine ~lo ~hi).Engine.rel_err
+      | Quantile q ->
+          let est = Quantiles.estimate (Engine.synopsis engine) ~q in
+          let exact = Quantiles.exact data ~q in
+          record "quantile"
+            (float_of_int (abs (est - exact)) /. float_of_int n))
+    queries;
+  Hashtbl.fold
+    (fun kind errs acc ->
+      let a = Array.of_list !errs in
+      {
+        kind;
+        count = Array.length a;
+        mean_rel_err = Stats.mean a;
+        max_rel_err = Wavesyn_util.Float_util.max_abs a;
+      }
+      :: acc)
+    buckets []
+  |> List.sort (fun a b -> compare a.kind b.kind)

@@ -1,0 +1,41 @@
+(** Mixed query workloads over a relation engine.
+
+    A workload is a list of typed queries (point lookups, range sums,
+    selectivities, quantiles). {!generate} draws a reproducible mix;
+    {!run} answers everything from the engine's synopsis and reports
+    per-kind accuracy — the DSS-style evaluation the paper's
+    introduction motivates. *)
+
+type query =
+  | Point of int
+  | Range_sum of int * int  (** inclusive bounds *)
+  | Selectivity of int * int
+  | Quantile of float
+
+val pp_query : Format.formatter -> query -> unit
+
+type mix = {
+  points : int;
+  ranges : int;
+  selectivities : int;
+  quantiles : int;
+}
+
+val default_mix : mix
+(** 25 of each kind. *)
+
+val generate : rng:Wavesyn_util.Prng.t -> n:int -> ?mix:mix -> unit -> query list
+(** Random queries over a domain of size [n], shuffled. *)
+
+type kind_report = {
+  kind : string;
+  count : int;
+  mean_rel_err : float;
+  max_rel_err : float;
+}
+
+val run : Engine.t -> query list -> kind_report list
+(** Execute the workload; relative errors use sanity bound 1 against
+    the exact answers (quantile error is the domain distance between
+    estimated and exact quantile positions, normalized by the domain
+    size). Kinds with no queries are omitted. *)

@@ -1,0 +1,48 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Haar_md = Wavesyn_haar.Haar_md
+module Ndarray = Wavesyn_util.Ndarray
+module Synopsis = Wavesyn_synopsis.Synopsis
+
+let order ~wavelet =
+  let n = Array.length wavelet in
+  Array.to_list (Array.init n Fun.id)
+  |> List.filter (fun i -> wavelet.(i) <> 0.)
+  |> List.sort (fun i j ->
+         let key k = Float.abs (wavelet.(k) *. Haar1d.normalization ~n k) in
+         match compare (key j) (key i) with 0 -> compare i j | c -> c)
+
+let threshold_wavelet ~wavelet ~budget =
+  let chosen = List.filteri (fun k _ -> k < budget) (order ~wavelet) in
+  Synopsis.of_wavelet ~wavelet chosen
+
+let threshold ~data ~budget =
+  threshold_wavelet ~wavelet:(Haar1d.decompose data) ~budget
+
+let md_normalization w flat =
+  let n = Haar_md.side w in
+  let d = Ndarray.ndim w in
+  let pos = Ndarray.index_of_flat w flat in
+  let m = Array.fold_left Stdlib.max 0 pos in
+  let width =
+    if m = 0 then n
+    else n / (1 lsl Wavesyn_util.Float_util.floor_log2 m)
+  in
+  (* The basis function is ±1 over a support of width^D cells; its L2
+     norm is sqrt(width^D). *)
+  Float.pow (float_of_int width) (float_of_int d /. 2.)
+
+let threshold_md ~data ~budget =
+  let w = Haar_md.decompose data in
+  let size = Ndarray.size w in
+  let order =
+    Array.to_list (Array.init size Fun.id)
+    |> List.filter (fun i -> Ndarray.get_flat w i <> 0.)
+    |> List.sort (fun i j ->
+           let key k =
+             Float.abs (Ndarray.get_flat w k) *. md_normalization w k
+           in
+           match compare (key j) (key i) with 0 -> compare i j | c -> c)
+  in
+  let chosen = List.filteri (fun k _ -> k < budget) order in
+  Synopsis.Md.make ~dims:(Ndarray.dims data)
+    (List.map (fun i -> (i, Ndarray.get_flat w i)) chosen)

@@ -1,0 +1,22 @@
+(** Conventional coefficient thresholding (Section 2.3): greedily retain
+    the [B] largest Haar coefficients in absolute {e normalized} value.
+
+    This is provably optimal for the root-mean-squared (L2) error [20]
+    and is the baseline every wavelet study in the paper's related work
+    uses; the paper's argument is precisely that it can be arbitrarily
+    bad for maximum-error metrics. *)
+
+val order : wavelet:float array -> int list
+(** Indices of non-zero coefficients, sorted by decreasing
+    [|c_i| / sqrt (2^level)], ties broken by index. *)
+
+val threshold : data:float array -> budget:int -> Wavesyn_synopsis.Synopsis.t
+(** Retain the [budget] best coefficients of [data]'s transform. *)
+
+val threshold_wavelet :
+  wavelet:float array -> budget:int -> Wavesyn_synopsis.Synopsis.t
+
+val threshold_md :
+  data:Wavesyn_util.Ndarray.t -> budget:int -> Wavesyn_synopsis.Synopsis.Md.md
+(** Multi-dimensional analogue (normalization by the square root of the
+    coefficient's support volume). *)

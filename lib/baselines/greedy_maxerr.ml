@@ -1,0 +1,63 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+
+let threshold ~data ~budget metric =
+  let n = Array.length data in
+  let wavelet = Haar1d.decompose data in
+  let approx = Array.make n 0. in
+  let denom = Array.map (Metrics.denominator metric) data in
+  let err i = Float.abs (data.(i) -. approx.(i)) /. denom.(i) in
+  let chosen = ref [] in
+  let remaining =
+    ref
+      (Array.to_list (Array.init n Fun.id)
+      |> List.filter (fun j -> wavelet.(j) <> 0.))
+  in
+  let rounds = Stdlib.min budget (List.length !remaining) in
+  for _ = 1 to rounds do
+    (* Prefix/suffix maxima of the current error let us evaluate a
+       candidate by rescanning only its support. *)
+    let errs = Array.init n err in
+    let prefix = Array.make (n + 1) 0. and suffix = Array.make (n + 1) 0. in
+    for i = 0 to n - 1 do
+      prefix.(i + 1) <- Float.max prefix.(i) errs.(i)
+    done;
+    for i = n - 1 downto 0 do
+      suffix.(i) <- Float.max suffix.(i + 1) errs.(i)
+    done;
+    let candidate_error j =
+      let lo, hi = Haar1d.support ~n j in
+      let inside = ref 0. in
+      for i = lo to hi - 1 do
+        let delta =
+          float_of_int (Haar1d.sign ~n ~coeff:j ~cell:i) *. wavelet.(j)
+        in
+        let e = Float.abs (data.(i) -. (approx.(i) +. delta)) /. denom.(i) in
+        if e > !inside then inside := e
+      done;
+      Float.max !inside (Float.max prefix.(lo) suffix.(hi))
+    in
+    match !remaining with
+    | [] -> ()
+    | first :: _ ->
+        let best = ref first and best_err = ref (candidate_error first) in
+        List.iter
+          (fun j ->
+            let e = candidate_error j in
+            if e < !best_err then begin
+              best := j;
+              best_err := e
+            end)
+          !remaining;
+        let j = !best in
+        chosen := j :: !chosen;
+        remaining := List.filter (fun k -> k <> j) !remaining;
+        let lo, hi = Haar1d.support ~n j in
+        for i = lo to hi - 1 do
+          approx.(i) <-
+            approx.(i)
+            +. (float_of_int (Haar1d.sign ~n ~coeff:j ~cell:i) *. wavelet.(j))
+        done
+  done;
+  Synopsis.of_wavelet ~wavelet !chosen

@@ -1,0 +1,16 @@
+(** Greedy max-error heuristic: repeatedly add the coefficient that most
+    reduces the current maximum error.
+
+    Not part of the paper; included as the natural cheap deterministic
+    comparator between the optimal DP and L2 greedy thresholding. Each
+    of the [B] rounds scans all remaining non-zero coefficients; a
+    candidate's effect is evaluated exactly (its support is rescanned
+    and the outside maximum is read from precomputed prefix/suffix
+    maxima), so a round costs [O(N log N)]. *)
+
+val threshold :
+  data:float array ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  Wavesyn_synopsis.Synopsis.t
+(** Greedily built synopsis of at most [budget] coefficients. *)

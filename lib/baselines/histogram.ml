@@ -1,0 +1,167 @@
+type t = { n : int; bounds : int array; values : float array }
+
+let buckets t =
+  let k = Array.length t.bounds in
+  List.init k (fun b ->
+      let lo = t.bounds.(b) in
+      let hi = if b + 1 < k then t.bounds.(b + 1) - 1 else t.n - 1 in
+      (lo, hi, t.values.(b)))
+
+let size t = Array.length t.bounds
+let n t = t.n
+
+let bucket_of t i =
+  if i < 0 || i >= t.n then invalid_arg "Histogram: cell out of range";
+  (* Largest bucket start <= i. *)
+  let lo = ref 0 and hi = ref (Array.length t.bounds - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.bounds.(mid) <= i then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let point t i = t.values.(bucket_of t i)
+
+let reconstruct t = Array.init t.n (point t)
+
+let range_sum t ~lo ~hi =
+  if lo < 0 || hi >= t.n || lo > hi then
+    invalid_arg "Histogram.range_sum: invalid range";
+  List.fold_left
+    (fun acc (blo, bhi, v) ->
+      let o = Stdlib.min hi bhi - Stdlib.max lo blo + 1 in
+      if o > 0 then acc +. (float_of_int o *. v) else acc)
+    0. (buckets t)
+
+let check ~data ~buckets =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Histogram: empty data";
+  if buckets < 1 then invalid_arg "Histogram: need at least one bucket";
+  Stdlib.min buckets n
+
+(* Shared DP skeleton: [cost i j] is the cost of one bucket over the
+   inclusive cell range [i, j]; [combine] folds a prefix value with a
+   bucket cost (sum for SSE, max for max-error). Returns bucket start
+   indices. O(N^2 B) with an O(1) incremental [cost]. *)
+let segment_dp ~n ~k ~cost ~combine =
+  let inf = Float.infinity in
+  (* best.(b).(j) = optimal value covering cells [0, j] with b+1 buckets *)
+  let best = Array.make_matrix k n inf in
+  let choice = Array.make_matrix k n 0 in
+  for j = 0 to n - 1 do
+    best.(0).(j) <- cost 0 j;
+    choice.(0).(j) <- 0
+  done;
+  for b = 1 to k - 1 do
+    for j = b to n - 1 do
+      (* bucket b spans [i, j]; previous buckets cover [0, i-1] *)
+      let bv = ref inf and bi = ref b in
+      for i = b to j do
+        let v = combine best.(b - 1).(i - 1) (cost i j) in
+        if v < !bv then begin
+          bv := v;
+          bi := i
+        end
+      done;
+      best.(b).(j) <- !bv;
+      choice.(b).(j) <- !bi
+    done
+  done;
+  (* The DP requires exactly k buckets; using fewer can never hurt for
+     either objective since empty refinement is free, so take k. *)
+  let bounds = Array.make k 0 in
+  let j = ref (n - 1) in
+  for b = k - 1 downto 0 do
+    bounds.(b) <- choice.(b).(!j);
+    j := choice.(b).(!j) - 1
+  done;
+  bounds
+
+let mean_values ~data bounds =
+  let n = Array.length data in
+  let k = Array.length bounds in
+  Array.init k (fun b ->
+      let lo = bounds.(b) in
+      let hi = if b + 1 < k then bounds.(b + 1) - 1 else n - 1 in
+      let acc = ref 0. in
+      for i = lo to hi do
+        acc := !acc +. data.(i)
+      done;
+      !acc /. float_of_int (hi - lo + 1))
+
+let midrange_values ~data bounds =
+  let n = Array.length data in
+  let k = Array.length bounds in
+  Array.init k (fun b ->
+      let lo = bounds.(b) in
+      let hi = if b + 1 < k then bounds.(b + 1) - 1 else n - 1 in
+      let mn = ref data.(lo) and mx = ref data.(lo) in
+      for i = lo + 1 to hi do
+        if data.(i) < !mn then mn := data.(i);
+        if data.(i) > !mx then mx := data.(i)
+      done;
+      (!mn +. !mx) /. 2.)
+
+let v_optimal ~data ~buckets =
+  let k = check ~data ~buckets in
+  let n = Array.length data in
+  let s1 = Array.make (n + 1) 0. and s2 = Array.make (n + 1) 0. in
+  for i = 0 to n - 1 do
+    s1.(i + 1) <- s1.(i) +. data.(i);
+    s2.(i + 1) <- s2.(i) +. (data.(i) *. data.(i))
+  done;
+  let cost i j =
+    let len = float_of_int (j - i + 1) in
+    let sum = s1.(j + 1) -. s1.(i) in
+    let sq = s2.(j + 1) -. s2.(i) in
+    Float.max 0. (sq -. (sum *. sum /. len))
+  in
+  let bounds = segment_dp ~n ~k ~cost ~combine:( +. ) in
+  { n; bounds; values = mean_values ~data bounds }
+
+let max_error_optimal ~data ~buckets =
+  let k = check ~data ~buckets in
+  let n = Array.length data in
+  (* Sparse tables for range min / max so [cost] is O(1). *)
+  let levels = 1 + Wavesyn_util.Float_util.floor_log2 n in
+  let mins = Array.make levels [||] and maxs = Array.make levels [||] in
+  mins.(0) <- Array.copy data;
+  maxs.(0) <- Array.copy data;
+  for l = 1 to levels - 1 do
+    let half = 1 lsl (l - 1) in
+    let len = n - (1 lsl l) + 1 in
+    if len > 0 then begin
+      mins.(l) <-
+        Array.init len (fun i ->
+            Float.min mins.(l - 1).(i) mins.(l - 1).(i + half));
+      maxs.(l) <-
+        Array.init len (fun i ->
+            Float.max maxs.(l - 1).(i) maxs.(l - 1).(i + half))
+    end
+  done;
+  let cost i j =
+    let l = Wavesyn_util.Float_util.floor_log2 (j - i + 1) in
+    let a = j - (1 lsl l) + 1 in
+    let mn = Float.min mins.(l).(i) mins.(l).(a) in
+    let mx = Float.max maxs.(l).(i) maxs.(l).(a) in
+    (mx -. mn) /. 2.
+  in
+  let bounds = segment_dp ~n ~k ~cost ~combine:Float.max in
+  { n; bounds; values = midrange_values ~data bounds }
+
+let equal_width ~data ~buckets =
+  let k = check ~data ~buckets in
+  let n = Array.length data in
+  let bounds = Array.init k (fun b -> b * n / k) in
+  { n; bounds; values = mean_values ~data bounds }
+
+let max_abs_err t ~data =
+  if Array.length data <> t.n then
+    invalid_arg "Histogram.max_abs_err: length mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i d ->
+      let e = Float.abs (d -. point t i) in
+      if e > !acc then acc := e)
+    data;
+  !acc

@@ -1,0 +1,172 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Error_tree = Wavesyn_haar.Error_tree
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Prng = Wavesyn_util.Prng
+module Stats = Wavesyn_util.Stats
+
+type strategy = Min_rel_var | Min_rel_bias
+
+type plan = {
+  n : int;
+  strategy : strategy;
+  objective : float;
+  allotments : (int * float) list;  (* (coefficient, y), y > 0 *)
+  values : float array;  (* full wavelet transform *)
+}
+
+type entry = { value : float; own_units : int; left_units : int }
+
+let contribution strategy c units quant =
+  let c2 = c *. c in
+  if units = 0 then c2
+  else begin
+    match strategy with
+    | Min_rel_var -> c2 *. ((float_of_int quant /. float_of_int units) -. 1.)
+    | Min_rel_bias ->
+        let keep = 1. -. (float_of_int units /. float_of_int quant) in
+        c2 *. keep *. keep
+  end
+
+let build ~data ~budget ?(quant = 8) strategy metric =
+  if budget < 0 then invalid_arg "Prob_synopsis.build: negative budget";
+  if quant < 1 then invalid_arg "Prob_synopsis.build: quant must be >= 1";
+  let n = Array.length data in
+  let tree = Error_tree.of_data data in
+  let wavelet = Error_tree.coeffs tree in
+  let total_units = budget * quant in
+  (* Worst inverse squared denominator among the leaves below a node:
+     the per-child normalization of the DP. *)
+  let maxinv = Array.make (2 * n) 0. in
+  for j = (2 * n) - 1 downto 0 do
+    if j >= n then begin
+      let d = Metrics.denominator metric data.(j - n) in
+      maxinv.(j) <- 1. /. (d *. d)
+    end
+    else if j = 0 then maxinv.(j) <- maxinv.(1)
+    else maxinv.(j) <- Float.max maxinv.(2 * j) maxinv.((2 * j) + 1)
+  done;
+  let memo : (int * int, entry) Hashtbl.t = Hashtbl.create 1024 in
+  let cap j u =
+    (* A subtree cannot use more than quant units per coefficient. *)
+    Stdlib.min u (quant * Error_tree.subtree_coeff_count tree j)
+  in
+  let rec solve j u =
+    if j >= n then 0.
+    else begin
+      let u = cap j u in
+      match Hashtbl.find_opt memo (j, u) with
+      | Some e -> e.value
+      | None ->
+          let c = wavelet.(j) in
+          let max_own = if c = 0. then 0 else Stdlib.min quant u in
+          let best = ref Float.infinity in
+          let best_own = ref 0 and best_left = ref 0 in
+          for own = 0 to max_own do
+            let var = contribution strategy c own quant in
+            let rest = u - own in
+            if j = 0 then begin
+              let v = solve 1 rest +. (var *. maxinv.(1)) in
+              if v < !best then begin
+                best := v;
+                best_own := own;
+                best_left := rest
+              end
+            end
+            else begin
+              let l = 2 * j and r = (2 * j) + 1 in
+              (* Split [rest] between the children; the child value plus
+                 this node's variance term is monotone in the split, so
+                 scan (budgets here are small multiples of quant). *)
+              for ul = 0 to rest do
+                let v =
+                  Float.max
+                    (solve l ul +. (var *. maxinv.(l)))
+                    (solve r (rest - ul) +. (var *. maxinv.(r)))
+                in
+                if v < !best then begin
+                  best := v;
+                  best_own := own;
+                  best_left := ul
+                end
+              done
+            end
+          done;
+          Hashtbl.replace memo (j, u)
+            { value = !best; own_units = !best_own; left_units = !best_left };
+          !best
+    end
+  in
+  let objective2 = solve 0 total_units in
+  let allotments = ref [] in
+  let rec trace j u =
+    if j < n then begin
+      let u = cap j u in
+      let e = Hashtbl.find memo (j, u) in
+      if e.own_units > 0 then
+        allotments :=
+          (j, float_of_int e.own_units /. float_of_int quant) :: !allotments;
+      if j = 0 then trace 1 e.left_units
+      else begin
+        trace (2 * j) e.left_units;
+        trace ((2 * j) + 1) (u - e.own_units - e.left_units)
+      end
+    end
+  in
+  trace 0 total_units;
+  {
+    n;
+    strategy;
+    objective = Float.sqrt objective2;
+    allotments = List.rev !allotments;
+    values = wavelet;
+  }
+
+let objective plan = plan.objective
+let allotments plan = plan.allotments
+
+let expected_space plan =
+  List.fold_left (fun acc (_, y) -> acc +. y) 0. plan.allotments
+
+let rounding_value plan c y =
+  match plan.strategy with Min_rel_var -> c /. y | Min_rel_bias -> c
+
+let round plan rng =
+  let kept =
+    List.filter_map
+      (fun (j, y) ->
+        if Prng.bernoulli rng y then
+          Some (j, rounding_value plan plan.values.(j) y)
+        else None)
+      plan.allotments
+  in
+  Synopsis.make ~n:plan.n kept
+
+type eval = {
+  mean_max_err : float;
+  worst_max_err : float;
+  p95_max_err : float;
+  best_max_err : float;
+  mean_size : float;
+  trials : int;
+}
+
+let evaluate plan ~data metric ~trials ~seed =
+  if trials < 1 then invalid_arg "Prob_synopsis.evaluate: trials must be >= 1";
+  let rng = Prng.create ~seed in
+  let errs = Array.make trials 0. in
+  let sizes = Array.make trials 0. in
+  for t = 0 to trials - 1 do
+    let syn = round plan rng in
+    errs.(t) <- Metrics.of_synopsis metric ~data syn;
+    sizes.(t) <- float_of_int (Synopsis.size syn)
+  done;
+  let lo, hi = Stats.min_max errs in
+  {
+    mean_max_err = Stats.mean errs;
+    worst_max_err = hi;
+    p95_max_err = Stats.percentile errs 95.;
+    best_max_err = lo;
+    mean_size = Stats.mean sizes;
+    trials;
+  }

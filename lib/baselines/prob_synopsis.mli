@@ -1,0 +1,76 @@
+(** Probabilistic wavelet synopses — reimplementation of the
+    MinRelVar / MinRelBias comparators of Garofalakis & Gibbons [7, 8].
+
+    Each non-zero coefficient [c_i] receives a fractional storage
+    allotment [y_i ∈ [0, 1]] (quantized to multiples of [1/quant], as in
+    the original), such that the allotments sum to at most the budget.
+    The synopsis is then built by randomized rounding: coefficient [i]
+    is retained with probability [y_i], storing
+
+    - [c_i / y_i] under {!Min_rel_var} (unbiased, variance
+      [c_i^2 (1/y_i - 1)]), or
+    - [c_i] under {!Min_rel_bias} (biased toward zero, no inflation).
+
+    The allotments are chosen by a dynamic program over the error tree
+    that minimizes the maximum normalized squared error proxy
+    [max_leaf Σ_{j ∈ path} contrib_j / max(|d_leaf|, s)^2], where
+    [contrib_j] is the variance (MinRelVar) or squared expected bias
+    (MinRelBias) of coefficient [j], and an allotment of zero counts the
+    full [c_j^2]. Per-child normalization uses the worst leaf
+    denominator under the child, as in [8].
+
+    Faithfulness notes (documented substitution, see DESIGN.md): the
+    original's treatment of zero allotments and its rounding-value
+    quantization differ in details that [7, 8] leave to their full
+    version; the scheme here preserves the structure the paper argues
+    against — randomized construction whose guarantee holds only in
+    probability. *)
+
+type strategy = Min_rel_var | Min_rel_bias
+
+type plan
+(** Fractional-storage assignment produced by the DP. *)
+
+val build :
+  data:float array ->
+  budget:int ->
+  ?quant:int ->
+  strategy ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  plan
+(** [build ~data ~budget strategy metric] runs the allotment DP.
+    [quant] (default 8) is the number of quantization steps per unit of
+    budget. *)
+
+val objective : plan -> float
+(** The DP's value: the minimized max normalized standard-error proxy
+    (square root of the tabulated squared objective). *)
+
+val allotments : plan -> (int * float) list
+(** (coefficient index, y) pairs with [y > 0]. *)
+
+val expected_space : plan -> float
+(** Sum of the allotments — the expected synopsis size. *)
+
+val round : plan -> Wavesyn_util.Prng.t -> Wavesyn_synopsis.Synopsis.t
+(** One randomized-rounding draw. *)
+
+type eval = {
+  mean_max_err : float;
+  worst_max_err : float;
+  p95_max_err : float;
+  best_max_err : float;
+  mean_size : float;
+  trials : int;
+}
+
+val evaluate :
+  plan ->
+  data:float array ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  trials:int ->
+  seed:int ->
+  eval
+(** Empirical distribution of the true maximum error across independent
+    coin-flip sequences — the quantity Section 1 of the paper contrasts
+    with the deterministic guarantee. *)

@@ -1,0 +1,93 @@
+module Md_tree = Wavesyn_haar.Md_tree
+module Ndarray = Wavesyn_util.Ndarray
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+
+type result = {
+  max_err : float;
+  synopsis : Synopsis.Md.md;
+  tau : float;
+  dp_states : int;
+  sweeps : int;
+}
+
+let theorem_epsilon eps = eps /. 4.
+
+(* τ sweep: powers of two covering [smallest non-zero |c|, R]. The
+   proof only needs some τ' in [C, 2C) for C the largest coefficient
+   dropped by the optimum, and C is one of the |c| values. *)
+let tau_candidates ~wavelet =
+  let r = Ndarray.max_abs wavelet in
+  if r = 0. then []
+  else begin
+    let cmin = ref r in
+    for i = 0 to Ndarray.size wavelet - 1 do
+      let a = Float.abs (Ndarray.get_flat wavelet i) in
+      if a > 0. && a < !cmin then cmin := a
+    done;
+    let kmin = int_of_float (Float.floor (Float.log !cmin /. Float.log 2.)) in
+    let kmax = int_of_float (Float.ceil (Float.log r /. Float.log 2.)) in
+    let kmin = Stdlib.max kmin (kmax - 60) in
+    List.init (kmax - kmin + 1) (fun i -> Float.pow 2. (float_of_int (kmin + i)))
+  end
+
+let solve_tree ~tree ~budget ~epsilon =
+  if epsilon <= 0. || epsilon > 1. then
+    invalid_arg "Approx_abs: epsilon must be in (0, 1]";
+  let data = Md_tree.data tree in
+  let dims = Ndarray.dims data in
+  let wavelet = Md_tree.wavelet tree in
+  let d = Md_tree.ndim tree in
+  let total = Ndarray.size data in
+  let logn = Float.max 1. (Float.log (float_of_int total) /. Float.log 2.) in
+  let evaluate coeffs =
+    let synopsis = Synopsis.Md.make ~dims coeffs in
+    (Metrics.of_md_synopsis Metrics.Abs ~data synopsis, synopsis)
+  in
+  (* The empty synopsis is always feasible and seeds the search. *)
+  let best_err, best_syn = evaluate [] in
+  let best = ref (best_err, best_syn, Float.infinity) in
+  let states = ref 0 and sweeps = ref 0 in
+  let run_tau tau =
+    let forced_count = ref 0 in
+    for i = 0 to Ndarray.size wavelet - 1 do
+      if Float.abs (Ndarray.get_flat wavelet i) > tau then incr forced_count
+    done;
+    if !forced_count <= budget then begin
+      let k_tau = epsilon *. tau /. (float_of_int (1 lsl d) *. logn) in
+      let cfg =
+        {
+          Md_dp.coeff_value =
+            (fun pos -> Float.floor (Ndarray.get_flat wavelet pos /. k_tau));
+          round_error = Fun.id;
+          key_of_error = (fun e -> int_of_float e);
+          forced =
+            (fun pos -> Float.abs (Ndarray.get_flat wavelet pos) > tau);
+          leaf_denominator = (fun _ -> 1.);
+        }
+      in
+      match Md_dp.run ~tree ~budget cfg with
+      | None -> ()
+      | Some { Md_dp.retained; dp_states; _ } ->
+          incr sweeps;
+          states := !states + dp_states;
+          let coeffs =
+            List.map (fun pos -> (pos, Ndarray.get_flat wavelet pos)) retained
+          in
+          let err, syn = evaluate coeffs in
+          let cur_err, _, _ = !best in
+          if err < cur_err then best := (err, syn, tau)
+    end
+  in
+  List.iter run_tau (tau_candidates ~wavelet);
+  let max_err, synopsis, tau = !best in
+  { max_err; synopsis; tau; dp_states = !states; sweeps = !sweeps }
+
+let solve ~data ~budget ~epsilon =
+  solve_tree ~tree:(Md_tree.of_data data) ~budget ~epsilon
+
+let solve_1d ~data ~budget ~epsilon =
+  let n = Array.length data in
+  let nd = Ndarray.of_flat_array ~dims:[| n |] data in
+  let r = solve ~data:nd ~budget ~epsilon in
+  (r.max_err, Synopsis.make ~n (Synopsis.Md.coeffs r.synopsis))

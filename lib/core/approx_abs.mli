@@ -1,0 +1,39 @@
+(** The (1+ε)-approximation scheme for maximum {e absolute} error in
+    multiple dimensions (Section 3.2.2, Theorem 3.4).
+
+    For each threshold [τ ∈ {2^k}], the scheme runs a truncated integer
+    DP in which every coefficient is scaled down to
+    [⌊c / K_τ⌋] with [K_τ = ε τ / (2^D log N)], and every coefficient
+    with [|c| > τ] is forced into the synopsis. Dropped coefficients
+    then have scaled magnitude at most [2^D log N / ε], so the DP's
+    incoming-error range is polynomially bounded. The candidate synopsis
+    of each τ is evaluated with its {e true} (unscaled) maximum absolute
+    error and the best one is returned; by Proposition 3.3 the result is
+    within [(1+ε)] of optimal once ε is pre-divided by 4
+    ({!theorem_epsilon}). *)
+
+type result = {
+  max_err : float;  (** true measured maximum absolute error *)
+  synopsis : Wavesyn_synopsis.Synopsis.Md.md;
+  tau : float;  (** the winning threshold *)
+  dp_states : int;  (** summed across all τ sweeps *)
+  sweeps : int;  (** number of τ values actually run *)
+}
+
+val solve_tree :
+  tree:Wavesyn_haar.Md_tree.t -> budget:int -> epsilon:float -> result
+(** [epsilon] in (0, 1]. Guarantee:
+    [max_err <= (1 + 4 epsilon) * OPT]. *)
+
+val solve :
+  data:Wavesyn_util.Ndarray.t -> budget:int -> epsilon:float -> result
+
+val solve_1d :
+  data:float array ->
+  budget:int ->
+  epsilon:float ->
+  float * Wavesyn_synopsis.Synopsis.t
+
+val theorem_epsilon : float -> float
+(** [theorem_epsilon eps = eps / 4]: the internal ε that yields a
+    [(1 + eps)] overall guarantee (final step of Theorem 3.4). *)

@@ -1,0 +1,53 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Md_tree = Wavesyn_haar.Md_tree
+module Ndarray = Wavesyn_util.Ndarray
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+
+(* Enumerate every subset of [candidates] with at most [budget]
+   elements, calling [eval] on each; returns the best (value, subset). *)
+let search ~candidates ~budget ~eval =
+  let best_value = ref (eval []) in
+  let best_subset = ref [] in
+  let rec go chosen size = function
+    | [] -> ()
+    | c :: rest ->
+        if size < budget then begin
+          let chosen' = c :: chosen in
+          let v = eval chosen' in
+          if v < !best_value then begin
+            best_value := v;
+            best_subset := chosen'
+          end;
+          go chosen' (size + 1) rest
+        end;
+        go chosen size rest
+  in
+  go [] 0 candidates;
+  (!best_value, !best_subset)
+
+let optimal_1d ~data ~budget metric =
+  let n = Array.length data in
+  let wavelet = Haar1d.decompose data in
+  let candidates =
+    Array.to_list wavelet
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> c <> 0.)
+  in
+  let eval subset =
+    let syn = Synopsis.make ~n subset in
+    Metrics.of_synopsis metric ~data syn
+  in
+  let value, subset = search ~candidates ~budget ~eval in
+  (value, Synopsis.make ~n subset)
+
+let optimal_md ~tree ~budget metric =
+  let data = Md_tree.data tree in
+  let dims = Ndarray.dims data in
+  let candidates = Md_tree.nonzero_coeffs tree in
+  let eval subset =
+    let syn = Synopsis.Md.make ~dims subset in
+    Metrics.of_md_synopsis metric ~data syn
+  in
+  let value, subset = search ~candidates ~budget ~eval in
+  (value, Synopsis.Md.make ~dims subset)

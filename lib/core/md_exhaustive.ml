@@ -1,0 +1,182 @@
+module Md_tree = Wavesyn_haar.Md_tree
+module Ndarray = Wavesyn_util.Ndarray
+module Bits = Wavesyn_util.Bits
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+
+type result = {
+  max_err : float;
+  synopsis : Synopsis.Md.md;
+  dp_states : int;
+}
+
+type entry = { value : float; s_mask : int; allocs : int array }
+
+let pow_int b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let solve ~tree ~budget metric =
+  if budget < 0 then invalid_arg "Md_exhaustive.solve: negative budget";
+  let d = Md_tree.ndim tree in
+  let levels = Md_tree.levels tree in
+  let data = Md_tree.data tree in
+  let dims = Ndarray.dims data in
+  let total_cells = Ndarray.size data in
+  let wavelet = Md_tree.wavelet tree in
+  let base = Array.make (levels + 1) 1 in
+  for l = 1 to levels do
+    base.(l) <- base.(l - 1) + (1 lsl (d * (l - 1)))
+  done;
+  let node_id = function
+    | Md_tree.Root -> 0
+    | Md_tree.Cube { level; q } ->
+        base.(level) + Array.fold_left (fun acc x -> (acc lsl level) + x) 0 q
+  in
+  let subtree_cap = function
+    | Md_tree.Root -> total_cells
+    | Md_tree.Cube { level; _ } ->
+        pow_int (Md_tree.side tree / (1 lsl level)) d - 1
+  in
+  let nonzero node =
+    Md_tree.node_coeffs tree node |> Array.to_list
+    |> List.filter (fun (_, c) -> c <> 0.)
+    |> Array.of_list
+  in
+  let memo : (int * int * int, entry) Hashtbl.t = Hashtbl.create 1024 in
+  let leaf_err cell e =
+    let v = Ndarray.get data cell in
+    Float.abs (v -. e) /. Metrics.denominator metric v
+  in
+  (* [mask_off] is the number of non-zero path coefficients strictly
+     above this node: the node's own subset bits live at
+     [mask_off ..]. *)
+  let rec solve_node node b e mask mask_off =
+    let b = Stdlib.min b (subtree_cap node) in
+    let key = (node_id node, b, mask) in
+    match Hashtbl.find_opt memo key with
+    | Some entry -> entry.value
+    | None ->
+        let coeffs = nonzero node in
+        let k = Array.length coeffs in
+        let kids, cells =
+          match Md_tree.children tree node with
+          | Md_tree.Nodes ns -> (Array.of_list ns, [||])
+          | Md_tree.Cells cs -> ([||], Array.of_list cs)
+        in
+        let m = Stdlib.max (Array.length kids) (Array.length cells) in
+        let leaf_children = Array.length kids = 0 in
+        let signs =
+          Array.init m (fun rank ->
+              Array.map
+                (fun (pos, _) ->
+                  Md_tree.sign_to_child tree node ~coeff_flat:pos
+                    ~child_rank:rank)
+                coeffs)
+        in
+        let best = ref Float.infinity in
+        let best_mask = ref 0 and best_allocs = ref [||] in
+        Bits.iter_submasks ((1 lsl k) - 1) (fun s ->
+            let ssize = Bits.popcount s in
+            if ssize <= b then begin
+              let brem = b - ssize in
+              (* Retained coefficients extend the reconstruction that
+                 enters each child. *)
+              let e_child =
+                Array.init m (fun i ->
+                    let acc = ref e in
+                    for kk = 0 to k - 1 do
+                      if s land (1 lsl kk) <> 0 then
+                        acc :=
+                          !acc
+                          +. float_of_int signs.(i).(kk) *. snd coeffs.(kk)
+                    done;
+                    !acc)
+              in
+              let child_value i x =
+                if leaf_children then leaf_err cells.(i) e_child.(i)
+                else
+                  solve_node kids.(i) x e_child.(i)
+                    (mask lor (s lsl mask_off))
+                    (mask_off + k)
+              in
+              let child_cap i =
+                if leaf_children then 0 else subtree_cap kids.(i)
+              in
+              let a = Array.make_matrix (m + 1) (brem + 1) Float.neg_infinity in
+              let choice = Array.make_matrix (m + 1) (brem + 1) 0 in
+              for i = m - 1 downto 0 do
+                for r = 0 to brem do
+                  let hi = Stdlib.min r (child_cap i) in
+                  let best_v = ref Float.infinity and best_x = ref 0 in
+                  for x = 0 to hi do
+                    let v = Float.max (child_value i x) a.(i + 1).(r - x) in
+                    if v < !best_v then begin
+                      best_v := v;
+                      best_x := x
+                    end
+                  done;
+                  a.(i).(r) <- !best_v;
+                  choice.(i).(r) <- !best_x
+                done
+              done;
+              let v = a.(0).(brem) in
+              if v < !best then begin
+                best := v;
+                best_mask := s;
+                let allocs = Array.make m 0 in
+                let r = ref brem in
+                for i = 0 to m - 1 do
+                  allocs.(i) <- choice.(i).(!r);
+                  r := !r - allocs.(i)
+                done;
+                best_allocs := allocs
+              end
+            end);
+        Hashtbl.replace memo key
+          { value = !best; s_mask = !best_mask; allocs = !best_allocs };
+        !best
+  in
+  let max_err = solve_node Md_tree.Root budget 0. 0 0 in
+  let retained = ref [] in
+  let rec trace node b e mask mask_off =
+    let b = Stdlib.min b (subtree_cap node) in
+    let entry = Hashtbl.find memo (node_id node, b, mask) in
+    let coeffs = nonzero node in
+    let k = Array.length coeffs in
+    let kids =
+      match Md_tree.children tree node with
+      | Md_tree.Nodes ns -> Array.of_list ns
+      | Md_tree.Cells _ -> [||]
+    in
+    for kk = 0 to k - 1 do
+      if entry.s_mask land (1 lsl kk) <> 0 then
+        retained := fst coeffs.(kk) :: !retained
+    done;
+    Array.iteri
+      (fun i kid ->
+        let acc = ref e in
+        for kk = 0 to k - 1 do
+          if entry.s_mask land (1 lsl kk) <> 0 then
+            acc :=
+              !acc
+              +. float_of_int
+                   (Md_tree.sign_to_child tree node
+                      ~coeff_flat:(fst coeffs.(kk))
+                      ~child_rank:i)
+                 *. snd coeffs.(kk)
+        done;
+        trace kid entry.allocs.(i) !acc
+          (mask lor (entry.s_mask lsl mask_off))
+          (mask_off + k))
+      kids
+  in
+  trace Md_tree.Root budget 0. 0 0;
+  let coeffs =
+    List.map (fun pos -> (pos, Ndarray.get_flat wavelet pos)) !retained
+  in
+  {
+    max_err;
+    synopsis = Synopsis.Md.make ~dims coeffs;
+    dp_states = Hashtbl.length memo;
+  }

@@ -1,0 +1,27 @@
+(** Exact multi-dimensional thresholding by exhaustive ancestor-subset
+    enumeration — the direct generalization of the 1-D DP that
+    Section 3.2 shows to be impractical.
+
+    The state is [(node, budget, S)] where [S] ranges over {e every}
+    subset of the non-zero coefficients on the node's root path. With
+    up to [2^D - 1] coefficients per path node, the number of subsets
+    is [O(N^(2^D - 1))] — super-exponential in the dimensionality —
+    which is precisely the paper's motivation for the approximate DPs
+    of Sections 3.2.1 and 3.2.2.
+
+    This implementation exists (a) as a second exact oracle for tiny
+    multi-dimensional instances and (b) to measure the state-count
+    blowup empirically (experiment E13). Do not call it on anything
+    larger than an 8x8 grid. *)
+
+type result = {
+  max_err : float;
+  synopsis : Wavesyn_synopsis.Synopsis.Md.md;
+  dp_states : int;
+}
+
+val solve :
+  tree:Wavesyn_haar.Md_tree.t ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  result

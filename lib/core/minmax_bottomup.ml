@@ -1,0 +1,117 @@
+module Error_tree = Wavesyn_haar.Error_tree
+module Float_util = Wavesyn_util.Float_util
+module Metrics = Wavesyn_synopsis.Metrics
+
+type stats = { max_err : float; peak_live_cells : int; total_cells : int }
+
+(* A node's table: value.(b).(mask) = M[j, b, mask] for b in
+   [0, cap(j)] and mask over the node's proper ancestors (bit k =
+   ancestor at depth k retained). *)
+type table = float array array
+
+let solve ~data ~budget metric =
+  if budget < 0 then invalid_arg "Minmax_bottomup.solve: negative budget";
+  if not (Float_util.is_pow2 (Array.length data)) then
+    invalid_arg "Minmax_bottomup.solve: data length must be a power of two";
+  let tree = Error_tree.of_data data in
+  let n = Error_tree.n tree in
+  let coeffs = Error_tree.coeffs tree in
+  let live = ref 0 and peak = ref 0 and total = ref 0 in
+  let alloc_cells c =
+    live := !live + c;
+    total := !total + c;
+    if !live > !peak then peak := !live
+  in
+  let free_table (t : table) =
+    live := !live - Array.fold_left (fun acc row -> acc + Array.length row) 0 t
+  in
+  let cap j = Stdlib.min budget (Error_tree.subtree_coeff_count tree j) in
+  (* Ancestors of node j in depth order, with their sign toward j's
+     subtree (constant over the subtree). *)
+  let ancestor_signs j =
+    let cell_lo, _ = Error_tree.leaves_under tree j in
+    Error_tree.ancestors tree j
+    |> List.map (fun a ->
+           let s =
+             if a = 0 then 1
+             else Wavesyn_haar.Haar1d.sign ~n ~coeff:a ~cell:cell_lo
+           in
+           (coeffs.(a), s))
+    |> Array.of_list
+  in
+  let leaf_table j : table =
+    let anc = ancestor_signs j in
+    let depth = Array.length anc in
+    let masks = 1 lsl depth in
+    let d = Error_tree.leaf_value tree j in
+    let r = Metrics.denominator metric d in
+    let row =
+      Array.init masks (fun mask ->
+          let incoming = ref 0. in
+          for k = 0 to depth - 1 do
+            if mask land (1 lsl k) <> 0 then begin
+              let c, s = anc.(k) in
+              incoming := !incoming +. (float_of_int s *. c)
+            end
+          done;
+          Float.abs (d -. !incoming) /. r)
+    in
+    alloc_cells masks;
+    [| row |]
+  in
+  (* Read M[child, b, mask] from a child table, clamping b to the
+     child's own cap (surplus budget is wasted, not infeasible). *)
+  let read (t : table) b mask = t.(Stdlib.min b (Array.length t - 1)).(mask) in
+  (* min over b' of max (left b', right (total - b')): the children's
+     values are monotone in their budget, so binary search applies. *)
+  let split_min tl tr total mask =
+    let f b' = read tl b' mask and g b'' = read tr b'' mask in
+    let lo = ref 0 and hi = ref total in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if f mid <= g (total - mid) then hi := mid else lo := mid + 1
+    done;
+    let eval b' = Float.max (f b') (g (total - b')) in
+    if !lo > 0 then Float.min (eval !lo) (eval (!lo - 1)) else eval !lo
+  in
+  let rec build j : table =
+    if j >= n then leaf_table j
+    else begin
+      let tl = build (2 * j) and tr = build ((2 * j) + 1) in
+      let depth = Error_tree.depth tree j in
+      let masks = 1 lsl depth in
+      let bcap = cap j in
+      let c = coeffs.(j) in
+      let bit = 1 lsl depth in
+      let t =
+        Array.init (bcap + 1) (fun b ->
+            Array.init masks (fun mask ->
+                let drop = split_min tl tr b mask in
+                if b = 0 || c = 0. then drop
+                else Float.min drop (split_min tl tr (b - 1) (mask lor bit))))
+      in
+      alloc_cells ((bcap + 1) * masks);
+      free_table tl;
+      free_table tr;
+      t
+    end
+  in
+  let max_err =
+    if n = 1 then begin
+      (* Root over a single leaf: keep c0 iff budget allows. *)
+      let d = data.(0) in
+      let r = Metrics.denominator metric d in
+      if budget >= 1 && coeffs.(0) <> 0. then 0. else Float.abs d /. r
+    end
+    else begin
+      let t1 = build 1 in
+      let v_drop = read t1 budget 0 in
+      let v_keep =
+        if budget >= 1 && coeffs.(0) <> 0. then read t1 (budget - 1) 1
+        else Float.infinity
+      in
+      free_table t1;
+      Float.min v_drop v_keep
+    end
+  in
+  { max_err; peak_live_cells = !peak; total_cells = !total }

@@ -1,0 +1,32 @@
+(** Bottom-up MinMaxErr with the paper's O(N B) working-space profile.
+
+    Section 3.1 observes that the full DP table has O(N^2 B) entries
+    but a bottom-up evaluation only ever needs the children's tables
+    while a node's table is being assembled, shrinking the live working
+    set to O(N B). This module implements that evaluation order: a
+    post-order traversal in which each node materializes its complete
+    [(budget, ancestor-subset)] table from its children's tables, after
+    which the children become garbage.
+
+    The trade-off is that choice information is discarded with the
+    evicted tables, so this solver returns the optimal {e value} only —
+    exactly the paper's framing, which re-traces "using standard
+    techniques" (i.e. the top-down solver {!Minmax_dp} when the synopsis
+    itself is needed). The test suite asserts value equality between the
+    two solvers on many instances, and the E12 ablation compares their
+    memory footprints. *)
+
+type stats = {
+  max_err : float;  (** optimal objective value, equals {!Minmax_dp} *)
+  peak_live_cells : int;
+      (** largest number of table cells simultaneously alive — the
+          O(N B) working set *)
+  total_cells : int;
+      (** cells computed over the whole run — the O(N^2 B) table size *)
+}
+
+val solve :
+  data:float array ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  stats

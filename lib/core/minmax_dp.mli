@@ -1,0 +1,69 @@
+(** MinMaxErr: optimal deterministic one-dimensional wavelet
+    thresholding for maximum-error metrics (Section 3.1, Figure 3).
+
+    The dynamic program conditions the optimal error of an error
+    subtree [T_j] on (a) the budget [b] allotted to the subtree and
+    (b) the subset [S] of proper ancestors of [c_j] retained in the
+    synopsis, encoded as a bitmask over the at most [log2 N + 1]
+    ancestors on the root path. Because every proper ancestor keeps a
+    constant sign over all of [T_j], the subset determines a single
+    scalar "incoming reconstruction" that is threaded down the
+    recursion.
+
+    The split of a node's budget between its two children uses the
+    binary search described in the paper (the child error is monotone
+    in its allotment), so each DP entry costs [O(log B)] lookups. The
+    total running time is [O(N^2 B log B)] and the memo table holds
+    [O(N B)] live entries per level in the worst case (Theorem 3.1).
+
+    Optimality is validated against {!Brute_force.optimal_1d} in the
+    test suite. *)
+
+type split_strategy =
+  | Binary_search
+      (** the paper's O(log B) crossover search (default) *)
+  | Linear_scan  (** O(B) scan over allotments; for ablation (E12) *)
+
+type result = {
+  max_err : float;  (** optimal value [M[0, B, {}]] *)
+  synopsis : Wavesyn_synopsis.Synopsis.t;
+      (** a synopsis achieving [max_err] (size at most [budget]) *)
+  dp_states : int;  (** number of distinct DP states computed *)
+}
+
+val solve :
+  ?split:split_strategy ->
+  ?cap_budget:bool ->
+  data:float array ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  result
+(** [solve ~data ~budget metric] minimizes the maximum relative or
+    absolute error over all synopses of at most [budget] coefficients.
+    [data] length must be a power of two; [budget >= 0].
+
+    [cap_budget] (default true) caps each subtree's allotment at the
+    number of coefficients it contains — a state-space reduction that
+    changes neither the optimum nor the synopsis. Both knobs exist for
+    the E12 ablation. *)
+
+val budget_for :
+  data:float array ->
+  target:float ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  result
+(** The dual problem: the smallest budget whose optimal maximum error
+    is at most [target], found by binary search over the budget (each
+    probe is one {!solve}). Returns that budget's solution; if even
+    retaining every non-zero coefficient cannot reach [target] (only
+    possible for [target < 0] in practice, since the full set is
+    exact), the full-budget solution is returned. *)
+
+val solve_tree :
+  ?split:split_strategy ->
+  ?cap_budget:bool ->
+  tree:Wavesyn_haar.Error_tree.t ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  result
+(** Same, over a prebuilt error tree (avoids re-decomposing). *)

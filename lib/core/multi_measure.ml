@@ -1,0 +1,97 @@
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Float_util = Wavesyn_util.Float_util
+
+type allocation = {
+  budgets : int array;
+  synopses : Synopsis.t array;
+  max_err : float;
+  per_measure_err : float array;
+}
+
+let check_measures measures =
+  let m = Array.length measures in
+  if m = 0 then invalid_arg "Multi_measure: no measures";
+  let n = Array.length measures.(0) in
+  if not (Float_util.is_pow2 n) then
+    invalid_arg "Multi_measure: lengths must be powers of two";
+  Array.iter
+    (fun a ->
+      if Array.length a <> n then
+        invalid_arg "Multi_measure: measures must share one domain")
+    measures
+
+let finalize ~measures ~budgets metric =
+  let solve_one i b = Minmax_dp.solve ~data:measures.(i) ~budget:b metric in
+  let results = Array.mapi (fun i b -> solve_one i b) budgets in
+  let per_measure_err = Array.map (fun r -> r.Minmax_dp.max_err) results in
+  {
+    budgets;
+    synopses = Array.map (fun r -> r.Minmax_dp.synopsis) results;
+    max_err = Float_util.max_abs per_measure_err;
+    per_measure_err;
+  }
+
+let solve ~measures ~budget metric =
+  check_measures measures;
+  if budget < 0 then invalid_arg "Multi_measure: negative budget";
+  let m = Array.length measures in
+  (* Per-measure optimal-error curves err_m(b), b = 0..budget. *)
+  let curves =
+    Array.map
+      (fun data ->
+        Array.init (budget + 1) (fun b ->
+            (Minmax_dp.solve ~data ~budget:b metric).Minmax_dp.max_err))
+      measures
+  in
+  (* Minimal budget that brings measure i to error <= t. *)
+  let need i t =
+    let curve = curves.(i) in
+    let rec go b = if b > budget then None else if curve.(b) <= t then Some b else go (b + 1) in
+    go 0
+  in
+  let feasible t =
+    let rec go i acc =
+      if i = m then Some acc
+      else
+        match need i t with
+        | None -> None
+        | Some b -> if acc + b > budget then None else go (i + 1) (acc + b)
+    in
+    go 0 0
+  in
+  (* Candidate targets: every distinct achievable error level. *)
+  let candidates =
+    Array.to_list curves
+    |> List.concat_map Array.to_list
+    |> List.sort_uniq Float.compare
+  in
+  let best_t =
+    List.find_opt (fun t -> feasible t <> None) candidates
+    |> function
+    | Some t -> t
+    | None ->
+        (* Always feasible at the max of the zero-budget errors. *)
+        Float_util.max_abs (Array.map (fun c -> c.(0)) curves)
+  in
+  let budgets = Array.init m (fun i -> Option.value ~default:0 (need i best_t)) in
+  (* Spend any leftover budget on the currently-worst measures. *)
+  let used = ref (Array.fold_left ( + ) 0 budgets) in
+  let errs = Array.mapi (fun i b -> curves.(i).(b)) budgets in
+  while !used < budget do
+    let worst = ref 0 in
+    Array.iteri (fun i e -> if e > errs.(!worst) then worst := i) errs;
+    if budgets.(!worst) < budget then begin
+      budgets.(!worst) <- budgets.(!worst) + 1;
+      errs.(!worst) <- curves.(!worst).(budgets.(!worst))
+    end;
+    incr used
+  done;
+  finalize ~measures ~budgets metric
+
+let even_split ~measures ~budget metric =
+  check_measures measures;
+  if budget < 0 then invalid_arg "Multi_measure: negative budget";
+  let m = Array.length measures in
+  let base = budget / m and extra = budget mod m in
+  let budgets = Array.init m (fun i -> base + if i < extra then 1 else 0) in
+  finalize ~measures ~budgets metric

@@ -1,0 +1,40 @@
+(** Shared-budget thresholding across multiple measures.
+
+    OLAP data sets routinely carry several measures per cell (the
+    "extended wavelets" setting of Deligiannakis & Roussopoulos [4],
+    cited in the paper's related work). This module solves the
+    max-error version of their budget-sharing problem: given [M]
+    measure arrays over the same domain and one global budget [B],
+    choose per-measure budgets [b_1 + ... + b_M <= B] and per-measure
+    optimal synopses minimizing the worst maximum error across all
+    measures.
+
+    Because each measure's optimal error is a non-increasing function of
+    its budget (computed exactly by {!Minmax_dp}), the optimal
+    allocation is found by binary searching the achievable error levels
+    over the union of the per-measure error curves. The result is
+    exactly optimal for the given metric. *)
+
+type allocation = {
+  budgets : int array;  (** per-measure budgets, summing to <= B *)
+  synopses : Wavesyn_synopsis.Synopsis.t array;
+  max_err : float;
+      (** the minimized worst maximum error across measures *)
+  per_measure_err : float array;
+}
+
+val solve :
+  measures:float array array ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  allocation
+(** All measure arrays must share the same power-of-two length.
+    Cost: [M * (B + 1)] runs of the single-measure DP. *)
+
+val even_split :
+  measures:float array array ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  allocation
+(** Baseline that gives each measure [B / M] coefficients — what a
+    system without cross-measure optimization would do. *)

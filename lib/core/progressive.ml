@@ -1,0 +1,108 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Float_util = Wavesyn_util.Float_util
+
+type step = {
+  budget : int;
+  coefficient : int;
+  value : float;
+  guarantee : float;
+}
+
+type t = {
+  n : int;
+  wavelet : float array;
+  steps : step list;  (** refinement order *)
+  initial : float;
+}
+
+let build ~data ~max_budget metric =
+  if max_budget < 0 then invalid_arg "Progressive.build: negative budget";
+  let n = Array.length data in
+  let wavelet = Haar1d.decompose data in
+  let approx = Array.make n 0. in
+  let denom = Array.map (Metrics.denominator metric) data in
+  let err i = Float.abs (data.(i) -. approx.(i)) /. denom.(i) in
+  let max_err () =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let e = err i in
+      if e > !acc then acc := e
+    done;
+    !acc
+  in
+  let initial = max_err () in
+  let remaining =
+    ref
+      (Array.to_list (Array.init n Fun.id)
+      |> List.filter (fun j -> wavelet.(j) <> 0.))
+  in
+  let steps = ref [] in
+  let rounds = Stdlib.min max_budget (List.length !remaining) in
+  for budget = 1 to rounds do
+    (* Prefix/suffix maxima let each candidate be scored by rescanning
+       only its support (same technique as Greedy_maxerr). *)
+    let errs = Array.init n err in
+    let prefix = Array.make (n + 1) 0. and suffix = Array.make (n + 1) 0. in
+    for i = 0 to n - 1 do
+      prefix.(i + 1) <- Float.max prefix.(i) errs.(i)
+    done;
+    for i = n - 1 downto 0 do
+      suffix.(i) <- Float.max suffix.(i + 1) errs.(i)
+    done;
+    let candidate_error j =
+      let lo, hi = Haar1d.support ~n j in
+      let inside = ref 0. in
+      for i = lo to hi - 1 do
+        let delta =
+          float_of_int (Haar1d.sign ~n ~coeff:j ~cell:i) *. wavelet.(j)
+        in
+        let e = Float.abs (data.(i) -. (approx.(i) +. delta)) /. denom.(i) in
+        if e > !inside then inside := e
+      done;
+      Float.max !inside (Float.max prefix.(lo) suffix.(hi))
+    in
+    match !remaining with
+    | [] -> ()
+    | first :: _ ->
+        let best = ref first and best_err = ref (candidate_error first) in
+        List.iter
+          (fun j ->
+            let e = candidate_error j in
+            if e < !best_err then begin
+              best := j;
+              best_err := e
+            end)
+          !remaining;
+        let j = !best in
+        remaining := List.filter (fun k -> k <> j) !remaining;
+        let lo, hi = Haar1d.support ~n j in
+        for i = lo to hi - 1 do
+          approx.(i) <-
+            approx.(i)
+            +. (float_of_int (Haar1d.sign ~n ~coeff:j ~cell:i) *. wavelet.(j))
+        done;
+        steps :=
+          { budget; coefficient = j; value = wavelet.(j); guarantee = max_err () }
+          :: !steps
+  done;
+  { n; wavelet; steps = List.rev !steps; initial }
+
+let steps t = t.steps
+let initial_guarantee t = t.initial
+
+let synopsis_at t ~budget =
+  let chosen =
+    List.filteri (fun k _ -> k < budget) t.steps
+    |> List.map (fun s -> (s.coefficient, s.value))
+  in
+  Synopsis.make ~n:t.n chosen
+
+let guarantee_at t ~budget =
+  if budget <= 0 then t.initial
+  else begin
+    let len = List.length t.steps in
+    let idx = Stdlib.min budget len in
+    if idx = 0 then t.initial else (List.nth t.steps (idx - 1)).guarantee
+  end

@@ -1,0 +1,41 @@
+(** Progressive synopses: one nested coefficient ordering whose every
+    prefix is a usable synopsis with a known deterministic guarantee.
+
+    Optimal max-error synopses for different budgets are generally not
+    nested, so a client that wants to refine an answer as coefficients
+    stream in cannot just switch between per-budget optima. This module
+    builds a single greedy-nested chain (each step adds the coefficient
+    that most reduces the current maximum error) and records the exact
+    guarantee after every step; {!steps} exposes the whole refinement
+    schedule, and the E17 experiment quantifies the "price of
+    nestedness" against the non-nested per-budget optima. *)
+
+type t
+
+type step = {
+  budget : int;  (** prefix size after this step (1-based) *)
+  coefficient : int;  (** Haar index added at this step *)
+  value : float;
+  guarantee : float;  (** exact max error of the prefix synopsis *)
+}
+
+val build :
+  data:float array ->
+  max_budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  t
+(** Greedy nested chain of up to [max_budget] coefficients (fewer when
+    the data has fewer non-zero coefficients). *)
+
+val steps : t -> step list
+(** In refinement order. *)
+
+val initial_guarantee : t -> float
+(** Max error of the empty prefix (budget 0). *)
+
+val synopsis_at : t -> budget:int -> Wavesyn_synopsis.Synopsis.t
+(** The prefix synopsis of the given size (clamped to the chain
+    length). *)
+
+val guarantee_at : t -> budget:int -> float
+(** Exact guarantee of that prefix. *)

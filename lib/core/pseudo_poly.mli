@@ -1,0 +1,44 @@
+(** Optimal pseudo-polynomial integer DP (Section 3.2.2).
+
+    When all wavelet coefficients are integers (after scaling), the
+    incoming additive error of any subtree is an integer in
+    [±R_Z 2^D log N], so the exact DP over (node, budget, error) is
+    finite. This module runs that DP with exact (unrounded) incoming
+    errors; it is optimal, and serves both as the basis of the
+    truncated (1+ε) scheme (see {!Approx_abs}) and as a second exact
+    oracle for validating the approximation schemes on small inputs.
+
+    Coefficients are scaled by a caller-supplied factor and must land
+    on integers (for integer data, scaling by the number of cells [N]
+    always works, since unnormalized Haar coefficients of integer data
+    are multiples of [1/N]). *)
+
+type result = {
+  max_err : float;  (** optimal maximum error, in original data units *)
+  synopsis : Wavesyn_synopsis.Synopsis.Md.md;
+  dp_states : int;
+}
+
+val solve_scaled :
+  tree:Wavesyn_haar.Md_tree.t ->
+  budget:int ->
+  scale:float ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  result
+(** [scale * c] must be integral (within 1e-6) for every coefficient
+    [c]; raises [Invalid_argument] otherwise. *)
+
+val solve_int_data :
+  data:Wavesyn_util.Ndarray.t ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  result
+(** Convenience entry for integer-valued data: scales by the number of
+    cells. *)
+
+val solve_1d :
+  data:float array ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  float * Wavesyn_synopsis.Synopsis.t
+(** One-dimensional instantiation for integer-valued [data]. *)

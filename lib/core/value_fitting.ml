@@ -1,0 +1,87 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+
+type report = {
+  synopsis : Synopsis.t;
+  initial_err : float;
+  final_err : float;
+  rounds : int;
+}
+
+(* Minimize the convex piecewise-linear g(v) = max_i w_i |x_i - v| by
+   ternary search over the hull of the x_i. *)
+let chebyshev_center xs ws =
+  let lo = ref xs.(0) and hi = ref xs.(0) in
+  Array.iter
+    (fun x ->
+      if x < !lo then lo := x;
+      if x > !hi then hi := x)
+    xs;
+  let g v =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let e = ws.(i) *. Float.abs (x -. v) in
+        if e > !acc then acc := e)
+      xs;
+    !acc
+  in
+  let a = ref !lo and b = ref !hi in
+  for _ = 1 to 200 do
+    let m1 = !a +. ((!b -. !a) /. 3.) in
+    let m2 = !b -. ((!b -. !a) /. 3.) in
+    if g m1 <= g m2 then b := m2 else a := m1
+  done;
+  let v = (!a +. !b) /. 2. in
+  (v, g v)
+
+let refine ?(max_rounds = 10) ~data syn metric =
+  if max_rounds < 1 then invalid_arg "Value_fitting.refine: max_rounds >= 1";
+  let n = Array.length data in
+  if Synopsis.n syn <> n then
+    invalid_arg "Value_fitting.refine: domain size mismatch";
+  let positions = Array.of_list (List.map fst (Synopsis.coeffs syn)) in
+  let values = Array.of_list (List.map snd (Synopsis.coeffs syn)) in
+  let approx = Synopsis.reconstruct syn in
+  let initial_err = Metrics.max_error metric ~data ~approx in
+  let denom = Array.map (Metrics.denominator metric) data in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    Array.iteri
+      (fun k j ->
+        let lo, hi = if j = 0 then (0, n) else Haar1d.support ~n j in
+        let m = hi - lo in
+        let xs = Array.make m 0. and ws = Array.make m 0. in
+        let current_max = ref 0. in
+        for i = lo to hi - 1 do
+          let s = float_of_int (Haar1d.sign ~n ~coeff:j ~cell:i) in
+          (* Residual with this coefficient removed, folded by its
+             sign: |r - s v| = |s r - v|. *)
+          let r = data.(i) -. (approx.(i) -. (s *. values.(k))) in
+          xs.(i - lo) <- s *. r;
+          ws.(i - lo) <- 1. /. denom.(i);
+          let e = Float.abs (data.(i) -. approx.(i)) /. denom.(i) in
+          if e > !current_max then current_max := e
+        done;
+        let v, best = chebyshev_center xs ws in
+        if best < !current_max -. 1e-12 then begin
+          improved := true;
+          let delta = v -. values.(k) in
+          values.(k) <- v;
+          for i = lo to hi - 1 do
+            let s = float_of_int (Haar1d.sign ~n ~coeff:j ~cell:i) in
+            approx.(i) <- approx.(i) +. (s *. delta)
+          done
+        end)
+      positions
+  done;
+  let refined =
+    Synopsis.make ~n
+      (Array.to_list (Array.mapi (fun k j -> (j, values.(k))) positions))
+  in
+  let final_err = Metrics.max_error metric ~data ~approx:(Synopsis.reconstruct refined) in
+  { synopsis = refined; initial_err; final_err; rounds = !rounds }

@@ -1,0 +1,33 @@
+(** Unrestricted coefficient values: refine the {e values} stored in a
+    synopsis after the support has been chosen.
+
+    The paper's algorithms (like all classical thresholding) retain
+    coefficients with their exact Haar values. Follow-on work observed
+    that once the B retained positions are fixed, storing {e arbitrary}
+    values can only help — this addresses the paper's closing question
+    about representations better suited to non-L2 metrics.
+
+    Holding every other coefficient fixed, the maximum error over a
+    coefficient's support region as a function of its stored value [v]
+    is [max_i w_i |x_i - v|] (a weighted Chebyshev center problem with
+    [x_i] the signed residuals and [w_i] the inverse denominators),
+    minimized exactly by bisection. {!refine} runs coordinate descent
+    over the retained coefficients until a fixed point; the result
+    never has larger maximum error than the input and often improves
+    on the {e restricted-optimal} synopsis of {!Minmax_dp}. *)
+
+type report = {
+  synopsis : Wavesyn_synopsis.Synopsis.t;  (** same support, new values *)
+  initial_err : float;
+  final_err : float;
+  rounds : int;  (** coordinate-descent sweeps executed *)
+}
+
+val refine :
+  ?max_rounds:int ->
+  data:float array ->
+  Wavesyn_synopsis.Synopsis.t ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  report
+(** [max_rounds] defaults to 10; each round sweeps all retained
+    coefficients once. Stops early at a fixed point. *)

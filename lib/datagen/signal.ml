@@ -1,0 +1,139 @@
+module Prng = Wavesyn_util.Prng
+module Ndarray = Wavesyn_util.Ndarray
+
+let check_n n = if n < 1 then invalid_arg "Signal: n must be >= 1"
+
+let zipf_sorted ~n ~alpha ~scale =
+  check_n n;
+  Array.init n (fun i -> scale /. Float.pow (float_of_int (i + 1)) alpha)
+
+let zipf ~rng ~n ~alpha ~scale =
+  let a = zipf_sorted ~n ~alpha ~scale in
+  Prng.shuffle rng a;
+  a
+
+let gaussian_bumps ~rng ~n ~bumps ~amplitude =
+  check_n n;
+  let centers =
+    Array.init bumps (fun _ ->
+        ( Prng.float rng (float_of_int n),
+          amplitude *. (0.3 +. Prng.float rng 0.7),
+          float_of_int n *. (0.01 +. Prng.float rng 0.08) ))
+  in
+  Array.init n (fun i ->
+      Array.fold_left
+        (fun acc (center, amp, sigma) ->
+          let z = (float_of_int i -. center) /. sigma in
+          acc +. (amp *. Float.exp (-0.5 *. z *. z)))
+        0. centers)
+
+let random_walk ~rng ~n ~step =
+  check_n n;
+  let a = Array.make n 0. in
+  let cur = ref 0. in
+  for i = 0 to n - 1 do
+    cur := !cur +. (step *. Prng.gaussian rng);
+    a.(i) <- !cur
+  done;
+  a
+
+let noisy_periodic ~rng ~n ~period ~amplitude ~noise =
+  check_n n;
+  if period < 1 then invalid_arg "Signal.noisy_periodic: period must be >= 1";
+  Array.init n (fun i ->
+      (amplitude
+      *. Float.sin (2. *. Float.pi *. float_of_int i /. float_of_int period))
+      +. (noise *. Prng.gaussian rng))
+
+let spikes ~rng ~n ~count ~amplitude =
+  check_n n;
+  let a = Array.make n 0. in
+  for _ = 1 to count do
+    let i = Prng.int rng n in
+    a.(i) <- amplitude *. (0.5 +. Prng.float rng 1.0) *. (if Prng.bool rng then 1. else -1.)
+  done;
+  a
+
+let piecewise_constant ~rng ~n ~segments ~amplitude =
+  check_n n;
+  if segments < 1 then invalid_arg "Signal.piecewise_constant: segments >= 1";
+  let boundaries =
+    Array.init (segments - 1) (fun _ -> Prng.int rng n) |> Array.to_list
+    |> List.sort_uniq compare
+  in
+  let level () = amplitude *. (Prng.float rng 2. -. 1.) in
+  let a = Array.make n 0. in
+  let rec fill start bounds cur =
+    match bounds with
+    | [] ->
+        for i = start to n - 1 do
+          a.(i) <- cur
+        done
+    | b :: rest ->
+        for i = start to Stdlib.min (b - 1) (n - 1) do
+          a.(i) <- cur
+        done;
+        fill b rest (level ())
+  in
+  fill 0 boundaries (level ());
+  a
+
+let uniform ~rng ~n ~lo ~hi =
+  check_n n;
+  if hi < lo then invalid_arg "Signal.uniform: hi < lo";
+  Array.init n (fun _ -> lo +. Prng.float rng (hi -. lo))
+
+let call_center ~rng ~n ~base =
+  check_n n;
+  Array.init n (fun i ->
+      let day = float_of_int (i mod 7) in
+      (* weekday/weekend shape *)
+      let weekly = if day < 5. then 1. +. (0.15 *. day) else 0.35 in
+      let trend = 1. +. (0.3 *. Float.sin (float_of_int i /. float_of_int n *. 6.28)) in
+      let noise = Float.exp (0.08 *. Prng.gaussian rng) in
+      let burst = if Prng.bernoulli rng 0.03 then 1.5 +. Prng.float rng 2. else 1. in
+      Float.max 0. (base *. weekly *. trend *. noise *. burst))
+
+let quantize ~levels a =
+  if levels < 2 then invalid_arg "Signal.quantize: levels must be >= 2";
+  if Array.length a = 0 then [||]
+  else begin
+    let lo, hi = Wavesyn_util.Stats.min_max a in
+    let span = if hi > lo then hi -. lo else 1. in
+    Array.map
+      (fun x ->
+        Float.round ((x -. lo) /. span *. float_of_int (levels - 1)))
+      a
+  end
+
+let grid_bumps ~rng ~side ~bumps ~amplitude =
+  let centers =
+    Array.init bumps (fun _ ->
+        ( Prng.float rng (float_of_int side),
+          Prng.float rng (float_of_int side),
+          amplitude *. (0.3 +. Prng.float rng 0.7),
+          float_of_int side *. (0.05 +. Prng.float rng 0.15) ))
+  in
+  Ndarray.init ~dims:[| side; side |] (fun idx ->
+      Array.fold_left
+        (fun acc (cx, cy, amp, sigma) ->
+          let zx = (float_of_int idx.(0) -. cx) /. sigma in
+          let zy = (float_of_int idx.(1) -. cy) /. sigma in
+          acc +. (amp *. Float.exp (-0.5 *. ((zx *. zx) +. (zy *. zy)))))
+        0. centers)
+
+let grid_zipf ~rng ~side ~alpha ~scale =
+  let flat = zipf ~rng ~n:(side * side) ~alpha ~scale in
+  Ndarray.of_flat_array ~dims:[| side; side |] flat
+
+let grid_int ~rng ~side ~levels =
+  Ndarray.init ~dims:[| side; side |] (fun _ ->
+      float_of_int (Prng.int rng levels))
+
+let ranges ~rng ~n ~count ~min_len ~max_len =
+  if min_len < 1 || max_len < min_len || max_len > n then
+    invalid_arg "Signal.ranges: bad length bounds";
+  List.init count (fun _ ->
+      let len = min_len + Prng.int rng (max_len - min_len + 1) in
+      let lo = Prng.int rng (n - len + 1) in
+      (lo, lo + len - 1))

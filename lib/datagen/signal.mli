@@ -1,0 +1,70 @@
+(** Seeded synthetic data generators.
+
+    These stand in for the proprietary real-life traces used by the
+    probabilistic-synopses study the paper builds on (see the
+    substitution table in DESIGN.md). Every generator is deterministic
+    given its {!Wavesyn_util.Prng.t} stream, and produces arrays whose
+    length is the requested [n] (callers pad to powers of two if
+    needed; all experiment configs use power-of-two sizes). *)
+
+val zipf : rng:Wavesyn_util.Prng.t -> n:int -> alpha:float -> scale:float -> float array
+(** Frequency vector with value [scale / rank^alpha] assigned to a
+    random permutation of positions — the classic skewed-frequency
+    workload of selectivity-estimation studies. *)
+
+val zipf_sorted : n:int -> alpha:float -> scale:float -> float array
+(** Same magnitudes in rank order (no randomness). *)
+
+val gaussian_bumps :
+  rng:Wavesyn_util.Prng.t -> n:int -> bumps:int -> amplitude:float -> float array
+(** Sum of [bumps] Gaussian humps with random centers/widths — smooth
+    data where wavelets excel. *)
+
+val random_walk : rng:Wavesyn_util.Prng.t -> n:int -> step:float -> float array
+(** Cumulative sum of Gaussian steps. *)
+
+val noisy_periodic :
+  rng:Wavesyn_util.Prng.t -> n:int -> period:int -> amplitude:float -> noise:float -> float array
+(** Sinusoid plus white noise. *)
+
+val spikes :
+  rng:Wavesyn_util.Prng.t -> n:int -> count:int -> amplitude:float -> float array
+(** Sparse spike train: mostly zeros with [count] large random values —
+    adversarial for L2 thresholding under max-error metrics. *)
+
+val piecewise_constant :
+  rng:Wavesyn_util.Prng.t -> n:int -> segments:int -> amplitude:float -> float array
+(** Random step function — the best case for Haar wavelets. *)
+
+val uniform : rng:Wavesyn_util.Prng.t -> n:int -> lo:float -> hi:float -> float array
+
+val call_center :
+  rng:Wavesyn_util.Prng.t -> n:int -> base:float -> float array
+(** Synthetic stand-in for the call-center traces of the original
+    probabilistic-synopses study: weekly periodicity (period 7 samples)
+    modulated by a slow trend, with bursty spikes and multiplicative
+    noise; non-negative. *)
+
+val quantize : levels:int -> float array -> float array
+(** Round values onto [levels] integer levels spanning the data range
+    (yields integer-valued data for the integer DPs). *)
+
+val grid_bumps :
+  rng:Wavesyn_util.Prng.t -> side:int -> bumps:int -> amplitude:float ->
+  Wavesyn_util.Ndarray.t
+(** 2-D sum of Gaussian bumps on a [side x side] grid. *)
+
+val grid_zipf :
+  rng:Wavesyn_util.Prng.t -> side:int -> alpha:float -> scale:float ->
+  Wavesyn_util.Ndarray.t
+(** 2-D Zipfian frequency surface (random cell permutation). *)
+
+val grid_int :
+  rng:Wavesyn_util.Prng.t -> side:int -> levels:int ->
+  Wavesyn_util.Ndarray.t
+(** Integer-valued random grid in [[0, levels)]. *)
+
+val ranges :
+  rng:Wavesyn_util.Prng.t -> n:int -> count:int -> min_len:int -> max_len:int ->
+  (int * int) list
+(** Random inclusive query ranges for the AQP experiments. *)

@@ -1,0 +1,6 @@
+(** Experiment E12: ablation of the MinMaxErr design choices called out
+    in Section 3.1 — the O(log B) binary-search split, the
+    subtree-budget cap, and the bottom-up O(N B)-workspace evaluation
+    order. *)
+
+val e12_ablations : unit -> string

@@ -1,0 +1,5 @@
+(** Experiment E16: budget-placement anatomy — which resolution levels
+    each thresholding strategy spends its coefficients on, explaining
+    {e why} L2-optimal synopses fail max-error metrics. *)
+
+val e16_budget_anatomy : unit -> string

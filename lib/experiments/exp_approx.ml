@@ -1,0 +1,121 @@
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Approx_additive = Wavesyn_core.Approx_additive
+module Approx_abs = Wavesyn_core.Approx_abs
+module Pseudo_poly = Wavesyn_core.Pseudo_poly
+module Md_tree = Wavesyn_haar.Md_tree
+module Signal = Wavesyn_datagen.Signal
+module Metrics = Wavesyn_synopsis.Metrics
+module Ndarray = Wavesyn_util.Ndarray
+module Prng = Wavesyn_util.Prng
+module Table = Wavesyn_util.Table
+
+let epsilons = [ 0.5; 0.25; 0.1; 0.05; 0.02 ]
+
+let e7_additive_scheme () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "E7: epsilon-additive approximation scheme (Theorem 3.2)\n";
+  (* One dimension: exact optimum available from MinMaxErr. *)
+  let rng = Prng.create ~seed:7004 in
+  let data = Signal.gaussian_bumps ~rng ~n:64 ~bumps:5 ~amplitude:40. in
+  let budget = 6 in
+  let metric = Metrics.Abs in
+  let opt = (Minmax_dp.solve ~data ~budget metric).Minmax_dp.max_err in
+  let tree1 = Md_tree.of_data (Ndarray.of_flat_array ~dims:[| 64 |] data) in
+  let t1 =
+    Table.create ~columns:[ "eps"; "measured"; "OPT"; "guarantee bound"; "dp states" ]
+  in
+  List.iter
+    (fun epsilon ->
+      let r = Approx_additive.solve_tree ~tree:tree1 ~budget ~epsilon metric in
+      let slack = Approx_additive.guarantee_bound ~tree:tree1 ~epsilon metric in
+      Table.add_row t1
+        [
+          Printf.sprintf "%g" epsilon;
+          Printf.sprintf "%.4f" r.Approx_additive.measured;
+          Printf.sprintf "%.4f" opt;
+          Printf.sprintf "%.4f" (opt +. slack);
+          string_of_int r.Approx_additive.dp_states;
+        ])
+    epsilons;
+  Buffer.add_string buf
+    (Table.to_string ~title:"\n1-D (N=64, B=6, abs error), OPT from MinMaxErr:" t1);
+  (* Two dimensions: exact optimum from the pseudo-polynomial DP on
+     integer data. *)
+  let rng = Prng.create ~seed:7005 in
+  let grid = Signal.grid_int ~rng ~side:8 ~levels:24 in
+  let budget = 8 in
+  let opt2 =
+    (Pseudo_poly.solve_int_data ~data:grid ~budget metric).Pseudo_poly.max_err
+  in
+  let tree2 = Md_tree.of_data grid in
+  let t2 =
+    Table.create ~columns:[ "eps"; "measured"; "OPT"; "guarantee bound"; "dp states" ]
+  in
+  List.iter
+    (fun epsilon ->
+      let r = Approx_additive.solve_tree ~tree:tree2 ~budget ~epsilon metric in
+      let slack = Approx_additive.guarantee_bound ~tree:tree2 ~epsilon metric in
+      Table.add_row t2
+        [
+          Printf.sprintf "%g" epsilon;
+          Printf.sprintf "%.4f" r.Approx_additive.measured;
+          Printf.sprintf "%.4f" opt2;
+          Printf.sprintf "%.4f" (opt2 +. slack);
+          string_of_int r.Approx_additive.dp_states;
+        ])
+    epsilons;
+  Buffer.add_string buf
+    (Table.to_string
+       ~title:"\n2-D (8x8 integer grid, B=8, abs error), OPT from pseudo-poly DP:"
+       t2);
+  Buffer.add_string buf
+    "\nExpected shape: measured error always <= the guarantee bound, approaching\n\
+     OPT as eps shrinks while dp states grow roughly like 1/eps.\n";
+  Buffer.contents buf
+
+let e8_abs_approximation () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "E8: (1+eps)-approximation for maximum absolute error (Theorem 3.4)\n";
+  let rng = Prng.create ~seed:7006 in
+  let cases =
+    [
+      ("8x8 ints", Signal.grid_int ~rng ~side:8 ~levels:40, 6);
+      ("8x8 bumps (quantized)",
+       (let b = Signal.grid_bumps ~rng ~side:8 ~bumps:4 ~amplitude:60. in
+        Ndarray.map Float.round b),
+       8);
+    ]
+  in
+  List.iter
+    (fun (name, grid, budget) ->
+      let opt =
+        (Pseudo_poly.solve_int_data ~data:grid ~budget Metrics.Abs)
+          .Pseudo_poly.max_err
+      in
+      let table =
+        Table.create
+          ~columns:[ "eps"; "measured"; "OPT"; "ratio"; "(1+4eps)"; "sweeps"; "dp states" ]
+      in
+      List.iter
+        (fun epsilon ->
+          let r = Approx_abs.solve ~data:grid ~budget ~epsilon in
+          let ratio = if opt > 0. then r.Approx_abs.max_err /. opt else 1. in
+          Table.add_row table
+            [
+              Printf.sprintf "%g" epsilon;
+              Printf.sprintf "%.4f" r.Approx_abs.max_err;
+              Printf.sprintf "%.4f" opt;
+              Printf.sprintf "%.4f" ratio;
+              Printf.sprintf "%.2f" (1. +. (4. *. epsilon));
+              string_of_int r.Approx_abs.sweeps;
+              string_of_int r.Approx_abs.dp_states;
+            ])
+        epsilons;
+      Buffer.add_string buf
+        (Table.to_string ~title:(Printf.sprintf "\ndataset: %s (B=%d):" name budget) table))
+    cases;
+  Buffer.add_string buf
+    "\nExpected shape: ratio <= 1+4eps for every row and -> 1 as eps -> 0.\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Experiments E7 and E8: the multi-dimensional approximation schemes
+    of Section 3.2 against their guarantees (Theorems 3.2 and 3.4). *)
+
+val e7_additive_scheme : unit -> string
+(** E7: ε-additive scheme — measured error vs. ε, against the exact
+    optimum, in one and two dimensions. *)
+
+val e8_abs_approximation : unit -> string
+(** E8: (1+ε) absolute-error scheme — approximation ratio vs. ε. *)

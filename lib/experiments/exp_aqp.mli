@@ -1,0 +1,13 @@
+(** Experiments E10 and E11 (extensions beyond the paper's figures):
+    end-to-end approximate query processing quality and streaming
+    maintenance, the application scenarios the paper's introduction
+    motivates. *)
+
+val e10_range_queries : unit -> string
+(** E10: range-sum workload accuracy per thresholding strategy on a
+    Zipfian relation, plus the per-value guarantee each synopsis
+    provides. *)
+
+val e11_streaming : unit -> string
+(** E11: streaming maintenance — error of periodically re-cut synopses
+    under a drifting update stream. *)

@@ -1,0 +1,73 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Daub4 = Wavesyn_haar.Daub4
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Signal = Wavesyn_datagen.Signal
+module Metrics = Wavesyn_synopsis.Metrics
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Prng = Wavesyn_util.Prng
+module Table = Wavesyn_util.Table
+
+let rms data approx =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i d -> acc := !acc +. ((d -. approx.(i)) *. (d -. approx.(i))))
+    data;
+  Float.sqrt (!acc /. float_of_int (Array.length data))
+
+let e19_basis_comparison () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "E19: Haar vs. Daubechies-4 bases (the paper's closing question)\n\
+     (N=128, B sweep; D4 has no error tree, so only L2-greedy applies to it)\n";
+  let rng = Prng.create ~seed:7016 in
+  let n = 128 in
+  List.iter
+    (fun (name, data) ->
+      let table =
+        Table.create
+          ~columns:
+            [
+              "B";
+              "haar-L2 rms";
+              "d4-L2 rms";
+              "haar-L2 maxerr";
+              "d4-L2 maxerr";
+              "haar-MinMax maxerr";
+            ]
+      in
+      List.iter
+        (fun budget ->
+          let haar_syn = Greedy_l2.threshold ~data ~budget in
+          let haar_approx = Synopsis.reconstruct haar_syn in
+          let d4_approx =
+            Daub4.reconstruct_from ~n (Daub4.threshold_l2 ~data ~budget)
+          in
+          let minmax =
+            (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.max_err
+          in
+          Table.add_float_row table (string_of_int budget)
+            [
+              rms data haar_approx;
+              rms data d4_approx;
+              Metrics.max_error Metrics.Abs ~data ~approx:haar_approx;
+              Metrics.max_error Metrics.Abs ~data ~approx:d4_approx;
+              minmax;
+            ])
+        [ 4; 8; 16; 24; 32 ];
+      Buffer.add_string buf
+        (Table.to_string ~title:(Printf.sprintf "\ndataset: %s" name) table))
+    [
+      ("smooth bumps", Signal.gaussian_bumps ~rng ~n ~bumps:4 ~amplitude:50.);
+      ("steps(6)", Signal.piecewise_constant ~rng ~n ~segments:6 ~amplitude:50.);
+      ("noisy periodic", Signal.noisy_periodic ~rng ~n ~period:32 ~amplitude:30. ~noise:2.);
+    ];
+  Buffer.add_string buf
+    "\nExpected shape: on step data Haar plus optimal thresholding wins\n\
+     decisively (D4 cannot represent discontinuities compactly). On smooth\n\
+     and periodic data, however, greedily-thresholded D4 beats even the\n\
+     OPTIMAL Haar synopsis under the max-error metric at moderate budgets -\n\
+     direct empirical support for the paper's closing conjecture that other\n\
+     bases can suit non-L2 metrics better, and a concrete argument for\n\
+     extending deterministic max-error thresholding beyond Haar.\n";
+  Buffer.contents buf

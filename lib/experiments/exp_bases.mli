@@ -1,0 +1,5 @@
+(** Experiment E19: Haar vs. Daubechies-4 under L2 and maximum-error
+    metrics — an empirical probe of the paper's closing question about
+    wavelet bases better suited to non-L2 metrics. *)
+
+val e19_basis_comparison : unit -> string

@@ -1,0 +1,5 @@
+(** Experiment E18: synopses under a bit budget — trading value
+    precision for coefficient count (the systems-level storage question
+    behind every "space budget B" in the paper). *)
+
+val e18_bit_budgets : unit -> string

@@ -1,0 +1,14 @@
+(** Experiments E4, E5, E9: the comparative study Section 5 of the paper
+    promises — deterministic MinMaxErr vs. conventional L2 greedy
+    thresholding vs. the probabilistic synopses of [7, 8], across
+    synthetic workloads. *)
+
+val e4_max_relative_error : unit -> string
+(** E4: maximum relative error (sanity bound 1) as a function of the
+    budget B, per algorithm and dataset. *)
+
+val e5_max_absolute_error : unit -> string
+(** E5: same sweep for maximum absolute error. *)
+
+val e9_sanity_bound : unit -> string
+(** E9: effect of the sanity bound [s] on relative-error synopses. *)

@@ -1,0 +1,10 @@
+(** Experiments E13 and E14: empirical backing for Section 3.2's
+    opening argument and for the paper's closing question.
+
+    E13 measures the state-count blowup of the exhaustive
+    ancestor-subset DP against the approximate DPs on the same
+    instances. E14 measures how much the unrestricted-value refinement
+    improves each thresholding algorithm. *)
+
+val e13_exhaustive_blowup : unit -> string
+val e14_value_fitting : unit -> string

@@ -1,0 +1,57 @@
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Histogram = Wavesyn_baselines.Histogram
+module Signal = Wavesyn_datagen.Signal
+module Metrics = Wavesyn_synopsis.Metrics
+module Prng = Wavesyn_util.Prng
+module Table = Wavesyn_util.Table
+
+let e15_wavelets_vs_histograms () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "E15: wavelet synopses vs. optimal histograms at equal storage\n\
+     (both store ~2 numbers per retained unit; maximum absolute error)\n";
+  let rng = Prng.create ~seed:7012 in
+  let n = 128 in
+  let datasets =
+    [
+      ("steps(6)", Signal.piecewise_constant ~rng ~n ~segments:6 ~amplitude:50.);
+      ("bumps", Signal.gaussian_bumps ~rng ~n ~bumps:5 ~amplitude:50.);
+      ("walk", Signal.random_walk ~rng ~n ~step:4.);
+      ("zipf(1.2)", Signal.zipf ~rng ~n ~alpha:1.2 ~scale:200.);
+    ]
+  in
+  List.iter
+    (fun (name, data) ->
+      let table =
+        Table.create
+          ~columns:
+            [ "B"; "wavelet MinMax"; "wavelet L2"; "hist MaxErr"; "hist V-opt" ]
+      in
+      List.iter
+        (fun b ->
+          let wm = (Minmax_dp.solve ~data ~budget:b Metrics.Abs).Minmax_dp.max_err in
+          let wl =
+            Metrics.of_synopsis Metrics.Abs ~data (Greedy_l2.threshold ~data ~budget:b)
+          in
+          let hm =
+            Histogram.max_abs_err (Histogram.max_error_optimal ~data ~buckets:b) ~data
+          in
+          let hv =
+            Histogram.max_abs_err (Histogram.v_optimal ~data ~buckets:b) ~data
+          in
+          Table.add_float_row table (string_of_int b) [ wm; wl; hm; hv ])
+        [ 4; 8; 12; 16; 24 ];
+      Buffer.add_string buf
+        (Table.to_string ~title:(Printf.sprintf "\ndataset: %s (N=%d)" name n) table))
+    datasets;
+  Buffer.add_string buf
+    "\nExpected shape: within each family the max-error construction dominates\n\
+     its L2/V-opt counterpart at every budget - the paper's argument holds\n\
+     for histograms too. Across families, histograms win on one-dimensional\n\
+     data (their bucket boundaries are unconstrained, wavelets' supports are\n\
+     dyadic) and are exact on step data once B reaches the segment count;\n\
+     wavelets' advantages are orthogonal - multi-dimensionality (E7/E8),\n\
+     O(log N) streaming maintenance (E11), and progressive refinement -\n\
+     which is why both synopsis families coexist in the literature.\n";
+  Buffer.contents buf

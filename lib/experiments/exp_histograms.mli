@@ -1,0 +1,5 @@
+(** Experiment E15: wavelet synopses vs. optimal histograms at equal
+    storage — the cross-family comparison suggested by the paper's
+    related-work discussion of histogram construction [18]. *)
+
+val e15_wavelets_vs_histograms : unit -> string

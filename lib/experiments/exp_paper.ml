@@ -1,0 +1,134 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Error_tree = Wavesyn_haar.Error_tree
+module Haar_md = Wavesyn_haar.Haar_md
+module Md_tree = Wavesyn_haar.Md_tree
+module Ndarray = Wavesyn_util.Ndarray
+module Table = Wavesyn_util.Table
+
+let paper_data = [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |]
+
+let fmt_array a =
+  "["
+  ^ String.concat ", "
+      (Array.to_list (Array.map (fun x -> Printf.sprintf "%g" x) a))
+  ^ "]"
+
+let e1_decomposition_table () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "E1: Section 2.1 worked example, A = [2, 2, 0, 2, 3, 5, 4, 4]\n\n";
+  let table = Table.create ~columns:[ "Resolution"; "Averages"; "Detail Coefficients" ] in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          string_of_int row.Haar1d.resolution;
+          fmt_array row.Haar1d.averages;
+          (match row.Haar1d.details with
+          | None -> "---"
+          | Some d -> fmt_array d);
+        ])
+    (Haar1d.resolution_table paper_data);
+  Buffer.add_string buf (Table.to_string table);
+  let w = Haar1d.decompose paper_data in
+  Buffer.add_string buf
+    (Printf.sprintf "\nW_A = %s\n(paper: [11/4, -5/4, 1/2, 0, 0, -1, -1, 0])\n"
+       (fmt_array w));
+  Buffer.contents buf
+
+let e2_error_tree () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "E2: Figure 1(a) error tree for the example array\n\n";
+  let tree = Error_tree.of_data paper_data in
+  let n = Error_tree.n tree in
+  let table = Table.create ~columns:[ "node"; "value"; "level"; "support"; "children" ] in
+  for j = 0 to n - 1 do
+    let lo, hi = Error_tree.leaves_under tree j in
+    Table.add_row table
+      [
+        Printf.sprintf "c%d" j;
+        Printf.sprintf "%g" (Error_tree.coeff tree j);
+        string_of_int (Haar1d.level_of ~n j);
+        Printf.sprintf "d%d..d%d" lo (hi - 1);
+        String.concat ","
+          (List.map
+             (fun k ->
+               if Error_tree.is_leaf tree k then Printf.sprintf "d%d" (k - n)
+               else Printf.sprintf "c%d" k)
+             (Error_tree.children tree j));
+      ]
+  done;
+  Buffer.add_string buf (Table.to_string table);
+  let w = Error_tree.coeffs tree in
+  Buffer.add_string buf "\nReconstruction identities (Equation (1)):\n";
+  for i = 0 to n - 1 do
+    let path = Haar1d.path ~n i in
+    let terms =
+      List.filter_map
+        (fun j ->
+          if w.(j) = 0. then None
+          else begin
+            let s = Haar1d.sign ~n ~coeff:j ~cell:i in
+            Some (Printf.sprintf "%sc%d" (if s > 0 then "+" else "-") j)
+          end)
+        path
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  d%d = %s = %g\n" i
+         (String.concat " " terms)
+         (Haar1d.point ~wavelet:w i))
+  done;
+  Buffer.add_string buf
+    "\nPaper's example: d4 = c0 - c1 + c6 = 11/4 + 5/4 - 1 = 3  [matches]\n";
+  Buffer.contents buf
+
+let e3_md_structure () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "E3: Figure 1(b) sign patterns (4x4 nonstandard basis) and Figure 2 tree\n\n";
+  let w = Ndarray.create ~dims:[| 4; 4 |] 0. in
+  for ci = 0 to 3 do
+    for cj = 0 to 3 do
+      Buffer.add_string buf (Printf.sprintf "W[%d,%d]:  " ci cj);
+      for x = 0 to 3 do
+        for y = 0 to 3 do
+          let s = Haar_md.sign_at w ~coeff:[| ci; cj |] ~cell:[| x; y |] in
+          Buffer.add_string buf (if s > 0 then "+" else if s < 0 then "-" else ".")
+        done;
+        Buffer.add_string buf (if x < 3 then "/" else "")
+      done;
+      Buffer.add_string buf "\n"
+    done
+  done;
+  Buffer.add_string buf "\nFigure 2 error-tree structure (4x4):\n";
+  let tree = Md_tree.of_data (Ndarray.create ~dims:[| 4; 4 |] 1.) in
+  let rec render indent node =
+    let label =
+      match node with
+      | Md_tree.Root -> "Root (overall average W[0,0])"
+      | Md_tree.Cube { level; q } ->
+          let positions =
+            Md_tree.node_coeffs tree node |> Array.to_list
+            |> List.map (fun (flat, _) ->
+                   let p = Ndarray.index_of_flat (Md_tree.wavelet tree) flat in
+                   Printf.sprintf "W[%d,%d]" p.(0) p.(1))
+          in
+          Printf.sprintf "Cube level=%d q=(%d,%d): {%s}" level q.(0) q.(1)
+            (String.concat ", " positions)
+    in
+    Buffer.add_string buf (String.make indent ' ' ^ label ^ "\n");
+    match Md_tree.children tree node with
+    | Md_tree.Nodes kids -> List.iter (render (indent + 2)) kids
+    | Md_tree.Cells cells ->
+        Buffer.add_string buf
+          (String.make (indent + 2) ' '
+          ^ "cells: "
+          ^ String.concat ", "
+              (List.map (fun c -> Printf.sprintf "(%d,%d)" c.(0) c.(1)) cells)
+          ^ "\n")
+  in
+  render 0 Md_tree.Root;
+  Buffer.add_string buf
+    (Printf.sprintf "\nTree nodes (root + cubes): %d; the root's child holds 2^D - 1 = 3 coefficients.\n"
+       (Md_tree.node_count tree));
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Experiments E1-E3: programmatic reproduction of the paper's worked
+    example and figures (Section 2, Figures 1 and 2). *)
+
+val e1_decomposition_table : unit -> string
+(** E1: the Section 2.1 resolution table and transform of
+    [A = [2;2;0;2;3;5;4;4]]. *)
+
+val e2_error_tree : unit -> string
+(** E2: Figure 1(a) — the error-tree structure and the reconstruction
+    identities, including [d_4 = c_0 - c_1 + c_6 = 3]. *)
+
+val e3_md_structure : unit -> string
+(** E3: Figure 1(b) and Figure 2 — the sixteen 2-D basis sign patterns
+    of a 4x4 array and the two-dimensional error-tree shape. *)

@@ -1,0 +1,54 @@
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Signal = Wavesyn_datagen.Signal
+module Metrics = Wavesyn_synopsis.Metrics
+module Prng = Wavesyn_util.Prng
+module Table = Wavesyn_util.Table
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let e6_runtime_scaling () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "E6: MinMaxErr runtime scaling (Theorem 3.1: O(N^2 B log B))\n";
+  let rng = Prng.create ~seed:7003 in
+  let metric = Metrics.Rel { sanity = 1.0 } in
+  (* Sweep N at fixed B. *)
+  let table_n = Table.create ~columns:[ "N"; "time(s)"; "dp states"; "time/N^2 (us)" ] in
+  List.iter
+    (fun nn ->
+      let data = Signal.random_walk ~rng ~n:nn ~step:3. in
+      let r, dt = time (fun () -> Minmax_dp.solve ~data ~budget:8 metric) in
+      Table.add_row table_n
+        [
+          string_of_int nn;
+          Printf.sprintf "%.4f" dt;
+          string_of_int r.Minmax_dp.dp_states;
+          Printf.sprintf "%.4f" (dt /. float_of_int (nn * nn) *. 1e6);
+        ])
+    [ 64; 128; 256; 512 ];
+  Buffer.add_string buf (Table.to_string ~title:"\nsweep N (B = 8):" table_n);
+  (* Sweep B at fixed N. *)
+  let table_b = Table.create ~columns:[ "B"; "time(s)"; "dp states"; "time/(B logB) (ms)" ] in
+  let data = Signal.random_walk ~rng ~n:128 ~step:3. in
+  List.iter
+    (fun b ->
+      let r, dt = time (fun () -> Minmax_dp.solve ~data ~budget:b metric) in
+      let denom =
+        float_of_int b *. Float.max 1. (Float.log (float_of_int b))
+      in
+      Table.add_row table_b
+        [
+          string_of_int b;
+          Printf.sprintf "%.4f" dt;
+          string_of_int r.Minmax_dp.dp_states;
+          Printf.sprintf "%.4f" (dt /. denom *. 1e3);
+        ])
+    [ 2; 4; 8; 16; 32 ];
+  Buffer.add_string buf (Table.to_string ~title:"\nsweep B (N = 128):" table_b);
+  Buffer.add_string buf
+    "\nExpected shape: the time/N^2 column stays roughly flat as N grows and the\n\
+     time/(B log B) column stays roughly flat as B grows.\n";
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Experiment E6: runtime-scaling shape of the MinMaxErr DP
+    (Theorem 3.1 claims O(N^2 B log B)). Wall-clock shape check; the
+    statistically careful timings live in bench/main.ml. *)
+
+val e6_runtime_scaling : unit -> string

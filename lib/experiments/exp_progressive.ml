@@ -1,0 +1,54 @@
+module Progressive = Wavesyn_core.Progressive
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Signal = Wavesyn_datagen.Signal
+module Metrics = Wavesyn_synopsis.Metrics
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Prng = Wavesyn_util.Prng
+module Table = Wavesyn_util.Table
+
+let e17_progressive () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "E17: progressive refinement and the price of nestedness\n\
+     (N=128, abs error; one nested chain vs. per-budget optimal synopses)\n";
+  let rng = Prng.create ~seed:7014 in
+  let metric = Metrics.Abs in
+  List.iter
+    (fun (name, data) ->
+      let chain = Progressive.build ~data ~max_budget:24 metric in
+      let table =
+        Table.create
+          ~columns:[ "B"; "nested chain"; "per-B optimum"; "ratio"; "l2 prefix" ]
+      in
+      (* L2 greedy is also a nested chain (sorted order), the natural
+         progressive baseline. *)
+      List.iter
+        (fun b ->
+          let nested = Progressive.guarantee_at chain ~budget:b in
+          let opt = (Minmax_dp.solve ~data ~budget:b metric).Minmax_dp.max_err in
+          let l2 =
+            Metrics.of_synopsis metric ~data (Greedy_l2.threshold ~data ~budget:b)
+          in
+          let ratio = if opt > 1e-12 then nested /. opt else 1. in
+          Table.add_row table
+            [
+              string_of_int b;
+              Printf.sprintf "%.4f" nested;
+              Printf.sprintf "%.4f" opt;
+              Printf.sprintf "%.3f" ratio;
+              Printf.sprintf "%.4f" l2;
+            ])
+        [ 2; 4; 8; 12; 16; 24 ];
+      Buffer.add_string buf
+        (Table.to_string ~title:(Printf.sprintf "\ndataset: %s" name) table))
+    [
+      ("walk", Signal.random_walk ~rng ~n:128 ~step:4.);
+      ("zipf(1.2)", Signal.zipf ~rng ~n:128 ~alpha:1.2 ~scale:200.);
+    ];
+  Buffer.add_string buf
+    "\nExpected shape: the nested chain's guarantee decreases monotonically and\n\
+     stays within a small factor of the per-budget optimum (the ratio column),\n\
+     while remaining far below the nested L2 ordering - so a progressive\n\
+     client pays little for never discarding coefficients.\n";
+  Buffer.contents buf

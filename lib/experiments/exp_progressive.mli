@@ -1,0 +1,5 @@
+(** Experiment E17: progressive refinement — the guarantee of a single
+    nested coefficient chain after every step, against the non-nested
+    per-budget optima ("price of nestedness"). *)
+
+val e17_progressive : unit -> string

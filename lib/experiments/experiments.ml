@@ -1,0 +1,115 @@
+type experiment = { id : string; title : string; run : unit -> string }
+
+let all =
+  [
+    {
+      id = "E1";
+      title = "Section 2.1 decomposition table";
+      run = Exp_paper.e1_decomposition_table;
+    };
+    {
+      id = "E2";
+      title = "Figure 1(a) error tree and reconstruction identities";
+      run = Exp_paper.e2_error_tree;
+    };
+    {
+      id = "E3";
+      title = "Figure 1(b)/Figure 2 multi-dimensional structure";
+      run = Exp_paper.e3_md_structure;
+    };
+    {
+      id = "E4";
+      title = "Maximum relative error vs. budget, per algorithm";
+      run = Exp_compare.e4_max_relative_error;
+    };
+    {
+      id = "E5";
+      title = "Maximum absolute error vs. budget, per algorithm";
+      run = Exp_compare.e5_max_absolute_error;
+    };
+    {
+      id = "E6";
+      title = "MinMaxErr runtime scaling (Theorem 3.1)";
+      run = Exp_perf.e6_runtime_scaling;
+    };
+    {
+      id = "E7";
+      title = "Epsilon-additive scheme vs. guarantee (Theorem 3.2)";
+      run = Exp_approx.e7_additive_scheme;
+    };
+    {
+      id = "E8";
+      title = "(1+eps) absolute-error scheme (Theorem 3.4)";
+      run = Exp_approx.e8_abs_approximation;
+    };
+    {
+      id = "E9";
+      title = "Sanity-bound sweep for relative error";
+      run = Exp_compare.e9_sanity_bound;
+    };
+    {
+      id = "E10";
+      title = "Range-query workload accuracy (AQP extension)";
+      run = Exp_aqp.e10_range_queries;
+    };
+    {
+      id = "E11";
+      title = "Streaming maintenance (extension)";
+      run = Exp_aqp.e11_streaming;
+    };
+    {
+      id = "E12";
+      title = "MinMaxErr design-choice ablations";
+      run = Exp_ablation.e12_ablations;
+    };
+    {
+      id = "E13";
+      title = "Exhaustive multi-d DP state blowup (Section 3.2 argument)";
+      run = Exp_extensions.e13_exhaustive_blowup;
+    };
+    {
+      id = "E14";
+      title = "Unrestricted coefficient values (closing question)";
+      run = Exp_extensions.e14_value_fitting;
+    };
+    {
+      id = "E15";
+      title = "Wavelets vs. optimal histograms at equal storage";
+      run = Exp_histograms.e15_wavelets_vs_histograms;
+    };
+    {
+      id = "E16";
+      title = "Budget placement by resolution level";
+      run = Exp_anatomy.e16_budget_anatomy;
+    };
+    {
+      id = "E17";
+      title = "Progressive refinement / price of nestedness";
+      run = Exp_progressive.e17_progressive;
+    };
+    {
+      id = "E18";
+      title = "Synopses under a bit budget (precision vs count)";
+      run = Exp_bits.e18_bit_budgets;
+    };
+    {
+      id = "E19";
+      title = "Haar vs Daubechies-4 bases (closing question)";
+      run = Exp_bases.e19_basis_comparison;
+    };
+  ]
+
+let find id =
+  let target = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
+
+let run_all ?(out = stdout) () =
+  List.iter
+    (fun e ->
+      Printf.fprintf out "==============================================\n";
+      Printf.fprintf out "%s: %s\n" e.id e.title;
+      Printf.fprintf out "==============================================\n";
+      output_string out (e.run ());
+      Printf.fprintf out "\n";
+      flush out)
+    all

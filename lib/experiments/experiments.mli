@@ -1,0 +1,19 @@
+(** Experiment registry: every table/figure reproduction (E1-E9) plus
+    the application-level extensions (E10-E11). See DESIGN.md for the
+    per-experiment index and EXPERIMENTS.md for recorded results. *)
+
+type experiment = {
+  id : string;  (** "E1" .. "E11" *)
+  title : string;
+  run : unit -> string;  (** produces the experiment's table(s) *)
+}
+
+val all : experiment list
+(** In id order. *)
+
+val find : string -> experiment option
+(** Case-insensitive lookup by id. *)
+
+val run_all : ?out:out_channel -> unit -> unit
+(** Run every experiment, printing each block to [out] (default
+    stdout). *)

@@ -1,0 +1,101 @@
+module Float_util = Wavesyn_util.Float_util
+
+let s3 = Float.sqrt 3.
+let z = 4. *. Float.sqrt 2.
+let h0 = (1. +. s3) /. z
+let h1 = (3. +. s3) /. z
+let h2 = (3. -. s3) /. z
+let h3 = (1. -. s3) /. z
+let g0 = h3
+let g1 = -.h2
+let g2 = h1
+let g3 = -.h0
+
+let check_pow2 a =
+  let n = Array.length a in
+  if not (Float_util.is_pow2 n) then
+    invalid_arg "Daub4: input length must be a power of two";
+  n
+
+(* One analysis level on the first [m] entries of [a] (m even, >= 4):
+   returns (approximation, details), each of length m/2. *)
+let analyze a m =
+  let half = m / 2 in
+  let s = Array.make half 0. and d = Array.make half 0. in
+  for k = 0 to half - 1 do
+    let i0 = 2 * k in
+    let i1 = (i0 + 1) mod m in
+    let i2 = (i0 + 2) mod m in
+    let i3 = (i0 + 3) mod m in
+    s.(k) <- (h0 *. a.(i0)) +. (h1 *. a.(i1)) +. (h2 *. a.(i2)) +. (h3 *. a.(i3));
+    d.(k) <- (g0 *. a.(i0)) +. (g1 *. a.(i1)) +. (g2 *. a.(i2)) +. (g3 *. a.(i3))
+  done;
+  (s, d)
+
+(* Inverse of [analyze]: the filter bank is orthogonal, so synthesis is
+   the transpose of analysis. *)
+let synthesize s d =
+  let half = Array.length s in
+  let m = 2 * half in
+  let a = Array.make m 0. in
+  for k = 0 to half - 1 do
+    let km1 = (k - 1 + half) mod half in
+    a.(2 * k) <- (h2 *. s.(km1)) +. (g2 *. d.(km1)) +. (h0 *. s.(k)) +. (g0 *. d.(k));
+    a.((2 * k) + 1) <-
+      (h3 *. s.(km1)) +. (g3 *. d.(km1)) +. (h1 *. s.(k)) +. (g1 *. d.(k))
+  done;
+  a
+
+let decompose a =
+  let n = check_pow2 a in
+  if n < 4 then Array.copy a
+  else begin
+    let out = Array.make n 0. in
+    let rec go approx =
+      let m = Array.length approx in
+      if m < 4 then Array.blit approx 0 out 0 m
+      else begin
+        let s, d = analyze approx m in
+        Array.blit d 0 out (m / 2) (m / 2);
+        go s
+      end
+    in
+    go (Array.copy a);
+    out
+  end
+
+let reconstruct w =
+  let n = check_pow2 w in
+  if n < 4 then Array.copy w
+  else begin
+    let rec go approx =
+      let m = Array.length approx in
+      if m = n then approx
+      else begin
+        let d = Array.sub w m m in
+        go (synthesize approx d)
+      end
+    in
+    go (Array.sub w 0 2)
+  end
+
+let threshold_l2 ~data ~budget =
+  let w = decompose data in
+  let n = Array.length w in
+  Array.to_list (Array.init n Fun.id)
+  |> List.filter (fun i -> w.(i) <> 0.)
+  |> List.sort (fun i j ->
+         match compare (Float.abs w.(j)) (Float.abs w.(i)) with
+         | 0 -> compare i j
+         | c -> c)
+  |> List.filteri (fun k _ -> k < budget)
+  |> List.map (fun i -> (i, w.(i)))
+
+let reconstruct_from ~n coeffs =
+  let w = Array.make n 0. in
+  List.iter
+    (fun (i, c) ->
+      if i < 0 || i >= n then invalid_arg "Daub4: coefficient out of range";
+      w.(i) <- c)
+    coeffs;
+  reconstruct w

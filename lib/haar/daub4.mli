@@ -1,0 +1,32 @@
+(** Daubechies-4 wavelets (periodic boundary) — a second orthonormal
+    basis for the paper's closing question: {e "Could there be other
+    (existing or new) wavelet bases that are better suited for
+    optimizing, for example, relative-error metrics?"}
+
+    Unlike Haar, D4 basis functions overlap: a coefficient's support is
+    not a dyadic block and the error-tree structure of Section 2 does
+    not exist, so the paper's DPs do not apply — only greedy L2
+    thresholding is available (which the orthonormality of the filters
+    makes L2-optimal, as for Haar). Experiment E19 compares the two
+    bases under both L2 and maximum-error metrics.
+
+    The transform is orthonormal (Parseval holds exactly), computed by
+    the standard periodized filter bank with analysis filters
+
+    h = [(1+√3), (3+√3), (3−√3), (1−√3)] / (4√2)   (scaling)
+    g = [h3, −h2, h1, −h0]                          (wavelet) *)
+
+val decompose : float array -> float array
+(** Full periodic D4 transform. Length must be a power of two and at
+    least 4 for any detail levels to exist (shorter inputs are returned
+    unchanged). Layout: [approximation pair; details coarse to fine]. *)
+
+val reconstruct : float array -> float array
+(** Inverse transform; exact up to rounding. *)
+
+val threshold_l2 : data:float array -> budget:int -> (int * float) list
+(** The [budget] largest-magnitude coefficients (orthonormal basis, so
+    no per-level normalization is needed); L2-optimal. *)
+
+val reconstruct_from : n:int -> (int * float) list -> float array
+(** Approximation from a sparse coefficient set. *)

@@ -1,0 +1,84 @@
+module Float_util = Wavesyn_util.Float_util
+
+type t = { n : int; data : float array; coeffs : float array }
+
+let of_parts ~data ~coeffs =
+  let n = Array.length data in
+  if not (Float_util.is_pow2 n) then
+    invalid_arg "Error_tree: size must be a power of two";
+  if Array.length coeffs <> n then
+    invalid_arg "Error_tree: coefficient / data length mismatch";
+  { n; data; coeffs }
+
+let of_data data = of_parts ~data ~coeffs:(Haar1d.decompose data)
+
+let n t = t.n
+let data t = t.data
+let coeffs t = t.coeffs
+
+let check_node t j =
+  if j < 0 || j >= 2 * t.n then invalid_arg "Error_tree: node out of range"
+
+let coeff t j =
+  check_node t j;
+  if j >= t.n then invalid_arg "Error_tree.coeff: node is a leaf";
+  t.coeffs.(j)
+
+let leaf_value t j =
+  check_node t j;
+  if j < t.n then invalid_arg "Error_tree.leaf_value: node is internal";
+  t.data.(j - t.n)
+
+let is_leaf t j =
+  check_node t j;
+  j >= t.n
+
+let children t j =
+  check_node t j;
+  if j >= t.n then []
+  else if j = 0 then [ 1 ]
+  else [ 2 * j; (2 * j) + 1 ]
+
+let parent t j =
+  check_node t j;
+  match j with
+  | 0 -> invalid_arg "Error_tree.parent: root has no parent"
+  | 1 -> 0
+  | j -> j / 2
+
+let depth t j =
+  check_node t j;
+  if j = 0 then 0 else Float_util.floor_log2 j + 1
+
+let ancestors t j =
+  check_node t j;
+  if j = 0 then []
+  else begin
+    let rec up acc k = if k = 0 then acc else up (k :: acc) (k / 2) in
+    0 :: up [] (j / 2)
+  end
+
+let subtree_coeff_count t j =
+  check_node t j;
+  if j >= t.n then 0
+  else if j = 0 then t.n
+  else begin
+    (* The subtree of c_j is a perfect binary tree over the
+       support_size cells it spans, holding support_size - 1
+       coefficients (c_j plus its internal descendants). *)
+    let level = Float_util.floor_log2 j in
+    (t.n / (1 lsl level)) - 1
+  end
+
+let sign_to_child t ~node ~child =
+  check_node t node;
+  check_node t child;
+  if node = 0 then 1 else if child = 2 * node then 1 else -1
+
+let leaves_under t j =
+  check_node t j;
+  if j >= t.n then (j - t.n, j - t.n + 1)
+  else if j = 0 then (0, t.n)
+  else Haar1d.support ~n:t.n j
+
+let max_abs_coeff t = Float_util.max_abs t.coeffs

@@ -1,0 +1,139 @@
+module Float_util = Wavesyn_util.Float_util
+
+let check_pow2 a =
+  let n = Array.length a in
+  if not (Float_util.is_pow2 n) then
+    invalid_arg "Haar1d: input length must be a power of two";
+  n
+
+let pad_pow2 ?(fill = 0.) a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Haar1d.pad_pow2: empty input";
+  let m = Float_util.next_pow2 n in
+  Array.init m (fun i -> if i < n then a.(i) else fill)
+
+let decompose a =
+  let n = check_pow2 a in
+  let w = Array.make n 0. in
+  let work = Array.copy a in
+  let m = ref n in
+  while !m > 1 do
+    let half = !m / 2 in
+    for k = 0 to half - 1 do
+      let x = work.(2 * k) and y = work.((2 * k) + 1) in
+      let avg = (x +. y) /. 2. in
+      w.(half + k) <- (x -. y) /. 2.;
+      work.(k) <- avg
+    done;
+    m := half
+  done;
+  w.(0) <- work.(0);
+  w
+
+let reconstruct w =
+  let n = check_pow2 w in
+  let work = Array.make n 0. in
+  work.(0) <- w.(0);
+  let m = ref 1 in
+  while !m < n do
+    let half = !m in
+    (* Expand in place, rightmost pair first so averages are not
+       overwritten before they are used. *)
+    for k = half - 1 downto 0 do
+      let avg = work.(k) and det = w.(half + k) in
+      work.(2 * k) <- avg +. det;
+      work.((2 * k) + 1) <- avg -. det
+    done;
+    m := 2 * half
+  done;
+  work
+
+type resolution_row = {
+  resolution : int;
+  averages : float array;
+  details : float array option;
+}
+
+let resolution_table a =
+  let n = check_pow2 a in
+  let top =
+    { resolution = Float_util.log2i n; averages = Array.copy a; details = None }
+  in
+  let rec go rows averages =
+    let m = Array.length averages in
+    if m = 1 then List.rev rows
+    else begin
+      let half = m / 2 in
+      let next = Array.make half 0. and details = Array.make half 0. in
+      for k = 0 to half - 1 do
+        let x = averages.(2 * k) and y = averages.((2 * k) + 1) in
+        next.(k) <- (x +. y) /. 2.;
+        details.(k) <- (x -. y) /. 2.
+      done;
+      let row =
+        {
+          resolution = Float_util.log2i half;
+          averages = next;
+          details = Some details;
+        }
+      in
+      go (row :: rows) next
+    end
+  in
+  top :: go [] a
+
+let level_of ~n i =
+  if i < 0 || i >= n then invalid_arg "Haar1d.level_of: index out of range";
+  if i = 0 then 0 else Float_util.floor_log2 i
+
+let support ~n i =
+  if i < 0 || i >= n then invalid_arg "Haar1d.support: index out of range";
+  if i = 0 then (0, n)
+  else begin
+    let level = Float_util.floor_log2 i in
+    let width = n / (1 lsl level) in
+    let q = i - (1 lsl level) in
+    (q * width, (q * width) + width)
+  end
+
+let support_size ~n i =
+  let lo, hi = support ~n i in
+  hi - lo
+
+let normalization ~n i = 1. /. Float.sqrt (float_of_int (1 lsl level_of ~n i))
+
+let normalized w =
+  let n = check_pow2 w in
+  Array.mapi (fun i c -> c *. normalization ~n i) w
+
+let sign ~n ~coeff ~cell =
+  if cell < 0 || cell >= n then invalid_arg "Haar1d.sign: cell out of range";
+  if coeff = 0 then 1
+  else begin
+    let lo, hi = support ~n coeff in
+    if cell < lo || cell >= hi then 0
+    else if cell < (lo + hi) / 2 then 1
+    else -1
+  end
+
+let path ~n i =
+  if i < 0 || i >= n then invalid_arg "Haar1d.path: cell out of range";
+  if n = 1 then [ 0 ]
+  else begin
+    (* Leaf node is n + i in the error tree; its coefficient ancestors are
+       (n + i) / 2, (n + i) / 4, ..., 1, plus the overall average 0. *)
+    let rec up acc j = if j = 0 then acc else up (j :: acc) (j / 2) in
+    0 :: up [] ((n + i) / 2)
+  end
+
+let point ~wavelet i =
+  let n = check_pow2 wavelet in
+  List.fold_left
+    (fun acc j ->
+      acc +. (float_of_int (sign ~n ~coeff:j ~cell:i) *. wavelet.(j)))
+    0. (path ~n i)
+
+let point_from_set ~n set i =
+  List.fold_left
+    (fun acc (j, c) -> acc +. (float_of_int (sign ~n ~coeff:j ~cell:i) *. c))
+    0. set

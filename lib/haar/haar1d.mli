@@ -1,0 +1,69 @@
+(** One-dimensional Haar wavelet transform (Section 2.1 of the paper).
+
+    All transforms use the paper's {e unnormalized} convention: a pair
+    [(x, y)] produces the average [(x + y) / 2] and the detail
+    coefficient [(x - y) / 2], so that [x = avg + detail] and
+    [y = avg - detail]. Input lengths must be powers of two (use
+    {!pad_pow2} first if they are not).
+
+    Coefficient indexing matches the error tree of Figure 1(a):
+    index [0] is the overall average, index [j >= 1] is the detail
+    coefficient at resolution level [floor (log2 j)] with offset
+    [j - 2^level] within that level. *)
+
+val decompose : float array -> float array
+(** Forward transform. Raises [Invalid_argument] if the length is not a
+    power of two. O(N). *)
+
+val reconstruct : float array -> float array
+(** Inverse transform; [reconstruct (decompose a) = a] up to rounding. *)
+
+val pad_pow2 : ?fill:float -> float array -> float array
+(** Copy padded with [fill] (default [0.]) up to the next power of two. *)
+
+type resolution_row = {
+  resolution : int;  (** level, from [log2 N] (the data) down to [0] *)
+  averages : float array;
+  details : float array option;  (** [None] for the original-data row *)
+}
+
+val resolution_table : float array -> resolution_row list
+(** The full decomposition table of Section 2.1, top row first (the
+    original data at resolution [log2 N], no details). *)
+
+val level_of : n:int -> int -> int
+(** Resolution level of coefficient [i] in a size-[n] transform;
+    [level_of ~n 0 = 0] and [level_of ~n 1 = 0] (both appear at the
+    coarsest level). *)
+
+val support : n:int -> int -> int * int
+(** Half-open data-cell range [(lo, hi)] that coefficient [i]
+    contributes to. *)
+
+val support_size : n:int -> int -> int
+
+val normalization : n:int -> int -> float
+(** The multiplier [1 / sqrt (2^level)] of Section 2.1 that equalizes
+    coefficient importance for L2 thresholding. *)
+
+val normalized : float array -> float array
+(** The transform with every coefficient scaled by {!normalization}. *)
+
+val sign : n:int -> coeff:int -> cell:int -> int
+(** [sign ~n ~coeff ~cell] is [+1] when the coefficient adds positively
+    to the reconstruction of [cell] (left half of its support, or the
+    overall average), [-1] on the right half, and [0] outside the
+    support (Equation (1)). *)
+
+val path : n:int -> int -> int list
+(** Coefficient indices on the root-to-leaf path for data cell [i], in
+    root-first order [0; 1; ...]. Includes zero-valued coefficients;
+    the paper's [path(u)] is this list filtered to non-zero values. *)
+
+val point : wavelet:float array -> int -> float
+(** Reconstruct a single data value from the full transform in
+    O(log N). *)
+
+val point_from_set : n:int -> (int * float) list -> int -> float
+(** Reconstruct data cell [i] from a sparse coefficient set
+    (index, value); missing coefficients are treated as zero. *)

@@ -1,0 +1,97 @@
+module Ndarray = Wavesyn_util.Ndarray
+
+(* Apply [f] to every 1-D line along dimension [dim] of [data]
+   (in place): gather the line into a buffer, transform, scatter. *)
+let map_lines data ~dim f =
+  let dims = Ndarray.dims data in
+  let d = Array.length dims in
+  let n = dims.(dim) in
+  let line = Array.make n 0. in
+  let idx = Array.make d 0 in
+  let rec walk i =
+    if i = d then begin
+      for k = 0 to n - 1 do
+        idx.(dim) <- k;
+        line.(k) <- Ndarray.get data idx
+      done;
+      let out = f line in
+      for k = 0 to n - 1 do
+        idx.(dim) <- k;
+        Ndarray.set data idx out.(k)
+      done;
+      idx.(dim) <- 0
+    end
+    else if i = dim then walk (i + 1)
+    else
+      for x = 0 to dims.(i) - 1 do
+        idx.(i) <- x;
+        walk (i + 1)
+      done
+  in
+  walk 0
+
+let decompose a =
+  ignore (Haar_md.side a);
+  let out = Ndarray.copy a in
+  for dim = 0 to Ndarray.ndim a - 1 do
+    map_lines out ~dim Haar1d.decompose
+  done;
+  out
+
+let reconstruct w =
+  ignore (Haar_md.side w);
+  let out = Ndarray.copy w in
+  for dim = Ndarray.ndim w - 1 downto 0 do
+    map_lines out ~dim Haar1d.reconstruct
+  done;
+  out
+
+let point ~wavelet cell =
+  let n = Haar_md.side wavelet in
+  let d = Ndarray.ndim wavelet in
+  if Array.length cell <> d then invalid_arg "Haar_std.point: rank mismatch";
+  let paths = Array.map (fun x -> Array.of_list (Haar1d.path ~n x)) cell in
+  let pos = Array.make d 0 in
+  let rec go i acc_sign =
+    if i = d then
+      float_of_int acc_sign *. Ndarray.get wavelet pos
+    else begin
+      let total = ref 0. in
+      Array.iter
+        (fun j ->
+          pos.(i) <- j;
+          let s = Haar1d.sign ~n ~coeff:j ~cell:cell.(i) in
+          total := !total +. go (i + 1) (acc_sign * s))
+        paths.(i);
+      !total
+    end
+  in
+  go 0 1
+
+let normalization w pos =
+  let n = Haar_md.side w in
+  let d = Ndarray.ndim w in
+  if Array.length pos <> d then
+    invalid_arg "Haar_std.normalization: rank mismatch";
+  let acc = ref 1. in
+  Array.iter (fun j -> acc := !acc *. Haar1d.normalization ~n j) pos;
+  !acc
+
+let threshold_l2 ~data ~budget =
+  let w = decompose data in
+  let size = Ndarray.size w in
+  let key flat =
+    let pos = Ndarray.index_of_flat w flat in
+    Float.abs (Ndarray.get_flat w flat) *. normalization w pos
+  in
+  Array.to_list (Array.init size Fun.id)
+  |> List.filter (fun i -> Ndarray.get_flat w i <> 0.)
+  |> List.sort (fun i j ->
+         match compare (key j) (key i) with 0 -> compare i j | c -> c)
+  |> List.filteri (fun k _ -> k < budget)
+  |> List.map (fun i -> (i, Ndarray.get_flat w i))
+
+let reconstruct_from ~dims coeffs =
+  let w = Ndarray.create ~dims 0. in
+  List.iter (fun (flat, c) -> Ndarray.set_flat w flat c) coeffs;
+  reconstruct w

@@ -1,0 +1,105 @@
+module Heap = Wavesyn_util.Heap
+module Float_util = Wavesyn_util.Float_util
+module Synopsis = Wavesyn_synopsis.Synopsis
+
+(* A retained detail coefficient: carry level at which it was emitted
+   (0 = a pair of raw values) and its left-to-right rank there. *)
+type detail = { level : int; rank : int; value : float }
+
+type t = {
+  budget : int option;
+  mutable stack : (int * float) list;  (* (carry level, average), top first *)
+  mutable merges : int array;  (* merges done per carry level *)
+  mutable count : int;
+  heap : detail Heap.t;
+}
+
+let create ?budget () =
+  (match budget with
+  | Some b when b < 0 -> invalid_arg "One_pass.create: negative budget"
+  | _ -> ());
+  { budget; stack = []; merges = Array.make 8 0; count = 0; heap = Heap.create () }
+
+let bump_merges t level =
+  if level >= Array.length t.merges then begin
+    let fresh = Array.make (2 * (level + 1)) 0 in
+    Array.blit t.merges 0 fresh 0 (Array.length t.merges);
+    t.merges <- fresh
+  end;
+  let k = t.merges.(level) in
+  t.merges.(level) <- k + 1;
+  k
+
+let emit t ~level ~rank value =
+  if value <> 0. then begin
+    let priority =
+      Float.abs value *. Float.sqrt (float_of_int (1 lsl (level + 1)))
+    in
+    Heap.push t.heap ~priority { level; rank; value };
+    match t.budget with
+    | Some b when Heap.size t.heap > b -> ignore (Heap.pop t.heap)
+    | _ -> ()
+  end
+
+let feed t v =
+  t.stack <- (0, v) :: t.stack;
+  t.count <- t.count + 1;
+  let rec merge () =
+    match t.stack with
+    | (lb, b) :: (la, a) :: rest when lb = la ->
+        (* [a] arrived first: it is the left half. *)
+        let rank = bump_merges t la in
+        emit t ~level:la ~rank ((a -. b) /. 2.);
+        t.stack <- (la + 1, (a +. b) /. 2.) :: rest;
+        merge ()
+    | _ -> ()
+  in
+  merge ()
+
+let feed_array t a = Array.iter (feed t) a
+
+let count t = t.count
+
+let working_set t = List.length t.stack + Heap.size t.heap
+
+let copy t =
+  {
+    budget = t.budget;
+    stack = t.stack;
+    merges = Array.copy t.merges;
+    count = t.count;
+    heap =
+      (let h = Heap.create () in
+       List.iter
+         (fun (priority, payload) -> Heap.push h ~priority payload)
+         (Heap.to_list t.heap);
+       h);
+  }
+
+let finish t =
+  if t.count = 0 then invalid_arg "One_pass.finish: empty stream";
+  if not (Float_util.is_pow2 t.count) then
+    invalid_arg "One_pass.finish: count is not a power of two";
+  let n = t.count in
+  let log_n = Float_util.log2i n in
+  let average =
+    match t.stack with
+    | [ (l, avg) ] when l = log_n -> avg
+    | _ -> assert false (* a power-of-two count fully collapses the stack *)
+  in
+  let coeffs =
+    (0, average)
+    :: List.map
+         (fun (_, d) -> ((1 lsl (log_n - d.level - 1)) + d.rank, d.value))
+         (Heap.to_list t.heap)
+  in
+  Synopsis.make ~n coeffs
+
+let finish_padded ?(fill = 0.) t =
+  if t.count = 0 then invalid_arg "One_pass.finish: empty stream";
+  let target = Float_util.next_pow2 t.count in
+  let clone = copy t in
+  for _ = t.count + 1 to target do
+    feed clone fill
+  done;
+  finish clone

@@ -1,0 +1,45 @@
+(** One-pass wavelet synopses over append-only streams — the
+    time-series setting of Gilbert et al. [10], cited by the paper.
+
+    Data values arrive strictly left-to-right. A carry stack of partial
+    averages (one per resolution level) turns each arriving value into
+    at most [log N] merge steps, each emitting one detail coefficient
+    exactly once; a min-heap keeps only the top-[budget] coefficients by
+    normalized magnitude. Working memory is O(budget + log N) — the
+    whole point of the one-pass setting — and the retained set is
+    exactly the conventional L2 synopsis of the stream seen so far.
+
+    (Deterministic max-error thresholding needs the full coefficient
+    set, so in this setting it applies only as a periodic re-cut; see
+    {!Stream_synopsis} for the random-update variant that keeps all
+    coefficients.) *)
+
+type t
+
+val create : ?budget:int -> unit -> t
+(** [budget] is the number of detail coefficients retained (the overall
+    average is always kept in addition); omit it to keep everything
+    (exact one-pass decomposition). *)
+
+val feed : t -> float -> unit
+(** Append the next data value. Amortized O(log n + log budget). *)
+
+val feed_array : t -> float array -> unit
+
+val count : t -> int
+(** Values consumed so far. *)
+
+val working_set : t -> int
+(** Current number of buffered items (carry stack + heap): the
+    O(budget + log N) memory claim, observable. *)
+
+val finish : t -> Wavesyn_synopsis.Synopsis.t
+(** Synopsis of everything fed so far. The count must be a positive
+    power of two ({!finish_padded} pads for you). Does not consume the
+    state: more values may be fed afterwards only if the count was kept
+    (finish is read-only). *)
+
+val finish_padded : ?fill:float -> t -> Wavesyn_synopsis.Synopsis.t
+(** Like {!finish} but virtually pads the stream with [fill] (default
+    0) up to the next power of two. The padding is not retained in the
+    state. *)

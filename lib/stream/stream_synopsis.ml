@@ -1,0 +1,60 @@
+module Haar1d = Wavesyn_haar.Haar1d
+module Float_util = Wavesyn_util.Float_util
+module Synopsis = Wavesyn_synopsis.Synopsis
+
+type t = {
+  n : int;
+  coeffs : (int, float) Hashtbl.t;  (* sparse non-zero coefficients *)
+  mutable updates : int;
+}
+
+let create ~n =
+  if not (Float_util.is_pow2 n) then
+    invalid_arg "Stream_synopsis.create: n must be a power of two";
+  { n; coeffs = Hashtbl.create 64; updates = 0 }
+
+let n t = t.n
+let updates_seen t = t.updates
+
+let coefficient t j =
+  if j < 0 || j >= t.n then
+    invalid_arg "Stream_synopsis.coefficient: index out of range";
+  Option.value ~default:0. (Hashtbl.find_opt t.coeffs j)
+
+let bump t j delta =
+  let v = coefficient t j +. delta in
+  if v = 0. then Hashtbl.remove t.coeffs j else Hashtbl.replace t.coeffs j v
+
+let update t ~i ~delta =
+  if i < 0 || i >= t.n then
+    invalid_arg "Stream_synopsis.update: cell out of range";
+  List.iter
+    (fun j ->
+      let support = if j = 0 then t.n else Haar1d.support_size ~n:t.n j in
+      let sign = float_of_int (Haar1d.sign ~n:t.n ~coeff:j ~cell:i) in
+      bump t j (sign *. delta /. float_of_int support))
+    (Haar1d.path ~n:t.n i);
+  t.updates <- t.updates + 1
+
+let of_data data =
+  let t = create ~n:(Array.length data) in
+  let w = Haar1d.decompose data in
+  Array.iteri (fun j c -> if c <> 0. then Hashtbl.replace t.coeffs j c) w;
+  t
+
+let nonzero_count t = Hashtbl.length t.coeffs
+
+let current_data t =
+  let w = Array.make t.n 0. in
+  Hashtbl.iter (fun j c -> w.(j) <- c) t.coeffs;
+  Haar1d.reconstruct w
+
+let cut_l2 t ~budget =
+  let w = Array.make t.n 0. in
+  Hashtbl.iter (fun j c -> w.(j) <- c) t.coeffs;
+  Wavesyn_baselines.Greedy_l2.threshold_wavelet ~wavelet:w ~budget
+
+let cut_minmax t ~budget metric =
+  let data = current_data t in
+  (Wavesyn_core.Minmax_dp.solve ~data ~budget metric).Wavesyn_core.Minmax_dp
+    .synopsis

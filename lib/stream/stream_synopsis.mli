@@ -1,0 +1,44 @@
+(** Online maintenance of Haar coefficients under point updates —
+    extension in the spirit of the dynamic-maintenance work the paper
+    cites ([16], [10]).
+
+    A point update [d_i += delta] changes exactly the [log2 N + 1]
+    coefficients on [path(d_i)]: the overall average by [delta / N] and
+    the level-[l] detail coefficient by [± delta / support_size]. The
+    structure keeps the full (sparse) coefficient set exact at O(log N)
+    per update, so a fresh synopsis of any flavour can be cut at any
+    time. *)
+
+type t
+
+val create : n:int -> t
+(** All-zero data over a power-of-two domain. *)
+
+val of_data : float array -> t
+
+val n : t -> int
+
+val update : t -> i:int -> delta:float -> unit
+(** [d_i += delta] in O(log N). *)
+
+val updates_seen : t -> int
+
+val coefficient : t -> int -> float
+(** Current value of one coefficient. *)
+
+val nonzero_count : t -> int
+
+val current_data : t -> float array
+(** Reconstruct the exact current data in O(N). *)
+
+val cut_l2 : t -> budget:int -> Wavesyn_synopsis.Synopsis.t
+(** Conventional B-largest-normalized synopsis of the current state. *)
+
+val cut_minmax :
+  t ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  Wavesyn_synopsis.Synopsis.t
+(** Optimal max-error synopsis of the current state (runs the full DP
+    on the reconstructed data: O(N^2 B log B), intended for periodic
+    re-thresholding rather than per-update use). *)

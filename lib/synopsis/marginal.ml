@@ -1,0 +1,44 @@
+module Ndarray = Wavesyn_util.Ndarray
+module Float_util = Wavesyn_util.Float_util
+
+let marginal_exact data ~dim =
+  let dims = Ndarray.dims data in
+  if Array.length dims <> 2 then invalid_arg "Marginal: expected 2-D data";
+  if dim < 0 || dim > 1 then invalid_arg "Marginal: dim must be 0 or 1";
+  let keep = 1 - dim in
+  let out = Array.make dims.(keep) 0. in
+  Ndarray.iteri (fun idx v -> out.(idx.(keep)) <- out.(idx.(keep)) +. v) data;
+  out
+
+let sum_out_2d syn ~dim =
+  let dims = Synopsis.Md.dims syn in
+  if Array.length dims <> 2 then invalid_arg "Marginal: expected 2-D synopsis";
+  if dim < 0 || dim > 1 then invalid_arg "Marginal: dim must be 0 or 1";
+  let n = dims.(0) in
+  let keep = 1 - dim in
+  let acc : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  let add j v =
+    Hashtbl.replace acc j (v +. Option.value ~default:0. (Hashtbl.find_opt acc j))
+  in
+  List.iter
+    (fun (flat, c) ->
+      let pos = [| flat / n; flat mod n |] in
+      let m = Stdlib.max pos.(0) pos.(1) in
+      if m = 0 then
+        (* Overall average: every cell of the summed dimension
+           contributes; width is the full side. *)
+        add 0 (c *. float_of_int n)
+      else begin
+        let s = 1 lsl Float_util.floor_log2 m in
+        let width = n / s in
+        if pos.(dim) >= s then
+          (* Detail along the summed dimension: cancels exactly. *)
+          ()
+        else
+          (* Average along the summed dimension: its [width] cells each
+             receive [c]; the remaining coordinate is already a valid
+             1-D nonstandard index at the same scale. *)
+          add pos.(keep) (c *. float_of_int width)
+      end)
+    (Synopsis.Md.coeffs syn);
+  Synopsis.make ~n (Hashtbl.fold (fun j v l -> (j, v) :: l) acc [])

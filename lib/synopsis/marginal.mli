@@ -1,0 +1,23 @@
+(** Wavelet-domain marginalization: roll up (sum out) a dimension of a
+    multi-dimensional synopsis {e without reconstructing the data} — a
+    building block of coefficient-domain query processing in the style
+    of Chakrabarti et al. [3].
+
+    In the nonstandard basis, a coefficient that is a {e detail} along
+    the summed-out dimension contributes [+c] and [-c] to equal numbers
+    of cells, so it cancels; a coefficient that is an {e average} along
+    that dimension contributes [c] to every cell of its support slice,
+    so it maps to a (D-1)-dimensional coefficient at the same scale
+    with value [c * width] (its support width along the summed
+    dimension). The mapping is exact: the marginal of the
+    reconstruction equals the reconstruction of the marginal synopsis
+    (property-tested). The operation costs O(B). *)
+
+val sum_out_2d : Synopsis.Md.md -> dim:int -> Synopsis.t
+(** Roll up one dimension of a 2-D synopsis, producing the
+    one-dimensional synopsis of the marginal
+    [m(x) = sum_y A[..x..y..]]. [dim] is the dimension being summed
+    away (0 or 1). *)
+
+val marginal_exact : Wavesyn_util.Ndarray.t -> dim:int -> float array
+(** Reference implementation on the raw data. *)

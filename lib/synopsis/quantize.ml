@@ -1,0 +1,29 @@
+module Float_util = Wavesyn_util.Float_util
+
+let synopsis syn ~value_bits =
+  if value_bits < 2 then invalid_arg "Quantize: need at least 2 value bits";
+  if value_bits >= 64 then syn
+  else begin
+    let coeffs = Synopsis.coeffs syn in
+    match coeffs with
+    | [] -> syn
+    | _ ->
+        let values = Array.of_list (List.map snd coeffs) in
+        let lo, hi = Wavesyn_util.Stats.min_max values in
+        let span = Float.max (hi -. lo) 1e-300 in
+        let levels = float_of_int ((1 lsl Stdlib.min value_bits 62) - 1) in
+        let q v =
+          let t = Float.round ((v -. lo) /. span *. levels) in
+          lo +. (t /. levels *. span)
+        in
+        Synopsis.make ~n:(Synopsis.n syn)
+          (List.map (fun (i, v) -> (i, q v)) coeffs)
+  end
+
+let bits syn ~value_bits =
+  let index_bits = Stdlib.max 1 (Float_util.log2i (Synopsis.n syn)) in
+  Synopsis.size syn * (index_bits + value_bits)
+
+let budget_for ~n ~total_bits ~value_bits =
+  let index_bits = Stdlib.max 1 (Float_util.log2i n) in
+  Stdlib.max 0 (total_bits / (index_bits + value_bits))

@@ -1,0 +1,23 @@
+(** Value quantization: synopses under a {e bit} budget rather than a
+    coefficient-count budget.
+
+    Real systems budget synopses in bytes: each retained coefficient
+    costs index bits plus value bits, so halving the value precision
+    buys room for more coefficients. This module provides uniform
+    quantization of retained values and the storage accounting used by
+    experiment E18 to study that trade-off. *)
+
+val synopsis : Synopsis.t -> value_bits:int -> Synopsis.t
+(** Quantize every retained value onto a uniform grid of
+    [2^value_bits] levels spanning the retained values' range
+    ([value_bits >= 2]; 64 or more is returned unchanged). Values that
+    quantize to exactly 0 are dropped (they no longer contribute). *)
+
+val bits : Synopsis.t -> value_bits:int -> int
+(** Total storage in bits: per retained coefficient, [log2 n] index
+    bits plus [value_bits], plus one domain-size header word (ignored
+    here as common to all). *)
+
+val budget_for : n:int -> total_bits:int -> value_bits:int -> int
+(** How many coefficients fit a total bit budget at the given value
+    precision. *)

@@ -1,0 +1,74 @@
+(** Wavelet synopses: sparse sets of retained Haar coefficients
+    (Section 2.3).
+
+    A synopsis stores [B << N] coefficients; all others are implicitly
+    zero. One-dimensional synopses address coefficients by their
+    {!Wavesyn_haar.Haar1d} index; multi-dimensional ones by the flat
+    row-major position in the wavelet array. *)
+
+type t
+(** One-dimensional synopsis. *)
+
+val make : n:int -> (int * float) list -> t
+(** [make ~n coeffs] builds a synopsis over a domain of [n] cells ([n]
+    a power of two). Raises [Invalid_argument] on out-of-range or
+    duplicate indices. Coefficients with value [0.] are dropped. *)
+
+val of_wavelet : wavelet:float array -> int list -> t
+(** Retain the given indices of a full transform. *)
+
+val n : t -> int
+(** Domain size. *)
+
+val size : t -> int
+(** Number of retained (non-zero) coefficients — the space the synopsis
+    actually occupies. *)
+
+val coeffs : t -> (int * float) list
+(** Retained coefficients, sorted by index. *)
+
+val mem : t -> int -> bool
+(** Is this coefficient index retained? *)
+
+val reconstruct_point : t -> int -> float
+(** Approximate data value [d_i] in O(B). *)
+
+val reconstruct : t -> float array
+(** All approximate data values: scatter the retained coefficients into
+    a zero transform and invert, O(N). *)
+
+val level_histogram : t -> int array
+(** Number of retained coefficients per resolution level (index 0 =
+    the coarsest level, which can hold both [c_0] and [c_1]); length
+    [max 1 (log2 n)]. Used to study where a thresholding strategy
+    spends its budget. *)
+
+val describe : t -> string
+(** Human-readable listing such as ["{c0=2.75; c1=-1.25}"]. *)
+
+val to_string : t -> string
+(** Compact textual serialization. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Failure] on malformed input. *)
+
+(** Multi-dimensional synopses. *)
+module Md : sig
+  type md
+
+  val make : dims:int array -> (int * float) list -> md
+  (** Coefficients given as (flat position, value); dimensions must be
+      equal powers of two. *)
+
+  val of_tree : Wavesyn_haar.Md_tree.t -> (int * float) list -> md
+
+  val dims : md -> int array
+  val size : md -> int
+  val coeffs : md -> (int * float) list
+
+  val reconstruct_cell : md -> int array -> float
+  (** Approximate value of one cell in O(B 2^D). *)
+
+  val reconstruct : md -> Wavesyn_util.Ndarray.t
+  (** All approximate cell values via the inverse transform. *)
+end

@@ -1,0 +1,23 @@
+(** Minimal binary min-heap over [(priority, payload)] pairs.
+
+    Used by the one-pass streaming synopsis to track the top-B
+    coefficients by normalized magnitude (the heap keeps the smallest
+    retained priority at the root so it can be evicted in O(log B)). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest priority, O(1). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest priority, O(log n). *)
+
+val to_list : 'a t -> (float * 'a) list
+(** All elements, unordered. *)

@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers used by the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [0.] for an empty array. *)
+
+val variance : float array -> float
+(** Population variance; [0.] for arrays shorter than 2. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [[0,100]]; linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. Raises [Invalid_argument] when empty. *)

@@ -1,0 +1,301 @@
+(* Tests for the baseline thresholding algorithms: conventional L2
+   greedy, the greedy max-error heuristic, and the probabilistic
+   MinRelVar/MinRelBias reimplementation. *)
+
+module Haar1d = Wavesyn_haar.Haar1d
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Greedy_maxerr = Wavesyn_baselines.Greedy_maxerr
+module Prob_synopsis = Wavesyn_baselines.Prob_synopsis
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Signal = Wavesyn_datagen.Signal
+module Ndarray = Wavesyn_util.Ndarray
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let paper_data = [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |]
+
+let random_data ~seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ -> Prng.float rng 40. -. 20.)
+
+(* --- Greedy L2 --- *)
+
+let test_order_is_by_normalized_magnitude () =
+  let wavelet = Haar1d.decompose paper_data in
+  let order = Greedy_l2.order ~wavelet in
+  let n = Array.length wavelet in
+  let key k = Float.abs (wavelet.(k) *. Haar1d.normalization ~n k) in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) ->
+        check "sorted" true (key a >= key b -. 1e-12);
+        non_increasing rest
+    | _ -> ()
+  in
+  non_increasing order;
+  checki "only non-zero coefficients" 5 (List.length order)
+
+let test_greedy_l2_minimizes_l2 () =
+  (* L2 greedy must achieve the smallest RMS error among all synopses of
+     the same size (checked against exhaustive enumeration). *)
+  let data = random_data ~seed:21 8 in
+  let wavelet = Haar1d.decompose data in
+  let budget = 3 in
+  let greedy = Greedy_l2.threshold ~data ~budget in
+  let rms syn =
+    let approx = Synopsis.reconstruct syn in
+    let s = Metrics.summary ~data ~approx () in
+    s.Metrics.rms
+  in
+  let greedy_rms = rms greedy in
+  (* enumerate all 3-subsets of indices *)
+  let best = ref Float.infinity in
+  for a = 0 to 7 do
+    for b = a + 1 to 7 do
+      for c = b + 1 to 7 do
+        let syn = Synopsis.of_wavelet ~wavelet [ a; b; c ] in
+        if rms syn < !best then best := rms syn
+      done
+    done
+  done;
+  check
+    (Printf.sprintf "greedy L2 is RMS-optimal (%g vs %g)" greedy_rms !best)
+    true
+    (greedy_rms <= !best +. 1e-9)
+
+let test_greedy_l2_budget () =
+  let data = random_data ~seed:22 32 in
+  List.iter
+    (fun b ->
+      let syn = Greedy_l2.threshold ~data ~budget:b in
+      check (Printf.sprintf "B=%d" b) true (Synopsis.size syn <= b))
+    [ 0; 1; 5; 32; 100 ]
+
+let test_greedy_l2_md_matches_1d () =
+  (* In one dimension the md path must agree with the 1-D path. *)
+  let data = random_data ~seed:23 16 in
+  let syn1 = Greedy_l2.threshold ~data ~budget:5 in
+  let synm =
+    Greedy_l2.threshold_md
+      ~data:(Ndarray.of_flat_array ~dims:[| 16 |] (Array.copy data))
+      ~budget:5
+  in
+  check "same coefficient set" true
+    (Synopsis.coeffs syn1 = Synopsis.Md.coeffs synm)
+
+let test_greedy_l2_md_2d_improves_with_budget () =
+  let rng = Prng.create ~seed:24 in
+  let data = Signal.grid_bumps ~rng ~side:8 ~bumps:3 ~amplitude:40. in
+  let err b =
+    Metrics.of_md_synopsis Metrics.Abs ~data
+      (Greedy_l2.threshold_md ~data ~budget:b)
+  in
+  let errs = List.map err [ 1; 4; 16; 64 ] in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) ->
+        check "improves" true (b <= a +. 1e-9);
+        non_increasing rest
+    | _ -> ()
+  in
+  non_increasing errs;
+  checkf "full budget exact" 0. (List.nth errs 3)
+
+(* --- Greedy max-error --- *)
+
+let test_greedy_maxerr_b1_is_optimal () =
+  (* A single greedy round exhaustively tries every coefficient, so at
+     B = 1 the heuristic IS optimal (no such guarantee at B > 1). *)
+  let data = random_data ~seed:33 16 in
+  List.iter
+    (fun metric ->
+      let g = Greedy_maxerr.threshold ~data ~budget:1 metric in
+      let opt = (Minmax_dp.solve ~data ~budget:1 metric).Minmax_dp.max_err in
+      check "B=1 optimal" true
+        (Float_util.approx_equal ~eps:1e-9 opt
+           (Metrics.of_synopsis metric ~data g)))
+    [ Metrics.Abs; Metrics.Rel { sanity = 1. } ]
+
+let test_greedy_maxerr_monotone_in_budget () =
+  let data = random_data ~seed:34 32 in
+  let errs =
+    List.map
+      (fun b ->
+        Metrics.of_synopsis Metrics.Abs ~data
+          (Greedy_maxerr.threshold ~data ~budget:b Metrics.Abs))
+      [ 0; 1; 2; 4; 8; 16; 32 ]
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) ->
+        check "monotone" true (b <= a +. 1e-9);
+        non_increasing rest
+    | _ -> ()
+  in
+  non_increasing errs
+
+let test_greedy_maxerr_bounded_by_optimal () =
+  let data = random_data ~seed:25 16 in
+  List.iter
+    (fun budget ->
+      List.iter
+        (fun metric ->
+          let opt = (Minmax_dp.solve ~data ~budget metric).Minmax_dp.max_err in
+          let g =
+            Metrics.of_synopsis metric ~data
+              (Greedy_maxerr.threshold ~data ~budget metric)
+          in
+          check
+            (Printf.sprintf "B=%d heuristic >= optimal" budget)
+            true (g >= opt -. 1e-9))
+        [ Metrics.Abs; Metrics.Rel { sanity = 1. } ])
+    [ 1; 3; 5 ]
+
+let test_greedy_maxerr_budget_and_full () =
+  let data = random_data ~seed:26 16 in
+  let syn = Greedy_maxerr.threshold ~data ~budget:100 Metrics.Abs in
+  checkf "full budget reaches zero error" 0.
+    (Metrics.of_synopsis Metrics.Abs ~data syn);
+  let syn0 = Greedy_maxerr.threshold ~data ~budget:0 Metrics.Abs in
+  checki "zero budget" 0 (Synopsis.size syn0)
+
+(* --- Probabilistic synopses --- *)
+
+let test_prob_allotments_respect_budget () =
+  let data = random_data ~seed:27 32 in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun budget ->
+          let plan =
+            Prob_synopsis.build ~data ~budget strategy
+              (Metrics.Rel { sanity = 1. })
+          in
+          check
+            (Printf.sprintf "B=%d expected space within budget" budget)
+            true
+            (Prob_synopsis.expected_space plan <= float_of_int budget +. 1e-9);
+          List.iter
+            (fun (_, y) -> check "y in (0,1]" true (y > 0. && y <= 1.))
+            (Prob_synopsis.allotments plan))
+        [ 0; 2; 8; 16 ])
+    [ Prob_synopsis.Min_rel_var; Prob_synopsis.Min_rel_bias ]
+
+let test_prob_full_budget_keeps_everything () =
+  (* With budget >= #nonzero the DP should give everything y = 1 and a
+     rounding draw retains the exact transform. *)
+  let data = paper_data in
+  let plan =
+    Prob_synopsis.build ~data ~budget:8 Prob_synopsis.Min_rel_var Metrics.Abs
+  in
+  let syn = Prob_synopsis.round plan (Prng.create ~seed:3) in
+  checkf "exact at full budget" 0. (Metrics.of_synopsis Metrics.Abs ~data syn);
+  checkf "objective zero" 0. (Prob_synopsis.objective plan)
+
+let test_prob_rounding_deterministic_given_seed () =
+  let data = random_data ~seed:28 16 in
+  let plan =
+    Prob_synopsis.build ~data ~budget:4 Prob_synopsis.Min_rel_var
+      (Metrics.Rel { sanity = 1. })
+  in
+  let a = Prob_synopsis.round plan (Prng.create ~seed:5) in
+  let b = Prob_synopsis.round plan (Prng.create ~seed:5) in
+  check "same seed, same draw" true (Synopsis.coeffs a = Synopsis.coeffs b)
+
+let test_prob_minrelvar_unbiased_values () =
+  (* MinRelVar stores c/y: retained coefficients must be scaled up. *)
+  let data = random_data ~seed:29 16 in
+  let w = Haar1d.decompose data in
+  let plan =
+    Prob_synopsis.build ~data ~budget:3 Prob_synopsis.Min_rel_var
+      (Metrics.Rel { sanity = 1. })
+  in
+  let ys = Prob_synopsis.allotments plan in
+  let syn = Prob_synopsis.round plan (Prng.create ~seed:6) in
+  List.iter
+    (fun (j, v) ->
+      let y = List.assoc j ys in
+      check
+        (Printf.sprintf "coeff %d scaled by 1/y" j)
+        true
+        (Float_util.approx_equal ~eps:1e-9 v (w.(j) /. y)))
+    (Synopsis.coeffs syn)
+
+let test_prob_minrelbias_plain_values () =
+  let data = random_data ~seed:30 16 in
+  let w = Haar1d.decompose data in
+  let plan =
+    Prob_synopsis.build ~data ~budget:3 Prob_synopsis.Min_rel_bias
+      (Metrics.Rel { sanity = 1. })
+  in
+  let syn = Prob_synopsis.round plan (Prng.create ~seed:6) in
+  List.iter
+    (fun (j, v) -> checkf (Printf.sprintf "coeff %d unscaled" j) w.(j) v)
+    (Synopsis.coeffs syn)
+
+let test_prob_evaluate_stats_consistent () =
+  let data = random_data ~seed:31 32 in
+  let plan =
+    Prob_synopsis.build ~data ~budget:6 Prob_synopsis.Min_rel_var
+      (Metrics.Rel { sanity = 1. })
+  in
+  let e =
+    Prob_synopsis.evaluate plan ~data (Metrics.Rel { sanity = 1. }) ~trials:50
+      ~seed:77
+  in
+  check "best <= mean" true (e.Prob_synopsis.best_max_err <= e.Prob_synopsis.mean_max_err +. 1e-9);
+  check "mean <= worst" true (e.Prob_synopsis.mean_max_err <= e.Prob_synopsis.worst_max_err +. 1e-9);
+  check "p95 <= worst" true (e.Prob_synopsis.p95_max_err <= e.Prob_synopsis.worst_max_err +. 1e-9);
+  checki "trials recorded" 50 e.Prob_synopsis.trials
+
+let test_prob_never_beats_deterministic_optimum () =
+  (* The headline claim: no coin-flip sequence beats the deterministic
+     optimum for the same budget... in expectation-space terms the
+     comparison uses actual retained size <= B; a draw may retain fewer
+     or more. We check the best draw against the optimum at the draw's
+     own size. *)
+  let data = random_data ~seed:32 16 in
+  let metric = Metrics.Rel { sanity = 1. } in
+  let budget = 4 in
+  let plan = Prob_synopsis.build ~data ~budget Prob_synopsis.Min_rel_var metric in
+  let rng = Prng.create ~seed:99 in
+  for _ = 1 to 25 do
+    let syn = Prob_synopsis.round plan rng in
+    let size = Synopsis.size syn in
+    let opt = (Minmax_dp.solve ~data ~budget:size metric).Minmax_dp.max_err in
+    let err = Metrics.of_synopsis metric ~data syn in
+    check "draw >= optimum of its own size" true (err >= opt -. 1e-9)
+  done
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "greedy_l2",
+        [
+          Alcotest.test_case "order" `Quick test_order_is_by_normalized_magnitude;
+          Alcotest.test_case "RMS optimality" `Quick test_greedy_l2_minimizes_l2;
+          Alcotest.test_case "budget" `Quick test_greedy_l2_budget;
+          Alcotest.test_case "md matches 1d" `Quick test_greedy_l2_md_matches_1d;
+          Alcotest.test_case "md improves with budget" `Quick test_greedy_l2_md_2d_improves_with_budget;
+        ] );
+      ( "greedy_maxerr",
+        [
+          Alcotest.test_case "B=1 is optimal" `Quick test_greedy_maxerr_b1_is_optimal;
+          Alcotest.test_case "monotone in budget" `Quick test_greedy_maxerr_monotone_in_budget;
+          Alcotest.test_case "bounded by optimal" `Quick test_greedy_maxerr_bounded_by_optimal;
+          Alcotest.test_case "budget and full" `Quick test_greedy_maxerr_budget_and_full;
+        ] );
+      ( "prob_synopsis",
+        [
+          Alcotest.test_case "allotments respect budget" `Quick test_prob_allotments_respect_budget;
+          Alcotest.test_case "full budget exact" `Quick test_prob_full_budget_keeps_everything;
+          Alcotest.test_case "deterministic given seed" `Quick test_prob_rounding_deterministic_given_seed;
+          Alcotest.test_case "minrelvar scales values" `Quick test_prob_minrelvar_unbiased_values;
+          Alcotest.test_case "minrelbias plain values" `Quick test_prob_minrelbias_plain_values;
+          Alcotest.test_case "evaluate stats" `Quick test_prob_evaluate_stats_consistent;
+          Alcotest.test_case "never beats optimum" `Quick test_prob_never_beats_deterministic_optimum;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the synthetic data generators. *)
+
+module Signal = Wavesyn_datagen.Signal
+module Prng = Wavesyn_util.Prng
+module Stats = Wavesyn_util.Stats
+module Ndarray = Wavesyn_util.Ndarray
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let test_zipf_sorted_shape () =
+  let a = Signal.zipf_sorted ~n:8 ~alpha:1.0 ~scale:100. in
+  checkf "rank 1" 100. a.(0);
+  checkf "rank 2" 50. a.(1);
+  checkf "rank 4" 25. a.(3);
+  let rec decreasing i =
+    if i < 7 then begin
+      check "monotone" true (a.(i) >= a.(i + 1));
+      decreasing (i + 1)
+    end
+  in
+  decreasing 0
+
+let test_zipf_is_permutation_of_sorted () =
+  let rng = Prng.create ~seed:1 in
+  let a = Signal.zipf ~rng ~n:32 ~alpha:1.3 ~scale:10. in
+  let sorted = Array.copy a in
+  Array.sort (fun x y -> Float.compare y x) sorted;
+  let expected = Signal.zipf_sorted ~n:32 ~alpha:1.3 ~scale:10. in
+  Array.iteri (fun i x -> checkf (Printf.sprintf "rank %d" i) expected.(i) x) sorted
+
+let test_determinism () =
+  let gen seed =
+    let rng = Prng.create ~seed in
+    Signal.gaussian_bumps ~rng ~n:64 ~bumps:3 ~amplitude:10.
+  in
+  check "same seed same data" true (gen 5 = gen 5);
+  check "different seed different data" true (gen 5 <> gen 6)
+
+let test_lengths () =
+  let rng = Prng.create ~seed:2 in
+  checki "walk" 100 (Array.length (Signal.random_walk ~rng ~n:100 ~step:1.));
+  checki "periodic" 64
+    (Array.length (Signal.noisy_periodic ~rng ~n:64 ~period:8 ~amplitude:1. ~noise:0.1));
+  checki "spikes" 64 (Array.length (Signal.spikes ~rng ~n:64 ~count:5 ~amplitude:10.));
+  checki "steps" 64
+    (Array.length (Signal.piecewise_constant ~rng ~n:64 ~segments:4 ~amplitude:5.));
+  checki "uniform" 10 (Array.length (Signal.uniform ~rng ~n:10 ~lo:0. ~hi:1.))
+
+let test_spikes_sparsity () =
+  let rng = Prng.create ~seed:3 in
+  let a = Signal.spikes ~rng ~n:128 ~count:5 ~amplitude:10. in
+  let nonzero = Array.fold_left (fun acc x -> if x <> 0. then acc + 1 else acc) 0 a in
+  check "at most count non-zeros" true (nonzero <= 5);
+  check "at least one spike" true (nonzero >= 1)
+
+let test_piecewise_constant_levels () =
+  let rng = Prng.create ~seed:4 in
+  let a = Signal.piecewise_constant ~rng ~n:64 ~segments:4 ~amplitude:5. in
+  let distinct =
+    Array.to_list a |> List.sort_uniq compare |> List.length
+  in
+  check "few distinct levels" true (distinct <= 4)
+
+let test_uniform_bounds () =
+  let rng = Prng.create ~seed:5 in
+  let a = Signal.uniform ~rng ~n:1000 ~lo:2. ~hi:3. in
+  Array.iter (fun x -> check "in bounds" true (x >= 2. && x < 3.)) a
+
+let test_quantize () =
+  let a = [| 0.; 0.5; 1. |] in
+  let q = Signal.quantize ~levels:3 a in
+  check "quantized to integers" true (q = [| 0.; 1.; 2. |]);
+  let constant = Signal.quantize ~levels:5 [| 7.; 7.; 7. |] in
+  check "constant data quantizes without NaN" true
+    (Array.for_all Float.is_finite constant)
+
+let test_grid_generators () =
+  let rng = Prng.create ~seed:6 in
+  let g = Signal.grid_bumps ~rng ~side:8 ~bumps:2 ~amplitude:5. in
+  check "grid dims" true (Ndarray.dims g = [| 8; 8 |]);
+  let z = Signal.grid_zipf ~rng ~side:4 ~alpha:1. ~scale:10. in
+  checki "zipf grid size" 16 (Ndarray.size z);
+  let gi = Signal.grid_int ~rng ~side:4 ~levels:7 in
+  Ndarray.iteri
+    (fun _ v ->
+      check "integer valued in range" true
+        (Float.is_integer v && v >= 0. && v < 7.))
+    gi
+
+let test_ranges_valid () =
+  let rng = Prng.create ~seed:7 in
+  let rs = Signal.ranges ~rng ~n:64 ~count:200 ~min_len:2 ~max_len:10 in
+  checki "count" 200 (List.length rs);
+  List.iter
+    (fun (lo, hi) ->
+      check "bounds" true (lo >= 0 && hi < 64 && lo <= hi);
+      let len = hi - lo + 1 in
+      check "length" true (len >= 2 && len <= 10))
+    rs
+
+let test_validation () =
+  let rng = Prng.create ~seed:8 in
+  Alcotest.check_raises "bad n" (Invalid_argument "Signal: n must be >= 1")
+    (fun () -> ignore (Signal.zipf ~rng ~n:0 ~alpha:1. ~scale:1.));
+  Alcotest.check_raises "bad range lens"
+    (Invalid_argument "Signal.ranges: bad length bounds")
+    (fun () -> ignore (Signal.ranges ~rng ~n:8 ~count:1 ~min_len:4 ~max_len:2))
+
+let test_call_center_shape () =
+  let rng = Prng.create ~seed:12 in
+  let a = Signal.call_center ~rng ~n:256 ~base:100. in
+  check "non-negative" true (Array.for_all (fun x -> x >= 0.) a);
+  (* Weekends (i mod 7 in {5,6}) must average well below weekdays. *)
+  let sum_by pred =
+    let acc = ref 0. and cnt = ref 0 in
+    Array.iteri (fun i x -> if pred (i mod 7) then begin acc := !acc +. x; incr cnt end) a;
+    !acc /. float_of_int !cnt
+  in
+  let weekday = sum_by (fun d -> d < 5) and weekend = sum_by (fun d -> d >= 5) in
+  check
+    (Printf.sprintf "weekend %.1f < weekday %.1f" weekend weekday)
+    true
+    (weekend < 0.7 *. weekday)
+
+let test_gaussian_bumps_nonnegative_peaks () =
+  let rng = Prng.create ~seed:9 in
+  let a = Signal.gaussian_bumps ~rng ~n:128 ~bumps:3 ~amplitude:10. in
+  check "all non-negative" true (Array.for_all (fun x -> x >= 0.) a);
+  check "peak exists" true (Stats.min_max a |> snd > 1.)
+
+let test_random_walk_continuity () =
+  let rng = Prng.create ~seed:10 in
+  let a = Signal.random_walk ~rng ~n:256 ~step:1. in
+  (* Steps are N(0,1): consecutive differences should be small relative
+     to the overall range most of the time. *)
+  let big_jumps = ref 0 in
+  for i = 1 to 255 do
+    if Float.abs (a.(i) -. a.(i - 1)) > 4. then incr big_jumps
+  done;
+  check "few >4-sigma steps" true (!big_jumps <= 3)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "zipf sorted shape" `Quick test_zipf_sorted_shape;
+          Alcotest.test_case "zipf permutation" `Quick test_zipf_is_permutation_of_sorted;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "lengths" `Quick test_lengths;
+          Alcotest.test_case "spikes sparsity" `Quick test_spikes_sparsity;
+          Alcotest.test_case "piecewise levels" `Quick test_piecewise_constant_levels;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "quantize" `Quick test_quantize;
+          Alcotest.test_case "grids" `Quick test_grid_generators;
+          Alcotest.test_case "ranges" `Quick test_ranges_valid;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "call-center shape" `Quick test_call_center_shape;
+          Alcotest.test_case "bumps shape" `Quick test_gaussian_bumps_nonnegative_peaks;
+          Alcotest.test_case "walk continuity" `Quick test_random_walk_continuity;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Smoke tests for the experiment harness: the registry is well-formed
+   and the paper-artifact experiments produce the exact expected
+   content. The full-suite sweep runs every experiment once. *)
+
+module E = Wavesyn_experiments.Experiments
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_registry () =
+  checki "nineteen experiments" 19 (List.length E.all);
+  let ids = List.map (fun e -> e.E.id) E.all in
+  checki "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun e -> check (e.E.id ^ " has a title") true (String.length e.E.title > 0))
+    E.all
+
+let test_find () =
+  check "finds E1" true (E.find "E1" <> None);
+  check "case-insensitive" true (E.find "e7" <> None);
+  check "unknown is None" true (E.find "E99" = None)
+
+let test_e1_content () =
+  match E.find "E1" with
+  | None -> Alcotest.fail "E1 missing"
+  | Some e ->
+      let out = e.E.run () in
+      check "decomposition row" true (contains out "[2, 1, 4, 4]");
+      check "details row" true (contains out "[0, -1, -1, 0]");
+      check "transform" true (contains out "W_A = [2.75, -1.25, 0.5, 0, 0, -1, -1, 0]")
+
+let test_e2_content () =
+  match E.find "E2" with
+  | None -> Alcotest.fail "E2 missing"
+  | Some e ->
+      let out = e.E.run () in
+      check "d4 identity" true (contains out "d4 = +c0 -c1 +c6 = 3");
+      check "root row" true (contains out "c0    2.75")
+
+let test_e3_content () =
+  match E.find "E3" with
+  | None -> Alcotest.fail "E3 missing"
+  | Some e ->
+      let out = e.E.run () in
+      check "average all plus" true (contains out "W[0,0]:  ++++/++++/++++/++++");
+      check "checkerboard" true (contains out "W[1,1]:  ++--/++--/--++/--++");
+      check "figure 2 node" true (contains out "{W[1,0], W[0,1], W[1,1]}")
+
+let test_full_sweep () =
+  (* Every experiment must run to completion and produce its header. *)
+  List.iter
+    (fun e ->
+      let out = e.E.run () in
+      check (e.E.id ^ " non-empty") true (String.length out > 100);
+      check (e.E.id ^ " labelled") true (contains out (e.E.id ^ ":")))
+    E.all
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "find" `Quick test_find;
+        ] );
+      ( "paper artifacts",
+        [
+          Alcotest.test_case "E1 content" `Quick test_e1_content;
+          Alcotest.test_case "E2 content" `Quick test_e2_content;
+          Alcotest.test_case "E3 content" `Quick test_e3_content;
+        ] );
+      ( "full sweep",
+        [ Alcotest.test_case "all experiments run" `Slow test_full_sweep ] );
+    ]

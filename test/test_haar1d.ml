@@ -1,0 +1,287 @@
+(* Tests for the one-dimensional Haar transform and error tree,
+   anchored on the worked example of Section 2.1 of the paper. *)
+
+module Haar1d = Wavesyn_haar.Haar1d
+module Error_tree = Wavesyn_haar.Error_tree
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let paper_data = [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |]
+let paper_wavelet = [| 2.75; -1.25; 0.5; 0.; 0.; -1.; -1.; 0. |]
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+let check_array = Alcotest.(check (array (float 1e-9)))
+
+let random_signal rng n = Array.init n (fun _ -> Prng.float rng 20. -. 10.)
+
+let test_paper_decomposition () =
+  check_array "W_A of Section 2.1" paper_wavelet (Haar1d.decompose paper_data)
+
+let test_paper_resolution_table () =
+  let rows = Haar1d.resolution_table paper_data in
+  checki "row count" 4 (List.length rows);
+  (match rows with
+  | top :: rest ->
+      checki "top resolution" 3 top.Haar1d.resolution;
+      check_array "top averages" paper_data top.Haar1d.averages;
+      check "top has no details" true (top.Haar1d.details = None);
+      (match rest with
+      | [ r2; r1; r0 ] ->
+          checki "r2 resolution" 2 r2.Haar1d.resolution;
+          check_array "r2 averages" [| 2.; 1.; 4.; 4. |] r2.Haar1d.averages;
+          check_array "r2 details" [| 0.; -1.; -1.; 0. |]
+            (Option.get r2.Haar1d.details);
+          check_array "r1 averages" [| 1.5; 4. |] r1.Haar1d.averages;
+          check_array "r1 details" [| 0.5; 0. |] (Option.get r1.Haar1d.details);
+          check_array "r0 averages" [| 2.75 |] r0.Haar1d.averages;
+          check_array "r0 details" [| -1.25 |] (Option.get r0.Haar1d.details)
+      | _ -> Alcotest.fail "unexpected row structure")
+  | [] -> Alcotest.fail "empty table")
+
+let test_paper_reconstruction () =
+  check_array "reconstruct inverts decompose" paper_data
+    (Haar1d.reconstruct paper_wavelet)
+
+let test_paper_d4_identity () =
+  (* Figure 1(a): d_4 = c_0 - c_1 + c_6 = 11/4 + 5/4 - 1 = 3. *)
+  let w = paper_wavelet in
+  checkf "d4 via path" 3. (w.(0) -. w.(1) +. (-1. *. 0.) +. (1. *. w.(6)));
+  checkf "point d4" 3. (Haar1d.point ~wavelet:w 4)
+
+let test_all_points_match () =
+  Array.iteri
+    (fun i d -> checkf (Printf.sprintf "point %d" i) d (Haar1d.point ~wavelet:paper_wavelet i))
+    paper_data
+
+let test_rejects_non_pow2 () =
+  Alcotest.check_raises "length 6 rejected"
+    (Invalid_argument "Haar1d: input length must be a power of two")
+    (fun () -> ignore (Haar1d.decompose (Array.make 6 0.)))
+
+let test_singleton () =
+  check_array "N=1 decompose" [| 5. |] (Haar1d.decompose [| 5. |]);
+  check_array "N=1 reconstruct" [| 5. |] (Haar1d.reconstruct [| 5. |]);
+  check "N=1 path" true (Haar1d.path ~n:1 0 = [ 0 ])
+
+let test_pad_pow2 () =
+  check_array "pad 3 -> 4" [| 1.; 2.; 3.; 0. |] (Haar1d.pad_pow2 [| 1.; 2.; 3. |]);
+  check_array "pad exact stays" [| 1.; 2. |] (Haar1d.pad_pow2 [| 1.; 2. |]);
+  check_array "pad custom fill" [| 1.; 2.; 3.; 7. |]
+    (Haar1d.pad_pow2 ~fill:7. [| 1.; 2.; 3. |])
+
+let test_levels () =
+  let n = 8 in
+  checki "level c0" 0 (Haar1d.level_of ~n 0);
+  checki "level c1" 0 (Haar1d.level_of ~n 1);
+  checki "level c2" 1 (Haar1d.level_of ~n 2);
+  checki "level c3" 1 (Haar1d.level_of ~n 3);
+  checki "level c7" 2 (Haar1d.level_of ~n 7)
+
+let test_supports () =
+  let n = 8 in
+  check "support c0" true (Haar1d.support ~n 0 = (0, 8));
+  check "support c1" true (Haar1d.support ~n 1 = (0, 8));
+  check "support c2" true (Haar1d.support ~n 2 = (0, 4));
+  check "support c3" true (Haar1d.support ~n 3 = (4, 8));
+  check "support c6" true (Haar1d.support ~n 6 = (4, 6));
+  checki "support_size c6" 2 (Haar1d.support_size ~n 6)
+
+let test_signs () =
+  let n = 8 in
+  (* c_0 positive everywhere. *)
+  for i = 0 to 7 do
+    checki "c0 sign" 1 (Haar1d.sign ~n ~coeff:0 ~cell:i)
+  done;
+  (* c_1 positive on the left half, negative on the right. *)
+  checki "c1 left" 1 (Haar1d.sign ~n ~coeff:1 ~cell:0);
+  checki "c1 right" (-1) (Haar1d.sign ~n ~coeff:1 ~cell:7);
+  (* c_6 supports cells 4-5 positively... c_6 covers [4,6): +1 at 4, -1 at 5. *)
+  checki "c6 at 4" 1 (Haar1d.sign ~n ~coeff:6 ~cell:4);
+  checki "c6 at 5" (-1) (Haar1d.sign ~n ~coeff:6 ~cell:5);
+  checki "c6 outside" 0 (Haar1d.sign ~n ~coeff:6 ~cell:2)
+
+let test_paths () =
+  let n = 8 in
+  check "path of cell 4" true (Haar1d.path ~n 4 = [ 0; 1; 3; 6 ]);
+  check "path of cell 0" true (Haar1d.path ~n 0 = [ 0; 1; 2; 4 ]);
+  check "path of cell 7" true (Haar1d.path ~n 7 = [ 0; 1; 3; 7 ])
+
+let test_normalization () =
+  let n = 8 in
+  checkf "norm c0" 1. (Haar1d.normalization ~n 0);
+  checkf "norm c1" 1. (Haar1d.normalization ~n 1);
+  checkf "norm c2" (1. /. Float.sqrt 2.) (Haar1d.normalization ~n 2);
+  checkf "norm c7" 0.5 (Haar1d.normalization ~n 7)
+
+let test_point_from_set () =
+  let n = 8 in
+  let full = Array.to_list (Array.mapi (fun i c -> (i, c)) paper_wavelet) in
+  Array.iteri
+    (fun i d -> checkf (Printf.sprintf "full set cell %d" i) d (Haar1d.point_from_set ~n full i))
+    paper_data;
+  (* Empty set reconstructs all zeros. *)
+  checkf "empty set" 0. (Haar1d.point_from_set ~n [] 3)
+
+let sizes = [ 1; 2; 4; 8; 16; 64; 256 ]
+
+let test_roundtrip_sizes () =
+  let rng = Prng.create ~seed:100 in
+  List.iter
+    (fun n ->
+      let a = random_signal rng n in
+      let back = Haar1d.reconstruct (Haar1d.decompose a) in
+      Array.iteri
+        (fun i x ->
+          check (Printf.sprintf "roundtrip n=%d cell %d" n i) true
+            (Float_util.approx_equal ~eps:1e-9 x back.(i)))
+        a)
+    sizes
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"reconstruct . decompose = id" ~count:100
+    QCheck.(array_of_size (Gen.oneofl [ 1; 2; 4; 8; 16; 32 ]) (float_range (-1000.) 1000.))
+    (fun a ->
+      let back = Haar1d.reconstruct (Haar1d.decompose a) in
+      Array.for_all2 (fun x y -> Float_util.approx_equal ~eps:1e-6 x y) a back)
+
+let prop_point_matches_reconstruct =
+  QCheck.Test.make ~name:"point equals full reconstruction" ~count:100
+    QCheck.(array_of_size (Gen.oneofl [ 2; 4; 8; 16 ]) (float_range (-100.) 100.))
+    (fun a ->
+      let w = Haar1d.decompose a in
+      let back = Haar1d.reconstruct w in
+      Array.for_all
+        (fun i -> Float_util.approx_equal ~eps:1e-6 back.(i) (Haar1d.point ~wavelet:w i))
+        (Array.init (Array.length a) Fun.id))
+
+let prop_path_sign_reconstruction =
+  QCheck.Test.make ~name:"sum of sign*coeff over path reconstructs data" ~count:100
+    QCheck.(array_of_size (Gen.oneofl [ 2; 4; 8; 16; 32 ]) (float_range (-100.) 100.))
+    (fun a ->
+      let n = Array.length a in
+      let w = Haar1d.decompose a in
+      Array.for_all
+        (fun i ->
+          let v =
+            List.fold_left
+              (fun acc j -> acc +. (float_of_int (Haar1d.sign ~n ~coeff:j ~cell:i) *. w.(j)))
+              0. (Haar1d.path ~n i)
+          in
+          Float_util.approx_equal ~eps:1e-6 v a.(i))
+        (Array.init n Fun.id))
+
+let prop_parseval =
+  QCheck.Test.make ~name:"Parseval: sum of normalized^2 = energy / N" ~count:100
+    QCheck.(array_of_size (Gen.oneofl [ 2; 4; 8; 16 ]) (float_range (-100.) 100.))
+    (fun a ->
+      let n = float_of_int (Array.length a) in
+      let w = Haar1d.normalized (Haar1d.decompose a) in
+      let lhs = Array.fold_left (fun acc c -> acc +. (c *. c)) 0. w in
+      let rhs = Array.fold_left (fun acc d -> acc +. (d *. d)) 0. a /. n in
+      Float_util.approx_equal ~eps:1e-6 lhs rhs)
+
+let prop_linearity =
+  QCheck.Test.make ~name:"transform is linear" ~count:100
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 16) (float_range (-50.) 50.))
+        (array_of_size (Gen.return 16) (float_range (-50.) 50.)))
+    (fun (a, b) ->
+      let sum = Array.map2 ( +. ) a b in
+      let ws = Haar1d.decompose sum in
+      let wa = Haar1d.decompose a and wb = Haar1d.decompose b in
+      Array.for_all2
+        (fun x y -> Float_util.approx_equal ~eps:1e-6 x y)
+        ws (Array.map2 ( +. ) wa wb))
+
+(* --- Error tree --- *)
+
+let tree = Error_tree.of_data paper_data
+
+let test_tree_shape () =
+  checki "n" 8 (Error_tree.n tree);
+  check "children of root" true (Error_tree.children tree 0 = [ 1 ]);
+  check "children of 1" true (Error_tree.children tree 1 = [ 2; 3 ]);
+  check "children of 7" true (Error_tree.children tree 7 = [ 14; 15 ]);
+  check "leaf has no children" true (Error_tree.children tree 9 = []);
+  check "8 is leaf" true (Error_tree.is_leaf tree 8);
+  check "7 is internal" false (Error_tree.is_leaf tree 7)
+
+let test_tree_parent_depth () =
+  checki "parent of 1" 0 (Error_tree.parent tree 1);
+  checki "parent of 6" 3 (Error_tree.parent tree 6);
+  checki "parent of leaf 12" 6 (Error_tree.parent tree 12);
+  checki "depth of root" 0 (Error_tree.depth tree 0);
+  checki "depth of 1" 1 (Error_tree.depth tree 1);
+  checki "depth of 6" 3 (Error_tree.depth tree 6);
+  checki "depth of leaf 8" 4 (Error_tree.depth tree 8)
+
+let test_tree_ancestors () =
+  check "ancestors of 6" true (Error_tree.ancestors tree 6 = [ 0; 1; 3 ]);
+  check "ancestors of leaf 12" true (Error_tree.ancestors tree 12 = [ 0; 1; 3; 6 ]);
+  check "ancestors of root" true (Error_tree.ancestors tree 0 = [])
+
+let test_tree_values () =
+  checkf "coeff 1" (-1.25) (Error_tree.coeff tree 1);
+  checkf "leaf 12 value" 3. (Error_tree.leaf_value tree 12);
+  checkf "max_abs_coeff" 2.75 (Error_tree.max_abs_coeff tree)
+
+let test_tree_subtree_counts () =
+  checki "root counts all" 8 (Error_tree.subtree_coeff_count tree 0);
+  checki "T_1" 7 (Error_tree.subtree_coeff_count tree 1);
+  checki "T_2" 3 (Error_tree.subtree_coeff_count tree 2);
+  checki "T_6" 1 (Error_tree.subtree_coeff_count tree 6);
+  checki "leaf" 0 (Error_tree.subtree_coeff_count tree 9)
+
+let test_tree_signs_and_leaves () =
+  checki "root to child" 1 (Error_tree.sign_to_child tree ~node:0 ~child:1);
+  checki "left" 1 (Error_tree.sign_to_child tree ~node:3 ~child:6);
+  checki "right" (-1) (Error_tree.sign_to_child tree ~node:3 ~child:7);
+  check "leaves under 3" true (Error_tree.leaves_under tree 3 = (4, 8));
+  check "leaves under root" true (Error_tree.leaves_under tree 0 = (0, 8));
+  check "leaves under leaf 10" true (Error_tree.leaves_under tree 10 = (2, 3))
+
+let () =
+  Alcotest.run "haar1d"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "decomposition W_A" `Quick test_paper_decomposition;
+          Alcotest.test_case "resolution table" `Quick test_paper_resolution_table;
+          Alcotest.test_case "reconstruction" `Quick test_paper_reconstruction;
+          Alcotest.test_case "d4 identity (Fig 1a)" `Quick test_paper_d4_identity;
+          Alcotest.test_case "all points" `Quick test_all_points_match;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "rejects non-pow2" `Quick test_rejects_non_pow2;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "pad_pow2" `Quick test_pad_pow2;
+          Alcotest.test_case "roundtrip sizes" `Quick test_roundtrip_sizes;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_point_matches_reconstruct;
+          QCheck_alcotest.to_alcotest prop_linearity;
+          QCheck_alcotest.to_alcotest prop_parseval;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "supports" `Quick test_supports;
+          Alcotest.test_case "signs" `Quick test_signs;
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "point_from_set" `Quick test_point_from_set;
+          QCheck_alcotest.to_alcotest prop_path_sign_reconstruction;
+        ] );
+      ( "error tree",
+        [
+          Alcotest.test_case "shape" `Quick test_tree_shape;
+          Alcotest.test_case "parent/depth" `Quick test_tree_parent_depth;
+          Alcotest.test_case "ancestors" `Quick test_tree_ancestors;
+          Alcotest.test_case "values" `Quick test_tree_values;
+          Alcotest.test_case "subtree counts" `Quick test_tree_subtree_counts;
+          Alcotest.test_case "signs and leaves" `Quick test_tree_signs_and_leaves;
+        ] );
+    ]

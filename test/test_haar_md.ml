@@ -1,0 +1,268 @@
+(* Tests for the nonstandard multi-dimensional Haar decomposition,
+   including the Figure 1(b) sign patterns for a 4x4 array. *)
+
+module Haar1d = Wavesyn_haar.Haar1d
+module Haar_md = Wavesyn_haar.Haar_md
+module Ndarray = Wavesyn_util.Ndarray
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let random_nd rng dims =
+  Ndarray.init ~dims (fun _ -> Prng.float rng 20. -. 10.)
+
+let test_d1_matches_haar1d () =
+  let rng = Prng.create ~seed:5 in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun _ -> Prng.float rng 10. -. 5.) in
+      let w1 = Haar1d.decompose a in
+      let wm =
+        Haar_md.decompose (Ndarray.of_flat_array ~dims:[| n |] (Array.copy a))
+      in
+      Array.iteri
+        (fun i c ->
+          check
+            (Printf.sprintf "n=%d coeff %d" n i)
+            true
+            (Float_util.approx_equal ~eps:1e-9 c (Ndarray.get_flat wm i)))
+        w1)
+    [ 1; 2; 4; 8; 32 ]
+
+let roundtrip_case name dims seed () =
+  let rng = Prng.create ~seed in
+  let a = random_nd rng dims in
+  let back = Haar_md.reconstruct (Haar_md.decompose a) in
+  check name true (Ndarray.equal ~eps:1e-8 a back)
+
+let test_point_matches_data () =
+  let rng = Prng.create ~seed:9 in
+  let a = random_nd rng [| 8; 8 |] in
+  let w = Haar_md.decompose a in
+  Ndarray.iteri
+    (fun idx v -> checkf "2d point" v (Haar_md.point ~wavelet:w idx))
+    a
+
+let test_point_matches_data_3d () =
+  let rng = Prng.create ~seed:10 in
+  let a = random_nd rng [| 4; 4; 4 |] in
+  let w = Haar_md.decompose a in
+  Ndarray.iteri
+    (fun idx v -> checkf "3d point" v (Haar_md.point ~wavelet:w idx))
+    a
+
+let test_rejects_bad_shapes () =
+  Alcotest.check_raises "unequal dims"
+    (Invalid_argument "Haar_md: dimensions must all be equal")
+    (fun () -> ignore (Haar_md.decompose (Ndarray.create ~dims:[| 2; 4 |] 0.)));
+  Alcotest.check_raises "non pow2"
+    (Invalid_argument "Haar_md: dimensions must be powers of two")
+    (fun () -> ignore (Haar_md.decompose (Ndarray.create ~dims:[| 3; 3 |] 0.)))
+
+let test_side_levels () =
+  let a = Ndarray.create ~dims:[| 8; 8 |] 0. in
+  checki "side" 8 (Haar_md.side a);
+  checki "levels" 3 (Haar_md.levels a)
+
+let test_average_cell () =
+  (* Coefficient (0,0) of the transform is the overall average. *)
+  let a =
+    Ndarray.of_flat_array ~dims:[| 2; 2 |] [| 1.; 2.; 3.; 4. |]
+  in
+  let w = Haar_md.decompose a in
+  checkf "overall average" 2.5 (Ndarray.get w [| 0; 0 |])
+
+let test_2x2_by_hand () =
+  (* Block [[a b][c d]]: row step then column step of (avg, diff/2).
+     avg = (a+b+c+d)/4; detail along dim1 = (a-b+c-d)/4;
+     detail along dim0 = (a+b-c-d)/4; diagonal = (a-b-c+d)/4. *)
+  let a = Ndarray.of_flat_array ~dims:[| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let w = Haar_md.decompose a in
+  checkf "avg" 2.5 (Ndarray.get w [| 0; 0 |]);
+  checkf "detail dim1" (-0.5) (Ndarray.get w [| 0; 1 |]);
+  checkf "detail dim0" (-1.) (Ndarray.get w [| 1; 0 |]);
+  checkf "diagonal" 0. (Ndarray.get w [| 1; 1 |])
+
+(* Figure 1(b): sign patterns of the sixteen nonstandard basis functions
+   for a 4x4 array. We verify the structural pattern for representative
+   coefficients. Cell indexing is (dim0, dim1). *)
+let fig1b_signs coeff =
+  let w = Ndarray.create ~dims:[| 4; 4 |] 0. in
+  Array.init 4 (fun x ->
+      Array.init 4 (fun y -> Haar_md.sign_at w ~coeff ~cell:[| x; y |]))
+
+let test_fig1b_overall_average () =
+  let signs = fig1b_signs [| 0; 0 |] in
+  Array.iter (fun row -> Array.iter (fun s -> checki "all +" 1 s) row) signs
+
+let test_fig1b_w11 () =
+  (* W[1,1]: detail along both dimensions at the coarsest level:
+     quadrant checkerboard over 2x2 quadrants. *)
+  let signs = fig1b_signs [| 1; 1 |] in
+  for x = 0 to 3 do
+    for y = 0 to 3 do
+      let expected = (if x < 2 then 1 else -1) * if y < 2 then 1 else -1 in
+      checki (Printf.sprintf "W11 (%d,%d)" x y) expected signs.(x).(y)
+    done
+  done
+
+let test_fig1b_w01 () =
+  (* W[0,1]: average along dim0, detail along dim1: vertical split. *)
+  let signs = fig1b_signs [| 0; 1 |] in
+  for x = 0 to 3 do
+    for y = 0 to 3 do
+      let expected = if y < 2 then 1 else -1 in
+      checki (Printf.sprintf "W01 (%d,%d)" x y) expected signs.(x).(y)
+    done
+  done
+
+let test_fig1b_w33 () =
+  (* W[3,3]: level-1 diagonal detail for quadrant q=(1,1): support is
+     cells [2,4)x[2,4) (the paper's "upper right quadrant"), zero
+     elsewhere, checkerboard inside. *)
+  let signs = fig1b_signs [| 3; 3 |] in
+  for x = 0 to 3 do
+    for y = 0 to 3 do
+      let expected =
+        if x < 2 || y < 2 then 0
+        else (if x = 2 then 1 else -1) * if y = 2 then 1 else -1
+      in
+      checki (Printf.sprintf "W33 (%d,%d)" x y) expected signs.(x).(y)
+    done
+  done
+
+let test_fig1b_w20 () =
+  (* W[2,0]: level-1 detail along dim0 for quadrant q=(0,0): support
+     [0,2)x[0,2), split along dim0. *)
+  let signs = fig1b_signs [| 2; 0 |] in
+  for x = 0 to 3 do
+    for y = 0 to 3 do
+      let expected = if x >= 2 || y >= 2 then 0 else if x = 0 then 1 else -1 in
+      checki (Printf.sprintf "W20 (%d,%d)" x y) expected signs.(x).(y)
+    done
+  done
+
+let test_support_of_coeff () =
+  let w = Ndarray.create ~dims:[| 4; 4 |] 0. in
+  check "avg support" true (Haar_md.support_of_coeff w [| 0; 0 |] = [| (0, 4); (0, 4) |]);
+  check "W11 support" true (Haar_md.support_of_coeff w [| 1; 1 |] = [| (0, 4); (0, 4) |]);
+  check "W33 support" true (Haar_md.support_of_coeff w [| 3; 3 |] = [| (2, 4); (2, 4) |]);
+  check "W20 support" true (Haar_md.support_of_coeff w [| 2; 0 |] = [| (0, 2); (0, 2) |])
+
+let test_parallel_matches_sequential () =
+  let rng = Prng.create ~seed:99 in
+  List.iter
+    (fun dims ->
+      let a = random_nd rng dims in
+      let seq = Haar_md.decompose a in
+      List.iter
+        (fun k ->
+          let par = Haar_md.decompose_parallel ~num_domains:k a in
+          check
+            (Printf.sprintf "%dd with %d domains bit-equal" (Array.length dims) k)
+            true
+            (Ndarray.to_flat_array seq = Ndarray.to_flat_array par))
+        [ 1; 2; 4 ])
+    [ [| 64 |]; [| 64; 64 |]; [| 16; 16; 16 |] ]
+
+let test_parallel_validation () =
+  Alcotest.check_raises "bad domains"
+    (Invalid_argument "Haar_md.decompose_parallel: bad num_domains")
+    (fun () ->
+      ignore
+        (Haar_md.decompose_parallel ~num_domains:0
+           (Ndarray.create ~dims:[| 2; 2 |] 0.)))
+
+let prop_roundtrip_2d =
+  QCheck.Test.make ~name:"2d roundtrip" ~count:50
+    QCheck.(array_of_size (Gen.return 16) (float_range (-100.) 100.))
+    (fun flat ->
+      let a = Ndarray.of_flat_array ~dims:[| 4; 4 |] flat in
+      Ndarray.equal ~eps:1e-8 a (Haar_md.reconstruct (Haar_md.decompose a)))
+
+let prop_roundtrip_3d =
+  QCheck.Test.make ~name:"3d roundtrip" ~count:30
+    QCheck.(array_of_size (Gen.return 8) (float_range (-100.) 100.))
+    (fun flat ->
+      let a = Ndarray.of_flat_array ~dims:[| 2; 2; 2 |] flat in
+      Ndarray.equal ~eps:1e-8 a (Haar_md.reconstruct (Haar_md.decompose a)))
+
+let prop_sign_reconstruction_2d =
+  QCheck.Test.make ~name:"2d sum of sign*coeff reconstructs cells" ~count:30
+    QCheck.(array_of_size (Gen.return 16) (float_range (-100.) 100.))
+    (fun flat ->
+      let a = Ndarray.of_flat_array ~dims:[| 4; 4 |] flat in
+      let w = Haar_md.decompose a in
+      let ok = ref true in
+      Ndarray.iteri
+        (fun cell v ->
+          let acc = ref 0. in
+          for f = 0 to Ndarray.size w - 1 do
+            let coeff = Ndarray.index_of_flat w f in
+            acc :=
+              !acc
+              +. float_of_int (Haar_md.sign_at w ~coeff ~cell)
+                 *. Ndarray.get_flat w f
+          done;
+          if not (Float_util.approx_equal ~eps:1e-6 v !acc) then ok := false)
+        a;
+      !ok)
+
+let prop_linearity_2d =
+  QCheck.Test.make ~name:"2d transform is linear" ~count:30
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 16) (float_range (-50.) 50.))
+        (array_of_size (Gen.return 16) (float_range (-50.) 50.)))
+    (fun (fa, fb) ->
+      let a = Ndarray.of_flat_array ~dims:[| 4; 4 |] fa in
+      let b = Ndarray.of_flat_array ~dims:[| 4; 4 |] fb in
+      let sum = Ndarray.of_flat_array ~dims:[| 4; 4 |] (Array.map2 ( +. ) fa fb) in
+      let ws = Haar_md.decompose sum in
+      let wa = Haar_md.decompose a and wb = Haar_md.decompose b in
+      let ok = ref true in
+      for f = 0 to 15 do
+        if
+          not
+            (Float_util.approx_equal ~eps:1e-6 (Ndarray.get_flat ws f)
+               (Ndarray.get_flat wa f +. Ndarray.get_flat wb f))
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "haar_md"
+    [
+      ( "transform",
+        [
+          Alcotest.test_case "D=1 matches Haar1d" `Quick test_d1_matches_haar1d;
+          Alcotest.test_case "2d roundtrip 4x4" `Quick (roundtrip_case "4x4" [| 4; 4 |] 1);
+          Alcotest.test_case "2d roundtrip 16x16" `Quick (roundtrip_case "16x16" [| 16; 16 |] 2);
+          Alcotest.test_case "3d roundtrip 4^3" `Quick (roundtrip_case "4^3" [| 4; 4; 4 |] 3);
+          Alcotest.test_case "4d roundtrip 2^4" `Quick (roundtrip_case "2^4" [| 2; 2; 2; 2 |] 4);
+          Alcotest.test_case "2d point" `Quick test_point_matches_data;
+          Alcotest.test_case "3d point" `Quick test_point_matches_data_3d;
+          Alcotest.test_case "bad shapes" `Quick test_rejects_bad_shapes;
+          Alcotest.test_case "side/levels" `Quick test_side_levels;
+          Alcotest.test_case "overall average" `Quick test_average_cell;
+          Alcotest.test_case "2x2 by hand" `Quick test_2x2_by_hand;
+          Alcotest.test_case "parallel bit-equal" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "parallel validation" `Quick test_parallel_validation;
+          QCheck_alcotest.to_alcotest prop_roundtrip_2d;
+          QCheck_alcotest.to_alcotest prop_roundtrip_3d;
+          QCheck_alcotest.to_alcotest prop_linearity_2d;
+        ] );
+      ( "figure 1(b) signs",
+        [
+          Alcotest.test_case "overall average all +" `Quick test_fig1b_overall_average;
+          Alcotest.test_case "W[1,1] checkerboard" `Quick test_fig1b_w11;
+          Alcotest.test_case "W[0,1] vertical split" `Quick test_fig1b_w01;
+          Alcotest.test_case "W[3,3] quadrant detail" `Quick test_fig1b_w33;
+          Alcotest.test_case "W[2,0] quadrant split" `Quick test_fig1b_w20;
+          Alcotest.test_case "supports" `Quick test_support_of_coeff;
+          QCheck_alcotest.to_alcotest prop_sign_reconstruction_2d;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+(* Tests for the histogram comparator (V-optimal, max-error-optimal,
+   equal-width). *)
+
+module Histogram = Wavesyn_baselines.Histogram
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let random_data ~seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ -> Prng.float rng 100. -. 50.)
+
+(* Exhaustive optimal segmentations for validation on small inputs. *)
+let brute_best ~data ~k ~cost ~combine ~init =
+  let n = Array.length data in
+  let best = ref Float.infinity in
+  (* enumerate bucket start vectors 0 = b0 < b1 < ... < b_{k-1} < n *)
+  let rec go starts prev remaining =
+    if remaining = 0 then begin
+      let bounds = Array.of_list (List.rev starts) in
+      let total = ref init in
+      Array.iteri
+        (fun b lo ->
+          let hi =
+            if b + 1 < Array.length bounds then bounds.(b + 1) - 1 else n - 1
+          in
+          total := combine !total (cost lo hi))
+        bounds;
+      if !total < !best then best := !total
+    end
+    else
+      for s = prev + 1 to n - remaining do
+        go (s :: starts) s (remaining - 1)
+      done
+  in
+  go [ 0 ] 0 (k - 1);
+  !best
+
+let sse_cost data lo hi =
+  let len = float_of_int (hi - lo + 1) in
+  let sum = ref 0. in
+  for i = lo to hi do
+    sum := !sum +. data.(i)
+  done;
+  let mean = !sum /. len in
+  let acc = ref 0. in
+  for i = lo to hi do
+    acc := !acc +. ((data.(i) -. mean) *. (data.(i) -. mean))
+  done;
+  !acc
+
+let midrange_cost data lo hi =
+  let mn = ref data.(lo) and mx = ref data.(lo) in
+  for i = lo to hi do
+    if data.(i) < !mn then mn := data.(i);
+    if data.(i) > !mx then mx := data.(i)
+  done;
+  (!mx -. !mn) /. 2.
+
+let test_structure () =
+  let data = random_data ~seed:1 16 in
+  let h = Histogram.equal_width ~data ~buckets:4 in
+  checki "bucket count" 4 (Histogram.size h);
+  checki "domain" 16 (Histogram.n h);
+  let bs = Histogram.buckets h in
+  checki "list length" 4 (List.length bs);
+  (* coverage: contiguous, starts at 0, ends at n-1 *)
+  let rec covers expected = function
+    | [] -> check "ends at n-1" true (expected = 16)
+    | (lo, hi, _) :: rest ->
+        checki "contiguous" expected lo;
+        check "ordered" true (hi >= lo);
+        covers (hi + 1) rest
+  in
+  covers 0 bs
+
+let test_point_and_reconstruct () =
+  let data = [| 1.; 1.; 5.; 5.; 9.; 9.; 9.; 9. |] in
+  let h = Histogram.max_error_optimal ~data ~buckets:3 in
+  checkf "perfect with 3 buckets" 0. (Histogram.max_abs_err h ~data);
+  let r = Histogram.reconstruct h in
+  Array.iteri (fun i d -> checkf (Printf.sprintf "cell %d" i) d r.(i)) data
+
+let test_v_optimal_matches_brute () =
+  for seed = 1 to 6 do
+    let data = random_data ~seed 10 in
+    List.iter
+      (fun k ->
+        let h = Histogram.v_optimal ~data ~buckets:k in
+        let sse =
+          List.fold_left
+            (fun acc (lo, hi, _) -> acc +. sse_cost data lo hi)
+            0. (Histogram.buckets h)
+        in
+        let best =
+          brute_best ~data ~k ~cost:(sse_cost data) ~combine:( +. ) ~init:0.
+        in
+        check
+          (Printf.sprintf "seed %d k=%d sse %g vs brute %g" seed k sse best)
+          true
+          (Float_util.approx_equal ~eps:1e-6 sse best))
+      [ 1; 2; 3; 4 ]
+  done
+
+let test_max_error_matches_brute () =
+  for seed = 1 to 6 do
+    let data = random_data ~seed:(seed + 50) 10 in
+    List.iter
+      (fun k ->
+        let h = Histogram.max_error_optimal ~data ~buckets:k in
+        let err = Histogram.max_abs_err h ~data in
+        let best =
+          brute_best ~data ~k ~cost:(midrange_cost data) ~combine:Float.max
+            ~init:0.
+        in
+        check
+          (Printf.sprintf "seed %d k=%d err %g vs brute %g" seed k err best)
+          true
+          (Float_util.approx_equal ~eps:1e-6 err best))
+      [ 1; 2; 3; 4 ]
+  done
+
+let test_monotone_in_buckets () =
+  let data = random_data ~seed:60 32 in
+  let errs =
+    List.map
+      (fun k ->
+        Histogram.max_abs_err (Histogram.max_error_optimal ~data ~buckets:k) ~data)
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) ->
+        check "monotone" true (b <= a +. 1e-9);
+        non_increasing rest
+    | _ -> ()
+  in
+  non_increasing errs;
+  checkf "n buckets is exact" 0. (List.nth errs 5)
+
+let test_range_sum () =
+  let data = [| 2.; 2.; 4.; 4.; 6.; 6.; 6.; 6. |] in
+  let h = Histogram.max_error_optimal ~data ~buckets:3 in
+  checkf "exact histogram, exact sums" 12.
+    (Histogram.range_sum h ~lo:1 ~hi:3 +. 2.);
+  checkf "full" 36. (Histogram.range_sum h ~lo:0 ~hi:7)
+
+let test_buckets_capped_at_n () =
+  let data = [| 1.; 2. |] in
+  let h = Histogram.v_optimal ~data ~buckets:10 in
+  checki "capped" 2 (Histogram.size h);
+  checkf "exact" 0. (Histogram.max_abs_err h ~data)
+
+let test_validation () =
+  Alcotest.check_raises "zero buckets"
+    (Invalid_argument "Histogram: need at least one bucket")
+    (fun () -> ignore (Histogram.v_optimal ~data:[| 1. |] ~buckets:0));
+  Alcotest.check_raises "empty data"
+    (Invalid_argument "Histogram: empty data")
+    (fun () -> ignore (Histogram.v_optimal ~data:[||] ~buckets:1))
+
+let test_single_bucket_values () =
+  let data = [| 0.; 4.; 8. |] in
+  let vopt = Histogram.v_optimal ~data ~buckets:1 in
+  let merr = Histogram.max_error_optimal ~data ~buckets:1 in
+  (match Histogram.buckets vopt with
+  | [ (0, 2, v) ] -> checkf "v-opt uses mean" 4. v
+  | _ -> Alcotest.fail "one bucket expected");
+  match Histogram.buckets merr with
+  | [ (0, 2, v) ] -> checkf "max-err uses midrange" 4. v
+  | _ -> Alcotest.fail "one bucket expected"
+
+let prop_vopt_not_worse_than_equal_width =
+  QCheck.Test.make ~name:"v-optimal SSE <= equal-width SSE" ~count:50
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 4 24) (float_range (-50.) 50.))
+        (int_range 1 6))
+    (fun (data, k) ->
+      let sse h =
+        List.fold_left
+          (fun acc (lo, hi, v) ->
+            let s = ref acc in
+            for i = lo to hi do
+              s := !s +. ((data.(i) -. v) *. (data.(i) -. v))
+            done;
+            !s)
+          0. (Histogram.buckets h)
+      in
+      sse (Histogram.v_optimal ~data ~buckets:k)
+      <= sse (Histogram.equal_width ~data ~buckets:k) +. 1e-6)
+
+let prop_maxerr_not_worse_than_others =
+  QCheck.Test.make ~name:"max-error histogram beats the other builds" ~count:50
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 4 24) (float_range (-50.) 50.))
+        (int_range 1 6))
+    (fun (data, k) ->
+      let me h = Histogram.max_abs_err h ~data in
+      let best = me (Histogram.max_error_optimal ~data ~buckets:k) in
+      best <= me (Histogram.v_optimal ~data ~buckets:k) +. 1e-9
+      && best <= me (Histogram.equal_width ~data ~buckets:k) +. 1e-9)
+
+let prop_range_sum_matches_reconstruction =
+  QCheck.Test.make ~name:"histogram range sum = reconstruction sum" ~count:50
+    QCheck.(
+      triple
+        (array_of_size (Gen.return 16) (float_range (-50.) 50.))
+        (int_bound 15) (int_bound 15))
+    (fun (data, a, b) ->
+      let lo = Stdlib.min a b and hi = Stdlib.max a b in
+      let h = Histogram.v_optimal ~data ~buckets:4 in
+      let r = Histogram.reconstruct h in
+      let direct = ref 0. in
+      for i = lo to hi do
+        direct := !direct +. r.(i)
+      done;
+      Float_util.approx_equal ~eps:1e-6 !direct (Histogram.range_sum h ~lo ~hi))
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "point/reconstruct" `Quick test_point_and_reconstruct;
+          Alcotest.test_case "v-optimal vs brute" `Quick test_v_optimal_matches_brute;
+          Alcotest.test_case "max-error vs brute" `Quick test_max_error_matches_brute;
+          Alcotest.test_case "monotone in buckets" `Quick test_monotone_in_buckets;
+          Alcotest.test_case "range sum" `Quick test_range_sum;
+          Alcotest.test_case "capped at n" `Quick test_buckets_capped_at_n;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "single bucket values" `Quick test_single_bucket_values;
+          QCheck_alcotest.to_alcotest prop_vopt_not_worse_than_equal_width;
+          QCheck_alcotest.to_alcotest prop_maxerr_not_worse_than_others;
+          QCheck_alcotest.to_alcotest prop_range_sum_matches_reconstruction;
+        ] );
+    ]

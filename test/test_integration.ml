@@ -1,0 +1,160 @@
+(* End-to-end integration matrix: every thresholding algorithm on every
+   dataset family, checking the invariants that tie the system together:
+
+   - every synopsis respects its budget (probabilistic ones in
+     expectation only, so they are checked for well-formedness);
+   - MinMaxErr's error is a lower bound for every other deterministic
+     method under its own metric;
+   - value refinement never hurts any of them;
+   - serialization round-trips every synopsis;
+   - range queries from the synopsis agree with its reconstruction. *)
+
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Value_fitting = Wavesyn_core.Value_fitting
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Greedy_maxerr = Wavesyn_baselines.Greedy_maxerr
+module Prob_synopsis = Wavesyn_baselines.Prob_synopsis
+module Histogram = Wavesyn_baselines.Histogram
+module Signal = Wavesyn_datagen.Signal
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Range_query = Wavesyn_synopsis.Range_query
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let check = Alcotest.(check bool)
+
+let n = 64
+let budget = 8
+
+let datasets =
+  let rng = Prng.create ~seed:31337 in
+  [
+    ("zipf", Signal.zipf ~rng ~n ~alpha:1.1 ~scale:300.);
+    ("bumps", Signal.gaussian_bumps ~rng ~n ~bumps:4 ~amplitude:60.);
+    ("walk", Signal.random_walk ~rng ~n ~step:3.);
+    ("periodic", Signal.noisy_periodic ~rng ~n ~period:16 ~amplitude:25. ~noise:3.);
+    ("spikes", Signal.spikes ~rng ~n ~count:6 ~amplitude:90.);
+    ("steps", Signal.piecewise_constant ~rng ~n ~segments:5 ~amplitude:40.);
+    ("call-center", Signal.call_center ~rng ~n ~base:80.);
+    ("uniform", Signal.uniform ~rng ~n ~lo:(-10.) ~hi:10.);
+  ]
+
+let metrics = [ ("abs", Metrics.Abs); ("rel", Metrics.Rel { sanity = 5.0 }) ]
+
+let deterministic_builders =
+  [
+    ("l2-greedy", fun data _metric -> Greedy_l2.threshold ~data ~budget);
+    ("greedy-maxerr", fun data metric -> Greedy_maxerr.threshold ~data ~budget metric);
+    ( "minmax",
+      fun data metric -> (Minmax_dp.solve ~data ~budget metric).Minmax_dp.synopsis );
+  ]
+
+let optimality_case dname data mname metric () =
+  let minmax = (Minmax_dp.solve ~data ~budget metric).Minmax_dp.max_err in
+  List.iter
+    (fun (bname, build) ->
+      let syn = build data metric in
+      check
+        (Printf.sprintf "%s/%s: %s within budget" dname mname bname)
+        true
+        (Synopsis.size syn <= budget);
+      let err = Metrics.of_synopsis metric ~data syn in
+      check
+        (Printf.sprintf "%s/%s: minmax <= %s (%g vs %g)" dname mname bname
+           minmax err)
+        true
+        (minmax <= err +. 1e-9))
+    deterministic_builders
+
+let refinement_case dname data mname metric () =
+  List.iter
+    (fun (bname, build) ->
+      let syn = build data metric in
+      let r = Value_fitting.refine ~data syn metric in
+      check
+        (Printf.sprintf "%s/%s: refining %s never hurts" dname mname bname)
+        true
+        (r.Value_fitting.final_err <= r.Value_fitting.initial_err +. 1e-9))
+    deterministic_builders
+
+let serialization_case dname data mname metric () =
+  List.iter
+    (fun (bname, build) ->
+      let syn = build data metric in
+      let back = Synopsis.of_string (Synopsis.to_string syn) in
+      check
+        (Printf.sprintf "%s/%s: %s roundtrips" dname mname bname)
+        true
+        (Synopsis.coeffs back = Synopsis.coeffs syn))
+    deterministic_builders
+
+let range_consistency_case dname data () =
+  let syn = Greedy_l2.threshold ~data ~budget in
+  let approx = Synopsis.reconstruct syn in
+  let rng = Prng.create ~seed:4242 in
+  for _ = 1 to 10 do
+    let lo = Prng.int rng (n / 2) in
+    let hi = lo + Prng.int rng (n - lo) in
+    let direct = Range_query.range_sum_exact approx ~lo ~hi in
+    let via = Range_query.range_sum syn ~lo ~hi in
+    check
+      (Printf.sprintf "%s: range [%d,%d] consistent" dname lo hi)
+      true
+      (Float_util.approx_equal ~eps:1e-6 direct via)
+  done
+
+let prob_case dname data () =
+  List.iter
+    (fun strategy ->
+      let plan =
+        Prob_synopsis.build ~data ~budget strategy (Metrics.Rel { sanity = 5.0 })
+      in
+      check
+        (Printf.sprintf "%s: expected space within budget" dname)
+        true
+        (Prob_synopsis.expected_space plan <= float_of_int budget +. 1e-9);
+      let syn = Prob_synopsis.round plan (Prng.create ~seed:1) in
+      let err =
+        Metrics.of_synopsis (Metrics.Rel { sanity = 5.0 }) ~data syn
+      in
+      check (Printf.sprintf "%s: draw has finite error" dname) true
+        (Float.is_finite err))
+    [ Prob_synopsis.Min_rel_var; Prob_synopsis.Min_rel_bias ]
+
+let histogram_case dname data () =
+  let h = Histogram.max_error_optimal ~data ~buckets:budget in
+  let w = (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.max_err in
+  let he = Histogram.max_abs_err h ~data in
+  (* No cross-family dominance claim; both must simply be sane. *)
+  check (Printf.sprintf "%s: histogram error finite" dname) true (Float.is_finite he);
+  check (Printf.sprintf "%s: wavelet error finite" dname) true (Float.is_finite w)
+
+let matrix name case =
+  List.concat_map
+    (fun (dname, data) ->
+      List.map
+        (fun (mname, metric) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s %s/%s" name dname mname)
+            `Quick (case dname data mname metric))
+        metrics)
+    datasets
+
+let per_dataset name case =
+  List.map
+    (fun (dname, data) ->
+      Alcotest.test_case (Printf.sprintf "%s %s" name dname) `Quick
+        (case dname data))
+    datasets
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("optimality ordering", matrix "order" optimality_case);
+      ("refinement", matrix "refine" refinement_case);
+      ("serialization", matrix "serialize" serialization_case);
+      ("range consistency", per_dataset "ranges" range_consistency_case);
+      ("probabilistic", per_dataset "prob" prob_case);
+      ("histograms", per_dataset "hist" histogram_case);
+    ]

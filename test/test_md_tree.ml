@@ -1,0 +1,242 @@
+(* Tests for the multi-dimensional error tree (Figure 2 of the paper). *)
+
+module Md_tree = Wavesyn_haar.Md_tree
+module Haar_md = Wavesyn_haar.Haar_md
+module Ndarray = Wavesyn_util.Ndarray
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let random_tree ~seed dims =
+  let rng = Prng.create ~seed in
+  Md_tree.of_data (Ndarray.init ~dims (fun _ -> Prng.float rng 20. -. 10.))
+
+let tree4 = random_tree ~seed:1 [| 4; 4 |]
+
+let test_fig2_shape () =
+  (* Figure 2: for a 4x4 array, the root has a single child holding
+     W[0,1], W[1,0], W[1,1]; that child has four quadrant children. *)
+  checki "node count" 6 (Md_tree.node_count tree4);
+  (match Md_tree.children tree4 Md_tree.Root with
+  | Md_tree.Nodes [ Md_tree.Cube { level = 0; q } ] ->
+      check "root child is origin cube" true (q = [| 0; 0 |])
+  | _ -> Alcotest.fail "root should have exactly one cube child");
+  let top = Md_tree.Cube { level = 0; q = [| 0; 0 |] } in
+  (match Md_tree.children tree4 top with
+  | Md_tree.Nodes cubes ->
+      checki "four quadrant children" 4 (List.length cubes);
+      List.iter
+        (function
+          | Md_tree.Cube { level = 1; _ } -> ()
+          | _ -> Alcotest.fail "child should be level-1 cube")
+        cubes
+  | Md_tree.Cells _ -> Alcotest.fail "top child should have cube children");
+  let lvl1 = Md_tree.Cube { level = 1; q = [| 1; 0 |] } in
+  match Md_tree.children tree4 lvl1 with
+  | Md_tree.Cells cells ->
+      checki "four data cells" 4 (List.length cells);
+      check "cells are the (2..3, 0..1) block" true
+        (List.sort compare cells
+        = [ [| 2; 0 |]; [| 2; 1 |]; [| 3; 0 |]; [| 3; 1 |] ])
+  | Md_tree.Nodes _ -> Alcotest.fail "level-1 cube of 4x4 has cell children"
+
+let test_fig2_root_coeffs () =
+  let coeffs = Md_tree.node_coeffs tree4 Md_tree.Root in
+  checki "root holds the overall average only" 1 (Array.length coeffs);
+  let flat, v = coeffs.(0) in
+  checki "at origin" 0 flat;
+  checkf "value is W[0,0]" (Ndarray.get_flat (Md_tree.wavelet tree4) 0) v
+
+let test_fig2_top_node_coeffs () =
+  let top = Md_tree.Cube { level = 0; q = [| 0; 0 |] } in
+  let coeffs = Md_tree.node_coeffs tree4 top in
+  checki "2^D - 1 coefficients" 3 (Array.length coeffs);
+  let w = Md_tree.wavelet tree4 in
+  let positions =
+    Array.to_list coeffs
+    |> List.map (fun (flat, _) -> Ndarray.index_of_flat w flat)
+    |> List.map Array.to_list |> List.sort compare
+  in
+  check "positions are (0,1),(1,0),(1,1)" true
+    (positions = [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ])
+
+let test_level1_coeff_positions () =
+  let node = Md_tree.Cube { level = 1; q = [| 0; 1 |] } in
+  let w = Md_tree.wavelet tree4 in
+  let positions =
+    Md_tree.node_coeffs tree4 node |> Array.to_list
+    |> List.map (fun (flat, _) -> Ndarray.index_of_flat w flat)
+    |> List.map Array.to_list |> List.sort compare
+  in
+  check "q=(0,1) coefficients at (0,3),(2,1),(2,3)" true
+    (positions = [ [ 0; 3 ]; [ 2; 1 ]; [ 2; 3 ] ])
+
+let test_cell_ranges () =
+  check "root covers all" true
+    (Md_tree.cell_ranges tree4 Md_tree.Root = [| (0, 4); (0, 4) |]);
+  check "level-1 (1,0)" true
+    (Md_tree.cell_ranges tree4 (Md_tree.Cube { level = 1; q = [| 1; 0 |] })
+    = [| (2, 4); (0, 2) |])
+
+let test_sign_to_child_consistency () =
+  (* For every node, coefficient and child, the sign reported by the
+     tree must equal Haar_md.sign_at for every cell under that child. *)
+  let t = tree4 in
+  let w = Md_tree.wavelet t in
+  let cells_of_ranges ranges =
+    let acc = ref [] in
+    let x0, x1 = ranges.(0) and y0, y1 = ranges.(1) in
+    for x = x0 to x1 - 1 do
+      for y = y0 to y1 - 1 do
+        acc := [| x; y |] :: !acc
+      done
+    done;
+    !acc
+  in
+  let rec visit node =
+    let child_cell_groups, deeper =
+      match Md_tree.children t node with
+      | Md_tree.Cells cells -> (List.map (fun c -> [ c ]) cells, [])
+      | Md_tree.Nodes nodes ->
+          (List.map (fun ch -> cells_of_ranges (Md_tree.cell_ranges t ch)) nodes, nodes)
+    in
+    List.iteri
+      (fun rank cells ->
+        Array.iter
+          (fun (flat, _) ->
+            let coeff = Ndarray.index_of_flat w flat in
+            let expected =
+              Md_tree.sign_to_child t node ~coeff_flat:flat ~child_rank:rank
+            in
+            List.iter
+              (fun cell ->
+                checki "sign consistent" expected (Haar_md.sign_at w ~coeff ~cell))
+              cells)
+          (Md_tree.node_coeffs t node))
+      child_cell_groups;
+    List.iter visit deeper
+  in
+  visit Md_tree.Root
+
+let test_point_from_full_set () =
+  let t = random_tree ~seed:2 [| 8; 8 |] in
+  let full = Md_tree.all_coeffs t in
+  Md_tree.fold_cells t
+    (fun () cell v ->
+      checkf "full-set reconstruction" v (Md_tree.point_from_set t full cell))
+    ()
+
+let test_point_from_empty_set () =
+  checkf "empty set is zero" 0. (Md_tree.point_from_set tree4 [] [| 1; 1 |])
+
+let test_nonzero_filtering () =
+  let a = Ndarray.create ~dims:[| 4; 4 |] 5. in
+  let t = Md_tree.of_data a in
+  (* Constant data: only the overall average is non-zero. *)
+  match Md_tree.nonzero_coeffs t with
+  | [ (0, v) ] -> checkf "constant array keeps only average" 5. v
+  | l -> Alcotest.fail (Printf.sprintf "expected singleton, got %d coeffs" (List.length l))
+
+let test_1d_tree () =
+  let t = random_tree ~seed:3 [| 8 |] in
+  checki "1d node count: root + 1 + 2 + 4" 8 (Md_tree.node_count t);
+  match Md_tree.children t (Md_tree.Cube { level = 2; q = [| 3 |] }) with
+  | Md_tree.Cells cells ->
+      check "cells 6,7" true (List.sort compare cells = [ [| 6 |]; [| 7 |] ])
+  | Md_tree.Nodes _ -> Alcotest.fail "expected cells"
+
+let test_3d_tree () =
+  let t = random_tree ~seed:4 [| 4; 4; 4 |] in
+  checki "3d node count: 1 + 1 + 8" 10 (Md_tree.node_count t);
+  let top = Md_tree.Cube { level = 0; q = [| 0; 0; 0 |] } in
+  checki "3d top node has 7 coefficients" 7
+    (Array.length (Md_tree.node_coeffs t top));
+  match Md_tree.children t top with
+  | Md_tree.Nodes kids -> checki "8 children" 8 (List.length kids)
+  | Md_tree.Cells _ -> Alcotest.fail "expected cube children"
+
+let test_max_abs_coeff () =
+  let a = Ndarray.of_flat_array ~dims:[| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let t = Md_tree.of_data a in
+  checkf "R" 2.5 (Md_tree.max_abs_coeff t)
+
+let test_singleton_tree () =
+  let t = Md_tree.of_data (Ndarray.of_flat_array ~dims:[| 1 |] [| 7. |]) in
+  checki "single node" 1 (Md_tree.node_count t);
+  match Md_tree.children t Md_tree.Root with
+  | Md_tree.Cells [ c ] -> check "single cell" true (c = [| 0 |])
+  | _ -> Alcotest.fail "expected one data cell"
+
+let test_coefficients_partition_positions () =
+  (* Every wavelet-array position belongs to exactly one tree node
+     (the origin to the root, everything else to one cube). *)
+  List.iter
+    (fun dims ->
+      let t = random_tree ~seed:40 dims in
+      let seen = Hashtbl.create 64 in
+      let record (flat, _) =
+        check "position not seen twice" true (not (Hashtbl.mem seen flat));
+        Hashtbl.replace seen flat ()
+      in
+      let rec visit node =
+        Array.iter record (Md_tree.node_coeffs t node);
+        match Md_tree.children t node with
+        | Md_tree.Nodes kids -> List.iter visit kids
+        | Md_tree.Cells _ -> ()
+      in
+      visit Md_tree.Root;
+      checki "all positions covered"
+        (Ndarray.size (Md_tree.wavelet t))
+        (Hashtbl.length seen))
+    [ [| 8 |]; [| 4; 4 |]; [| 4; 4; 4 |] ]
+
+let prop_partial_set_error_bounded =
+  (* Reconstruction from a subset differs from the data by at most the
+     sum of |dropped coefficient| values (triangle inequality). *)
+  QCheck.Test.make ~name:"partial-set error bounded by dropped mass" ~count:30
+    QCheck.(pair (array_of_size (Gen.return 16) (float_range (-10.) 10.)) (int_bound 15))
+    (fun (flat, keep) ->
+      let a = Ndarray.of_flat_array ~dims:[| 4; 4 |] flat in
+      let t = Md_tree.of_data a in
+      let all = Md_tree.all_coeffs t in
+      let kept = List.filteri (fun i _ -> i < keep) all in
+      let dropped = List.filteri (fun i _ -> i >= keep) all in
+      let bound = List.fold_left (fun acc (_, c) -> acc +. Float.abs c) 0. dropped in
+      Md_tree.fold_cells t
+        (fun ok cell v ->
+          ok
+          && Float.abs (v -. Md_tree.point_from_set t kept cell)
+             <= bound +. 1e-6)
+        true)
+
+let () =
+  Alcotest.run "md_tree"
+    [
+      ( "figure 2 structure",
+        [
+          Alcotest.test_case "tree shape" `Quick test_fig2_shape;
+          Alcotest.test_case "root coefficient" `Quick test_fig2_root_coeffs;
+          Alcotest.test_case "top node coefficients" `Quick test_fig2_top_node_coeffs;
+          Alcotest.test_case "level-1 positions" `Quick test_level1_coeff_positions;
+          Alcotest.test_case "cell ranges" `Quick test_cell_ranges;
+          Alcotest.test_case "sign consistency" `Quick test_sign_to_child_consistency;
+          Alcotest.test_case "positions partition" `Quick test_coefficients_partition_positions;
+        ] );
+      ( "reconstruction",
+        [
+          Alcotest.test_case "full set" `Quick test_point_from_full_set;
+          Alcotest.test_case "empty set" `Quick test_point_from_empty_set;
+          Alcotest.test_case "nonzero filter" `Quick test_nonzero_filtering;
+          QCheck_alcotest.to_alcotest prop_partial_set_error_bounded;
+        ] );
+      ( "other shapes",
+        [
+          Alcotest.test_case "1d tree" `Quick test_1d_tree;
+          Alcotest.test_case "3d tree" `Quick test_3d_tree;
+          Alcotest.test_case "max abs coeff" `Quick test_max_abs_coeff;
+          Alcotest.test_case "singleton" `Quick test_singleton_tree;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Tests for the shared-budget multi-measure extension. *)
+
+module Multi_measure = Wavesyn_core.Multi_measure
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Metrics = Wavesyn_synopsis.Metrics
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let random_measures ~seed ~m ~n ~scale =
+  let rng = Prng.create ~seed in
+  Array.init m (fun k ->
+      Array.init n (fun _ -> Prng.float rng (scale *. float_of_int (k + 1))))
+
+let test_respects_budget () =
+  let measures = random_measures ~seed:1 ~m:3 ~n:16 ~scale:10. in
+  List.iter
+    (fun budget ->
+      let a = Multi_measure.solve ~measures ~budget Metrics.Abs in
+      let used = Array.fold_left ( + ) 0 a.Multi_measure.budgets in
+      check (Printf.sprintf "B=%d total" budget) true (used <= budget);
+      Array.iter
+        (fun s -> check "synopsis sizes" true (Synopsis.size s <= budget))
+        a.Multi_measure.synopses)
+    [ 0; 1; 5; 12; 48 ]
+
+let test_max_err_consistent () =
+  let measures = random_measures ~seed:2 ~m:3 ~n:16 ~scale:10. in
+  let a = Multi_measure.solve ~measures ~budget:9 Metrics.Abs in
+  checkf "max of per-measure"
+    (Float_util.max_abs a.Multi_measure.per_measure_err)
+    a.Multi_measure.max_err;
+  Array.iteri
+    (fun i s ->
+      let measured = Metrics.of_synopsis Metrics.Abs ~data:measures.(i) s in
+      checkf (Printf.sprintf "measure %d achieves reported" i)
+        a.Multi_measure.per_measure_err.(i)
+        measured)
+    a.Multi_measure.synopses
+
+let test_optimal_vs_exhaustive_allocation () =
+  (* Compare against trying every split of the budget across measures. *)
+  let measures = random_measures ~seed:3 ~m:2 ~n:8 ~scale:20. in
+  let budget = 5 in
+  let metric = Metrics.Abs in
+  let a = Multi_measure.solve ~measures ~budget metric in
+  let best = ref Float.infinity in
+  for b0 = 0 to budget do
+    let e0 = (Minmax_dp.solve ~data:measures.(0) ~budget:b0 metric).Minmax_dp.max_err in
+    let e1 =
+      (Minmax_dp.solve ~data:measures.(1) ~budget:(budget - b0) metric)
+        .Minmax_dp.max_err
+    in
+    if Float.max e0 e1 < !best then best := Float.max e0 e1
+  done;
+  checkf "matches exhaustive split" !best a.Multi_measure.max_err
+
+let test_beats_or_ties_even_split () =
+  for seed = 10 to 16 do
+    let measures = random_measures ~seed ~m:3 ~n:16 ~scale:30. in
+    List.iter
+      (fun budget ->
+        let opt = Multi_measure.solve ~measures ~budget Metrics.Abs in
+        let even = Multi_measure.even_split ~measures ~budget Metrics.Abs in
+        check
+          (Printf.sprintf "seed %d B=%d optimal <= even" seed budget)
+          true
+          (opt.Multi_measure.max_err <= even.Multi_measure.max_err +. 1e-9))
+      [ 3; 6; 12 ]
+  done
+
+let test_skewed_measures_get_more_budget () =
+  (* One wild measure and two constant ones: the optimizer should give
+     nearly everything to the wild one. *)
+  let rng = Prng.create ~seed:20 in
+  let wild = Array.init 16 (fun _ -> Prng.float rng 1000.) in
+  let flat1 = Array.make 16 5. and flat2 = Array.make 16 9. in
+  let a =
+    Multi_measure.solve ~measures:[| wild; flat1; flat2 |] ~budget:8 Metrics.Abs
+  in
+  check
+    (Printf.sprintf "wild measure dominates (%d of 8)" a.Multi_measure.budgets.(0))
+    true
+    (a.Multi_measure.budgets.(0) >= 6)
+
+let test_single_measure_equals_minmax () =
+  let measures = random_measures ~seed:21 ~m:1 ~n:16 ~scale:10. in
+  let a = Multi_measure.solve ~measures ~budget:4 Metrics.Abs in
+  let direct = Minmax_dp.solve ~data:measures.(0) ~budget:4 Metrics.Abs in
+  checkf "degenerates to Minmax_dp" direct.Minmax_dp.max_err a.Multi_measure.max_err
+
+let test_validation () =
+  Alcotest.check_raises "no measures"
+    (Invalid_argument "Multi_measure: no measures")
+    (fun () -> ignore (Multi_measure.solve ~measures:[||] ~budget:1 Metrics.Abs));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Multi_measure: measures must share one domain")
+    (fun () ->
+      ignore
+        (Multi_measure.solve
+           ~measures:[| Array.make 8 0.; Array.make 4 0. |]
+           ~budget:1 Metrics.Abs))
+
+let test_rel_metric () =
+  let measures = random_measures ~seed:22 ~m:2 ~n:16 ~scale:50. in
+  let metric = Metrics.Rel { sanity = 10. } in
+  let a = Multi_measure.solve ~measures ~budget:10 metric in
+  let even = Multi_measure.even_split ~measures ~budget:10 metric in
+  check "relative metric works" true
+    (a.Multi_measure.max_err <= even.Multi_measure.max_err +. 1e-9)
+
+let test_optimal_three_measures_exhaustive () =
+  let measures = random_measures ~seed:40 ~m:3 ~n:8 ~scale:25. in
+  let budget = 4 in
+  let a = Multi_measure.solve ~measures ~budget Metrics.Abs in
+  let best = ref Float.infinity in
+  for b0 = 0 to budget do
+    for b1 = 0 to budget - b0 do
+      let b2 = budget - b0 - b1 in
+      let e i b =
+        (Minmax_dp.solve ~data:measures.(i) ~budget:b Metrics.Abs).Minmax_dp.max_err
+      in
+      let v = Float.max (e 0 b0) (Float.max (e 1 b1) (e 2 b2)) in
+      if v < !best then best := v
+    done
+  done;
+  checkf "matches exhaustive 3-way split" !best a.Multi_measure.max_err
+
+let prop_optimal_two_measures =
+  QCheck.Test.make ~name:"allocation optimal for two measures" ~count:25
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 8) (float_range 0. 50.))
+        (array_of_size (Gen.return 8) (float_range 0. 50.)))
+    (fun (m0, m1) ->
+      let measures = [| m0; m1 |] in
+      let budget = 4 in
+      let a = Multi_measure.solve ~measures ~budget Metrics.Abs in
+      let best = ref Float.infinity in
+      for b0 = 0 to budget do
+        let e0 = (Minmax_dp.solve ~data:m0 ~budget:b0 Metrics.Abs).Minmax_dp.max_err in
+        let e1 =
+          (Minmax_dp.solve ~data:m1 ~budget:(budget - b0) Metrics.Abs).Minmax_dp.max_err
+        in
+        best := Float.min !best (Float.max e0 e1)
+      done;
+      Float_util.approx_equal ~eps:1e-9 !best a.Multi_measure.max_err)
+
+let () =
+  Alcotest.run "multi_measure"
+    [
+      ( "allocation",
+        [
+          Alcotest.test_case "respects budget" `Quick test_respects_budget;
+          Alcotest.test_case "max err consistent" `Quick test_max_err_consistent;
+          Alcotest.test_case "optimal vs exhaustive" `Quick test_optimal_vs_exhaustive_allocation;
+          Alcotest.test_case "optimal 3-way exhaustive" `Quick test_optimal_three_measures_exhaustive;
+          Alcotest.test_case "beats even split" `Quick test_beats_or_ties_even_split;
+          Alcotest.test_case "skew attracts budget" `Quick test_skewed_measures_get_more_budget;
+          Alcotest.test_case "single measure" `Quick test_single_measure_equals_minmax;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "relative metric" `Quick test_rel_metric;
+          QCheck_alcotest.to_alcotest prop_optimal_two_measures;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+(* Tests for the Heap utility, the one-pass streaming synopsis, and
+   value quantization. *)
+
+module Heap = Wavesyn_util.Heap
+module One_pass = Wavesyn_stream.One_pass
+module Haar1d = Wavesyn_haar.Haar1d
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Quantize = Wavesyn_synopsis.Quantize
+module Metrics = Wavesyn_synopsis.Metrics
+module Prng = Wavesyn_util.Prng
+module Float_util = Wavesyn_util.Float_util
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let random_data ~seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ -> Prng.float rng 40. -. 20.)
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~priority:p p) [ 5.; 1.; 4.; 2.; 3. ];
+  checki "size" 5 (Heap.size h);
+  let order = List.init 5 (fun _ -> fst (Option.get (Heap.pop h))) in
+  check "pops ascending" true (order = [ 1.; 2.; 3.; 4.; 5. ]);
+  check "empty after" true (Heap.is_empty h)
+
+let test_heap_peek_and_empty () =
+  let h = Heap.create () in
+  check "peek empty" true (Heap.peek h = None);
+  check "pop empty" true (Heap.pop h = None);
+  Heap.push h ~priority:7. "x";
+  check "peek" true (Heap.peek h = Some (7., "x"));
+  checki "peek does not remove" 1 (Heap.size h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range (-100.) 100.))
+    (fun ps ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:p ()) ps;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare ps)
+
+(* --- One_pass --- *)
+
+let test_one_pass_exact_decomposition () =
+  (* Unbudgeted one-pass must reproduce the full transform exactly. *)
+  List.iter
+    (fun n ->
+      let data = random_data ~seed:n n in
+      let t = One_pass.create () in
+      One_pass.feed_array t data;
+      let syn = One_pass.finish t in
+      let w = Haar1d.decompose data in
+      Array.iteri
+        (fun j c ->
+          let got =
+            Option.value ~default:0.
+              (List.assoc_opt j (Synopsis.coeffs syn))
+          in
+          check
+            (Printf.sprintf "n=%d coeff %d (%g vs %g)" n j got c)
+            true
+            (Float_util.approx_equal ~eps:1e-9 got c))
+        w)
+    [ 1; 2; 4; 8; 32; 128 ]
+
+let test_one_pass_paper_example () =
+  let t = One_pass.create () in
+  One_pass.feed_array t [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |];
+  let syn = One_pass.finish t in
+  checkf "c0" 2.75 (Option.get (List.assoc_opt 0 (Synopsis.coeffs syn)));
+  checkf "c1" (-1.25) (Option.get (List.assoc_opt 1 (Synopsis.coeffs syn)));
+  checkf "c5" (-1.) (Option.get (List.assoc_opt 5 (Synopsis.coeffs syn)));
+  checki "five non-zero" 5 (Synopsis.size syn)
+
+let test_one_pass_budgeted_matches_l2_greedy () =
+  (* The kept set is the top-B details by normalized magnitude plus the
+     average: compare against Greedy_l2 on data without ties. *)
+  let data = random_data ~seed:77 64 in
+  let budget = 7 in
+  let t = One_pass.create ~budget () in
+  One_pass.feed_array t data;
+  let syn = One_pass.finish t in
+  let w = Haar1d.decompose data in
+  (* reference: average + top-budget details by |c|*sqrt(support) *)
+  let order =
+    Greedy_l2.order ~wavelet:w |> List.filter (fun j -> j <> 0)
+  in
+  let expect =
+    0 :: List.filteri (fun k _ -> k < budget) order |> List.sort compare
+  in
+  let got = List.map fst (Synopsis.coeffs syn) in
+  check
+    (Printf.sprintf "kept set matches L2 order (%s)"
+       (String.concat "," (List.map string_of_int got)))
+    true (got = expect)
+
+let test_one_pass_working_set_small () =
+  let n = 4096 in
+  let budget = 16 in
+  let t = One_pass.create ~budget () in
+  let rng = Prng.create ~seed:5 in
+  let max_ws = ref 0 in
+  for _ = 1 to n do
+    One_pass.feed t (Prng.float rng 100.);
+    if One_pass.working_set t > !max_ws then max_ws := One_pass.working_set t
+  done;
+  checki "count" n (One_pass.count t);
+  check
+    (Printf.sprintf "working set %d <= budget + log n + 1" !max_ws)
+    true
+    (!max_ws <= budget + Float_util.log2i n + 1)
+
+let test_one_pass_finish_padded () =
+  let t = One_pass.create () in
+  One_pass.feed_array t [| 1.; 2.; 3. |];
+  let syn = One_pass.finish_padded t in
+  checki "padded domain" 4 (Synopsis.n syn);
+  let expect = Haar1d.decompose [| 1.; 2.; 3.; 0. |] in
+  Array.iteri
+    (fun j c ->
+      let got =
+        Option.value ~default:0. (List.assoc_opt j (Synopsis.coeffs syn))
+      in
+      checkf (Printf.sprintf "coeff %d" j) c got)
+    expect;
+  (* padding is virtual: the live count is unchanged *)
+  checki "count unchanged" 3 (One_pass.count t)
+
+let test_one_pass_validation () =
+  let t = One_pass.create () in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "One_pass.finish: empty stream")
+    (fun () -> ignore (One_pass.finish t));
+  One_pass.feed_array t [| 1.; 2.; 3. |];
+  Alcotest.check_raises "non pow2"
+    (Invalid_argument "One_pass.finish: count is not a power of two")
+    (fun () -> ignore (One_pass.finish t));
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "One_pass.create: negative budget")
+    (fun () -> ignore (One_pass.create ~budget:(-1) ()))
+
+let prop_one_pass_equals_batch =
+  QCheck.Test.make ~name:"one-pass = batch decomposition" ~count:60
+    QCheck.(array_of_size (Gen.oneofl [ 2; 4; 8; 16 ]) (float_range (-50.) 50.))
+    (fun data ->
+      let t = One_pass.create () in
+      One_pass.feed_array t data;
+      let syn = One_pass.finish t in
+      let back = Synopsis.reconstruct syn in
+      Array.for_all2 (fun a b -> Float_util.approx_equal ~eps:1e-8 a b) data back)
+
+(* --- Quantize --- *)
+
+let test_quantize_identity_at_64_bits () =
+  let data = random_data ~seed:10 32 in
+  let syn = Greedy_l2.threshold ~data ~budget:8 in
+  let q = Quantize.synopsis syn ~value_bits:64 in
+  check "64-bit is identity" true (Synopsis.coeffs q = Synopsis.coeffs syn)
+
+let test_quantize_error_bounded_by_grid () =
+  (* Quantization moves each retained value by at most half a grid
+     step, so the max error deviates from the unquantized one by at
+     most (log2 N + 1) * step / 2 (one coefficient per path level). *)
+  let data = random_data ~seed:11 64 in
+  let syn = Greedy_l2.threshold ~data ~budget:12 in
+  let base = Metrics.of_synopsis Metrics.Abs ~data syn in
+  let values = List.map snd (Synopsis.coeffs syn) in
+  let lo = List.fold_left Float.min Float.infinity values in
+  let hi = List.fold_left Float.max Float.neg_infinity values in
+  List.iter
+    (fun bits ->
+      let err =
+        Metrics.of_synopsis Metrics.Abs ~data (Quantize.synopsis syn ~value_bits:bits)
+      in
+      let step = (hi -. lo) /. float_of_int ((1 lsl bits) - 1) in
+      let bound = 7. *. step /. 2. in
+      check
+        (Printf.sprintf "bits=%d deviation %g within %g" bits
+           (Float.abs (err -. base))
+           bound)
+        true
+        (Float.abs (err -. base) <= bound +. 1e-9))
+    [ 3; 6; 10; 16; 24 ];
+  let fine =
+    Metrics.of_synopsis Metrics.Abs ~data (Quantize.synopsis syn ~value_bits:24)
+  in
+  check "24 bits is near-exact" true (Float.abs (fine -. base) < 1e-4 *. (1. +. base))
+
+let test_quantize_preserves_extremes () =
+  (* Midpoints of the grid include the endpoints: min and max retained
+     values quantize to themselves. *)
+  let syn = Synopsis.make ~n:8 [ (0, 10.); (1, -6.); (2, 3.) ] in
+  let q = Quantize.synopsis syn ~value_bits:4 in
+  let vals = List.map snd (Synopsis.coeffs q) in
+  check "max kept" true (List.mem 10. vals);
+  check "min kept" true (List.mem (-6.) vals)
+
+let test_quantize_accounting () =
+  let syn = Synopsis.make ~n:128 [ (0, 1.); (5, 2.); (9, 3.) ] in
+  checki "bits" (3 * (7 + 16)) (Quantize.bits syn ~value_bits:16);
+  checki "budget_for" 4 (Quantize.budget_for ~n:128 ~total_bits:100 ~value_bits:16);
+  Alcotest.check_raises "too few bits"
+    (Invalid_argument "Quantize: need at least 2 value bits")
+    (fun () -> ignore (Quantize.synopsis syn ~value_bits:1))
+
+let () =
+  Alcotest.run "streaming_bits"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "peek/empty" `Quick test_heap_peek_and_empty;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "one_pass",
+        [
+          Alcotest.test_case "exact decomposition" `Quick test_one_pass_exact_decomposition;
+          Alcotest.test_case "paper example" `Quick test_one_pass_paper_example;
+          Alcotest.test_case "budgeted = L2 top-B" `Quick test_one_pass_budgeted_matches_l2_greedy;
+          Alcotest.test_case "working set small" `Quick test_one_pass_working_set_small;
+          Alcotest.test_case "finish padded" `Quick test_one_pass_finish_padded;
+          Alcotest.test_case "validation" `Quick test_one_pass_validation;
+          QCheck_alcotest.to_alcotest prop_one_pass_equals_batch;
+        ] );
+      ( "quantize",
+        [
+          Alcotest.test_case "identity at 64 bits" `Quick test_quantize_identity_at_64_bits;
+          Alcotest.test_case "error bounded by grid" `Quick test_quantize_error_bounded_by_grid;
+          Alcotest.test_case "extremes preserved" `Quick test_quantize_preserves_extremes;
+          Alcotest.test_case "accounting" `Quick test_quantize_accounting;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Unit and property tests for the wavesyn_util substrate. *)
+
+module Float_util = Wavesyn_util.Float_util
+module Prng = Wavesyn_util.Prng
+module Stats = Wavesyn_util.Stats
+module Table = Wavesyn_util.Table
+module Ndarray = Wavesyn_util.Ndarray
+module Bits = Wavesyn_util.Bits
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let test_is_pow2 () =
+  List.iter (fun n -> check (Printf.sprintf "%d is pow2" n) true (Float_util.is_pow2 n)) [ 1; 2; 4; 8; 1024 ];
+  List.iter (fun n -> check (Printf.sprintf "%d not pow2" n) false (Float_util.is_pow2 n)) [ 0; -4; 3; 6; 12; 1000 ]
+
+let test_next_pow2 () =
+  checki "1" 1 (Float_util.next_pow2 1);
+  checki "2" 2 (Float_util.next_pow2 2);
+  checki "3" 4 (Float_util.next_pow2 3);
+  checki "9" 16 (Float_util.next_pow2 9);
+  checki "1025" 2048 (Float_util.next_pow2 1025)
+
+let test_log2i () =
+  checki "log2 1" 0 (Float_util.log2i 1);
+  checki "log2 8" 3 (Float_util.log2i 8);
+  checki "log2 1024" 10 (Float_util.log2i 1024);
+  Alcotest.check_raises "log2 12 rejects" (Invalid_argument "Float_util.log2i: not a power of two")
+    (fun () -> ignore (Float_util.log2i 12))
+
+let test_floor_log2 () =
+  checki "floor_log2 1" 0 (Float_util.floor_log2 1);
+  checki "floor_log2 5" 2 (Float_util.floor_log2 5);
+  checki "floor_log2 1023" 9 (Float_util.floor_log2 1023)
+
+let test_sum_kahan () =
+  let a = Array.make 10000 0.1 in
+  checkf "kahan sum" 1000.0 (Float_util.sum a)
+
+let test_max_abs () =
+  checkf "max_abs" 7.5 (Float_util.max_abs [| 1.0; -7.5; 3.0 |]);
+  checkf "max_abs empty" 0.0 (Float_util.max_abs [||])
+
+let test_approx_equal () =
+  check "exact" true (Float_util.approx_equal 1.0 1.0);
+  check "relative closeness" true (Float_util.approx_equal 1e12 (1e12 +. 1e-3));
+  check "different" false (Float_util.approx_equal 1.0 1.1)
+
+let test_clamp () =
+  checkf "below" 0.0 (Float_util.clamp ~lo:0. ~hi:1. (-5.));
+  checkf "above" 1.0 (Float_util.clamp ~lo:0. ~hi:1. 5.);
+  checkf "inside" 0.5 (Float_util.clamp ~lo:0. ~hi:1. 0.5)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    checkf "same stream" (Prng.float a 1.0) (Prng.float b 1.0)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let xs = Array.init 20 (fun _ -> Prng.float a 1.0) in
+  let ys = Array.init 20 (fun _ -> Prng.float b 1.0) in
+  check "different seeds differ" true (xs <> ys)
+
+let test_prng_bounds () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 10 in
+    check "int in range" true (x >= 0 && x < 10);
+    let f = Prng.float t 2.5 in
+    check "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let test_prng_gaussian_moments () =
+  let t = Prng.create ~seed:11 in
+  let xs = Array.init 20000 (fun _ -> Prng.gaussian t) in
+  check "mean near 0" true (Float.abs (Stats.mean xs) < 0.05);
+  check "stddev near 1" true (Float.abs (Stats.stddev xs -. 1.) < 0.05)
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create ~seed:3 in
+  let a = Array.init 100 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle t b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  check "is permutation" true (sorted = a);
+  check "actually shuffled" true (b <> a)
+
+let test_stats_mean_var () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  checkf "mean" 2.5 (Stats.mean a);
+  checkf "variance" 1.25 (Stats.variance a);
+  checkf "stddev" (Float.sqrt 1.25) (Stats.stddev a)
+
+let test_stats_percentile () =
+  let a = [| 4.; 1.; 3.; 2. |] in
+  checkf "p0" 1.0 (Stats.percentile a 0.);
+  checkf "p100" 4.0 (Stats.percentile a 100.);
+  checkf "median" 2.5 (Stats.median a);
+  checkf "p25" 1.75 (Stats.percentile a 25.)
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7. |] in
+  checkf "min" (-1.) lo;
+  checkf "max" 7. hi
+
+let test_table_render () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_float_row t ~decimals:2 "beta" [ 3.14159 ];
+  let s = Table.to_string ~title:"demo" t in
+  check "has title" true (String.length s > 0 && String.sub s 0 4 = "demo");
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "has alpha row" true (contains s "alpha")
+
+let test_table_arity_check () =
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: cell count does not match column count")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_ndarray_basics () =
+  let a = Ndarray.create ~dims:[| 2; 3 |] 0. in
+  checki "ndim" 2 (Ndarray.ndim a);
+  checki "size" 6 (Ndarray.size a);
+  Ndarray.set a [| 1; 2 |] 42.;
+  checkf "get back" 42. (Ndarray.get a [| 1; 2 |]);
+  checkf "flat of (1,2)" 42. (Ndarray.get_flat a 5)
+
+let test_ndarray_index_roundtrip () =
+  let a = Ndarray.create ~dims:[| 3; 4; 5 |] 0. in
+  for flat = 0 to Ndarray.size a - 1 do
+    let idx = Ndarray.index_of_flat a flat in
+    checki "flat roundtrip" flat (Ndarray.flat_of_index a idx)
+  done
+
+let test_ndarray_init_iteri () =
+  let a = Ndarray.init ~dims:[| 4; 4 |] (fun idx -> float_of_int ((10 * idx.(0)) + idx.(1))) in
+  checkf "init value" 23. (Ndarray.get a [| 2; 3 |]);
+  let count = ref 0 in
+  Ndarray.iteri
+    (fun idx v ->
+      incr count;
+      checkf "iteri consistent" (float_of_int ((10 * idx.(0)) + idx.(1))) v)
+    a;
+  checki "iteri count" 16 !count
+
+let test_ndarray_of_flat () =
+  let a = Ndarray.of_flat_array ~dims:[| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  checkf "(0,1)" 2. (Ndarray.get a [| 0; 1 |]);
+  checkf "(1,0)" 3. (Ndarray.get a [| 1; 0 |]);
+  check "to_flat copies" true (Ndarray.to_flat_array a = [| 1.; 2.; 3.; 4. |])
+
+let test_ndarray_equal_map () =
+  let a = Ndarray.of_flat_array ~dims:[| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let b = Ndarray.map (fun x -> x *. 2.) a in
+  checkf "mapped" 8. (Ndarray.get b [| 1; 1 |]);
+  check "equal self" true (Ndarray.equal a (Ndarray.copy a));
+  check "not equal mapped" false (Ndarray.equal a b)
+
+let test_ndarray_bounds () =
+  let a = Ndarray.create ~dims:[| 2; 2 |] 0. in
+  Alcotest.check_raises "oob" (Invalid_argument "Ndarray: index out of bounds")
+    (fun () -> ignore (Ndarray.get a [| 2; 0 |]))
+
+let test_bits_popcount () =
+  checki "0" 0 (Bits.popcount 0);
+  checki "0b1011" 3 (Bits.popcount 0b1011);
+  checki "255" 8 (Bits.popcount 255)
+
+let test_bits_submasks () =
+  let seen = ref [] in
+  Bits.iter_submasks 0b101 (fun s -> seen := s :: !seen);
+  let sorted = List.sort compare !seen in
+  check "submasks of 0b101" true (sorted = [ 0; 1; 4; 5 ])
+
+let test_bits_masks () =
+  let count = ref 0 in
+  Bits.iter_masks 5 (fun _ -> incr count);
+  checki "2^5 masks" 32 !count
+
+let test_bits_to_list () =
+  check "to_list" true (Bits.to_list 0b10110 = [ 1; 2; 4 ])
+
+let prop_submask_count =
+  QCheck.Test.make ~name:"submask count is 2^popcount" ~count:200
+    QCheck.(int_bound 1023)
+    (fun m ->
+      let count = ref 0 in
+      Bits.iter_submasks m (fun _ -> incr count);
+      !count = 1 lsl Bits.popcount m)
+
+let prop_percentile_within_range =
+  QCheck.Test.make ~name:"percentile stays within min/max" ~count:200
+    QCheck.(pair (array_of_size (Gen.int_range 1 50) (float_range (-100.) 100.)) (float_range 0. 100.))
+    (fun (a, p) ->
+      let v = Stats.percentile a p in
+      let lo, hi = Stats.min_max a in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "float_util",
+        [
+          Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+          Alcotest.test_case "next_pow2" `Quick test_next_pow2;
+          Alcotest.test_case "log2i" `Quick test_log2i;
+          Alcotest.test_case "floor_log2" `Quick test_floor_log2;
+          Alcotest.test_case "kahan sum" `Quick test_sum_kahan;
+          Alcotest.test_case "max_abs" `Quick test_max_abs;
+          Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "gaussian moments" `Slow test_prng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/var" `Quick test_stats_mean_var;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          QCheck_alcotest.to_alcotest prop_percentile_within_range;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        ] );
+      ( "ndarray",
+        [
+          Alcotest.test_case "basics" `Quick test_ndarray_basics;
+          Alcotest.test_case "index roundtrip" `Quick test_ndarray_index_roundtrip;
+          Alcotest.test_case "init/iteri" `Quick test_ndarray_init_iteri;
+          Alcotest.test_case "of_flat" `Quick test_ndarray_of_flat;
+          Alcotest.test_case "equal/map" `Quick test_ndarray_equal_map;
+          Alcotest.test_case "bounds" `Quick test_ndarray_bounds;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "popcount" `Quick test_bits_popcount;
+          Alcotest.test_case "submasks" `Quick test_bits_submasks;
+          Alcotest.test_case "masks" `Quick test_bits_masks;
+          Alcotest.test_case "to_list" `Quick test_bits_to_list;
+          QCheck_alcotest.to_alcotest prop_submask_count;
+        ] );
+    ]
