@@ -16,25 +16,21 @@ module Greedy_maxerr = Wavesyn_baselines.Greedy_maxerr
 module Prob_synopsis = Wavesyn_baselines.Prob_synopsis
 module Signal = Wavesyn_datagen.Signal
 module Prng = Wavesyn_util.Prng
+module Validate = Wavesyn_robust.Validate
+module Ladder = Wavesyn_robust.Ladder
 
 open Cmdliner
 
 (* --- shared data-source arguments --- *)
 
-let read_file path =
-  let ic = open_in path in
-  let values = ref [] in
-  (try
-     while true do
-       let line = String.trim (input_line ic) in
-       if line <> "" then values := float_of_string line :: !values
-     done
-   with
-  | End_of_file -> close_in ic
-  | e ->
-      close_in ic;
-      raise e);
-  Array.of_list (List.rev !values)
+(* Untrusted input never surfaces as an uncaught exception: validation
+   errors print one line on stderr and exit with the structured error's
+   code (2 usage, 65 bad data, 66 unreadable input). *)
+let die err : 'a =
+  prerr_endline ("wavesyn: " ^ Validate.to_string err);
+  exit (Validate.exit_code err)
+
+let ok_or_die = function Ok v -> v | Error e -> die e
 
 let generate_named name ~n ~seed =
   let rng = Prng.create ~seed in
@@ -46,7 +42,15 @@ let generate_named name ~n ~seed =
   | "spikes" -> Signal.spikes ~rng ~n ~count:(Stdlib.max 1 (n / 16)) ~amplitude:60.
   | "steps" -> Signal.piecewise_constant ~rng ~n ~segments:6 ~amplitude:30.
   | "uniform" -> Signal.uniform ~rng ~n ~lo:0. ~hi:100.
-  | other -> failwith (Printf.sprintf "unknown generator %S" other)
+  | other ->
+      die
+        (Validate.Bad_option
+           {
+             what = Printf.sprintf "--gen %s" other;
+             reason =
+               "unknown generator (expected zipf, bumps, walk, periodic, \
+                spikes, steps or uniform)";
+           })
 
 let file_arg =
   Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH"
@@ -64,10 +68,16 @@ let seed_arg =
 
 let load_data file gen n seed =
   match (file, gen) with
-  | Some path, None -> Haar1d.pad_pow2 (read_file path)
+  | Some path, None -> Haar1d.pad_pow2 (ok_or_die (Validate.read_file path))
   | None, Some g -> Haar1d.pad_pow2 (generate_named g ~n ~seed)
   | None, None -> Haar1d.pad_pow2 (generate_named "zipf" ~n ~seed)
-  | Some _, Some _ -> failwith "pass either --file or --gen, not both"
+  | Some _, Some _ ->
+      die
+        (Validate.Bad_option
+           {
+             what = "--file/--gen";
+             reason = "pass either --file or --gen, not both";
+           })
 
 (* --- generate --- *)
 
@@ -139,7 +149,31 @@ let build_synopsis ~data ~budget ~sanity = function
           (Metrics.Rel { sanity })
       in
       Prob_synopsis.round plan (Prng.create ~seed:1)
-  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  | other ->
+      die
+        (Validate.Bad_option
+           {
+             what = Printf.sprintf "--algo %s" other;
+             reason =
+               "unknown algorithm (expected minmax-rel, minmax-abs, l2, \
+                greedy-maxerr, prob-var or prob-bias)";
+           })
+
+let metric_of_minmax_algo ~sanity ~flag algo =
+  match algo with
+  | "minmax-abs" -> Metrics.Abs
+  | "minmax-rel" -> Metrics.Rel { sanity }
+  | other ->
+      die
+        (Validate.Bad_option
+           {
+             what = flag;
+             reason =
+               Printf.sprintf
+                 "requires a minmax algorithm (minmax-rel or minmax-abs), \
+                  got %s"
+                 other;
+           })
 
 let threshold_cmd =
   let target_arg =
@@ -152,29 +186,28 @@ let threshold_cmd =
     Arg.(value & opt (some string) None
          & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Write the synopsis to $(docv).")
   in
-  let run file gen n seed algo budget sanity target out =
-    let data = load_data file gen n seed in
-    let syn =
-      match target with
-      | None -> build_synopsis ~data ~budget ~sanity algo
-      | Some t ->
-          let metric =
-            match algo with
-            | "minmax-abs" -> Metrics.Abs
-            | "minmax-rel" -> Metrics.Rel { sanity }
-            | other ->
-                failwith
-                  (Printf.sprintf "--target requires a minmax algorithm, got %S" other)
-          in
-          (Minmax_dp.budget_for ~data ~target:t metric).Minmax_dp.synopsis
-    in
-    let approx = Synopsis.reconstruct syn in
-    let summary = Metrics.summary ~sanity ~data ~approx () in
-    Printf.printf "algorithm: %s  budget: %d  retained: %d  N: %d\n" algo budget
-      (Synopsis.size syn) (Array.length data);
-    Printf.printf "synopsis: %s\n" (Synopsis.describe syn);
-    Format.printf "errors: %a@." Metrics.pp_summary summary;
-    match out with
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Bound the build: serve through the degradation ladder, \
+                   giving the exact DP at most half of $(docv) milliseconds \
+                   before falling back to the approximation scheme and then \
+                   the greedy heuristic (implies $(b,--ladder)).")
+  in
+  let ladder_arg =
+    Arg.(value & flag
+         & info [ "ladder" ]
+             ~doc:"Serve through the graceful-degradation ladder \
+                   minmax -> approx-additive -> greedy-maxerr and report \
+                   which tier answered.")
+  in
+  let epsilon_arg =
+    Arg.(value & opt float 0.25
+         & info [ "epsilon" ] ~docv:"EPS"
+             ~doc:"Per-rounding ratio of the ladder's approximation tier \
+                   (retried once at twice this value).")
+  in
+  let write_out syn = function
     | None -> ()
     | Some path ->
         let oc = open_out path in
@@ -182,10 +215,55 @@ let threshold_cmd =
         close_out oc;
         Printf.printf "wrote %s\n" path
   in
+  let run file gen n seed algo budget sanity target out deadline_ms ladder
+      epsilon =
+    let data = load_data file gen n seed in
+    if ladder || deadline_ms <> None then begin
+      if target <> None then
+        die
+          (Validate.Bad_option
+             {
+               what = "--target";
+               reason = "cannot be combined with --ladder/--deadline-ms";
+             });
+      let metric = metric_of_minmax_algo ~sanity ~flag:"--ladder" algo in
+      let served =
+        ok_or_die (Ladder.serve ?deadline_ms ~epsilon ~data ~budget metric)
+      in
+      let syn = served.Ladder.synopsis in
+      Printf.printf "ladder: tier=%s  budget: %d  retained: %d  N: %d\n"
+        (Ladder.tier_name served.Ladder.tier)
+        budget (Synopsis.size syn) (Array.length data);
+      Printf.printf "attempts: %s\n"
+        (Ladder.describe_attempts served.Ladder.attempts);
+      let summary =
+        Metrics.summary ~sanity ~data ~approx:(Synopsis.reconstruct syn) ()
+      in
+      Format.printf "errors: %a@." Metrics.pp_summary summary;
+      write_out syn out
+    end
+    else begin
+      let syn =
+        match target with
+        | None -> build_synopsis ~data ~budget ~sanity algo
+        | Some t ->
+            let metric = metric_of_minmax_algo ~sanity ~flag:"--target" algo in
+            (Minmax_dp.budget_for ~data ~target:t metric).Minmax_dp.synopsis
+      in
+      let approx = Synopsis.reconstruct syn in
+      let summary = Metrics.summary ~sanity ~data ~approx () in
+      Printf.printf "algorithm: %s  budget: %d  retained: %d  N: %d\n" algo
+        budget (Synopsis.size syn) (Array.length data);
+      Printf.printf "synopsis: %s\n" (Synopsis.describe syn);
+      Format.printf "errors: %a@." Metrics.pp_summary summary;
+      write_out syn out
+    end
+  in
   Cmd.v
     (Cmd.info "threshold" ~doc:"Build a synopsis and report its errors.")
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
-          $ budget_arg $ sanity_arg $ target_arg $ out_arg)
+          $ budget_arg $ sanity_arg $ target_arg $ out_arg $ deadline_arg
+          $ ladder_arg $ epsilon_arg)
 
 (* --- evaluate --- *)
 
@@ -196,12 +274,24 @@ let synopsis_file_arg =
 let evaluate_cmd =
   let run file gen n seed sanity path =
     let data = load_data file gen n seed in
-    let ic = open_in path in
+    let ic =
+      match open_in path with
+      | ic -> ic
+      | exception Sys_error reason -> die (Validate.Io_error { path; reason })
+    in
     let text = really_input_string ic (in_channel_length ic) in
     close_in ic;
     let syn = Synopsis.of_string text in
     if Synopsis.n syn <> Array.length data then
-      failwith "synopsis domain does not match the dataset";
+      die
+        (Validate.Bad_shape
+           {
+             what = path;
+             reason =
+               Printf.sprintf
+                 "synopsis domain (%d) does not match the dataset (%d)"
+                 (Synopsis.n syn) (Array.length data);
+           });
     let approx = Synopsis.reconstruct syn in
     let summary = Metrics.summary ~sanity ~data ~approx () in
     Printf.printf "synopsis: %d coefficients over %d cells\n" (Synopsis.size syn)

@@ -1,0 +1,75 @@
+Validated ingestion: malformed lines are reported with file, line and
+token, and the process exits with the data-error code 65 instead of an
+uncaught exception backtrace.
+
+  $ printf '1\n2\nabc\n4\n' > bad.txt
+  $ wavesyn threshold --file bad.txt
+  wavesyn: bad.txt:3: bad value "abc": not a number
+  [65]
+
+NaN/Inf lines are no longer silently accepted:
+
+  $ printf '1\nnan\n3\n4\n' > nanfile.txt
+  $ wavesyn threshold --file nanfile.txt
+  wavesyn: nanfile.txt:2: bad value "nan": not finite (NaN/Inf)
+  [65]
+
+Empty files get a clear error, not an undefined pad_pow2 path:
+
+  $ printf '' > empty.txt
+  $ wavesyn threshold --file empty.txt
+  wavesyn: empty.txt: no data values (empty input)
+  [65]
+
+Unreadable paths are an I/O error (sysexits EX_NOINPUT):
+
+  $ wavesyn threshold --file does-not-exist.txt
+  wavesyn: does-not-exist.txt: No such file or directory
+  [66]
+
+Usage errors print a one-line message and exit 2:
+
+  $ printf '1\n2\n' > ok.txt
+  $ wavesyn threshold --file ok.txt --gen zipf
+  wavesyn: --file/--gen: pass either --file or --gen, not both
+  [2]
+
+  $ wavesyn generate --gen nosuch -n 8
+  wavesyn: --gen nosuch: unknown generator (expected zipf, bumps, walk, periodic, spikes, steps or uniform)
+  [2]
+
+  $ wavesyn threshold --gen zipf -n 16 -a nosuch
+  wavesyn: --algo nosuch: unknown algorithm (expected minmax-rel, minmax-abs, l2, greedy-maxerr, prob-var or prob-bias)
+  [2]
+
+The graceful-degradation ladder: a 1 ms deadline on a 4096-cell input
+cannot finish the exact DP (or the approximation scheme), so the
+request degrades tier by tier and is served by the greedy floor — the
+fallback trace is deterministic.
+
+  $ wavesyn threshold --gen zipf -n 4096 -B 8 --deadline-ms 1
+  ladder: tier=greedy-maxerr  budget: 8  retained: 8  N: 4096
+  attempts: minmax=deadline approx(eps=0.25)=deadline approx(eps=0.5)=deadline greedy-maxerr=served
+  errors: max_abs=99.0784 max_rel=0.994124 mean_abs=0.182457 mean_rel=0.114907 rms=1.82712
+
+Without a deadline the ladder serves the exact MinMaxErr tier:
+
+  $ wavesyn threshold --gen steps -n 32 -B 4 -a minmax-abs --ladder
+  ladder: tier=minmax  budget: 4  retained: 4  N: 32
+  attempts: minmax=served
+  errors: max_abs=12.596 max_rel=2.53109 mean_abs=6.65399 mean_rel=0.812491 rms=7.51301
+
+  $ wavesyn threshold --gen steps -n 32 -B 4 -a minmax-abs
+  algorithm: minmax-abs  budget: 4  retained: 4  N: 32
+  synopsis: {c0=6.34886; c1=3.23196; c26=13.2992; c27=-16.9375}
+  errors: max_abs=12.596 max_rel=2.53109 mean_abs=6.65399 mean_rel=0.812491 rms=7.51301
+
+--ladder composes with the usual flags but not with --target:
+
+  $ wavesyn threshold --gen steps -n 32 -B 4 -a minmax-abs --ladder --target 1.0
+  wavesyn: --target: cannot be combined with --ladder/--deadline-ms
+  [2]
+
+  $ wavesyn threshold --gen steps -n 32 -B 4 -a l2 --ladder
+  wavesyn: --ladder: requires a minmax algorithm (minmax-rel or minmax-abs), got l2
+  [2]

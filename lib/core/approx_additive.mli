@@ -25,14 +25,18 @@ type result = {
 }
 
 val solve_tree :
+  ?on_state:(unit -> unit) ->
   tree:Wavesyn_haar.Md_tree.t ->
   budget:int ->
   epsilon:float ->
   Wavesyn_synopsis.Metrics.error_metric ->
   result
-(** [epsilon] must be in (0, 1]. *)
+(** [epsilon] must be in (0, 1]. [on_state] is forwarded to
+    {!Md_dp.run}: called once per fresh DP state, may raise to abort
+    (see [Wavesyn_robust.Deadline]). *)
 
 val solve :
+  ?on_state:(unit -> unit) ->
   data:Wavesyn_util.Ndarray.t ->
   budget:int ->
   epsilon:float ->
@@ -40,6 +44,7 @@ val solve :
   result
 
 val solve_1d :
+  ?on_state:(unit -> unit) ->
   data:float array ->
   budget:int ->
   epsilon:float ->

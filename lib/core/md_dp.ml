@@ -34,7 +34,7 @@ let pow_int b e =
   let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
   go 1 e
 
-let run ~tree ~budget cfg =
+let run ?(on_state = fun () -> ()) ~tree ~budget cfg =
   if budget < 0 then invalid_arg "Md_dp.run: negative budget";
   let d = Md_tree.ndim tree in
   let levels = Md_tree.levels tree in
@@ -119,6 +119,7 @@ let run ~tree ~budget cfg =
     match Hashtbl.find_opt memo key with
     | Some entry -> entry.value
     | None ->
+        on_state ();
         let k = Array.length info.positions in
         let m =
           if Array.length info.kids > 0 then Array.length info.kids

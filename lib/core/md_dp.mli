@@ -46,5 +46,13 @@ type outcome = {
 }
 
 val run :
-  tree:Wavesyn_haar.Md_tree.t -> budget:int -> config -> outcome option
-(** [None] when the forced coefficients alone exceed the budget. *)
+  ?on_state:(unit -> unit) ->
+  tree:Wavesyn_haar.Md_tree.t ->
+  budget:int ->
+  config ->
+  outcome option
+(** [None] when the forced coefficients alone exceed the budget.
+
+    [on_state] is invoked once per freshly computed DP state (a memo
+    miss) and may raise to abort the run cooperatively — this is how
+    [Wavesyn_robust.Deadline] bounds the DP's runtime. *)

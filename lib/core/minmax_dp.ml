@@ -43,8 +43,8 @@ let best_split ~strategy ~total ~f ~g =
           if v < best_v then (v, b') else (best_v, best_b))
         (Float.infinity, 0) candidates
 
-let solve_tree ?(split = Binary_search) ?(cap_budget = true) ~tree ~budget
-    metric =
+let solve_tree ?(split = Binary_search) ?(cap_budget = true)
+    ?(on_state = fun () -> ()) ~tree ~budget metric =
   if budget < 0 then invalid_arg "Minmax_dp.solve: negative budget";
   let n = Error_tree.n tree in
   let coeffs = Error_tree.coeffs tree in
@@ -68,6 +68,7 @@ let solve_tree ?(split = Binary_search) ?(cap_budget = true) ~tree ~budget
       match Hashtbl.find_opt memo (j, b, mask) with
       | Some e -> e.value
       | None ->
+          on_state ();
           let c = coeffs.(j) in
           let bit = 1 lsl Error_tree.depth tree j in
           let drop_value, drop_allot =
@@ -140,7 +141,7 @@ let solve_tree ?(split = Binary_search) ?(cap_budget = true) ~tree ~budget
         (Hashtbl.length memo) max_err);
   { max_err; synopsis; dp_states = Hashtbl.length memo }
 
-let budget_for ~data ~target metric =
+let budget_for ?on_state ~data ~target metric =
   if not (Float_util.is_pow2 (Array.length data)) then
     invalid_arg "Minmax_dp.budget_for: data length must be a power of two";
   let tree = Error_tree.of_data data in
@@ -149,7 +150,7 @@ let budget_for ~data ~target metric =
       (fun acc c -> if c <> 0. then acc + 1 else acc)
       0 (Error_tree.coeffs tree)
   in
-  let solve_b b = solve_tree ~tree ~budget:b metric in
+  let solve_b b = solve_tree ?on_state ~tree ~budget:b metric in
   (* Optimal error is non-increasing in the budget: binary search for
      the smallest feasible budget. *)
   let lo = ref 0 and hi = ref nonzero in
@@ -162,7 +163,8 @@ let budget_for ~data ~target metric =
   end;
   solve_b !hi
 
-let solve ?split ?cap_budget ~data ~budget metric =
+let solve ?split ?cap_budget ?on_state ~data ~budget metric =
   if not (Float_util.is_pow2 (Array.length data)) then
     invalid_arg "Minmax_dp.solve: data length must be a power of two";
-  solve_tree ?split ?cap_budget ~tree:(Error_tree.of_data data) ~budget metric
+  solve_tree ?split ?cap_budget ?on_state ~tree:(Error_tree.of_data data)
+    ~budget metric

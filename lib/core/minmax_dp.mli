@@ -34,6 +34,7 @@ type result = {
 val solve :
   ?split:split_strategy ->
   ?cap_budget:bool ->
+  ?on_state:(unit -> unit) ->
   data:float array ->
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->
@@ -45,9 +46,15 @@ val solve :
     [cap_budget] (default true) caps each subtree's allotment at the
     number of coefficients it contains — a state-space reduction that
     changes neither the optimum nor the synopsis. Both knobs exist for
-    the E12 ablation. *)
+    the E12 ablation.
+
+    [on_state] is invoked once per freshly computed DP state (a memo
+    miss) and may raise to abort the solve cooperatively — this is how
+    [Wavesyn_robust.Deadline] bounds the DP's runtime. The default does
+    nothing. *)
 
 val budget_for :
+  ?on_state:(unit -> unit) ->
   data:float array ->
   target:float ->
   Wavesyn_synopsis.Metrics.error_metric ->
@@ -62,6 +69,7 @@ val budget_for :
 val solve_tree :
   ?split:split_strategy ->
   ?cap_budget:bool ->
+  ?on_state:(unit -> unit) ->
   tree:Wavesyn_haar.Error_tree.t ->
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->

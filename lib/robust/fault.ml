@@ -1,0 +1,47 @@
+module Prng = Wavesyn_util.Prng
+
+type kind = Expire_deadline | Nan_coefficient | Alloc_pressure
+
+exception Injected of kind
+
+let kind_name = function
+  | Expire_deadline -> "expire-deadline"
+  | Nan_coefficient -> "nan-coefficient"
+  | Alloc_pressure -> "alloc-pressure"
+
+let all_kinds = [ Expire_deadline; Nan_coefficient; Alloc_pressure ]
+
+type t = { rng : Prng.t option; kinds : kind list; rate : float }
+
+let create ?(kinds = all_kinds) ?(rate = 1.0) ~seed () =
+  { rng = Some (Prng.create ~seed); kinds; rate }
+
+let none = { rng = None; kinds = []; rate = 0. }
+
+let fires t kind =
+  match t.rng with
+  | None -> false
+  | Some rng -> List.mem kind t.kinds && Prng.bernoulli rng t.rate
+
+let corrupt_data t data =
+  let copy = Array.copy data in
+  (match t.rng with
+  | None -> ()
+  | Some rng ->
+      if Array.length copy > 0 then
+        copy.(Prng.int rng (Array.length copy)) <- Float.nan);
+  copy
+
+let deadline_probe t =
+  (* One draw per tier: decided lazily at the first probe so arming the
+     plan costs nothing for tiers that never tick. *)
+  let decided = ref None in
+  fun (_ : Deadline.stats) ->
+    match !decided with
+    | Some d -> d
+    | None ->
+        let d = fires t Expire_deadline in
+        decided := Some d;
+        d
+
+let pressure t = if fires t Alloc_pressure then raise (Injected Alloc_pressure)

@@ -1,0 +1,49 @@
+(** Deterministic fault injection for chaos-testing the serving layer.
+
+    A fault plan is a seeded PRNG plus a set of armed fault kinds and a
+    firing rate. Fault points consult the plan at well-defined places
+    in {!Ladder.serve} (and can be wired into any other caller); the
+    whole run is reproducible from the seed. *)
+
+type kind =
+  | Expire_deadline
+      (** force the tier's deadline to trip on its next {!Deadline.tick} *)
+  | Nan_coefficient
+      (** hand the tier a copy of the input with a NaN injected, as if a
+          coefficient were corrupted in flight *)
+  | Alloc_pressure
+      (** simulate allocation failure: the fault point raises
+          {!Injected} [Alloc_pressure] before the tier's solver runs *)
+
+exception Injected of kind
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+
+type t
+
+val create : ?kinds:kind list -> ?rate:float -> seed:int -> unit -> t
+(** A plan arming [kinds] (default {!all_kinds}), each firing
+    independently with probability [rate] (default 1.0 — always fire)
+    at every fault point, driven by a PRNG seeded with [seed]. *)
+
+val none : t
+(** The empty plan: no kind armed, nothing ever fires. *)
+
+val fires : t -> kind -> bool
+(** Draw from the plan: [true] when [kind] is armed and its coin comes
+    up. Consumes PRNG state, so call sites must be deterministic. *)
+
+val corrupt_data : t -> float array -> float array
+(** A copy of the input with a NaN written at a PRNG-chosen index
+    (the array itself is never mutated). *)
+
+val deadline_probe : t -> Deadline.stats -> bool
+(** Probe for {!Deadline.create}: forces expiry when [Expire_deadline]
+    fires. The draw is made once, at the first probe, so a tier either
+    expires immediately or runs its full slice. *)
+
+val pressure : t -> unit
+(** Fault point for allocation pressure: raises {!Injected}
+    [Alloc_pressure] when armed and firing, otherwise a no-op. *)

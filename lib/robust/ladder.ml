@@ -1,0 +1,167 @@
+let log_src = Logs.Src.create "wavesyn.ladder" ~doc:"Graceful-degradation ladder"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Approx_additive = Wavesyn_core.Approx_additive
+module Greedy_maxerr = Wavesyn_baselines.Greedy_maxerr
+
+type tier =
+  | Minmax
+  | Approx_additive of { epsilon : float }
+  | Greedy_maxerr
+
+let tier_name = function
+  | Minmax -> "minmax"
+  | Approx_additive { epsilon } -> Printf.sprintf "approx(eps=%g)" epsilon
+  | Greedy_maxerr -> "greedy-maxerr"
+
+type outcome =
+  | Answered
+  | Timed_out of Deadline.stats
+  | Failed of string
+
+let outcome_name = function
+  | Answered -> "served"
+  | Timed_out _ -> "deadline"
+  | Failed _ -> "failed"
+
+type attempt = { tier : tier; outcome : outcome; elapsed_ms : float }
+
+type served = {
+  tier : tier;
+  synopsis : Synopsis.t;
+  max_err : float;
+  attempts : attempt list;
+  total_ms : float;
+}
+
+let describe_attempts attempts =
+  attempts
+  |> List.map (fun (a : attempt) ->
+         Printf.sprintf "%s=%s" (tier_name a.tier) (outcome_name a.outcome))
+  |> String.concat " "
+
+(* Deadline fractions per bounded tier; the greedy floor runs
+   unbounded. A minimum slice keeps a tiny total deadline from rounding
+   a tier's slice down to an instant no-op before its first tick. *)
+let slices = [ 0.5; 0.25; 0.125 ]
+let min_slice_ms = 0.01
+
+let serve ?deadline_ms ?state_cap ?(epsilon = 0.25) ?(fault = Fault.none)
+    ~data ~budget metric =
+  let ( let* ) = Result.bind in
+  let* data = Validate.data ~what:"Ladder.serve" ~require_pow2:true data in
+  let* budget = Validate.budget budget in
+  let* epsilon = Validate.epsilon epsilon in
+  let t0 = Deadline.now_ms () in
+  let attempts = ref [] in
+  (* [bounded = Some slice_ms] attaches a deadline; [None] (the greedy
+     floor) runs to completion. Fault points fire only when [faulted]:
+     the final fault-free greedy retry must not be corruptible. *)
+  let attempt ?slice_ms ~faulted tier =
+    let a0 = Deadline.now_ms () in
+    let fin outcome =
+      let a = { tier; outcome; elapsed_ms = Deadline.now_ms () -. a0 } in
+      attempts := a :: !attempts;
+      a
+    in
+    try
+      if faulted then Fault.pressure fault;
+      let adata =
+        if faulted && Fault.fires fault Fault.Nan_coefficient then
+          Fault.corrupt_data fault data
+        else data
+      in
+      let tick =
+        match (slice_ms, state_cap, faulted) with
+        | None, None, false -> fun () -> ()
+        | _ ->
+            let d =
+              Deadline.create ?ms:slice_ms ?state_cap
+                ~probe:(Fault.deadline_probe fault) ()
+            in
+            fun () -> Deadline.tick d
+      in
+      let synopsis =
+        match tier with
+        | Minmax ->
+            (Minmax_dp.solve ~on_state:tick ~data:adata ~budget metric)
+              .Minmax_dp.synopsis
+        | Approx_additive { epsilon } ->
+            snd
+              (Approx_additive.solve_1d ~on_state:tick ~data:adata ~budget
+                 ~epsilon metric)
+        | Greedy_maxerr -> Greedy_maxerr.threshold ~data:adata ~budget metric
+      in
+      (* Soundness gate: the guarantee we report is re-measured on the
+         pristine data, whatever the (possibly corrupted) solver saw. *)
+      let max_err = Metrics.of_synopsis metric ~data synopsis in
+      if Float.is_finite max_err && Synopsis.size synopsis <= budget then begin
+        ignore (fin Answered);
+        Some (synopsis, max_err)
+      end
+      else begin
+        ignore
+          (fin
+             (Failed "unsound answer (non-finite guarantee or over budget)"));
+        None
+      end
+    with
+    | Deadline.Deadline_exceeded st ->
+        ignore (fin (Timed_out st));
+        None
+    | Fault.Injected k ->
+        ignore (fin (Failed ("injected " ^ Fault.kind_name k)));
+        None
+    | e ->
+        ignore (fin (Failed (Printexc.to_string e)));
+        None
+  in
+  let finish tier (synopsis, max_err) =
+    let attempts = List.rev !attempts in
+    Log.debug (fun m ->
+        m "served tier=%s max_err=%g attempts=[%s]" (tier_name tier) max_err
+          (describe_attempts attempts));
+    Ok
+      {
+        tier;
+        synopsis;
+        max_err;
+        attempts;
+        total_ms = Deadline.now_ms () -. t0;
+      }
+  in
+  let slice_of frac =
+    Option.map (fun ms -> Float.max min_slice_ms (ms *. frac)) deadline_ms
+  in
+  let bounded_tiers =
+    List.combine
+      [
+        Minmax;
+        Approx_additive { epsilon };
+        Approx_additive { epsilon = Float.min 1.0 (2. *. epsilon) };
+      ]
+      slices
+  in
+  let rec go = function
+    | (tier, frac) :: rest -> (
+        match attempt ?slice_ms:(slice_of frac) ~faulted:true tier with
+        | Some answer -> finish tier answer
+        | None -> go rest)
+    | [] -> (
+        match attempt ~faulted:true Greedy_maxerr with
+        | Some answer -> finish Greedy_maxerr answer
+        | None -> (
+            (* Floor of the ladder: fault-free, unbounded. For finite
+               validated input the greedy heuristic cannot fail. *)
+            match attempt ~faulted:false Greedy_maxerr with
+            | Some answer -> finish Greedy_maxerr answer
+            | None ->
+                Error
+                  (Validate.Bad_shape
+                     { what = "ladder"; reason = "all tiers failed" })))
+  in
+  go bounded_tiers

@@ -1,0 +1,114 @@
+module Float_util = Wavesyn_util.Float_util
+
+type error =
+  | Bad_value of {
+      path : string option;
+      line : int;
+      token : string;
+      reason : string;
+    }
+  | Bad_shape of { what : string; reason : string }
+  | Bad_budget of { budget : int; reason : string }
+  | Bad_epsilon of { epsilon : float; reason : string }
+  | Bad_option of { what : string; reason : string }
+  | Io_error of { path : string; reason : string }
+
+let to_string = function
+  | Bad_value { path; line; token; reason } ->
+      let where =
+        match path with
+        | Some p -> Printf.sprintf "%s:%d" p line
+        | None -> Printf.sprintf "position %d" line
+      in
+      Printf.sprintf "%s: bad value %S: %s" where token reason
+  | Bad_shape { what; reason } -> Printf.sprintf "%s: %s" what reason
+  | Bad_budget { budget; reason } ->
+      Printf.sprintf "budget %d: %s" budget reason
+  | Bad_epsilon { epsilon; reason } ->
+      Printf.sprintf "epsilon %g: %s" epsilon reason
+  | Bad_option { what; reason } -> Printf.sprintf "%s: %s" what reason
+  | Io_error { path; reason } ->
+      (* [Sys_error] messages already lead with the path. *)
+      if String.starts_with ~prefix:(path ^ ": ") reason then reason
+      else Printf.sprintf "%s: %s" path reason
+
+let exit_code = function
+  | Bad_option _ -> 2
+  | Io_error _ -> 66
+  | Bad_value _ | Bad_shape _ | Bad_budget _ | Bad_epsilon _ -> 65
+
+let parse_float ?path ~line token =
+  let token = String.trim token in
+  match float_of_string_opt token with
+  | None -> Error (Bad_value { path; line; token; reason = "not a number" })
+  | Some f when not (Float.is_finite f) ->
+      Error
+        (Bad_value { path; line; token; reason = "not finite (NaN/Inf)" })
+  | Some f -> Ok f
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error reason -> Error (Io_error { path; reason })
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let values = ref [] in
+          let err = ref None in
+          let line_no = ref 0 in
+          (try
+             while !err = None do
+               let line = String.trim (input_line ic) in
+               incr line_no;
+               if line <> "" then
+                 match parse_float ~path ~line:!line_no line with
+                 | Ok v -> values := v :: !values
+                 | Error e -> err := Some e
+             done
+           with End_of_file -> ());
+          match !err with
+          | Some e -> Error e
+          | None ->
+              if !values = [] then
+                Error
+                  (Bad_shape
+                     { what = path; reason = "no data values (empty input)" })
+              else Ok (Array.of_list (List.rev !values)))
+
+let data ?(what = "data") ?(require_pow2 = false) arr =
+  let n = Array.length arr in
+  if n = 0 then Error (Bad_shape { what; reason = "empty dataset" })
+  else if require_pow2 && not (Float_util.is_pow2 n) then
+    Error
+      (Bad_shape
+         {
+           what;
+           reason =
+             Printf.sprintf "length %d is not a power of two" n;
+         })
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i v ->
+        if !bad = None && not (Float.is_finite v) then
+          bad :=
+            Some
+              (Bad_value
+                 {
+                   path = None;
+                   line = i + 1;
+                   token = Printf.sprintf "%h" v;
+                   reason = "not finite (NaN/Inf)";
+                 }))
+      arr;
+    match !bad with Some e -> Error e | None -> Ok arr
+  end
+
+let budget b =
+  if b < 0 then
+    Error (Bad_budget { budget = b; reason = "must be non-negative" })
+  else Ok b
+
+let epsilon e =
+  if Float.is_finite e && e > 0. && e <= 1. then Ok e
+  else Error (Bad_epsilon { epsilon = e; reason = "must lie in (0, 1]" })

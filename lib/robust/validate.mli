@@ -1,0 +1,60 @@
+(** Result-typed validation of untrusted inputs.
+
+    The library-internal entry points ([Minmax_dp.solve], …) keep their
+    [Invalid_argument] contract for programming errors; this module is
+    the boundary for {e data} errors — malformed files, non-finite
+    floats, impossible shapes and budgets — which must never surface as
+    an uncaught exception in a serving path. Every check returns a
+    [result] carrying a structured {!error} that maps to a stable
+    message ({!to_string}) and process exit code ({!exit_code}). *)
+
+type error =
+  | Bad_value of {
+      path : string option;  (** source file, when parsing one *)
+      line : int;  (** 1-based line (or array position) of the value *)
+      token : string;  (** the offending token, verbatim *)
+      reason : string;
+    }  (** a single value is malformed or non-finite (NaN/Inf) *)
+  | Bad_shape of { what : string; reason : string }
+      (** a dataset as a whole is unusable (empty, wrong length, …) *)
+  | Bad_budget of { budget : int; reason : string }
+  | Bad_epsilon of { epsilon : float; reason : string }
+  | Bad_option of { what : string; reason : string }
+      (** usage errors: conflicting flags, unknown names *)
+  | Io_error of { path : string; reason : string }
+
+val to_string : error -> string
+(** One-line human-readable rendering, [file:line:] prefixed where a
+    source location is known. *)
+
+val exit_code : error -> int
+(** Process exit code for a CLI rejecting this input: 2 for usage
+    errors ([Bad_option]), 66 for [Io_error] (sysexits EX_NOINPUT),
+    65 for data errors (EX_DATAERR). Never 0. *)
+
+val parse_float :
+  ?path:string -> line:int -> string -> (float, error) result
+(** Parse one float token, rejecting non-numeric input {e and} NaN or
+    infinite literals (which [float_of_string] happily accepts). *)
+
+val read_file : string -> (float array, error) result
+(** Read a dataset (one float per line; blank lines skipped) with
+    per-line error reporting. Empty files and files with no data lines
+    are [Bad_shape]; unreadable paths are [Io_error]. *)
+
+val data :
+  ?what:string ->
+  ?require_pow2:bool ->
+  float array ->
+  (float array, error) result
+(** Check a dataset already in memory: non-empty, every value finite,
+    and (when [require_pow2], default false) power-of-two length. The
+    array is returned unchanged on success. [Bad_value.line] is the
+    1-based array position. *)
+
+val budget : int -> (int, error) result
+(** Budgets must be non-negative. Budgets exceeding the dataset size
+    are legal (solvers cap them), so no upper check is made here. *)
+
+val epsilon : float -> (float, error) result
+(** Per-rounding ratios must lie in (0, 1] and be finite. *)
