@@ -4,7 +4,9 @@
      generate   emit a synthetic dataset (one value per line)
      decompose  print the Haar transform / resolution table of a dataset
      threshold  build a synopsis with a chosen algorithm and report errors
-     query      answer a range-sum query exactly and from a synopsis *)
+     query      answer a range-sum query exactly and from a synopsis
+     serve      run the durable supervised ingest loop over a store
+     recover    rebuild a store's state from snapshots + journal *)
 
 module Haar1d = Wavesyn_haar.Haar1d
 module Synopsis = Wavesyn_synopsis.Synopsis
@@ -18,6 +20,8 @@ module Signal = Wavesyn_datagen.Signal
 module Prng = Wavesyn_util.Prng
 module Validate = Wavesyn_robust.Validate
 module Ladder = Wavesyn_robust.Ladder
+module Supervisor = Wavesyn_robust.Supervisor
+module Engine = Wavesyn_aqp.Engine
 
 open Cmdliner
 
@@ -209,11 +213,13 @@ let threshold_cmd =
   in
   let write_out syn = function
     | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Synopsis.to_string syn);
-        close_out oc;
-        Printf.printf "wrote %s\n" path
+    | Some path -> (
+        match open_out path with
+        | exception Sys_error reason -> die (Validate.Io_error { path; reason })
+        | oc ->
+            output_string oc (Synopsis.to_string syn);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
   in
   let run file gen n seed algo budget sanity target out deadline_ms ladder
       epsilon =
@@ -279,9 +285,21 @@ let evaluate_cmd =
       | ic -> ic
       | exception Sys_error reason -> die (Validate.Io_error { path; reason })
     in
-    let text = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let syn = Synopsis.of_string text in
+    let text =
+      match really_input_string ic (in_channel_length ic) with
+      | text ->
+          close_in ic;
+          text
+      | exception _ ->
+          close_in_noerr ic;
+          die (Validate.Io_error { path; reason = "short read" })
+    in
+    let syn =
+      match Synopsis.of_string text with
+      | syn -> syn
+      | exception Failure reason ->
+          die (Validate.Bad_shape { what = path; reason })
+    in
     if Synopsis.n syn <> Array.length data then
       die
         (Validate.Bad_shape
@@ -367,11 +385,171 @@ let query_cmd =
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
           $ budget_arg $ sanity_arg $ lo_arg $ hi_arg)
 
+(* --- serve / recover: the durable supervised store --- *)
+
+let store_arg =
+  Arg.(required & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Store directory holding snapshots, journal and manifest.")
+
+let metric_of_name ~sanity = function
+  | "abs" -> Metrics.Abs
+  | "rel" -> Metrics.Rel { sanity }
+  | other ->
+      die
+        (Validate.Bad_option
+           {
+             what = Printf.sprintf "--metric %s" other;
+             reason = "unknown metric (expected abs or rel)";
+           })
+
+let pp_recovery (r : Supervisor.recovery) =
+  Printf.printf "recovery: %s\n"
+    (Format.asprintf "%a" Supervisor.pp_recovery r)
+
+let serve_cmd =
+  let n_arg =
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N"
+           ~doc:"Domain size of a freshly created store (power of two).")
+  in
+  let metric_arg =
+    Arg.(value & opt string "abs"
+         & info [ "metric" ] ~docv:"M" ~doc:"Error metric: abs or rel.")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt int 64
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"Snapshot the state every $(docv) accepted updates.")
+  in
+  let recut_arg =
+    Arg.(value & opt int 32
+         & info [ "recut-every" ] ~docv:"R"
+             ~doc:"Re-cut the served synopsis every $(docv) accepted updates.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Deadline slice for each ladder re-cut.")
+  in
+  let updates_arg =
+    Arg.(value & opt (some string) None
+         & info [ "updates"; "u" ] ~docv:"PATH"
+             ~doc:"Ingest point updates from $(docv) (one \"cell delta\" pair \
+                   per line).")
+  in
+  let random_arg =
+    Arg.(value & opt (some int) None
+         & info [ "random" ] ~docv:"M"
+             ~doc:"Ingest $(docv) seeded random updates instead of a file.")
+  in
+  let keep_arg =
+    Arg.(value & opt int 3
+         & info [ "keep" ] ~docv:"G"
+             ~doc:"Snapshot generations retained in the store.")
+  in
+  let no_fsync_arg =
+    Arg.(value & flag
+         & info [ "no-fsync" ]
+             ~doc:"Skip fsync on journal appends and snapshots (faster, \
+                   weaker durability; intended for tests).")
+  in
+  let run store n seed metric_name sanity budget checkpoint_every recut_every
+      deadline_ms updates random keep no_fsync =
+    let metric = metric_of_name ~sanity metric_name in
+    let cfg =
+      Supervisor.config ~checkpoint_every ~recut_every
+        ?recut_deadline_ms:deadline_ms ~keep ~sync:(not no_fsync) ~dir:store ~n
+        ~budget metric
+    in
+    let durable = ok_or_die (Engine.open_store cfg) in
+    let sup = Engine.store_supervisor durable in
+    Printf.printf "serve: store=%s n=%d budget=%d metric=%s\n" store n budget
+      metric_name;
+    pp_recovery (Supervisor.last_recovery sup);
+    let updates =
+      match (updates, random) with
+      | Some path, None -> ok_or_die (Validate.read_updates path)
+      | None, Some m ->
+          let rng = Prng.create ~seed in
+          Array.init m (fun _ ->
+              (Prng.int rng n, float_of_int (Prng.int rng 21 - 10)))
+      | None, None ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--updates/--random";
+                 reason = "pass one of --updates or --random";
+               })
+      | Some _, Some _ ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--updates/--random";
+                 reason = "pass either --updates or --random, not both";
+               })
+    in
+    Array.iter
+      (fun (i, delta) -> ignore (ok_or_die (Engine.store_ingest durable ~i ~delta)))
+      updates;
+    (match Supervisor.recut sup with
+    | Ok _ | Error _ -> ());
+    let stats = Supervisor.stats sup in
+    Printf.printf "ingested: %d updates (seq %d)\n" stats.Supervisor.acked
+      stats.Supervisor.seq;
+    (match Engine.store_close durable with
+    | Ok () -> ()
+    | Error e ->
+        Printf.printf "shutdown checkpoint failed: %s\n" (Validate.to_string e));
+    let stats = Supervisor.stats sup in
+    Printf.printf "checkpoints: %d (latest generation %s)\n"
+      stats.Supervisor.checkpoints
+      (match stats.Supervisor.last_generation with
+      | Some g -> string_of_int g
+      | None -> "none");
+    Printf.printf "recuts: %d served, %d degraded, %d rejected\n"
+      stats.Supervisor.recuts_served stats.Supervisor.recuts_degraded
+      stats.Supervisor.recuts_rejected;
+    match Supervisor.last_served sup with
+    | None -> print_endline "served: none"
+    | Some s ->
+        Printf.printf "served: tier=%s retained=%d guarantee=%g\n"
+          (Ladder.tier_name s.Ladder.tier)
+          (Synopsis.size s.Ladder.synopsis)
+          s.Ladder.max_err
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the durable supervised ingest loop over a store.")
+    Term.(const run $ store_arg $ n_arg $ seed_arg $ metric_arg $ sanity_arg
+          $ budget_arg $ checkpoint_arg $ recut_arg $ deadline_arg
+          $ updates_arg $ random_arg $ keep_arg $ no_fsync_arg)
+
+let recover_cmd =
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Deadline for the recovery re-cut.")
+  in
+  let run store deadline_ms =
+    let r = ok_or_die (Engine.recover ?deadline_ms ~dir:store ()) in
+    Printf.printf "recovered: store=%s updates=%d seq=%d\n" store
+      r.Engine.updates r.Engine.seq;
+    pp_recovery r.Engine.recovery;
+    Printf.printf "synopsis: tier=%s retained=%d guarantee=%g\n"
+      (Ladder.tier_name r.Engine.tier)
+      (Synopsis.size (Engine.synopsis r.Engine.engine))
+      r.Engine.guarantee
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild a store's state from its snapshots and journal.")
+    Term.(const run $ store_arg $ deadline_arg)
+
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in
   Cmd.group
     (Cmd.info "wavesyn" ~doc ~version:"1.0.0")
     [ generate_cmd; decompose_cmd; threshold_cmd; evaluate_cmd; compare_cmd;
-      query_cmd; quantile_cmd ]
+      query_cmd; quantile_cmd; serve_cmd; recover_cmd ]
 
 let () = exit (Cmd.eval main)

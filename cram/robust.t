@@ -73,3 +73,126 @@ Without a deadline the ladder serves the exact MinMaxErr tier:
   $ wavesyn threshold --gen steps -n 32 -B 4 -a l2 --ladder
   wavesyn: --ladder: requires a minmax algorithm (minmax-rel or minmax-abs), got l2
   [2]
+
+The durable store: serve journals every accepted update ahead of the
+in-memory apply, checkpoints on a cadence, and keeps the 3 newest
+snapshot generations (6 checkpoints ran: 5 on cadence plus the clean
+shutdown).
+
+  $ wavesyn serve --store store -n 16 -B 4 --seed 3 --random 40 --checkpoint-every 8 --recut-every 16 --no-fsync
+  serve: store=store n=16 budget=4 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  ingested: 40 updates (seq 40)
+  checkpoints: 6 (latest generation 6)
+  recuts: 3 served, 0 degraded, 0 rejected
+  served: tier=minmax retained=4 guarantee=8
+
+  $ ls store
+  journal.wal
+  snapshot-000000004.wsn
+  snapshot-000000005.wsn
+  snapshot-000000006.wsn
+  store.cfg
+
+Recovery rebuilds the same state and re-cuts the same synopsis:
+
+  $ wavesyn recover --store store
+  recovered: store=store updates=40 seq=40
+  recovery: generation=6 replayed=0 truncated=no corrupt=[]
+  synopsis: tier=minmax retained=4 guarantee=8
+
+Corrupting the newest snapshot generation is caught by its CRC and
+recovery falls back to the previous one — same state, same synopsis:
+
+  $ sed -i 's/wavesyn-snapshot/wavesyn-snapshXt/' store/snapshot-000000006.wsn
+  $ wavesyn recover --store store
+  recovered: store=store updates=40 seq=40
+  recovery: generation=5 replayed=0 truncated=no corrupt=[6]
+  synopsis: tier=minmax retained=4 guarantee=8
+
+A torn record at the journal's tail (no trailing newline) was never
+acknowledged: replay reports the truncation and the state is unchanged:
+
+  $ printf '999 0 0x1p+0 deadbeef' >> store/journal.wal
+  $ wavesyn recover --store store
+  recovered: store=store updates=40 seq=40
+  recovery: generation=5 replayed=0 truncated=yes corrupt=[6]
+  synopsis: tier=minmax retained=4 guarantee=8
+
+Re-opening for writing repairs the torn tail and serving resumes where
+the acknowledged stream left off (seq 41..48):
+
+  $ wavesyn serve --store store -n 16 -B 4 --seed 4 --random 8 --checkpoint-every 8 --recut-every 16 --no-fsync
+  serve: store=store n=16 budget=4 metric=abs
+  recovery: generation=5 replayed=0 truncated=yes corrupt=[6]
+  ingested: 8 updates (seq 48)
+  checkpoints: 2 (latest generation 8)
+  recuts: 2 served, 0 degraded, 0 rejected
+  served: tier=minmax retained=4 guarantee=8.5625
+
+I/O failures are structured errors with the sysexits code 66, never a
+backtrace — a missing store:
+
+  $ wavesyn recover --store nosuchstore
+  wavesyn: nosuchstore: no such store directory
+  [66]
+
+a missing updates file:
+
+  $ wavesyn serve --store s2 -n 16 --updates missing.txt --no-fsync
+  wavesyn: missing.txt: No such file or directory
+  serve: store=s2 n=16 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  [66]
+
+an output path in a missing directory:
+
+  $ wavesyn threshold --gen zipf -n 16 -B 4 --out nodir/x.syn
+  algorithm: minmax-rel  budget: 4  retained: 0  N: 16
+  synopsis: {}
+  errors: max_abs=100 max_rel=1 mean_abs=17.1098 mean_rel=1 rms=29.2537
+  wavesyn: nodir/x.syn: No such file or directory
+  [66]
+
+and a missing synopsis file:
+
+  $ wavesyn evaluate --gen zipf -n 16 --synopsis missing.syn
+  wavesyn: missing.syn: No such file or directory
+  [66]
+
+A malformed synopsis file is a data error (65), not an exception:
+
+  $ printf 'not a synopsis\n' > junk.syn
+  $ wavesyn evaluate --gen zipf -n 16 --synopsis junk.syn
+  wavesyn: junk.syn: Synopsis.of_string: bad domain size
+  [65]
+
+Malformed or out-of-domain update streams are data errors too:
+
+  $ printf '3 1.5\nx 2\n' > badupd.txt
+  $ wavesyn serve --store s6 -n 16 --updates badupd.txt --no-fsync
+  wavesyn: badupd.txt:2: bad value "x 2": cell index is not an integer
+  serve: store=s6 n=16 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  [65]
+
+  $ printf '3 1.5\n99 2\n' > oob.txt
+  $ wavesyn serve --store s5 -n 16 --updates oob.txt --no-fsync
+  wavesyn: position 2: bad value "99": cell out of domain [0, 16)
+  serve: store=s5 n=16 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  [65]
+
+serve needs exactly one update source:
+
+  $ wavesyn serve --store s3 -n 16 --random 4 --updates x --no-fsync
+  wavesyn: --updates/--random: pass either --updates or --random, not both
+  serve: store=s3 n=16 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  [2]
+
+  $ wavesyn serve --store s4 -n 16 --no-fsync
+  wavesyn: --updates/--random: pass one of --updates or --random
+  serve: store=s4 n=16 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  [2]

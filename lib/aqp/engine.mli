@@ -90,3 +90,57 @@ val guarantee : t -> Wavesyn_synopsis.Metrics.error_metric -> float
 (** The synopsis' actual maximum per-value reconstruction error under
     the given metric — the deterministic guarantee the paper's
     algorithms optimize. *)
+
+(** {1 Durable stores}
+
+    A durable engine persists its streamed state through the
+    {!Wavesyn_robust.Supervisor} — checkpointed snapshots plus a
+    write-ahead journal — so process death loses nothing that was
+    acknowledged. *)
+
+type durable
+
+val open_store :
+  ?fault:Wavesyn_robust.Fault.t ->
+  ?retry:Wavesyn_robust.Retry.policy ->
+  ?retry_attempts:int ->
+  ?breaker:Wavesyn_robust.Retry.Breaker.t ->
+  Wavesyn_robust.Supervisor.config ->
+  (durable, Wavesyn_robust.Validate.error) result
+(** Open (creating or recovering) a durable store — see
+    {!Wavesyn_robust.Supervisor.open_store}. *)
+
+val store_supervisor : durable -> Wavesyn_robust.Supervisor.t
+
+val store_ingest :
+  durable -> i:int -> delta:float -> (int, Wavesyn_robust.Validate.error) result
+(** Journal and apply one point update; returns its sequence number. *)
+
+val store_engine : durable -> t option
+(** A query engine over the store's current state and most recent
+    re-cut synopsis (forcing a first re-cut if none has run). [None]
+    only if the ladder could not serve at all. *)
+
+val store_close :
+  ?checkpoint:bool -> durable -> (unit, Wavesyn_robust.Validate.error) result
+(** Clean shutdown: checkpoint (unless [checkpoint:false]) and close
+    the journal. *)
+
+type recovered = {
+  engine : t;  (** query engine over the recovered state *)
+  tier : Wavesyn_robust.Ladder.tier;  (** tier that re-cut the synopsis *)
+  guarantee : float;
+  updates : int;  (** updates folded into the recovered state *)
+  seq : int;  (** last durable sequence number *)
+  recovery : Wavesyn_robust.Supervisor.recovery;
+}
+
+val recover :
+  ?deadline_ms:float ->
+  dir:string ->
+  unit ->
+  (recovered, Wavesyn_robust.Validate.error) result
+(** Read-only crash recovery: rebuild the state from the newest
+    verifiable snapshot generation plus journal replay, then re-cut a
+    synopsis through the ladder (under [deadline_ms], if given). A
+    missing store directory is an [Io_error]. *)

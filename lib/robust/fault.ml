@@ -1,6 +1,12 @@
 module Prng = Wavesyn_util.Prng
 
-type kind = Expire_deadline | Nan_coefficient | Alloc_pressure
+type kind =
+  | Expire_deadline
+  | Nan_coefficient
+  | Alloc_pressure
+  | Torn_write
+  | Bit_flip
+  | Io_flaky
 
 exception Injected of kind
 
@@ -8,8 +14,22 @@ let kind_name = function
   | Expire_deadline -> "expire-deadline"
   | Nan_coefficient -> "nan-coefficient"
   | Alloc_pressure -> "alloc-pressure"
+  | Torn_write -> "torn-write"
+  | Bit_flip -> "bit-flip"
+  | Io_flaky -> "io-flaky"
 
-let all_kinds = [ Expire_deadline; Nan_coefficient; Alloc_pressure ]
+let all_kinds =
+  [
+    Expire_deadline;
+    Nan_coefficient;
+    Alloc_pressure;
+    Torn_write;
+    Bit_flip;
+    Io_flaky;
+  ]
+
+let solver_kinds = [ Expire_deadline; Nan_coefficient; Alloc_pressure ]
+let io_kinds = [ Torn_write; Bit_flip; Io_flaky ]
 
 type t = { rng : Prng.t option; kinds : kind list; rate : float }
 
@@ -45,3 +65,26 @@ let deadline_probe t =
         d
 
 let pressure t = if fires t Alloc_pressure then raise (Injected Alloc_pressure)
+
+let torn_prefix t payload =
+  match t.rng with
+  | None -> None
+  | Some rng ->
+      if fires t Torn_write && String.length payload > 1 then
+        Some (String.sub payload 0 (1 + Prng.int rng (String.length payload - 1)))
+      else None
+
+let flip_bit t payload =
+  match t.rng with
+  | None -> None
+  | Some rng ->
+      if fires t Bit_flip && String.length payload > 0 then begin
+        let b = Bytes.of_string payload in
+        let pos = Prng.int rng (Bytes.length b) in
+        let bit = 1 lsl Prng.int rng 8 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bit));
+        Some (Bytes.to_string b)
+      end
+      else None
+
+let io_fails t = fires t Io_flaky

@@ -1,9 +1,10 @@
 (** Deterministic fault injection for chaos-testing the serving layer.
 
     A fault plan is a seeded PRNG plus a set of armed fault kinds and a
-    firing rate. Fault points consult the plan at well-defined places
-    in {!Ladder.serve} (and can be wired into any other caller); the
-    whole run is reproducible from the seed. *)
+    firing rate. Fault points consult the plan at well-defined places —
+    the solver tiers of {!Ladder.serve} and the storage operations of
+    {!Snapshot} and {!Journal} — so a whole chaos run is reproducible
+    from the seed. *)
 
 type kind =
   | Expire_deadline
@@ -14,12 +15,30 @@ type kind =
   | Alloc_pressure
       (** simulate allocation failure: the fault point raises
           {!Injected} [Alloc_pressure] before the tier's solver runs *)
+  | Torn_write
+      (** a write is cut short mid-record and the process "dies": the
+          storage layer persists a strict prefix of the payload and then
+          raises {!Injected} [Torn_write] (the simulated kill) *)
+  | Bit_flip
+      (** silent corruption: one bit of the payload is flipped before it
+          reaches disk; the write {e appears} to succeed, and only the
+          CRC on the read path can tell *)
+  | Io_flaky
+      (** transient I/O failure: the operation performs no work and
+          reports [Io_error], as a flaky disk or full queue would —
+          retryable through {!Retry} *)
 
 exception Injected of kind
 
 val kind_name : kind -> string
 
 val all_kinds : kind list
+
+val solver_kinds : kind list
+(** The kinds consulted by {!Ladder.serve}'s fault points. *)
+
+val io_kinds : kind list
+(** The kinds consulted by {!Snapshot} / {!Journal} storage paths. *)
 
 type t
 
@@ -47,3 +66,17 @@ val deadline_probe : t -> Deadline.stats -> bool
 val pressure : t -> unit
 (** Fault point for allocation pressure: raises {!Injected}
     [Alloc_pressure] when armed and firing, otherwise a no-op. *)
+
+val torn_prefix : t -> string -> string option
+(** Fault point for torn writes: when [Torn_write] fires on a payload of
+    at least two bytes, a strict non-empty prefix of it (PRNG-chosen cut
+    point); [None] otherwise. The caller persists the prefix and raises
+    {!Injected} [Torn_write]. *)
+
+val flip_bit : t -> string -> string option
+(** Fault point for silent corruption: when [Bit_flip] fires on a
+    non-empty payload, a copy with one PRNG-chosen bit flipped; [None]
+    otherwise. *)
+
+val io_fails : t -> bool
+(** Fault point for transient I/O failure ([Io_flaky]). *)

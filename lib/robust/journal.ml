@@ -1,0 +1,238 @@
+module Crc32 = Wavesyn_util.Crc32
+
+let log_src = Logs.Src.create "wavesyn.journal" ~doc:"Write-ahead update journal"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let wal_name = "journal.wal"
+let path ~dir = Filename.concat dir wal_name
+
+type record = { seq : int; i : int; delta : float }
+
+let encode_body { seq; i; delta } = Printf.sprintf "%d %d %h" seq i delta
+let encode r =
+  let body = encode_body r in
+  body ^ " " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+
+let decode_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some cut -> (
+      let body = String.sub line 0 cut in
+      let hex = String.sub line (cut + 1) (String.length line - cut - 1) in
+      match Crc32.of_hex hex with
+      | Some crc when crc = Crc32.string body -> (
+          match String.split_on_char ' ' body with
+          | [ seq; i; delta ] -> (
+              match
+                ( int_of_string_opt seq,
+                  int_of_string_opt i,
+                  float_of_string_opt delta )
+              with
+              | Some seq, Some i, Some delta
+                when seq > 0 && i >= 0 && Float.is_finite delta ->
+                  Some { seq; i; delta }
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+
+type replay = { records : record list; truncated : bool; valid_bytes : int }
+
+let replay ?(since = 0) ~dir () =
+  let p = path ~dir in
+  if not (Sys.file_exists dir) then
+    Error (Validate.Io_error { path = dir; reason = "no such store directory" })
+  else if not (Sys.file_exists p) then
+    Ok { records = []; truncated = false; valid_bytes = 0 }
+  else
+    match open_in_bin p with
+    | exception Sys_error reason -> Error (Validate.Io_error { path = p; reason })
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let records = ref [] in
+            let truncated = ref false in
+            let prev_seq = ref None in
+            let valid_bytes = ref 0 in
+            (try
+               let continue = ref true in
+               while !continue do
+                 let line = input_line ic in
+                 (* A record is durable only once its newline is: a last
+                    line at EOF without one is a torn append. *)
+                 let torn =
+                   pos_in ic = in_channel_length ic
+                   && (in_channel_length ic = 0
+                      || (seek_in ic (in_channel_length ic - 1);
+                          let last = input_char ic in
+                          seek_in ic (in_channel_length ic);
+                          last <> '\n'))
+                 in
+                 match if torn then None else decode_line line with
+                 | Some r
+                   when match !prev_seq with
+                        | None -> true
+                        | Some s -> r.seq = s + 1 ->
+                     prev_seq := Some r.seq;
+                     valid_bytes := pos_in ic;
+                     if r.seq > since then records := r :: !records
+                 | Some _ | None ->
+                     (* First corrupt / torn / out-of-sequence record:
+                        everything from here on is untrusted. *)
+                     truncated := true;
+                     continue := false
+               done
+             with End_of_file -> ());
+            if !truncated then
+              Log.warn (fun m ->
+                  m "replay truncated at first corrupt record (kept %d)"
+                    (List.length !records));
+            Ok
+              {
+                records = List.rev !records;
+                truncated = !truncated;
+                valid_bytes = !valid_bytes;
+              })
+
+type t = {
+  dir : string;
+  sync : bool;
+  fault : Fault.t;
+  mutable oc : out_channel option;
+  mutable seq : int;
+}
+
+let repair ~dir =
+  match replay ~dir () with
+  | Error _ as e -> e
+  | Ok r ->
+      if r.truncated then begin
+        let p = path ~dir in
+        match Unix.truncate p r.valid_bytes with
+        | () ->
+            Log.info (fun m ->
+                m "repaired: truncated WAL to %d valid bytes" r.valid_bytes);
+            Ok r
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Validate.Io_error { path = p; reason = Unix.error_message e })
+      end
+      else Ok r
+
+let open_channel p =
+  match open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 p with
+  | exception Sys_error reason -> Error (Validate.Io_error { path = p; reason })
+  | oc -> Ok oc
+
+let open_writer ?(fault = Fault.none) ?(sync = true) ~dir ~next_seq () =
+  if next_seq < 1 then invalid_arg "Journal.open_writer: next_seq must be >= 1";
+  match open_channel (path ~dir) with
+  | Error _ as e -> e
+  | Ok oc -> Ok { dir; sync; fault; oc = Some oc; seq = next_seq - 1 }
+
+let next_seq t = t.seq + 1
+
+let channel t =
+  match t.oc with
+  | Some oc -> Ok oc
+  | None ->
+      Error
+        (Validate.Io_error { path = path ~dir:t.dir; reason = "journal closed" })
+
+let flush_sync t oc =
+  flush oc;
+  if t.sync then Unix.fsync (Unix.descr_of_out_channel oc)
+
+let append t ~i ~delta =
+  match channel t with
+  | Error _ as e -> e
+  | Ok oc ->
+      if Fault.io_fails t.fault then
+        Error
+          (Validate.Io_error
+             {
+               path = path ~dir:t.dir;
+               reason = "injected transient I/O failure";
+             })
+      else begin
+        let seq = t.seq + 1 in
+        let line = encode { seq; i; delta } in
+        match Fault.torn_prefix t.fault line with
+        | Some prefix ->
+            (* Simulated kill mid-append: partial bytes reach the disk
+               and the process dies; replay truncates here. *)
+            output_string oc prefix;
+            flush oc;
+            raise (Fault.Injected Fault.Torn_write)
+        | None -> (
+            let line =
+              match Fault.flip_bit t.fault line with
+              | Some corrupted -> corrupted
+              | None -> line
+            in
+            match
+              output_string oc line;
+              flush_sync t oc
+            with
+            | () ->
+                t.seq <- seq;
+                Ok seq
+            | exception e ->
+                Error
+                  (Validate.Io_error
+                     { path = path ~dir:t.dir; reason = Printexc.to_string e }))
+      end
+
+let rotate t ~keep_after =
+  match channel t with
+  | Error _ as e -> e
+  | Ok oc -> (
+      match replay ~since:keep_after ~dir:t.dir () with
+      | Error _ as e -> e
+      | Ok { records; _ } -> (
+          let p = path ~dir:t.dir in
+          let tmp = p ^ ".tmp" in
+          let write () =
+            let out = open_out_bin tmp in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr out)
+              (fun () ->
+                List.iter (fun r -> output_string out (encode r)) records;
+                flush out;
+                if t.sync then Unix.fsync (Unix.descr_of_out_channel out))
+          in
+          match
+            write ();
+            Sys.rename tmp p
+          with
+          | exception e ->
+              Error
+                (Validate.Io_error { path = p; reason = Printexc.to_string e })
+          | () -> (
+              close_out_noerr oc;
+              t.oc <- None;
+              match open_channel p with
+              | Error _ as e -> e
+              | Ok oc ->
+                  t.oc <- Some oc;
+                  Log.debug (fun m ->
+                      m "rotated: kept %d records after seq %d"
+                        (List.length records) keep_after);
+                  Ok (List.length records))))
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      (try flush_sync t oc with _ -> ());
+      close_out_noerr oc;
+      t.oc <- None
+
+let abandon t =
+  (* Simulated process death: drop the descriptor without flushing
+     anything the OS has not already seen. *)
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      close_out_noerr oc;
+      t.oc <- None

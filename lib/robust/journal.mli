@@ -1,0 +1,86 @@
+(** Append-only write-ahead journal of point updates.
+
+    Each accepted update [d_i += delta] becomes one line
+
+    {v <seq> <i> <delta as %h> <CRC-32 of the three fields, %08x> v}
+
+    with strictly consecutive sequence numbers. An update is
+    acknowledged only after its record (newline included) is flushed —
+    and, unless [sync:false], fsynced — so the journal plus the latest
+    {!Snapshot} always reconstructs every acknowledged update.
+
+    Replay is defensive: it stops at the {e first} record that is torn
+    (no trailing newline at EOF), fails its CRC, fails to parse, or
+    breaks the sequence, and reports the truncation instead of failing
+    recovery — everything before that point is trusted, everything
+    after is not. *)
+
+type record = { seq : int; i : int; delta : float }
+
+val encode : record -> string
+(** One journal line, newline-terminated. *)
+
+val decode_line : string -> record option
+(** Parse and CRC-check one line (without its newline). *)
+
+val path : dir:string -> string
+(** The WAL file inside a store directory ([journal.wal]). *)
+
+type replay = {
+  records : record list;  (** verified records, in sequence order *)
+  truncated : bool;  (** a corrupt/torn record cut the replay short *)
+  valid_bytes : int;
+      (** byte offset just past the last verified record's newline *)
+}
+
+val replay : ?since:int -> dir:string -> unit -> (replay, Validate.error) result
+(** Read the journal, keeping records with [seq > since] (default 0 —
+    all). A missing WAL is an empty replay; a missing store directory
+    is an [Io_error]. Never raises on corrupt content. *)
+
+val repair : dir:string -> (replay, Validate.error) result
+(** Replay, and if the tail is torn or corrupt, truncate the WAL file
+    back to [valid_bytes]. Without this, appending after a torn write
+    would glue the new record onto the partial line and lose it. Run
+    before reopening a writer on a store that may have crashed. *)
+
+(** {1 Writing} *)
+
+type t
+
+val open_writer :
+  ?fault:Fault.t ->
+  ?sync:bool ->
+  dir:string ->
+  next_seq:int ->
+  unit ->
+  (t, Validate.error) result
+(** Open (creating if absent) the WAL for appending; the next accepted
+    record gets sequence [next_seq] (>= 1). [sync] (default true)
+    fsyncs every append. *)
+
+val next_seq : t -> int
+(** Sequence number the next {!append} will be assigned. *)
+
+val append : t -> i:int -> delta:float -> (int, Validate.error) result
+(** Durably append one update and return its sequence number.
+
+    Fault points of the writer's plan, in order: [Io_flaky] writes
+    nothing and returns a retryable [Io_error]; [Torn_write] flushes a
+    partial record and raises {!Fault.Injected} (the simulated
+    mid-append kill); [Bit_flip] silently corrupts the record on its
+    way to disk — the append {e reports success}, and only replay's CRC
+    check discovers the damage. *)
+
+val rotate : t -> keep_after:int -> (int, Validate.error) result
+(** Compact the WAL after a checkpoint: atomically rewrite it keeping
+    only records with [seq > keep_after] (the oldest retained snapshot
+    generation's sequence), and return how many were kept. Sequence
+    numbering continues unchanged. *)
+
+val close : t -> unit
+(** Flush, sync and close. Idempotent. *)
+
+val abandon : t -> unit
+(** Drop the descriptor without the final sync — the chaos suite's
+    simulated process death. Idempotent. *)

@@ -1,0 +1,128 @@
+module Prng = Wavesyn_util.Prng
+
+let log_src = Logs.Src.create "wavesyn.retry" ~doc:"Backoff and circuit breaking"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type policy = {
+  base_ms : float;
+  factor : float;
+  max_ms : float;
+  jitter : float;
+  rng : Prng.t;
+}
+
+let policy ?(base_ms = 1.0) ?(factor = 2.0) ?(max_ms = 1000.0) ?(jitter = 0.25)
+    ~seed () =
+  if base_ms < 0. || factor < 1. || max_ms < base_ms then
+    invalid_arg "Retry.policy: need base_ms >= 0, factor >= 1, max_ms >= base_ms";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Retry.policy: jitter must lie in [0, 1]";
+  { base_ms; factor; max_ms; jitter; rng = Prng.create ~seed }
+
+let delay_ms p ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay_ms: attempts count from 1";
+  let raw =
+    Float.min p.max_ms
+      (p.base_ms *. (p.factor ** float_of_int (attempt - 1)))
+  in
+  (* Full deterministic jitter: scale by a seeded draw from
+     [1-jitter, 1+jitter]. *)
+  let u = Prng.float p.rng 2.0 -. 1.0 in
+  raw *. (1.0 +. (p.jitter *. u))
+
+let with_retries ?(sleep = fun (_ : float) -> ()) p ~attempts f =
+  if attempts < 1 then invalid_arg "Retry.with_retries: attempts must be >= 1";
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error _ as err ->
+        if attempt >= attempts then err
+        else begin
+          let d = delay_ms p ~attempt in
+          Log.debug (fun m ->
+              m "attempt %d/%d failed; backing off %.3fms" attempt attempts d);
+          sleep d;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  let state_name = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half-open"
+
+  type t = {
+    threshold : int;
+    cooldown_ms : float;
+    clock : unit -> float;
+    mutable st : state;
+    mutable consecutive_failures : int;
+    mutable opened_at_ms : float;
+    mutable trips : int;
+    mutable rejected : int;
+  }
+
+  let create ?(threshold = 3) ?(cooldown_ms = 1000.0) ?clock () =
+    if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+    if cooldown_ms < 0. then
+      invalid_arg "Breaker.create: cooldown must be non-negative";
+    let clock = Option.value clock ~default:Deadline.now_ms in
+    {
+      threshold;
+      cooldown_ms;
+      clock;
+      st = Closed;
+      consecutive_failures = 0;
+      opened_at_ms = 0.;
+      trips = 0;
+      rejected = 0;
+    }
+
+  let refresh t =
+    if t.st = Open && t.clock () -. t.opened_at_ms >= t.cooldown_ms then
+      t.st <- Half_open
+
+  let state t =
+    refresh t;
+    t.st
+
+  let trips t = t.trips
+  let rejected t = t.rejected
+
+  let trip t =
+    t.st <- Open;
+    t.opened_at_ms <- t.clock ();
+    t.trips <- t.trips + 1;
+    Log.info (fun m ->
+        m "circuit opened after %d consecutive failures"
+          t.consecutive_failures)
+
+  type 'e rejection = Open_circuit | Inner of 'e
+
+  let call t f =
+    refresh t;
+    match t.st with
+    | Open ->
+        t.rejected <- t.rejected + 1;
+        Error Open_circuit
+    | Closed | Half_open -> (
+        let probing = t.st = Half_open in
+        match f () with
+        | Ok _ as ok ->
+            t.consecutive_failures <- 0;
+            t.st <- Closed;
+            ok
+        | Error e ->
+            t.consecutive_failures <- t.consecutive_failures + 1;
+            if probing || t.consecutive_failures >= t.threshold then trip t;
+            Error (Inner e)
+        | exception e ->
+            t.consecutive_failures <- t.consecutive_failures + 1;
+            if probing || t.consecutive_failures >= t.threshold then trip t;
+            raise e)
+end

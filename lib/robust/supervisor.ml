@@ -1,0 +1,484 @@
+module Crc32 = Wavesyn_util.Crc32
+module Float_util = Wavesyn_util.Float_util
+module Metrics = Wavesyn_synopsis.Metrics
+module Stream_synopsis = Wavesyn_stream.Stream_synopsis
+
+let log_src = Logs.Src.create "wavesyn.supervisor" ~doc:"Durable serving loop"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* --- configuration and its on-disk manifest --- *)
+
+type config = {
+  dir : string;
+  n : int;
+  budget : int;
+  metric : Metrics.error_metric;
+  epsilon : float;
+  checkpoint_every : int;
+  recut_every : int;
+  recut_deadline_ms : float option;
+  recut_state_cap : int option;
+  keep : int;
+  sync : bool;
+}
+
+let config ?(epsilon = 0.25) ?(checkpoint_every = 64) ?(recut_every = 32)
+    ?recut_deadline_ms ?recut_state_cap ?(keep = 3) ?(sync = true) ~dir ~n
+    ~budget metric =
+  {
+    dir;
+    n;
+    budget;
+    metric;
+    epsilon;
+    checkpoint_every;
+    recut_every;
+    recut_deadline_ms;
+    recut_state_cap;
+    keep;
+    sync;
+  }
+
+let manifest_magic = "wavesyn-store v1"
+let manifest_name = "store.cfg"
+let manifest_path dir = Filename.concat dir manifest_name
+
+let encode_metric = function
+  | Metrics.Abs -> "abs"
+  | Metrics.Rel { sanity } -> Printf.sprintf "rel %h" sanity
+
+let decode_metric = function
+  | [ "abs" ] -> Some Metrics.Abs
+  | [ "rel"; s ] -> (
+      match float_of_string_opt s with
+      | Some sanity when Float.is_finite sanity && sanity > 0. ->
+          Some (Metrics.Rel { sanity })
+      | _ -> None)
+  | _ -> None
+
+let encode_manifest cfg =
+  let body =
+    String.concat "\n"
+      [
+        manifest_magic;
+        Printf.sprintf "n %d" cfg.n;
+        Printf.sprintf "budget %d" cfg.budget;
+        "metric " ^ encode_metric cfg.metric;
+        Printf.sprintf "epsilon %h" cfg.epsilon;
+      ]
+    ^ "\n"
+  in
+  body ^ "crc " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+
+let decode_manifest ~path text =
+  let fail reason = Error (Validate.Bad_shape { what = path; reason }) in
+  match String.split_on_char '\n' (String.trim text) with
+  | [ m; n_l; b_l; metric_l; eps_l; crc_l ] when m = manifest_magic -> (
+      let body =
+        String.concat "\n" [ m; n_l; b_l; metric_l; eps_l ] ^ "\n"
+      in
+      match String.split_on_char ' ' crc_l with
+      | [ "crc"; hex ]
+        when Crc32.of_hex hex = Some (Crc32.string body) -> (
+          let field name line =
+            match String.split_on_char ' ' line with
+            | k :: rest when k = name -> Some rest
+            | _ -> None
+          in
+          match
+            ( Option.bind (field "n" n_l) (function
+                | [ v ] -> int_of_string_opt v
+                | _ -> None),
+              Option.bind (field "budget" b_l) (function
+                | [ v ] -> int_of_string_opt v
+                | _ -> None),
+              Option.bind (field "metric" metric_l) decode_metric,
+              Option.bind (field "epsilon" eps_l) (function
+                | [ v ] -> float_of_string_opt v
+                | _ -> None) )
+          with
+          | Some n, Some budget, Some metric, Some epsilon
+            when Float_util.is_pow2 n && budget >= 0 ->
+              Ok (n, budget, metric, epsilon)
+          | _ -> fail "malformed manifest fields")
+      | _ -> fail "manifest checksum mismatch")
+  | _ -> fail "not a wavesyn store manifest"
+
+let read_manifest dir =
+  let path = manifest_path dir in
+  match open_in_bin path with
+  | exception Sys_error reason -> Error (Validate.Io_error { path; reason })
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | text -> decode_manifest ~path text
+          | exception _ ->
+              Error (Validate.Io_error { path; reason = "short read" }))
+
+let write_manifest cfg =
+  let path = manifest_path cfg.dir in
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (encode_manifest cfg);
+        flush oc;
+        if cfg.sync then Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error reason -> Error (Validate.Io_error { path; reason })
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Validate.Io_error { path; reason = Unix.error_message e })
+
+(* --- recovery --- *)
+
+type recovery = {
+  generation : int option;
+  corrupt_generations : int list;
+  replayed : int;
+  truncated : bool;
+}
+
+let pp_recovery ppf r =
+  Format.fprintf ppf "generation=%s replayed=%d truncated=%s corrupt=[%s]"
+    (match r.generation with Some g -> string_of_int g | None -> "none")
+    r.replayed
+    (if r.truncated then "yes" else "no")
+    (String.concat "," (List.map string_of_int r.corrupt_generations))
+
+(* Rebuild the exact coefficient state: newest verifiable snapshot
+   generation, then the journaled suffix in order through the very same
+   [Stream_synopsis.update] code path the live loop uses — float
+   arithmetic, and hence the recovered state, is bit-identical. *)
+let rebuild ~dir ~n =
+  let ( let* ) = Result.bind in
+  let* snap = Snapshot.read_latest ~dir in
+  let* stream, since =
+    match snap.Snapshot.state with
+    | Some state ->
+        if state.Snapshot.n <> n then
+          Error
+            (Validate.Bad_shape
+               {
+                 what = dir;
+                 reason =
+                   Printf.sprintf
+                     "snapshot domain %d does not match store domain %d"
+                     state.Snapshot.n n;
+               })
+        else Ok (Snapshot.to_stream state, state.Snapshot.seq)
+    | None -> Ok (Stream_synopsis.create ~n, 0)
+  in
+  let* replay = Journal.replay ~since ~dir () in
+  List.iter
+    (fun { Journal.i; delta; _ } ->
+      if i < n then Stream_synopsis.update stream ~i ~delta)
+    replay.Journal.records;
+  let seq =
+    List.fold_left
+      (fun acc r -> Stdlib.max acc r.Journal.seq)
+      since replay.Journal.records
+  in
+  Ok
+    ( stream,
+      seq,
+      {
+        generation = snap.Snapshot.generation;
+        corrupt_generations = snap.Snapshot.corrupt;
+        replayed = List.length replay.Journal.records;
+        truncated = replay.Journal.truncated;
+      } )
+
+type recovered = {
+  r_config : config;
+  r_stream : Stream_synopsis.t;
+  r_seq : int;
+  r_recovery : recovery;
+}
+
+let recover ~dir =
+  let ( let* ) = Result.bind in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error
+      (Validate.Io_error { path = dir; reason = "no such store directory" })
+  else
+    let* n, budget, metric, epsilon = read_manifest dir in
+    let cfg = config ~epsilon ~dir ~n ~budget metric in
+    let* stream, seq, recovery = rebuild ~dir ~n in
+    Ok { r_config = cfg; r_stream = stream; r_seq = seq; r_recovery = recovery }
+
+(* --- the supervised loop --- *)
+
+type stats = {
+  seq : int;
+  updates : int;
+  acked : int;
+  recuts_served : int;
+  recuts_degraded : int;
+  recuts_rejected : int;
+  checkpoints : int;
+  checkpoint_failures : int;
+  last_generation : int option;
+  breaker : Retry.Breaker.state;
+}
+
+type t = {
+  cfg : config;
+  fault : Fault.t;
+  retry : Retry.policy;
+  retry_attempts : int;
+  breaker : Retry.Breaker.t;
+  stream : Stream_synopsis.t;
+  journal : Journal.t;
+  mutable seq : int;
+  mutable acked : int;
+  mutable served : Ladder.served option;
+  mutable recuts_served : int;
+  mutable recuts_degraded : int;
+  mutable recuts_rejected : int;
+  mutable checkpoints : int;
+  mutable checkpoint_failures : int;
+  mutable last_generation : int option;
+  mutable last_error : Validate.error option;
+  recovery : recovery;
+}
+
+let validate_config cfg =
+  let ( let* ) = Result.bind in
+  let* _ = Validate.budget cfg.budget in
+  let* _ = Validate.epsilon cfg.epsilon in
+  if not (Float_util.is_pow2 cfg.n) then
+    Error
+      (Validate.Bad_shape
+         {
+           what = cfg.dir;
+           reason = Printf.sprintf "domain %d is not a power of two" cfg.n;
+         })
+  else if cfg.checkpoint_every < 1 || cfg.recut_every < 1 || cfg.keep < 1 then
+    Error
+      (Validate.Bad_option
+         {
+           what = "supervisor config";
+           reason = "checkpoint-every, recut-every and keep must be >= 1";
+         })
+  else Ok ()
+
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (Validate.Io_error { path = dir; reason = "not a directory" })
+  else
+    match Unix.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Validate.Io_error { path = dir; reason = Unix.error_message e })
+
+let open_store ?(fault = Fault.none) ?retry ?(retry_attempts = 4) ?breaker cfg =
+  let ( let* ) = Result.bind in
+  let* () = validate_config cfg in
+  let* () = ensure_dir cfg.dir in
+  let* () =
+    match read_manifest cfg.dir with
+    | Ok (n, _, _, _) ->
+        if n <> cfg.n then
+          Error
+            (Validate.Bad_shape
+               {
+                 what = cfg.dir;
+                 reason =
+                   Printf.sprintf
+                     "store was created with domain %d, reopened with %d" n
+                     cfg.n;
+               })
+        else write_manifest cfg
+    | Error (Validate.Io_error _) -> write_manifest cfg
+    | Error _ as e -> e
+  in
+  let* stream, seq, recovery = rebuild ~dir:cfg.dir ~n:cfg.n in
+  (* Clear any torn/corrupt tail before appending: a new record glued
+     onto a partial line would itself be unreadable. *)
+  let* _ =
+    if recovery.truncated then Journal.repair ~dir:cfg.dir
+    else Ok { Journal.records = []; truncated = false; valid_bytes = 0 }
+  in
+  let* journal =
+    Journal.open_writer ~fault ~sync:cfg.sync ~dir:cfg.dir ~next_seq:(seq + 1)
+      ()
+  in
+  let retry =
+    match retry with Some p -> p | None -> Retry.policy ~seed:7 ()
+  in
+  let breaker =
+    match breaker with Some b -> b | None -> Retry.Breaker.create ()
+  in
+  Log.info (fun m ->
+      m "opened %s at seq %d (%a)" cfg.dir seq pp_recovery recovery);
+  Ok
+    {
+      cfg;
+      fault;
+      retry;
+      retry_attempts;
+      breaker;
+      stream;
+      journal;
+      seq;
+      acked = 0;
+      served = None;
+      recuts_served = 0;
+      recuts_degraded = 0;
+      recuts_rejected = 0;
+      checkpoints = 0;
+      checkpoint_failures = 0;
+      last_generation = None;
+      last_error = None;
+      recovery;
+    }
+
+let stream t = t.stream
+let seq t = t.seq
+let last_recovery t = t.recovery
+let last_served t = t.served
+let last_error t = t.last_error
+
+let stats t =
+  {
+    seq = t.seq;
+    updates = Stream_synopsis.updates_seen t.stream;
+    acked = t.acked;
+    recuts_served = t.recuts_served;
+    recuts_degraded = t.recuts_degraded;
+    recuts_rejected = t.recuts_rejected;
+    checkpoints = t.checkpoints;
+    checkpoint_failures = t.checkpoint_failures;
+    last_generation = t.last_generation;
+    breaker = Retry.Breaker.state t.breaker;
+  }
+
+(* A re-cut "fails" for the breaker when it degrades all the way to the
+   greedy floor with every better tier timed out or broken: serving
+   continues on the floor answer, but pounding the expensive tiers
+   again right away is pointless — the breaker spaces the retries. *)
+let recut t =
+  let attempt () =
+    match
+      Ladder.serve ?deadline_ms:t.cfg.recut_deadline_ms
+        ?state_cap:t.cfg.recut_state_cap ~epsilon:t.cfg.epsilon ~fault:t.fault
+        ~data:(Stream_synopsis.current_data t.stream)
+        ~budget:t.cfg.budget t.cfg.metric
+    with
+    | Error e -> Error e
+    | Ok served ->
+        t.served <- Some served;
+        t.recuts_served <- t.recuts_served + 1;
+        let degraded =
+          served.Ladder.tier = Ladder.Greedy_maxerr
+          && List.exists
+               (fun (a : Ladder.attempt) -> a.Ladder.outcome <> Ladder.Answered)
+               served.Ladder.attempts
+        in
+        if degraded then begin
+          t.recuts_degraded <- t.recuts_degraded + 1;
+          Error
+            (Validate.Bad_shape
+               {
+                 what = "recut";
+                 reason =
+                   "degraded to the greedy floor: "
+                   ^ Ladder.describe_attempts served.Ladder.attempts;
+               })
+        end
+        else Ok served
+  in
+  match Retry.Breaker.call t.breaker attempt with
+  | Ok served -> Ok served
+  | Error Retry.Breaker.Open_circuit ->
+      t.recuts_rejected <- t.recuts_rejected + 1;
+      Error Retry.Breaker.Open_circuit
+  | Error (Retry.Breaker.Inner e) ->
+      t.last_error <- Some e;
+      Error (Retry.Breaker.Inner e)
+
+let checkpoint t =
+  let state = Snapshot.of_stream ~seq:t.seq t.stream in
+  match
+    Retry.with_retries t.retry ~attempts:t.retry_attempts (fun () ->
+        Snapshot.write ~fault:t.fault ~keep:t.cfg.keep ~sync:t.cfg.sync
+          ~dir:t.cfg.dir state)
+  with
+  | Error e ->
+      t.checkpoint_failures <- t.checkpoint_failures + 1;
+      t.last_error <- Some e;
+      Log.warn (fun m -> m "checkpoint failed: %s" (Validate.to_string e));
+      Error e
+  | Ok gen ->
+      t.checkpoints <- t.checkpoints + 1;
+      t.last_generation <- Some gen;
+      (* The journal must keep reaching back to the *oldest* retained
+         generation, so a corrupt newer one can still fall back. *)
+      let keep_after =
+        match Snapshot.list ~dir:t.cfg.dir with
+        | Error _ | Ok [] -> 0
+        | Ok gens -> (
+            let oldest = List.hd (List.rev gens) in
+            match Snapshot.decode_file (Snapshot.file_of_generation t.cfg.dir oldest) with
+            | Ok s -> s.Snapshot.seq
+            | Error _ -> 0)
+      in
+      (match Journal.rotate t.journal ~keep_after with
+      | Ok _ -> ()
+      | Error e ->
+          (* Rotation is space management, not correctness: the journal
+             simply stays longer. *)
+          t.last_error <- Some e;
+          Log.warn (fun m -> m "rotation failed: %s" (Validate.to_string e)));
+      Ok gen
+
+let ingest t ~i ~delta =
+  if i < 0 || i >= t.cfg.n then
+    Error
+      (Validate.Bad_value
+         {
+           path = None;
+           line = t.acked + 1;
+           token = string_of_int i;
+           reason = Printf.sprintf "cell out of domain [0, %d)" t.cfg.n;
+         })
+  else if not (Float.is_finite delta) then
+    Error
+      (Validate.Bad_value
+         {
+           path = None;
+           line = t.acked + 1;
+           token = Printf.sprintf "%h" delta;
+           reason = "not finite (NaN/Inf)";
+         })
+  else
+    match
+      Retry.with_retries t.retry ~attempts:t.retry_attempts (fun () ->
+          Journal.append t.journal ~i ~delta)
+    with
+    | Error e ->
+        t.last_error <- Some e;
+        Error e
+    | Ok seq ->
+        (* WAL discipline: the update is on disk before it is applied,
+           so a crash between the two replays it on recovery. *)
+        t.seq <- seq;
+        t.acked <- t.acked + 1;
+        Stream_synopsis.update t.stream ~i ~delta;
+        if seq mod t.cfg.recut_every = 0 then ignore (recut t);
+        if seq mod t.cfg.checkpoint_every = 0 then ignore (checkpoint t);
+        Ok seq
+
+let close t =
+  Journal.close t.journal
+
+let crash t =
+  Journal.abandon t.journal

@@ -1,0 +1,151 @@
+(** The durable, supervised serving loop.
+
+    Ties the durability layer together around a
+    {!Wavesyn_stream.Stream_synopsis}: every accepted point update is
+    journaled ({!Journal}) {e before} it touches the in-memory state
+    (write-ahead discipline), the coefficient state is checkpointed
+    ({!Snapshot}) every [checkpoint_every] updates, and a fresh
+    max-error synopsis is re-cut through the degradation
+    {!Ladder} every [recut_every] updates under the configured deadline
+    slice. Transient I/O failures are absorbed by seeded-backoff
+    retries ({!Retry.with_retries}); re-cuts that collapse to the
+    greedy floor trip a circuit breaker that spaces further attempts.
+
+    The headline property (exercised exhaustively by the chaos suite):
+    killing the process at {e any} point and re-opening the store
+    recovers exactly the acknowledged prefix of the update stream —
+    byte-identical coefficient state — because recovery replays the
+    journal suffix through the same [Stream_synopsis.update] code path
+    the live loop uses, on top of a CRC-verified snapshot. *)
+
+type config = {
+  dir : string;  (** store directory *)
+  n : int;  (** power-of-two domain size *)
+  budget : int;  (** synopsis coefficient budget *)
+  metric : Wavesyn_synopsis.Metrics.error_metric;
+  epsilon : float;  (** ladder approximation tier seed *)
+  checkpoint_every : int;  (** updates between snapshots *)
+  recut_every : int;  (** updates between ladder re-cuts *)
+  recut_deadline_ms : float option;  (** deadline slice per re-cut *)
+  recut_state_cap : int option;  (** deterministic alternative budget *)
+  keep : int;  (** snapshot generations retained *)
+  sync : bool;  (** fsync journal appends and snapshots *)
+}
+
+val config :
+  ?epsilon:float ->
+  ?checkpoint_every:int ->
+  ?recut_every:int ->
+  ?recut_deadline_ms:float ->
+  ?recut_state_cap:int ->
+  ?keep:int ->
+  ?sync:bool ->
+  dir:string ->
+  n:int ->
+  budget:int ->
+  Wavesyn_synopsis.Metrics.error_metric ->
+  config
+(** Defaults: ε 0.25, checkpoint every 64, re-cut every 32, no re-cut
+    deadline, keep 3 generations, fsync on. *)
+
+type recovery = {
+  generation : int option;  (** snapshot generation recovery started from *)
+  corrupt_generations : int list;  (** generations the CRC check rejected *)
+  replayed : int;  (** journal records replayed on top *)
+  truncated : bool;  (** replay stopped at a corrupt record *)
+}
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
+type t
+
+val open_store :
+  ?fault:Fault.t ->
+  ?retry:Retry.policy ->
+  ?retry_attempts:int ->
+  ?breaker:Retry.Breaker.t ->
+  config ->
+  (t, Validate.error) result
+(** Open a store, creating the directory and manifest ([store.cfg]) on
+    first use and recovering snapshot + journal state on re-open.
+    Reopening with a different domain size than the manifest records is
+    a [Bad_shape]. [fault] arms the storage and ladder fault points
+    (default none); [retry]/[retry_attempts] configure I/O retries
+    (default: seeded policy, 4 attempts); [breaker] supervises re-cuts
+    (default: threshold 3, 1s cooldown). *)
+
+val ingest : t -> i:int -> delta:float -> (int, Validate.error) result
+(** Accept the point update [d_i += delta]: journal it durably (with
+    retries), apply it to the in-memory state, and return its sequence
+    number. On the configured cadences this also re-cuts the served
+    synopsis and checkpoints — failures there are absorbed into
+    {!stats} / {!last_error}, never failing the ingest itself. An
+    [Error] means the update was {e not} acknowledged (invalid input,
+    or the journal could not be written after all retries). *)
+
+val recut :
+  t -> (Ladder.served, Validate.error Retry.Breaker.rejection) result
+(** Re-cut the served synopsis now, through the circuit breaker. The
+    ladder answer (even a degraded one) is always installed as
+    {!last_served}; the call reports [Error] when the breaker refused
+    to run it ([Open_circuit]) or when the answer degraded to the
+    greedy floor with every better tier timed out ([Inner _]) — the
+    breaker counts those towards opening. *)
+
+val checkpoint : t -> (int, Validate.error) result
+(** Snapshot the current state (atomically, rotated) and compact the
+    journal back to the oldest retained generation; returns the new
+    generation. Failures are also recorded in {!stats}. *)
+
+val stream : t -> Wavesyn_stream.Stream_synopsis.t
+(** The live coefficient state (do not mutate behind the loop's back —
+    use {!ingest}). *)
+
+val seq : t -> int
+(** Last acknowledged sequence number. *)
+
+val last_served : t -> Ladder.served option
+(** The most recent re-cut synopsis, if any re-cut has run. *)
+
+val last_recovery : t -> recovery
+(** What {!open_store} recovered. *)
+
+val last_error : t -> Validate.error option
+(** Most recent absorbed (non-fatal) failure, for observability. *)
+
+type stats = {
+  seq : int;
+  updates : int;  (** updates folded into the state (incl. recovered) *)
+  acked : int;  (** updates acknowledged by this process *)
+  recuts_served : int;
+  recuts_degraded : int;  (** served only by the greedy floor *)
+  recuts_rejected : int;  (** skipped while the breaker was open *)
+  checkpoints : int;
+  checkpoint_failures : int;
+  last_generation : int option;
+  breaker : Retry.Breaker.state;
+}
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Flush and close the journal (does {e not} checkpoint — call
+    {!checkpoint} first for a clean shutdown). *)
+
+val crash : t -> unit
+(** Chaos-suite helper: drop descriptors without the shutdown path, as
+    a kill would. *)
+
+(** {1 Read-only recovery} *)
+
+type recovered = {
+  r_config : config;  (** as recorded in the store manifest *)
+  r_stream : Wavesyn_stream.Stream_synopsis.t;
+  r_seq : int;
+  r_recovery : recovery;
+}
+
+val recover : dir:string -> (recovered, Validate.error) result
+(** Rebuild the state of an existing store without opening it for
+    writing: manifest, newest verifiable snapshot, journal replay.
+    A missing or unreadable store directory is an [Io_error]. *)

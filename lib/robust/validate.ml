@@ -46,26 +46,87 @@ let parse_float ?path ~line token =
         (Bad_value { path; line; token; reason = "not finite (NaN/Inf)" })
   | Some f -> Ok f
 
-let read_file path =
-  match open_in path with
+let default_max_bytes = 1 lsl 26 (* 64 MiB *)
+let default_max_line_bytes = 1024
+let default_max_values = 1 lsl 22
+
+(* Bounded line reader: adversarial inputs (multi-gigabyte files, a
+   single newline-free line) must hit a cap and a structured error, not
+   an unbounded allocation. Reads in fixed chunks; every cap is checked
+   before the offending bytes are retained. *)
+let read_lines ~max_bytes ~max_line_bytes ~max_values path ~parse =
+  match open_in_bin path with
   | exception Sys_error reason -> Error (Io_error { path; reason })
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           let values = ref [] in
+          let count = ref 0 in
           let err = ref None in
           let line_no = ref 0 in
-          (try
-             while !err = None do
-               let line = String.trim (input_line ic) in
-               incr line_no;
-               if line <> "" then
-                 match parse_float ~path ~line:!line_no line with
-                 | Ok v -> values := v :: !values
-                 | Error e -> err := Some e
-             done
-           with End_of_file -> ());
+          let line = Buffer.create 64 in
+          let total = ref 0 in
+          let chunk = Bytes.create 8192 in
+          let set e = if !err = None then err := Some e in
+          let flush_line () =
+            incr line_no;
+            let token = String.trim (Buffer.contents line) in
+            Buffer.clear line;
+            if token <> "" then
+              match parse ~line:!line_no token with
+              | Error e -> set e
+              | Ok v ->
+                  incr count;
+                  if !count > max_values then
+                    set
+                      (Bad_shape
+                         {
+                           what = path;
+                           reason =
+                             Printf.sprintf "more than %d values" max_values;
+                         })
+                  else values := v :: !values
+          in
+          let eof = ref false in
+          while !err = None && not !eof do
+            match input ic chunk 0 (Bytes.length chunk) with
+            | 0 | (exception End_of_file) ->
+                eof := true;
+                if Buffer.length line > 0 then flush_line ()
+            | k ->
+                total := !total + k;
+                if !total > max_bytes then
+                  set
+                    (Bad_shape
+                       {
+                         what = path;
+                         reason = Printf.sprintf "exceeds %d bytes" max_bytes;
+                       })
+                else
+                  let i = ref 0 in
+                  while !err = None && !i < k do
+                    (match Bytes.get chunk !i with
+                    | '\n' -> flush_line ()
+                    | c ->
+                        if Buffer.length line >= max_line_bytes then
+                          set
+                            (Bad_value
+                               {
+                                 path = Some path;
+                                 line = !line_no + 1;
+                                 token =
+                                   (let b = Buffer.contents line in
+                                    String.sub b 0 (Stdlib.min 32 (String.length b))
+                                    ^ "...");
+                                 reason =
+                                   Printf.sprintf "line exceeds %d bytes"
+                                     max_line_bytes;
+                               })
+                        else Buffer.add_char line c);
+                    incr i
+                  done
+          done;
           match !err with
           | Some e -> Error e
           | None ->
@@ -74,6 +135,32 @@ let read_file path =
                   (Bad_shape
                      { what = path; reason = "no data values (empty input)" })
               else Ok (Array.of_list (List.rev !values)))
+
+let read_file ?(max_bytes = default_max_bytes)
+    ?(max_line_bytes = default_max_line_bytes)
+    ?(max_values = default_max_values) path =
+  read_lines ~max_bytes ~max_line_bytes ~max_values path
+    ~parse:(fun ~line token -> parse_float ~path ~line token)
+
+let read_updates ?(max_bytes = default_max_bytes)
+    ?(max_line_bytes = default_max_line_bytes)
+    ?(max_values = default_max_values) path =
+  let parse ~line token =
+    let bad reason = Error (Bad_value { path = Some path; line; token; reason }) in
+    match
+      String.split_on_char ' ' token |> List.filter (fun s -> s <> "")
+    with
+    | [ i; delta ] -> (
+        match int_of_string_opt i with
+        | None -> bad "cell index is not an integer"
+        | Some i when i < 0 -> bad "cell index is negative"
+        | Some i -> (
+            match parse_float ~path ~line delta with
+            | Ok delta -> Ok (i, delta)
+            | Error e -> Error e))
+    | _ -> bad "expected two tokens: <cell> <delta>"
+  in
+  read_lines ~max_bytes ~max_line_bytes ~max_values path ~parse
 
 let data ?(what = "data") ?(require_pow2 = false) arr =
   let n = Array.length arr in

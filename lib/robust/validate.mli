@@ -37,10 +37,34 @@ val parse_float :
 (** Parse one float token, rejecting non-numeric input {e and} NaN or
     infinite literals (which [float_of_string] happily accepts). *)
 
-val read_file : string -> (float array, error) result
+val read_file :
+  ?max_bytes:int ->
+  ?max_line_bytes:int ->
+  ?max_values:int ->
+  string ->
+  (float array, error) result
 (** Read a dataset (one float per line; blank lines skipped) with
     per-line error reporting. Empty files and files with no data lines
-    are [Bad_shape]; unreadable paths are [Io_error]. *)
+    are [Bad_shape]; unreadable paths are [Io_error].
+
+    Reads are bounded against adversarial inputs: files over
+    [max_bytes] (default 64 MiB) or with more than [max_values]
+    (default 2^22) values are [Bad_shape], and any single line longer
+    than [max_line_bytes] (default 1024) is a [Bad_value] — the caps
+    trip {e before} the offending bytes are buffered, so memory use is
+    bounded whatever the input. *)
+
+val read_updates :
+  ?max_bytes:int ->
+  ?max_line_bytes:int ->
+  ?max_values:int ->
+  string ->
+  ((int * float) array, error) result
+(** Read a point-update stream (["<cell> <delta>"] per line, blank
+    lines skipped) under the same bounds and error reporting as
+    {!read_file}. Cell indices must be non-negative integers; deltas
+    must be finite. Domain range checking is the consumer's job
+    (the store knows its [n], this parser does not). *)
 
 val data :
   ?what:string ->

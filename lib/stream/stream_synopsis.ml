@@ -44,6 +44,24 @@ let of_data data =
 
 let nonzero_count t = Hashtbl.length t.coeffs
 
+let coeffs t =
+  Hashtbl.fold (fun j c acc -> (j, c) :: acc) t.coeffs []
+  |> List.sort (fun (i, _) (j, _) -> compare i j)
+
+let restore ~n ~updates coeffs =
+  let t = create ~n in
+  if updates < 0 then invalid_arg "Stream_synopsis.restore: negative updates";
+  List.iter
+    (fun (j, c) ->
+      if j < 0 || j >= n then
+        invalid_arg "Stream_synopsis.restore: coefficient index out of range";
+      if Hashtbl.mem t.coeffs j then
+        invalid_arg "Stream_synopsis.restore: duplicate coefficient index";
+      if c <> 0. then Hashtbl.replace t.coeffs j c)
+    coeffs;
+  t.updates <- updates;
+  t
+
 let current_data t =
   let w = Array.make t.n 0. in
   Hashtbl.iter (fun j c -> w.(j) <- c) t.coeffs;

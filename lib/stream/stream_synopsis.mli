@@ -28,6 +28,16 @@ val coefficient : t -> int -> float
 
 val nonzero_count : t -> int
 
+val coeffs : t -> (int * float) list
+(** The sparse non-zero coefficient state, sorted by index — the
+    canonical serialization order used by the durability layer. *)
+
+val restore : n:int -> updates:int -> (int * float) list -> t
+(** Rebuild a state captured by {!coeffs} and {!updates_seen} (used by
+    snapshot recovery). Zero coefficients are dropped; raises
+    [Invalid_argument] on out-of-range or duplicate indices, negative
+    [updates], or non-power-of-two [n]. *)
+
 val current_data : t -> float array
 (** Reconstruct the exact current data in O(N). *)
 

@@ -1,0 +1,29 @@
+let mask = 0xFFFFFFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor mask land mask
+
+let string s = update 0 s
+
+let to_hex c = Printf.sprintf "%08x" (c land mask)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v when v >= 0 && v <= mask -> Some v
+    | _ -> None

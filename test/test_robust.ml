@@ -10,6 +10,10 @@ module Validate = Wavesyn_robust.Validate
 module Deadline = Wavesyn_robust.Deadline
 module Fault = Wavesyn_robust.Fault
 module Ladder = Wavesyn_robust.Ladder
+module Retry = Wavesyn_robust.Retry
+module Snapshot = Wavesyn_robust.Snapshot
+module Journal = Wavesyn_robust.Journal
+module Stream_synopsis = Wavesyn_stream.Stream_synopsis
 module Minmax_dp = Wavesyn_core.Minmax_dp
 module Approx_additive = Wavesyn_core.Approx_additive
 module Greedy_maxerr = Wavesyn_baselines.Greedy_maxerr
@@ -88,6 +92,371 @@ let test_data_checks () =
   checki "usage exit code" 2
     (Validate.exit_code
        (Validate.Bad_option { what = "--x"; reason = "conflict" }))
+
+(* Bounded reads: the caps must trip as structured errors before the
+   offending bytes are retained. *)
+let test_read_file_caps () =
+  let write s =
+    let path = Filename.temp_file "wavesyn_caps" ".txt" in
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc;
+    path
+  in
+  (match Validate.read_file (write (String.make 5000 '7' ^ "\n1\n")) with
+  | Error (Validate.Bad_value { line = 1; token; _ } as e) ->
+      checki "long line exit code" 65 (Validate.exit_code e);
+      check "token truncated for the message" true
+        (String.length token <= 36
+        && String.sub token (String.length token - 3) 3 = "...")
+  | _ -> Alcotest.fail "a 5000-byte line must be rejected");
+  (match
+     Validate.read_file ~max_line_bytes:8 (write "12345\n123456789\n")
+   with
+  | Error (Validate.Bad_value { line = 2; _ }) -> ()
+  | _ -> Alcotest.fail "custom line cap must trip on line 2");
+  (match Validate.read_file ~max_bytes:10 (write "1\n2\n3\n4\n5\n6\n7\n") with
+  | Error (Validate.Bad_shape _ as e) ->
+      checki "oversized file exit code" 65 (Validate.exit_code e)
+  | _ -> Alcotest.fail "a file over max_bytes must be Bad_shape");
+  match Validate.read_file ~max_values:3 (write "1\n2\n3\n4\n") with
+  | Error (Validate.Bad_shape _) -> ()
+  | _ -> Alcotest.fail "more than max_values values must be Bad_shape"
+
+let test_read_updates () =
+  let write s =
+    let path = Filename.temp_file "wavesyn_upd" ".txt" in
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc;
+    path
+  in
+  (match Validate.read_updates (write "3 1.5\n\n0 -2\n7   0x1p-1\n") with
+  | Ok a ->
+      check "updates parsed, blanks skipped" true
+        (a = [| (3, 1.5); (0, -2.); (7, 0.5) |])
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (match Validate.read_updates (write "3 1.5\nx 2\n") with
+  | Error (Validate.Bad_value { line = 2; _ }) -> ()
+  | _ -> Alcotest.fail "non-integer cell must be Bad_value");
+  (match Validate.read_updates (write "-1 2\n") with
+  | Error (Validate.Bad_value _) -> ()
+  | _ -> Alcotest.fail "negative cell must be Bad_value");
+  (match Validate.read_updates (write "1 nan\n") with
+  | Error (Validate.Bad_value _) -> ()
+  | _ -> Alcotest.fail "NaN delta must be Bad_value");
+  match Validate.read_updates (write "1 2 3\n") with
+  | Error (Validate.Bad_value { line = 1; _ }) -> ()
+  | _ -> Alcotest.fail "three tokens must be Bad_value"
+
+(* --- Retry --- *)
+
+let test_retry_backoff_deterministic () =
+  let delays p = List.init 12 (fun k -> Retry.delay_ms p ~attempt:(k + 1)) in
+  let d1 = delays (Retry.policy ~seed:5 ()) in
+  let d2 = delays (Retry.policy ~seed:5 ()) in
+  check "same seed replays the same jittered sequence" true (d1 = d2);
+  check "different seed draws differently" true
+    (delays (Retry.policy ~seed:6 ()) <> d1);
+  List.iteri
+    (fun k d ->
+      let raw = Float.min 1000. (2. ** float_of_int k) in
+      check
+        (Printf.sprintf "attempt %d within the jitter band" (k + 1))
+        true
+        (d >= (0.75 *. raw) -. 1e-9 && d <= (1.25 *. raw) +. 1e-9))
+    d1
+
+let test_with_retries () =
+  let p = Retry.policy ~seed:1 () in
+  let calls = ref 0 and slept = ref 0 in
+  (match
+     Retry.with_retries
+       ~sleep:(fun _ -> incr slept)
+       p ~attempts:5
+       (fun () ->
+         incr calls;
+         if !calls < 3 then Error "flaky" else Ok !calls)
+   with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "must succeed on the third call");
+  checki "one backoff per failure" 2 !slept;
+  calls := 0;
+  match
+    Retry.with_retries p ~attempts:4 (fun () ->
+        incr calls;
+        Error "down")
+  with
+  | Error "down" -> checki "all attempts consumed" 4 !calls
+  | _ -> Alcotest.fail "exhausted retries must return the last error"
+
+let test_breaker_lifecycle () =
+  let now = ref 0. in
+  let b =
+    Retry.Breaker.create ~threshold:2 ~cooldown_ms:100.
+      ~clock:(fun () -> !now)
+      ()
+  in
+  let fail () = Retry.Breaker.call b (fun () -> Error "boom") in
+  let succeed () = Retry.Breaker.call b (fun () -> Ok ()) in
+  check "starts closed" true (Retry.Breaker.state b = Retry.Breaker.Closed);
+  ignore (fail ());
+  check "below threshold stays closed" true
+    (Retry.Breaker.state b = Retry.Breaker.Closed);
+  ignore (fail ());
+  check "threshold of consecutive failures trips open" true
+    (Retry.Breaker.state b = Retry.Breaker.Open);
+  (match fail () with
+  | Error Retry.Breaker.Open_circuit -> ()
+  | _ -> Alcotest.fail "open breaker must reject without running");
+  checki "rejection counted" 1 (Retry.Breaker.rejected b);
+  now := 150.;
+  check "cooldown elapses to half-open" true
+    (Retry.Breaker.state b = Retry.Breaker.Half_open);
+  (match succeed () with
+  | Ok () -> ()
+  | _ -> Alcotest.fail "half-open probe must be let through");
+  check "probe success recloses" true
+    (Retry.Breaker.state b = Retry.Breaker.Closed);
+  ignore (fail ());
+  ignore (fail ());
+  now := 300.;
+  (match fail () with
+  | Error (Retry.Breaker.Inner "boom") -> ()
+  | _ -> Alcotest.fail "half-open probe failure reports the inner error");
+  check "probe failure reopens" true
+    (Retry.Breaker.state b = Retry.Breaker.Open);
+  checki "every opening counted" 3 (Retry.Breaker.trips b);
+  check "a success also interrupts the failure streak" true
+    (let b2 =
+       Retry.Breaker.create ~threshold:2 ~clock:(fun () -> 0.) ()
+     in
+     ignore (Retry.Breaker.call b2 (fun () -> Error "x"));
+     ignore (Retry.Breaker.call b2 (fun () -> Ok ()));
+     ignore (Retry.Breaker.call b2 (fun () -> Error "x"));
+     Retry.Breaker.state b2 = Retry.Breaker.Closed)
+
+(* --- Snapshot and Journal (store units; end-to-end in test_chaos) --- *)
+
+let temp_store =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wavesyn_robust_store_%d_%d" (Unix.getpid ()) !counter)
+    in
+    Unix.mkdir dir 0o755;
+    dir
+
+let sample_stream ~n ~updates ~seed =
+  let rng = Prng.create ~seed in
+  let s = Stream_synopsis.create ~n in
+  for _ = 1 to updates do
+    Stream_synopsis.update s ~i:(Prng.int rng n)
+      ~delta:(float_of_int (Prng.int rng 19 - 9))
+  done;
+  s
+
+let flip_byte path pos =
+  let ic = open_in_bin path in
+  let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let test_snapshot_roundtrip () =
+  let dir = temp_store () in
+  let stream = sample_stream ~n:32 ~updates:25 ~seed:3 in
+  let state = Snapshot.of_stream ~seq:25 stream in
+  (match Snapshot.write ~sync:false ~dir state with
+  | Ok 1 -> ()
+  | Ok g -> Alcotest.fail (Printf.sprintf "first generation must be 1, got %d" g)
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  match Snapshot.read_latest ~dir with
+  | Error e -> Alcotest.fail (Validate.to_string e)
+  | Ok r ->
+      check "latest generation found" true (r.Snapshot.generation = Some 1);
+      check "nothing corrupt" true (r.Snapshot.corrupt = []);
+      (match r.Snapshot.state with
+      | None -> Alcotest.fail "state must decode"
+      | Some got ->
+          checks "state round-trips bit-exactly" (Snapshot.encode state)
+            (Snapshot.encode got);
+          checks "stream rebuilt from it is identical"
+            (Snapshot.encode state)
+            (Snapshot.encode
+               (Snapshot.of_stream ~seq:25 (Snapshot.to_stream got))))
+
+let test_snapshot_corrupt_falls_back () =
+  let dir = temp_store () in
+  let stream = sample_stream ~n:16 ~updates:10 ~seed:4 in
+  let write seq =
+    match Snapshot.write ~sync:false ~dir (Snapshot.of_stream ~seq stream) with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  checki "gen 1" 1 (write 10);
+  checki "gen 2" 2 (write 11);
+  checki "gen 3" 3 (write 12);
+  flip_byte (Snapshot.file_of_generation dir 3) 0;
+  (match Snapshot.read_latest ~dir with
+  | Ok { Snapshot.generation = Some 2; corrupt = [ 3 ]; state = Some st } ->
+      checki "fell back to generation 2's seq" 11 st.Snapshot.seq
+  | Ok _ -> Alcotest.fail "must fall back to generation 2 reporting 3 corrupt"
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  flip_byte (Snapshot.file_of_generation dir 2) 40;
+  (match Snapshot.read_latest ~dir with
+  | Ok { Snapshot.generation = Some 1; corrupt = [ 3; 2 ]; _ } -> ()
+  | Ok _ -> Alcotest.fail "must fall back past both corrupt generations"
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* Torn on-disk bytes (a strict prefix) are rejected the same way. *)
+  (match Snapshot.decode (String.concat "\n" [ "wavesyn-snapshot v1"; "seq 1" ]) with
+  | Error (Validate.Bad_shape _) -> ()
+  | _ -> Alcotest.fail "a truncated snapshot must be Bad_shape");
+  match Snapshot.decode "" with
+  | Error (Validate.Bad_shape _) -> ()
+  | _ -> Alcotest.fail "empty bytes must be Bad_shape"
+
+let test_snapshot_prunes_generations () =
+  let dir = temp_store () in
+  let stream = sample_stream ~n:8 ~updates:5 ~seed:5 in
+  for seq = 1 to 5 do
+    match
+      Snapshot.write ~keep:2 ~sync:false ~dir (Snapshot.of_stream ~seq stream)
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  done;
+  match Snapshot.list ~dir with
+  | Ok [ 5; 4 ] -> ()
+  | Ok gens ->
+      Alcotest.fail
+        ("kept generations must be [5; 4], got ["
+        ^ String.concat ";" (List.map string_of_int gens)
+        ^ "]")
+  | Error e -> Alcotest.fail (Validate.to_string e)
+
+let test_journal_roundtrip () =
+  let dir = temp_store () in
+  let w =
+    match Journal.open_writer ~sync:false ~dir ~next_seq:1 () with
+    | Ok w -> w
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  List.iteri
+    (fun k (i, delta) ->
+      match Journal.append w ~i ~delta with
+      | Ok seq -> checki "sequence is consecutive" (k + 1) seq
+      | Error e -> Alcotest.fail (Validate.to_string e))
+    [ (3, 1.5); (0, -2.25); (7, 0.125); (3, 4.) ];
+  Journal.close w;
+  (match Journal.replay ~dir () with
+  | Ok { Journal.records; truncated = false; _ } ->
+      check "records round-trip bit-exactly" true
+        (List.map (fun r -> (r.Journal.seq, r.Journal.i, r.Journal.delta)) records
+        = [ (1, 3, 1.5); (2, 0, -2.25); (3, 7, 0.125); (4, 3, 4.) ])
+  | Ok _ -> Alcotest.fail "a clean journal must not be truncated"
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  match Journal.replay ~since:2 ~dir () with
+  | Ok { Journal.records; _ } ->
+      check "since filters to the suffix" true
+        (List.map (fun r -> r.Journal.seq) records = [ 3; 4 ])
+  | Error e -> Alcotest.fail (Validate.to_string e)
+
+let test_journal_truncates_at_corruption () =
+  let dir = temp_store () in
+  let w =
+    match Journal.open_writer ~sync:false ~dir ~next_seq:1 () with
+    | Ok w -> w
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  for i = 1 to 6 do
+    ignore (Journal.append w ~i ~delta:1.)
+  done;
+  Journal.close w;
+  let path = Journal.path ~dir in
+  (* Flip one bit inside record 4: everything from there is untrusted,
+     even though records 5 and 6 are intact. *)
+  let ic = open_in_bin path in
+  let lines = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let offset_of_line k =
+    let pos = ref 0 in
+    for _ = 1 to k do
+      pos := String.index_from lines !pos '\n' + 1
+    done;
+    !pos
+  in
+  flip_byte path (offset_of_line 3);
+  (match Journal.replay ~dir () with
+  | Ok { Journal.records; truncated = true; _ } ->
+      check "only the prefix before the corruption survives" true
+        (List.map (fun r -> r.Journal.seq) records = [ 1; 2; 3 ])
+  | Ok _ -> Alcotest.fail "corruption must truncate the replay"
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* Repair drops the untrusted tail so appends can resume cleanly. *)
+  (match Journal.repair ~dir with
+  | Ok { Journal.truncated = true; valid_bytes; _ } ->
+      checki "file cut back to the valid prefix" valid_bytes
+        (let ic = open_in_bin path in
+         let len = in_channel_length ic in
+         close_in ic;
+         len)
+  | Ok _ -> Alcotest.fail "repair must report the truncation"
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  let w =
+    match Journal.open_writer ~sync:false ~dir ~next_seq:4 () with
+    | Ok w -> w
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  ignore (Journal.append w ~i:9 ~delta:2.);
+  Journal.close w;
+  match Journal.replay ~dir () with
+  | Ok { Journal.records; truncated = false; _ } ->
+      check "resumed journal replays in full" true
+        (List.map (fun r -> (r.Journal.seq, r.Journal.i)) records
+        = [ (1, 1); (2, 2); (3, 3); (4, 9) ])
+  | Ok _ -> Alcotest.fail "repaired journal must replay cleanly"
+  | Error e -> Alcotest.fail (Validate.to_string e)
+
+let test_journal_torn_tail_and_rotation () =
+  let dir = temp_store () in
+  let w =
+    match Journal.open_writer ~sync:false ~dir ~next_seq:1 () with
+    | Ok w -> w
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  for i = 1 to 5 do
+    ignore (Journal.append w ~i ~delta:0.5)
+  done;
+  (match Journal.rotate w ~keep_after:3 with
+  | Ok 2 -> ()
+  | Ok k -> Alcotest.fail (Printf.sprintf "rotation must keep 2 records, kept %d" k)
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  ignore (Journal.append w ~i:6 ~delta:0.5);
+  Journal.close w;
+  (match Journal.replay ~dir () with
+  | Ok { Journal.records; truncated = false; _ } ->
+      check "rotation preserves the suffix and numbering" true
+        (List.map (fun r -> r.Journal.seq) records = [ 4; 5; 6 ])
+  | Ok _ | Error _ -> Alcotest.fail "rotated journal must replay cleanly");
+  (* A torn tail: the last line lacks its newline, so it was never
+     acknowledged and must not count. *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 (Journal.path ~dir)
+  in
+  output_string oc "7 1 0x1p+0 0123";
+  close_out oc;
+  match Journal.replay ~dir () with
+  | Ok { Journal.records; truncated = true; _ } ->
+      check "torn tail dropped" true
+        (List.map (fun r -> r.Journal.seq) records = [ 4; 5; 6 ])
+  | Ok _ -> Alcotest.fail "a torn tail must truncate the replay"
+  | Error e -> Alcotest.fail (Validate.to_string e)
 
 (* --- Deadline --- *)
 
@@ -427,6 +796,89 @@ let prop_ladder_state_cap_still_serves =
           || s.Ladder.tier <> Ladder.Minmax)
           && Float.is_finite s.Ladder.max_err)
 
+(* Ladder invariants: tiers are tried in their canonical degradation
+   order (the greedy floor may appear twice — faulted, then fault-free),
+   the serving attempt is always last, and the reported guarantee is
+   exactly what a fresh [Metrics] re-measure of the served synopsis on
+   the pristine input yields. *)
+let tier_rank ~epsilon = function
+  | Ladder.Minmax -> 0
+  | Ladder.Approx_additive { epsilon = e } ->
+      if Float_util.approx_equal ~eps:1e-12 e epsilon then 1 else 2
+  | Ladder.Greedy_maxerr -> 3
+
+let prop_ladder_attempt_order =
+  QCheck.Test.make ~name:"attempts try tiers in ladder order, served last"
+    ~count:80
+    QCheck.(
+      triple
+        (array_of_size (Gen.oneofl [ 8; 16; 32; 64 ]) (float_range (-50.) 50.))
+        (int_bound 8) (int_bound 1000))
+    (fun (data, budget, seed) ->
+      let invalid =
+        Array.length data = 0 || not (Float_util.is_pow2 (Array.length data))
+      in
+      let epsilon = 0.25 in
+      let fault = Fault.create ~rate:0.4 ~seed () in
+      (* A small state cap makes upper tiers time out on bigger inputs,
+         so the order property is exercised across real degradations. *)
+      match
+        Ladder.serve ~state_cap:(16 + (seed mod 64)) ~epsilon ~fault ~data
+          ~budget Metrics.Abs
+      with
+      | Error _ -> invalid
+      | Ok s ->
+          let ranks =
+            List.map
+              (fun (a : Ladder.attempt) -> tier_rank ~epsilon a.Ladder.tier)
+              s.Ladder.attempts
+          in
+          let rec ordered = function
+            | a :: (b :: _ as tl) ->
+                (a < b || (a = b && a = 3)) && ordered tl
+            | _ -> true
+          in
+          let rec last = function
+            | [ a ] -> Some a
+            | _ :: tl -> last tl
+            | [] -> None
+          in
+          ordered ranks
+          && (match last s.Ladder.attempts with
+             | Some a ->
+                 a.Ladder.outcome = Ladder.Answered && a.Ladder.tier = s.Ladder.tier
+             | None -> false)
+          && List.for_all
+               (fun (a : Ladder.attempt) ->
+                 a.Ladder.outcome <> Ladder.Answered
+                 || a.Ladder.tier = s.Ladder.tier)
+               s.Ladder.attempts)
+
+let prop_ladder_guarantee_is_remeasured =
+  QCheck.Test.make
+    ~name:"served guarantee equals a fresh Metrics re-measure" ~count:80
+    QCheck.(
+      triple
+        (array_of_size (Gen.oneofl [ 8; 16; 32; 64 ]) (float_range (-50.) 50.))
+        (int_bound 8) (int_bound 1000))
+    (fun (data, budget, seed) ->
+      let invalid =
+        Array.length data = 0 || not (Float_util.is_pow2 (Array.length data))
+      in
+      let fault = Fault.create ~rate:0.4 ~seed () in
+      let metric =
+        if seed mod 2 = 0 then Metrics.Abs else Metrics.Rel { sanity = 1.0 }
+      in
+      match
+        Ladder.serve ~state_cap:(16 + (seed mod 64)) ~fault ~data ~budget metric
+      with
+      | Error _ -> invalid
+      | Ok s ->
+          (* Bit-exact: the ladder promises a *measured* guarantee, not
+             a solver-reported one. *)
+          Float.equal s.Ladder.max_err
+            (Metrics.of_synopsis metric ~data s.Ladder.synopsis))
+
 let prop_validated_ingestion_total =
   QCheck.Test.make ~name:"Validate.data never raises" ~count:200
     QCheck.(
@@ -443,8 +895,33 @@ let () =
         [
           Alcotest.test_case "parse_float" `Quick test_parse_float;
           Alcotest.test_case "read_file" `Quick test_read_file;
+          Alcotest.test_case "read_file caps" `Quick test_read_file_caps;
+          Alcotest.test_case "read_updates" `Quick test_read_updates;
           Alcotest.test_case "data / budget / epsilon" `Quick test_data_checks;
           QCheck_alcotest.to_alcotest prop_validated_ingestion_total;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff is seeded and bounded" `Quick
+            test_retry_backoff_deterministic;
+          Alcotest.test_case "with_retries" `Quick test_with_retries;
+          Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "corrupt generations fall back" `Quick
+            test_snapshot_corrupt_falls_back;
+          Alcotest.test_case "rotation prunes" `Quick
+            test_snapshot_prunes_generations;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip and since" `Quick test_journal_roundtrip;
+          Alcotest.test_case "truncates at first corruption, repairs" `Quick
+            test_journal_truncates_at_corruption;
+          Alcotest.test_case "torn tail and rotation" `Quick
+            test_journal_torn_tail_and_rotation;
         ] );
       ( "deadline",
         [
@@ -470,6 +947,8 @@ let () =
           Alcotest.test_case "corner inputs" `Quick test_ladder_corners;
           QCheck_alcotest.to_alcotest prop_ladder_serves_random_inputs;
           QCheck_alcotest.to_alcotest prop_ladder_state_cap_still_serves;
+          QCheck_alcotest.to_alcotest prop_ladder_attempt_order;
+          QCheck_alcotest.to_alcotest prop_ladder_guarantee_is_remeasured;
         ] );
       ( "chaos",
         [
