@@ -1,0 +1,115 @@
+(* Smoke benchmark: one tiny Bechamel case per timed group, finishing
+   in seconds rather than minutes, with machine-readable JSON output.
+
+   Purpose (see docs/OBSERVABILITY.md): seed a perf trajectory across
+   PRs and prove the observability layer's instrumentation-off path
+   leaves the DP hot loops untouched — the E6 cases here are the same
+   code path bench/main.ml times at full size.
+
+   Usage: dune exec bench/smoke.exe -- [OUT.json]
+   (default output path: BENCH_obs.json in the current directory) *)
+
+open Bechamel
+open Toolkit
+
+module Prng = Wavesyn_util.Prng
+module Signal = Wavesyn_datagen.Signal
+module Metrics = Wavesyn_synopsis.Metrics
+module Range_query = Wavesyn_synopsis.Range_query
+module Minmax_dp = Wavesyn_core.Minmax_dp
+module Approx_additive = Wavesyn_core.Approx_additive
+module Greedy_l2 = Wavesyn_baselines.Greedy_l2
+module Stream_synopsis = Wavesyn_stream.Stream_synopsis
+module Ladder = Wavesyn_robust.Ladder
+module Registry = Wavesyn_obs.Registry
+
+let rng = Prng.create ~seed:31415
+let signal n = Signal.random_walk ~rng ~n ~step:3.
+let rel1 = Metrics.Rel { sanity = 1.0 }
+
+(* One case per timed group of bench/main.ml, at tiny sizes. *)
+let cases =
+  let data64 = signal 64 in
+  let data128 = signal 128 in
+  let data4096 = signal 4096 in
+  let syn = Greedy_l2.threshold ~data:data4096 ~budget:32 in
+  let stream = Stream_synopsis.create ~n:4096 in
+  let i = ref 0 in
+  (* The observability overhead pair: the very same ladder request with
+     instrumentation off (no registry) and on (live registry). *)
+  let obs = Registry.create () in
+  [
+    Test.make ~name:"E1/haar1d-decompose:256"
+      (Staged.stage
+         (let d = signal 256 in
+          fun () -> ignore (Wavesyn_haar.Haar1d.decompose d)));
+    Test.make ~name:"E6/minmax-dp-N:64"
+      (Staged.stage (fun () -> ignore (Minmax_dp.solve ~data:data64 ~budget:8 rel1)));
+    Test.make ~name:"E6/minmax-dp-N:128"
+      (Staged.stage (fun () -> ignore (Minmax_dp.solve ~data:data128 ~budget:8 rel1)));
+    Test.make ~name:"E7/additive-1d:64"
+      (Staged.stage (fun () ->
+           ignore (Approx_additive.solve_1d ~data:data64 ~budget:6 ~epsilon:0.25 rel1)));
+    Test.make ~name:"E10/range-sum-from-synopsis:4096"
+      (Staged.stage (fun () -> ignore (Range_query.range_sum syn ~lo:100 ~hi:3000)));
+    Test.make ~name:"E11/stream-update:4096"
+      (Staged.stage (fun () ->
+           i := (!i + 797) land 4095;
+           Stream_synopsis.update stream ~i:!i ~delta:1.));
+    Test.make ~name:"OBS/ladder-serve-plain:64"
+      (Staged.stage (fun () ->
+           ignore (Ladder.serve ~data:data64 ~budget:8 rel1)));
+    Test.make ~name:"OBS/ladder-serve-instrumented:64"
+      (Staged.stage (fun () ->
+           ignore (Ladder.serve ~obs ~data:data64 ~budget:8 rel1)));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~stabilize:true ()
+  in
+  let tests = Test.make_grouped ~name:"smoke" ~fmt:"%s/%s" cases in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
+  let results = benchmark () in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let oc = open_out out in
+  output_string oc "{\n  \"schema\": \"wavesyn-bench-smoke/1\",\n  \"results\": [\n";
+  List.iteri
+    (fun k (name, ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+        (json_escape name) ns
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/run\n" name ns) rows;
+  Printf.printf "wrote %s\n" out

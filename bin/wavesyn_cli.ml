@@ -6,7 +6,8 @@
      threshold  build a synopsis with a chosen algorithm and report errors
      query      answer a range-sum query exactly and from a synopsis
      serve      run the durable supervised ingest loop over a store
-     recover    rebuild a store's state from snapshots + journal *)
+     recover    rebuild a store's state from snapshots + journal
+     stats      inspect a store read-only (state summary or gauges) *)
 
 module Haar1d = Wavesyn_haar.Haar1d
 module Synopsis = Wavesyn_synopsis.Synopsis
@@ -22,6 +23,10 @@ module Validate = Wavesyn_robust.Validate
 module Ladder = Wavesyn_robust.Ladder
 module Supervisor = Wavesyn_robust.Supervisor
 module Engine = Wavesyn_aqp.Engine
+module Stream_synopsis = Wavesyn_stream.Stream_synopsis
+module Obs_metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+module Trace = Wavesyn_obs.Trace
 
 open Cmdliner
 
@@ -407,6 +412,32 @@ let pp_recovery (r : Supervisor.recovery) =
   Printf.printf "recovery: %s\n"
     (Format.asprintf "%a" Supervisor.pp_recovery r)
 
+(* --- metrics exposition plumbing (docs/OBSERVABILITY.md) --- *)
+
+let render_metrics reg = function
+  | "table" -> Registry.render_table reg
+  | "prom" -> Registry.render_prometheus reg
+  | other ->
+      die
+        (Validate.Bad_option
+           {
+             what = Printf.sprintf "--metrics-format %s" other;
+             reason = "unknown format (expected table or prom)";
+           })
+
+(* A file destination is rewritten whole on every dump (latest scrape
+   wins); "-" interleaves labelled dumps with the normal output. *)
+let dump_metrics ~dest ~format ~label reg =
+  let text = render_metrics reg format in
+  match dest with
+  | "-" -> Printf.printf "--- metrics %s ---\n%s" label text
+  | path -> (
+      match open_out path with
+      | exception Sys_error reason -> die (Validate.Io_error { path; reason })
+      | oc ->
+          output_string oc text;
+          close_out oc)
+
 let serve_cmd =
   let n_arg =
     Arg.(value & opt int 64 & info [ "n" ] ~docv:"N"
@@ -453,15 +484,51 @@ let serve_cmd =
              ~doc:"Skip fsync on journal appends and snapshots (faster, \
                    weaker durability; intended for tests).")
   in
+  let metrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Record the metrics of docs/OBSERVABILITY.md and dump the \
+                   exposition to $(docv) ($(b,-) for stdout) when the loop \
+                   finishes (and periodically, see \
+                   $(b,--metrics-every)).")
+  in
+  let metrics_every_arg =
+    Arg.(value & opt int 0
+         & info [ "metrics-every" ] ~docv:"K"
+             ~doc:"Also dump the exposition every $(docv) ingested updates \
+                   (0, the default, dumps only the final state).")
+  in
+  let metrics_format_arg =
+    Arg.(value & opt string "table"
+         & info [ "metrics-format" ] ~docv:"FMT"
+             ~doc:"Exposition format: table (human) or prom \
+                   (Prometheus text).")
+  in
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Record ingest/recut/checkpoint/tier spans (requires \
+                   $(b,--metrics)) and print the retained spans at the end.")
+  in
   let run store n seed metric_name sanity budget checkpoint_every recut_every
-      deadline_ms updates random keep no_fsync =
+      deadline_ms updates random keep no_fsync metrics metrics_every
+      metrics_format trace =
     let metric = metric_of_name ~sanity metric_name in
+    (match metrics with
+    | Some _ -> ignore (render_metrics (Registry.create ()) metrics_format)
+    | None ->
+        if trace then
+          die
+            (Validate.Bad_option
+               { what = "--trace"; reason = "requires --metrics" }));
+    let obs = Option.map (fun _ -> Registry.create ()) metrics in
+    let trace_sink = if trace then Some (Trace.sink ()) else None in
     let cfg =
       Supervisor.config ~checkpoint_every ~recut_every
         ?recut_deadline_ms:deadline_ms ~keep ~sync:(not no_fsync) ~dir:store ~n
         ~budget metric
     in
-    let durable = ok_or_die (Engine.open_store cfg) in
+    let durable = ok_or_die (Engine.open_store ?obs ?trace:trace_sink cfg) in
     let sup = Engine.store_supervisor durable in
     Printf.printf "serve: store=%s n=%d budget=%d metric=%s\n" store n budget
       metric_name;
@@ -488,8 +555,16 @@ let serve_cmd =
                  reason = "pass either --updates or --random, not both";
                })
     in
-    Array.iter
-      (fun (i, delta) -> ignore (ok_or_die (Engine.store_ingest durable ~i ~delta)))
+    Array.iteri
+      (fun k (i, delta) ->
+        ignore (ok_or_die (Engine.store_ingest durable ~i ~delta));
+        match (metrics, obs) with
+        | Some dest, Some reg
+          when metrics_every > 0 && (k + 1) mod metrics_every = 0 ->
+            dump_metrics ~dest ~format:metrics_format
+              ~label:(Printf.sprintf "(update %d)" (k + 1))
+              reg
+        | _ -> ())
       updates;
     (match Supervisor.recut sup with
     | Ok _ | Error _ -> ());
@@ -509,20 +584,33 @@ let serve_cmd =
     Printf.printf "recuts: %d served, %d degraded, %d rejected\n"
       stats.Supervisor.recuts_served stats.Supervisor.recuts_degraded
       stats.Supervisor.recuts_rejected;
-    match Supervisor.last_served sup with
+    (match Supervisor.last_served sup with
     | None -> print_endline "served: none"
     | Some s ->
         Printf.printf "served: tier=%s retained=%d guarantee=%g\n"
           (Ladder.tier_name s.Ladder.tier)
           (Synopsis.size s.Ladder.synopsis)
-          s.Ladder.max_err
+          s.Ladder.max_err);
+    (match (metrics, obs) with
+    | Some dest, Some reg ->
+        dump_metrics ~dest ~format:metrics_format ~label:"(final)" reg
+    | _ -> ());
+    match trace_sink with
+    | None -> ()
+    | Some sink ->
+        Printf.printf "trace: recorded=%d retained=%d dropped=%d\n"
+          (Trace.recorded sink)
+          (List.length (Trace.spans sink))
+          (Trace.dropped sink);
+        print_string (Trace.render sink)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the durable supervised ingest loop over a store.")
     Term.(const run $ store_arg $ n_arg $ seed_arg $ metric_arg $ sanity_arg
           $ budget_arg $ checkpoint_arg $ recut_arg $ deadline_arg
-          $ updates_arg $ random_arg $ keep_arg $ no_fsync_arg)
+          $ updates_arg $ random_arg $ keep_arg $ no_fsync_arg $ metrics_arg
+          $ metrics_every_arg $ metrics_format_arg $ trace_arg)
 
 let recover_cmd =
   let deadline_arg =
@@ -545,11 +633,68 @@ let recover_cmd =
        ~doc:"Rebuild a store's state from its snapshots and journal.")
     Term.(const run $ store_arg $ deadline_arg)
 
+let stats_cmd =
+  let prom_arg =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Emit Prometheus-format gauges instead of the summary \
+                   table.")
+  in
+  let run store prom =
+    let r = ok_or_die (Supervisor.recover ~dir:store) in
+    let cfg = r.Supervisor.r_config in
+    let stream = r.Supervisor.r_stream in
+    let updates = Stream_synopsis.updates_seen stream in
+    let coefficients = Stream_synopsis.nonzero_count stream in
+    if prom then begin
+      (* Point-in-time gauges over the recovered state: everything here
+         is a pure function of the store's on-disk bytes, so the output
+         is deterministic (the cram golden test relies on that). *)
+      let reg = Registry.create () in
+      let g name ~help ~unit_ v =
+        Obs_metric.set (Registry.gauge reg ~help ~unit_ name) v
+      in
+      g "store.seq" ~help:"highest durable sequence number" ~unit_:"seq"
+        (float_of_int r.Supervisor.r_seq);
+      g "store.updates" ~help:"updates folded into the recovered state"
+        ~unit_:"updates" (float_of_int updates);
+      g "store.coefficients"
+        ~help:"nonzero coefficients in the recovered state"
+        ~unit_:"coefficients" (float_of_int coefficients);
+      (match r.Supervisor.r_recovery.Supervisor.generation with
+      | Some gen ->
+          g "store.checkpoint.generation" ~help:"newest snapshot generation"
+            ~unit_:"generation" (float_of_int gen)
+      | None -> ());
+      Obs_metric.incr ~by:r.Supervisor.r_recovery.Supervisor.replayed
+        (Registry.counter reg
+           ~help:"journal records replayed at the last open" ~unit_:"records"
+           "store.recovery.replayed");
+      print_string (Registry.render_prometheus reg)
+    end
+    else begin
+      Printf.printf "store: dir=%s n=%d budget=%d metric=%s epsilon=%g\n"
+        store cfg.Supervisor.n cfg.Supervisor.budget
+        (match cfg.Supervisor.metric with
+        | Metrics.Abs -> "abs"
+        | Metrics.Rel _ -> "rel")
+        cfg.Supervisor.epsilon;
+      Printf.printf "seq: %d\n" r.Supervisor.r_seq;
+      Printf.printf "updates: %d\n" updates;
+      Printf.printf "coefficients: %d nonzero\n" coefficients;
+      pp_recovery r.Supervisor.r_recovery
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Inspect a store read-only: recovered state summary or gauges.")
+    Term.(const run $ store_arg $ prom_arg)
+
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in
   Cmd.group
     (Cmd.info "wavesyn" ~doc ~version:"1.0.0")
     [ generate_cmd; decompose_cmd; threshold_cmd; evaluate_cmd; compare_cmd;
-      query_cmd; quantile_cmd; serve_cmd; recover_cmd ]
+      query_cmd; quantile_cmd; serve_cmd; recover_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,122 @@
+The metrics contract of docs/OBSERVABILITY.md, end to end: a supervised
+serve with --metrics - dumps the table exposition listing every
+documented store/journal/checkpoint/recut/ladder/DP family. Counter and
+gauge values are deterministic (fixed seed, no deadline); only the
+timing-dependent histogram statistics are masked.
+
+  $ wavesyn serve --store ./store -n 32 --budget 4 --random 20 \
+  >   --recut-every 8 --checkpoint-every 16 --no-fsync --metrics - \
+  >   | sed -E 's/[0-9]+\.[0-9]+(e[+-][0-9]+)?/F/g'
+  serve: store=./store n=32 budget=4 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  ingested: 20 updates (seq 20)
+  checkpoints: 2 (latest generation 2)
+  recuts: 3 served, 0 degraded, 0 rejected
+  served: tier=minmax retained=4 guarantee=F
+  --- metrics (final) ---
+  histogram  dp.phase.ms{tier="minmax"}                   count=3 sum=F min=F p50=F p90=F p99=F max=F ms
+  counter    dp.states{solver="minmax"}                   2301 states
+  counter    ladder.attempts{outcome="served",tier="minmax"} 3 attempts
+  histogram  ladder.serve.ms                              count=3 sum=F min=F p50=F p90=F p99=F max=F ms
+  counter    ladder.serves{tier="minmax"}                 3 requests
+  gauge      store.breaker.state                          0 state
+  counter    store.breaker.transitions                    0 transitions
+  counter    store.checkpoint.completed                   2 checkpoints
+  counter    store.checkpoint.failed                      0 checkpoints
+  gauge      store.checkpoint.generation                  2 generation
+  histogram  store.checkpoint.ms                          count=2 sum=F min=F p50=F p90=F p99=F max=F ms
+  counter    store.ingest.accepted                        20 updates
+  histogram  store.ingest.ms                              count=20 sum=F min=F p50=F p90=F p99=F max=F ms
+  counter    store.ingest.rejected                        0 updates
+  counter    store.journal.appends                        20 records
+  counter    store.journal.fsyncs                         0 fsyncs
+  counter    store.journal.rotations                      2 rotations
+  counter    store.recovery.replayed                      0 records
+  counter    store.recut.degraded                         0 recuts
+  histogram  store.recut.ms                               count=3 sum=F min=F p50=F p90=F p99=F max=F ms
+  counter    store.recut.rejected                         0 recuts
+  counter    store.recut.served                           3 recuts
+  gauge      store.seq                                    20 seq
+  counter    stream.coeff_touches                         120 coefficients
+  counter    stream.updates                               20 updates
+
+The stats subcommand inspects the store read-only and is fully
+deterministic, in both the human summary and the Prometheus gauges:
+
+  $ wavesyn stats --store ./store
+  store: dir=./store n=32 budget=4 metric=abs epsilon=0.25
+  seq: 20
+  updates: 20
+  coefficients: 26 nonzero
+  recovery: generation=2 replayed=0 truncated=no corrupt=[]
+
+  $ wavesyn stats --store ./store --prom
+  # HELP wavesyn_store_checkpoint_generation newest snapshot generation
+  # TYPE wavesyn_store_checkpoint_generation gauge
+  wavesyn_store_checkpoint_generation 2
+  # HELP wavesyn_store_coefficients nonzero coefficients in the recovered state
+  # TYPE wavesyn_store_coefficients gauge
+  wavesyn_store_coefficients 26
+  # HELP wavesyn_store_recovery_replayed journal records replayed at the last open
+  # TYPE wavesyn_store_recovery_replayed counter
+  wavesyn_store_recovery_replayed 0
+  # HELP wavesyn_store_seq highest durable sequence number
+  # TYPE wavesyn_store_seq gauge
+  wavesyn_store_seq 20
+  # HELP wavesyn_store_updates updates folded into the recovered state
+  # TYPE wavesyn_store_updates gauge
+  wavesyn_store_updates 20
+
+Tracing nests tier attempts under the recut that ran them and the
+recut under the ingest that triggered it. Span ids, names and parents
+are deterministic; durations are masked:
+
+  $ rm -rf ./store2
+  $ wavesyn serve --store ./store2 -n 32 --budget 4 --random 8 \
+  >   --recut-every 8 --checkpoint-every 16 --no-fsync \
+  >   --metrics /dev/null --trace \
+  >   | sed -E 's/[0-9]+\.[0-9]+(e[+-][0-9]+)?/F/g'
+  serve: store=./store2 n=32 budget=4 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  ingested: 8 updates (seq 8)
+  checkpoints: 1 (latest generation 1)
+  recuts: 2 served, 0 degraded, 0 rejected
+  served: tier=minmax retained=4 guarantee=F
+  trace: recorded=13 retained=13 dropped=0
+  1 ingest parent=- Fms
+  2 ingest parent=- Fms
+  3 ingest parent=- Fms
+  4 ingest parent=- Fms
+  5 ingest parent=- Fms
+  6 ingest parent=- Fms
+  7 ingest parent=- Fms
+  10 tier:minmax parent=9 Fms
+  9 recut parent=8 Fms
+  8 ingest parent=- Fms
+  12 tier:minmax parent=11 Fms
+  11 recut parent=- Fms
+  13 checkpoint parent=- Fms
+
+--trace without --metrics is a usage error:
+
+  $ wavesyn serve --store ./store2 -n 32 --random 1 --no-fsync --trace
+  wavesyn: --trace: requires --metrics
+  [2]
+
+A second serve over the same store starts from the recovered state:
+the journal suffix shows up as store.recovery.replayed, not as live
+stream traffic, and the sequence numbers continue:
+
+  $ wavesyn serve --store ./store -n 32 --budget 4 --random 4 \
+  >   --recut-every 8 --checkpoint-every 16 --no-fsync --metrics - \
+  >   --metrics-format prom | grep -E 'replayed|stream_updates|store_seq'
+  recovery: generation=2 replayed=0 truncated=no corrupt=[]
+  # HELP wavesyn_store_recovery_replayed journal records replayed at the last open
+  # TYPE wavesyn_store_recovery_replayed counter
+  wavesyn_store_recovery_replayed 0
+  # HELP wavesyn_store_seq highest durable sequence number
+  # TYPE wavesyn_store_seq gauge
+  wavesyn_store_seq 24
+  # HELP wavesyn_stream_updates live point updates applied to the stream
+  # TYPE wavesyn_stream_updates counter
+  wavesyn_stream_updates 4

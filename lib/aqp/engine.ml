@@ -56,11 +56,12 @@ type robust_build = {
   total_ms : float;
 }
 
-let build_robust ?deadline_ms ?state_cap ?epsilon ?fault relation ~budget
-    metric =
+let build_robust ?obs ?trace ?deadline_ms ?state_cap ?epsilon ?fault relation
+    ~budget metric =
   let data = Relation.frequencies relation in
   match
-    Ladder.serve ?deadline_ms ?state_cap ?epsilon ?fault ~data ~budget metric
+    Ladder.serve ?obs ?trace ?deadline_ms ?state_cap ?epsilon ?fault ~data
+      ~budget metric
   with
   | Error _ as e -> e
   | Ok served ->
@@ -142,8 +143,11 @@ module Stream_synopsis = Wavesyn_stream.Stream_synopsis
 
 type durable = { sup : Supervisor.t; dir : string }
 
-let open_store ?fault ?retry ?retry_attempts ?breaker cfg =
-  match Supervisor.open_store ?fault ?retry ?retry_attempts ?breaker cfg with
+let open_store ?obs ?trace ?fault ?retry ?retry_attempts ?breaker cfg =
+  match
+    Supervisor.open_store ?obs ?trace ?fault ?retry ?retry_attempts ?breaker
+      cfg
+  with
   | Error _ as e -> e
   | Ok sup -> Ok { sup; dir = cfg.Supervisor.dir }
 
@@ -184,15 +188,15 @@ type recovered = {
   recovery : Supervisor.recovery;
 }
 
-let recover ?deadline_ms ~dir () =
+let recover ?obs ?trace ?deadline_ms ~dir () =
   match Supervisor.recover ~dir with
   | Error _ as e -> e
   | Ok r -> (
       let cfg = r.Supervisor.r_config in
       let data = Stream_synopsis.current_data r.Supervisor.r_stream in
       match
-        Ladder.serve ?deadline_ms ~epsilon:cfg.Supervisor.epsilon ~data
-          ~budget:cfg.Supervisor.budget cfg.Supervisor.metric
+        Ladder.serve ?obs ?trace ?deadline_ms ~epsilon:cfg.Supervisor.epsilon
+          ~data ~budget:cfg.Supervisor.budget cfg.Supervisor.metric
       with
       | Error _ as e -> e
       | Ok served ->

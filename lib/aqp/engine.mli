@@ -39,6 +39,8 @@ type robust_build = {
 }
 
 val build_robust :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?trace:Wavesyn_obs.Trace.sink ->
   ?deadline_ms:float ->
   ?state_cap:int ->
   ?epsilon:float ->
@@ -50,7 +52,8 @@ val build_robust :
 (** Deadline-bounded, always-answering construction: run the
     {!Wavesyn_robust.Ladder} over the relation's frequency vector and
     wrap whichever tier answered as a query engine. See
-    {!Wavesyn_robust.Ladder.serve} for deadline and fault semantics. *)
+    {!Wavesyn_robust.Ladder.serve} for deadline, fault and metrics
+    ([obs]/[trace]) semantics. *)
 
 type 'a answer = {
   exact : 'a;
@@ -101,6 +104,8 @@ val guarantee : t -> Wavesyn_synopsis.Metrics.error_metric -> float
 type durable
 
 val open_store :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?trace:Wavesyn_obs.Trace.sink ->
   ?fault:Wavesyn_robust.Fault.t ->
   ?retry:Wavesyn_robust.Retry.policy ->
   ?retry_attempts:int ->
@@ -108,7 +113,8 @@ val open_store :
   Wavesyn_robust.Supervisor.config ->
   (durable, Wavesyn_robust.Validate.error) result
 (** Open (creating or recovering) a durable store — see
-    {!Wavesyn_robust.Supervisor.open_store}. *)
+    {!Wavesyn_robust.Supervisor.open_store}, including the [obs]/[trace]
+    observability semantics. *)
 
 val store_supervisor : durable -> Wavesyn_robust.Supervisor.t
 
@@ -136,11 +142,14 @@ type recovered = {
 }
 
 val recover :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?trace:Wavesyn_obs.Trace.sink ->
   ?deadline_ms:float ->
   dir:string ->
   unit ->
   (recovered, Wavesyn_robust.Validate.error) result
 (** Read-only crash recovery: rebuild the state from the newest
     verifiable snapshot generation plus journal replay, then re-cut a
-    synopsis through the ladder (under [deadline_ms], if given). A
+    synopsis through the ladder (under [deadline_ms], if given; with
+    [obs]/[trace], the re-cut records ladder metrics and spans). A
     missing store directory is an [Io_error]. *)

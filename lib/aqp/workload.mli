@@ -13,6 +13,7 @@ type query =
   | Quantile of float
 
 val pp_query : Format.formatter -> query -> unit
+(** Render a query in the CLI's [kind(args)] notation. *)
 
 type mix = {
   points : int;

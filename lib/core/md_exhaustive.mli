@@ -25,3 +25,5 @@ val solve :
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->
   result
+(** Exact multi-d optimum by exhaustive enumeration — the
+    super-exponential baseline §3.2 rules out; only for tiny trees. *)

@@ -30,3 +30,5 @@ val solve :
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->
   stats
+(** Run the bottom-up evaluation order and report its working-set
+    profile alongside the (identical) optimal synopsis. *)

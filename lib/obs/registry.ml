@@ -1,0 +1,245 @@
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+type instrument =
+  | I_counter of Metric.counter
+  | I_gauge of Metric.gauge
+  | I_histogram of Metric.histogram
+
+type family = {
+  f_kind : kind;
+  f_help : string;
+  f_unit : string option;
+  f_bounds : float array option;  (* histogram families only *)
+}
+
+type t = {
+  families : (string, family) Hashtbl.t;
+  (* (name, sorted labels) -> instrument; one per label set *)
+  instruments : (string * labels, instrument) Hashtbl.t;
+}
+
+let create () =
+  { families = Hashtbl.create 64; instruments = Hashtbl.create 64 }
+
+let size t = Hashtbl.length t.instruments
+
+(* --- name and label validation --- *)
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_name_char c = is_lower c || (c >= '0' && c <= '9') || c = '_'
+
+let valid_segment s =
+  String.length s > 0
+  && is_lower s.[0]
+  && String.for_all is_name_char s
+
+let valid_name name =
+  match String.split_on_char '.' name with
+  | [] -> false
+  | segs -> List.for_all valid_segment segs
+
+let valid_label_key k =
+  String.length k > 0
+  && (is_lower k.[0] || k.[0] = '_')
+  && String.for_all (fun c -> is_name_char c) k
+
+let valid_label_value v =
+  String.for_all (fun c -> c <> '"' && c <> '\n' && c <> ',') v
+
+let check_labels name labels =
+  List.iter
+    (fun (k, v) ->
+      if not (valid_label_key k) then
+        invalid_arg
+          (Printf.sprintf "Registry: bad label key %S on metric %S" k name);
+      if not (valid_label_value v) then
+        invalid_arg
+          (Printf.sprintf "Registry: bad label value %S on metric %S" v name))
+    labels;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> if a = b then true else dup rest
+    | _ -> false
+  in
+  if dup sorted then
+    invalid_arg
+      (Printf.sprintf "Registry: duplicate label key on metric %S" name);
+  sorted
+
+(* --- registration --- *)
+
+let register t ~kind ~help ~unit_ ~bounds ~labels name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: bad metric name %S" name);
+  let labels = check_labels name labels in
+  let fam = { f_kind = kind; f_help = help; f_unit = unit_; f_bounds = bounds } in
+  (match Hashtbl.find_opt t.families name with
+  | None -> Hashtbl.replace t.families name fam
+  | Some existing ->
+      if existing.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf
+             "Registry: metric %S already registered as a %s (requested %s)"
+             name
+             (kind_name existing.f_kind)
+             (kind_name kind));
+      if help <> "" && existing.f_help <> "" && existing.f_help <> help then
+        invalid_arg
+          (Printf.sprintf "Registry: metric %S re-registered with different help"
+             name);
+      if unit_ <> None && existing.f_unit <> None && existing.f_unit <> unit_
+      then
+        invalid_arg
+          (Printf.sprintf "Registry: metric %S re-registered with different unit"
+             name);
+      if bounds <> None && existing.f_bounds <> None
+         && existing.f_bounds <> bounds
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Registry: metric %S re-registered with different buckets" name);
+      (* Fill in help/unit supplied only by the later registration. *)
+      let merged =
+        {
+          existing with
+          f_help = (if existing.f_help = "" then help else existing.f_help);
+          f_unit = (if existing.f_unit = None then unit_ else existing.f_unit);
+        }
+      in
+      Hashtbl.replace t.families name merged);
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.instruments key with
+  | Some inst -> inst
+  | None ->
+      let inst =
+        match kind with
+        | Counter -> I_counter (Metric.counter ())
+        | Gauge -> I_gauge (Metric.gauge ())
+        | Histogram -> I_histogram (Metric.histogram ?bounds ())
+      in
+      Hashtbl.replace t.instruments key inst;
+      inst
+
+let counter t ?(help = "") ?unit_ ?(labels = []) name =
+  match register t ~kind:Counter ~help ~unit_ ~bounds:None ~labels name with
+  | I_counter c -> c
+  | _ -> assert false
+
+let gauge t ?(help = "") ?unit_ ?(labels = []) name =
+  match register t ~kind:Gauge ~help ~unit_ ~bounds:None ~labels name with
+  | I_gauge g -> g
+  | _ -> assert false
+
+let histogram t ?(help = "") ?unit_ ?(labels = []) ?bounds name =
+  match register t ~kind:Histogram ~help ~unit_ ~bounds ~labels name with
+  | I_histogram h -> h
+  | _ -> assert false
+
+(* --- exposition --- *)
+
+let sorted_entries t =
+  Hashtbl.fold (fun key inst acc -> (key, inst) :: acc) t.instruments []
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+
+let labels_to_string = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let render_table t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ((name, labels), inst) ->
+      let fam = Hashtbl.find t.families name in
+      let display = name ^ labels_to_string labels in
+      let value =
+        match inst with
+        | I_counter c -> string_of_int (Metric.counter_value c)
+        | I_gauge g -> Printf.sprintf "%g" (Metric.gauge_value g)
+        | I_histogram h ->
+            if Metric.hist_count h = 0 then "count=0"
+            else
+              Printf.sprintf
+                "count=%d sum=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f \
+                 max=%.3f"
+                (Metric.hist_count h) (Metric.hist_sum h) (Metric.hist_min h)
+                (Metric.quantile h 0.5) (Metric.quantile h 0.9)
+                (Metric.quantile h 0.99) (Metric.hist_max h)
+      in
+      let unit_ =
+        match fam.f_unit with Some u -> " " ^ u | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-44s %s%s\n"
+           (kind_name fam.f_kind)
+           display value unit_))
+    (sorted_entries t);
+  Buffer.contents buf
+
+let prom_name name =
+  "wavesyn_" ^ String.map (fun c -> if c = '.' then '_' else c) name
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let prom_labels_with labels extra =
+  prom_labels (labels @ [ extra ])
+
+let render_prometheus t =
+  let buf = Buffer.create 2048 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun ((name, labels), inst) ->
+      let fam = Hashtbl.find t.families name in
+      let pname = prom_name name in
+      if not (Hashtbl.mem seen_header name) then begin
+        Hashtbl.replace seen_header name ();
+        if fam.f_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" pname fam.f_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" pname (kind_name fam.f_kind))
+      end;
+      (match inst with
+      | I_counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" pname (prom_labels labels)
+               (Metric.counter_value c))
+      | I_gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %g\n" pname (prom_labels labels)
+               (Metric.gauge_value g))
+      | I_histogram h ->
+          List.iter
+            (fun (le, cum) ->
+              let le_s =
+                if Float.is_finite le then Printf.sprintf "%g" le else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" pname
+                   (prom_labels_with labels ("le", le_s))
+                   cum))
+            (Metric.cumulative h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %g\n" pname (prom_labels labels)
+               (Metric.hist_sum h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" pname (prom_labels labels)
+               (Metric.hist_count h))))
+    (sorted_entries t);
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_ms : float;
+  duration_ms : float;
+}
+
+type sink = {
+  capacity : int;
+  buf : span option array;
+  mutable next : int;  (* ring write position *)
+  mutable finished : int;  (* total spans ever recorded *)
+  mutable next_id : int;
+  mutable stack : int list;  (* ambient open-span ids, innermost first *)
+}
+
+let sink ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Trace.sink: capacity must be >= 1";
+  {
+    capacity;
+    buf = Array.make capacity None;
+    next = 0;
+    finished = 0;
+    next_id = 1;
+    stack = [];
+  }
+
+let record t span =
+  t.buf.(t.next) <- Some span;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.finished <- t.finished + 1
+
+let with_span t name f =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let parent = match t.stack with [] -> None | p :: _ -> Some p in
+  let start_ns = Mclock.now_ns () in
+  let start_ms = Int64.to_float start_ns /. 1e6 in
+  t.stack <- id :: t.stack;
+  let finish () =
+    (match t.stack with
+    | s :: rest when s = id -> t.stack <- rest
+    | _ ->
+        (* Unbalanced exits can only come from this module misusing its
+           own stack; drop down to the frame below defensively. *)
+        t.stack <- List.filter (fun s -> s <> id) t.stack);
+    record t { id; parent; name; start_ms; duration_ms = Mclock.ms_since start_ns }
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let spans t =
+  (* Oldest retained first: the ring position [next] is the oldest
+     entry once the buffer has wrapped. *)
+  let out = ref [] in
+  for k = t.capacity - 1 downto 0 do
+    match t.buf.((t.next + k) mod t.capacity) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  !out
+
+let recorded t = t.finished
+let dropped t = Stdlib.max 0 (t.finished - t.capacity)
+
+let render t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %s parent=%s %.3fms\n" s.id s.name
+           (match s.parent with Some p -> string_of_int p | None -> "-")
+           s.duration_ms))
+    (spans t);
+  Buffer.contents buf

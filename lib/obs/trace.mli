@@ -1,0 +1,48 @@
+(** Span-based tracing with a bounded ring-buffer sink.
+
+    A {e span} is one named, timed unit of work (an ingest, a
+    checkpoint, one ladder tier attempt). Spans nest: {!with_span}
+    maintains an ambient parent stack per sink, so a span opened while
+    another is running records it as parent — giving the trace tree
+    documented in [docs/OBSERVABILITY.md] (e.g.
+    [ingest > recut > tier:minmax]) without any threading of
+    identifiers at the call sites.
+
+    Finished spans land in a fixed-capacity ring buffer: the sink keeps
+    the newest [capacity] spans and silently evicts the oldest, so
+    tracing a long-running serving loop costs constant memory. The
+    sink is single-threaded, like the serving loop it observes. *)
+
+type span = {
+  id : int;  (** unique per sink, 1-based, in start order *)
+  parent : int option;  (** innermost enclosing span at start time *)
+  name : string;
+  start_ms : float;  (** {!Mclock.now_ms} stamp at start *)
+  duration_ms : float;
+}
+
+type sink
+
+val sink : ?capacity:int -> unit -> sink
+(** A fresh sink retaining the newest [capacity] (default 256, must be
+    [>= 1]) finished spans. *)
+
+val with_span : sink -> string -> (unit -> 'a) -> 'a
+(** [with_span sink name f] runs [f] inside a new span. The span is
+    recorded when [f] returns {e or raises} (the exception is
+    re-raised), so deadline aborts still leave their timing behind. *)
+
+val spans : sink -> span list
+(** Retained finished spans, oldest first. A child always finishes
+    before its parent, so children precede their parent here. *)
+
+val recorded : sink -> int
+(** Total spans ever finished into the sink (retained or evicted). *)
+
+val dropped : sink -> int
+(** Spans evicted by the ring buffer so far. *)
+
+val render : sink -> string
+(** One line per retained span, oldest first:
+    [<id> <name> parent=<id|-> <duration>ms] with the duration in
+    [%.3f] milliseconds. *)

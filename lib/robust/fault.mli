@@ -31,8 +31,10 @@ type kind =
 exception Injected of kind
 
 val kind_name : kind -> string
+(** Stable lower-snake name, used in chaos-test output. *)
 
 val all_kinds : kind list
+(** Every injectable kind, in declaration order. *)
 
 val solver_kinds : kind list
 (** The kinds consulted by {!Ladder.serve}'s fault points. *)

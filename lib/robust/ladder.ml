@@ -7,6 +7,9 @@ module Metrics = Wavesyn_synopsis.Metrics
 module Minmax_dp = Wavesyn_core.Minmax_dp
 module Approx_additive = Wavesyn_core.Approx_additive
 module Greedy_maxerr = Wavesyn_baselines.Greedy_maxerr
+module Metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+module Trace = Wavesyn_obs.Trace
 
 type tier =
   | Minmax
@@ -30,6 +33,52 @@ let outcome_name = function
 
 type attempt = { tier : tier; outcome : outcome; elapsed_ms : float }
 
+(* Stable label values for the metrics contract (docs/OBSERVABILITY.md):
+   unlike {!tier_name}, the approximation tier does not embed its ε, so
+   the label set stays fixed. *)
+let tier_label = function
+  | Minmax -> "minmax"
+  | Approx_additive _ -> "approx"
+  | Greedy_maxerr -> "greedy"
+
+(* Per-serve instruments, resolved against the registry once per call
+   (idempotent lookups; the serve itself dwarfs them). *)
+type instruments = {
+  i_trace : Trace.sink option;
+  serve_ms : Metric.histogram;
+  serves : string -> Metric.counter;  (* tier label *)
+  attempts : string -> string -> Metric.counter;  (* tier, outcome *)
+  phase_ms : string -> Metric.histogram;  (* tier label *)
+  dp_states : string -> Metric.counter;  (* solver label *)
+}
+
+let instruments ~trace reg =
+  {
+    i_trace = trace;
+    serve_ms =
+      Registry.histogram reg ~help:"end-to-end ladder serve latency"
+        ~unit_:"ms" "ladder.serve.ms";
+    serves =
+      (fun tier ->
+        Registry.counter reg ~help:"requests answered, by serving tier"
+          ~unit_:"requests" ~labels:[ ("tier", tier) ] "ladder.serves");
+    attempts =
+      (fun tier outcome ->
+        Registry.counter reg ~help:"tier attempts, by tier and outcome"
+          ~unit_:"attempts"
+          ~labels:[ ("tier", tier); ("outcome", outcome) ]
+          "ladder.attempts");
+    phase_ms =
+      (fun tier ->
+        Registry.histogram reg ~help:"duration of one solver phase"
+          ~unit_:"ms" ~labels:[ ("tier", tier) ] "dp.phase.ms");
+    dp_states =
+      (fun solver ->
+        Registry.counter reg
+          ~help:"freshly computed DP states (on_state hook firings)"
+          ~unit_:"states" ~labels:[ ("solver", solver) ] "dp.states");
+  }
+
 type served = {
   tier : tier;
   synopsis : Synopsis.t;
@@ -50,12 +99,18 @@ let describe_attempts attempts =
 let slices = [ 0.5; 0.25; 0.125 ]
 let min_slice_ms = 0.01
 
-let serve ?deadline_ms ?state_cap ?(epsilon = 0.25) ?(fault = Fault.none)
-    ~data ~budget metric =
+let serve ?obs ?trace ?deadline_ms ?state_cap ?(epsilon = 0.25)
+    ?(fault = Fault.none) ~data ~budget metric =
   let ( let* ) = Result.bind in
   let* data = Validate.data ~what:"Ladder.serve" ~require_pow2:true data in
   let* budget = Validate.budget budget in
   let* epsilon = Validate.epsilon epsilon in
+  (* Instrumentation off (no registry) means no instrument lookups, no
+     timer composition — the request runs the exact pre-observability
+     code path. *)
+  let inst =
+    match obs with None -> None | Some reg -> Some (instruments ~trace reg)
+  in
   let t0 = Deadline.now_ms () in
   let attempts = ref [] in
   (* [bounded = Some slice_ms] attaches a deadline; [None] (the greedy
@@ -64,10 +119,18 @@ let serve ?deadline_ms ?state_cap ?(epsilon = 0.25) ?(fault = Fault.none)
   let attempt ?slice_ms ~faulted tier =
     let a0 = Deadline.now_ms () in
     let fin outcome =
-      let a = { tier; outcome; elapsed_ms = Deadline.now_ms () -. a0 } in
+      let elapsed_ms = Deadline.now_ms () -. a0 in
+      let a = { tier; outcome; elapsed_ms } in
       attempts := a :: !attempts;
+      (match inst with
+      | None -> ()
+      | Some i ->
+          let label = tier_label tier in
+          Metric.incr (i.attempts label (outcome_name outcome));
+          Metric.observe (i.phase_ms label) elapsed_ms);
       a
     in
+    let run_attempt () =
     try
       if faulted then Fault.pressure fault;
       let adata =
@@ -84,6 +147,21 @@ let serve ?deadline_ms ?state_cap ?(epsilon = 0.25) ?(fault = Fault.none)
                 ~probe:(Fault.deadline_probe fault) ()
             in
             fun () -> Deadline.tick d
+      in
+      (* DP-state counting composes onto the existing [on_state] hook at
+         this call site only; the solvers themselves are untouched and
+         the uninstrumented tick closure is exactly the one above. *)
+      let tick =
+        match (inst, tier) with
+        | None, _ | _, Greedy_maxerr -> tick
+        | Some i, (Minmax | Approx_additive _) ->
+            let solver =
+              match tier with Minmax -> "minmax" | _ -> "approx-additive"
+            in
+            let c = i.dp_states solver in
+            fun () ->
+              Metric.incr c;
+              tick ()
       in
       let synopsis =
         match tier with
@@ -119,20 +197,24 @@ let serve ?deadline_ms ?state_cap ?(epsilon = 0.25) ?(fault = Fault.none)
     | e ->
         ignore (fin (Failed (Printexc.to_string e)));
         None
+    in
+    match inst with
+    | Some { i_trace = Some sink; _ } ->
+        Trace.with_span sink ("tier:" ^ tier_label tier) run_attempt
+    | _ -> run_attempt ()
   in
   let finish tier (synopsis, max_err) =
     let attempts = List.rev !attempts in
     Log.debug (fun m ->
         m "served tier=%s max_err=%g attempts=[%s]" (tier_name tier) max_err
           (describe_attempts attempts));
-    Ok
-      {
-        tier;
-        synopsis;
-        max_err;
-        attempts;
-        total_ms = Deadline.now_ms () -. t0;
-      }
+    let total_ms = Deadline.now_ms () -. t0 in
+    (match inst with
+    | None -> ()
+    | Some i ->
+        Metric.incr (i.serves (tier_label tier));
+        Metric.observe i.serve_ms total_ms);
+    Ok { tier; synopsis; max_err; attempts; total_ms }
   in
   let slice_of frac =
     Option.map (fun ms -> Float.max min_slice_ms (ms *. frac)) deadline_ms

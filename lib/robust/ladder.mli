@@ -55,6 +55,8 @@ val describe_attempts : attempt list -> string
     (no timings, so output is stable for tests). *)
 
 val serve :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?trace:Wavesyn_obs.Trace.sink ->
   ?deadline_ms:float ->
   ?state_cap:int ->
   ?epsilon:float ->
@@ -72,6 +74,16 @@ val serve :
     states — a deterministic budget useful in tests. [epsilon]
     (default 0.25) seeds the approximation tier. [fault] (default
     {!Fault.none}) injects faults at this ladder's fault points.
+
+    [obs] enables metrics: the serve records [ladder.serve.ms],
+    [ladder.serves{tier}], [ladder.attempts{tier,outcome}],
+    [dp.phase.ms{tier}] and [dp.states{solver}] into the registry (see
+    [docs/OBSERVABILITY.md] for the contract). DP states are counted by
+    composing onto the solvers' existing [on_state] hooks at this call
+    site — the DP hot loops are not touched, and with [obs] absent the
+    request runs the exact uninstrumented code path. [trace] (honoured
+    only together with [obs]) additionally records one [tier:*] span
+    per attempt into the sink.
 
     Errors are returned only for invalid {e input} (empty / non-pow2 /
     non-finite data, negative budget, ε outside (0,1]); once input

@@ -48,6 +48,7 @@ module Breaker : sig
   type state = Closed | Open | Half_open
 
   val state_name : state -> string
+  (** ["closed"] / ["open"] / ["half-open"], for logs and stats. *)
 
   type t
 

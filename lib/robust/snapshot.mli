@@ -30,6 +30,8 @@ type state = {
 }
 
 val of_stream : seq:int -> Wavesyn_stream.Stream_synopsis.t -> state
+(** Capture the stream's current coefficients as a snapshot state
+    tagged with the last applied journal sequence. *)
 
 val to_stream : state -> Wavesyn_stream.Stream_synopsis.t
 (** Raises [Invalid_argument] only on states that {!decode} would have

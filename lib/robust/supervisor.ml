@@ -2,6 +2,10 @@ module Crc32 = Wavesyn_util.Crc32
 module Float_util = Wavesyn_util.Float_util
 module Metrics = Wavesyn_synopsis.Metrics
 module Stream_synopsis = Wavesyn_stream.Stream_synopsis
+module Metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+module Trace = Wavesyn_obs.Trace
+module Mclock = Wavesyn_obs.Mclock
 
 let log_src = Logs.Src.create "wavesyn.supervisor" ~doc:"Durable serving loop"
 
@@ -213,6 +217,113 @@ let recover ~dir =
     let* stream, seq, recovery = rebuild ~dir ~n in
     Ok { r_config = cfg; r_stream = stream; r_seq = seq; r_recovery = recovery }
 
+(* --- telemetry ---
+
+   Every instrument of the [store.*] / [stream.*] metric families from
+   docs/OBSERVABILITY.md, registered once at [open_store]. When no
+   registry is supplied the supervisor holds [None] and every
+   instrumentation point is a single immediate-value branch — the
+   pre-observability code path, allocation-free. *)
+
+type telemetry = {
+  t_reg : Registry.t;  (* forwarded to Ladder.serve for dp.*/ladder.* *)
+  t_trace : Trace.sink option;
+  ingest_ms : Metric.histogram;
+  ingest_accepted : Metric.counter;
+  ingest_rejected : Metric.counter;
+  journal_appends : Metric.counter;
+  journal_fsyncs : Metric.counter;
+  journal_rotations : Metric.counter;
+  checkpoint_ms : Metric.histogram;
+  checkpoint_completed : Metric.counter;
+  checkpoint_failed : Metric.counter;
+  checkpoint_generation : Metric.gauge;
+  recut_ms : Metric.histogram;
+  recut_served : Metric.counter;
+  recut_degraded : Metric.counter;
+  recut_rejected : Metric.counter;
+  breaker_state : Metric.gauge;
+  breaker_transitions : Metric.counter;
+  seq_gauge : Metric.gauge;
+  recovery_replayed : Metric.counter;
+  stream_updates : Metric.counter;
+  stream_coeff_touches : Metric.counter;
+}
+
+let telemetry ~trace reg =
+  let c name ~help ~unit_ = Registry.counter reg ~help ~unit_ name in
+  let g name ~help ~unit_ = Registry.gauge reg ~help ~unit_ name in
+  let h name ~help = Registry.histogram reg ~help ~unit_:"ms" name in
+  {
+    t_reg = reg;
+    t_trace = trace;
+    ingest_ms =
+      h "store.ingest.ms"
+        ~help:
+          "end-to-end ingest latency (journal, apply, cadenced \
+           recut/checkpoint)";
+    ingest_accepted =
+      c "store.ingest.accepted" ~help:"updates journaled and applied"
+        ~unit_:"updates";
+    ingest_rejected =
+      c "store.ingest.rejected"
+        ~help:"ingests returning an error (validation or journal failure)"
+        ~unit_:"updates";
+    journal_appends =
+      c "store.journal.appends" ~help:"records appended to the WAL"
+        ~unit_:"records";
+    journal_fsyncs =
+      c "store.journal.fsyncs" ~help:"fsyncs issued by WAL appends"
+        ~unit_:"fsyncs";
+    journal_rotations =
+      c "store.journal.rotations" ~help:"successful journal rotations"
+        ~unit_:"rotations";
+    checkpoint_ms = h "store.checkpoint.ms" ~help:"checkpoint duration";
+    checkpoint_completed =
+      c "store.checkpoint.completed" ~help:"snapshots written"
+        ~unit_:"checkpoints";
+    checkpoint_failed =
+      c "store.checkpoint.failed" ~help:"checkpoints failed after retries"
+        ~unit_:"checkpoints";
+    checkpoint_generation =
+      g "store.checkpoint.generation" ~help:"newest snapshot generation"
+        ~unit_:"generation";
+    recut_ms = h "store.recut.ms" ~help:"synopsis re-cut duration";
+    recut_served =
+      c "store.recut.served" ~help:"re-cuts that produced a synopsis"
+        ~unit_:"recuts";
+    recut_degraded =
+      c "store.recut.degraded"
+        ~help:"re-cuts degraded to the greedy floor" ~unit_:"recuts";
+    recut_rejected =
+      c "store.recut.rejected" ~help:"re-cuts rejected by the open breaker"
+        ~unit_:"recuts";
+    breaker_state =
+      g "store.breaker.state"
+        ~help:"circuit breaker state (0=closed, 1=open, 2=half-open)"
+        ~unit_:"state";
+    breaker_transitions =
+      c "store.breaker.transitions" ~help:"breaker state changes"
+        ~unit_:"transitions";
+    seq_gauge =
+      g "store.seq" ~help:"highest durable sequence number" ~unit_:"seq";
+    recovery_replayed =
+      c "store.recovery.replayed"
+        ~help:"journal records replayed at the last open" ~unit_:"records";
+    stream_updates =
+      c "stream.updates" ~help:"live point updates applied to the stream"
+        ~unit_:"updates";
+    stream_coeff_touches =
+      c "stream.coeff_touches"
+        ~help:"coefficients touched by live updates (log2 N + 1 each)"
+        ~unit_:"coefficients";
+  }
+
+let breaker_code = function
+  | Retry.Breaker.Closed -> 0.
+  | Retry.Breaker.Open -> 1.
+  | Retry.Breaker.Half_open -> 2.
+
 (* --- the supervised loop --- *)
 
 type stats = {
@@ -234,6 +345,7 @@ type t = {
   retry : Retry.policy;
   retry_attempts : int;
   breaker : Retry.Breaker.t;
+  obs : telemetry option;
   stream : Stream_synopsis.t;
   journal : Journal.t;
   mutable seq : int;
@@ -279,7 +391,8 @@ let ensure_dir dir =
     | exception Unix.Unix_error (e, _, _) ->
         Error (Validate.Io_error { path = dir; reason = Unix.error_message e })
 
-let open_store ?(fault = Fault.none) ?retry ?(retry_attempts = 4) ?breaker cfg =
+let open_store ?obs ?trace ?(fault = Fault.none) ?retry ?(retry_attempts = 4)
+    ?breaker cfg =
   let ( let* ) = Result.bind in
   let* () = validate_config cfg in
   let* () = ensure_dir cfg.dir in
@@ -317,6 +430,21 @@ let open_store ?(fault = Fault.none) ?retry ?(retry_attempts = 4) ?breaker cfg =
   let breaker =
     match breaker with Some b -> b | None -> Retry.Breaker.create ()
   in
+  let obs = Option.map (telemetry ~trace) obs in
+  (* The stream observer attaches *after* [rebuild], so journal replay
+     counts into [store.recovery.replayed], never into the live
+     [stream.*] traffic counters. *)
+  (match obs with
+  | None -> ()
+  | Some m ->
+      Metric.incr ~by:recovery.replayed m.recovery_replayed;
+      Metric.set m.seq_gauge (float_of_int seq);
+      Metric.set m.breaker_state (breaker_code (Retry.Breaker.state breaker));
+      Stream_synopsis.set_observer stream
+        (Some
+           (fun touches ->
+             Metric.incr m.stream_updates;
+             Metric.incr ~by:touches m.stream_coeff_touches)));
   Log.info (fun m ->
       m "opened %s at seq %d (%a)" cfg.dir seq pp_recovery recovery);
   Ok
@@ -326,6 +454,7 @@ let open_store ?(fault = Fault.none) ?retry ?(retry_attempts = 4) ?breaker cfg =
       retry;
       retry_attempts;
       breaker;
+      obs;
       stream;
       journal;
       seq;
@@ -368,8 +497,11 @@ let stats t =
 let recut t =
   let attempt () =
     match
-      Ladder.serve ?deadline_ms:t.cfg.recut_deadline_ms
-        ?state_cap:t.cfg.recut_state_cap ~epsilon:t.cfg.epsilon ~fault:t.fault
+      Ladder.serve
+        ?obs:(Option.map (fun m -> m.t_reg) t.obs)
+        ?trace:(Option.bind t.obs (fun m -> m.t_trace))
+        ?deadline_ms:t.cfg.recut_deadline_ms ?state_cap:t.cfg.recut_state_cap
+        ~epsilon:t.cfg.epsilon ~fault:t.fault
         ~data:(Stream_synopsis.current_data t.stream)
         ~budget:t.cfg.budget t.cfg.metric
     with
@@ -377,6 +509,9 @@ let recut t =
     | Ok served ->
         t.served <- Some served;
         t.recuts_served <- t.recuts_served + 1;
+        (match t.obs with
+        | None -> ()
+        | Some m -> Metric.incr m.recut_served);
         let degraded =
           served.Ladder.tier = Ladder.Greedy_maxerr
           && List.exists
@@ -385,6 +520,9 @@ let recut t =
         in
         if degraded then begin
           t.recuts_degraded <- t.recuts_degraded + 1;
+          (match t.obs with
+          | None -> ()
+          | Some m -> Metric.incr m.recut_degraded);
           Error
             (Validate.Bad_shape
                {
@@ -396,51 +534,103 @@ let recut t =
         end
         else Ok served
   in
-  match Retry.Breaker.call t.breaker attempt with
-  | Ok served -> Ok served
-  | Error Retry.Breaker.Open_circuit ->
-      t.recuts_rejected <- t.recuts_rejected + 1;
-      Error Retry.Breaker.Open_circuit
-  | Error (Retry.Breaker.Inner e) ->
-      t.last_error <- Some e;
-      Error (Retry.Breaker.Inner e)
+  let guarded () =
+    (* Breaker transitions are observed around the call: any state
+       change (trip, probe, reset) shows up as exactly one transition. *)
+    let before = Retry.Breaker.state t.breaker in
+    let result = Retry.Breaker.call t.breaker attempt in
+    (match t.obs with
+    | None -> ()
+    | Some m ->
+        let after = Retry.Breaker.state t.breaker in
+        if after <> before then Metric.incr m.breaker_transitions;
+        Metric.set m.breaker_state (breaker_code after));
+    match result with
+    | Ok served -> Ok served
+    | Error Retry.Breaker.Open_circuit ->
+        t.recuts_rejected <- t.recuts_rejected + 1;
+        (match t.obs with
+        | None -> ()
+        | Some m -> Metric.incr m.recut_rejected);
+        Error Retry.Breaker.Open_circuit
+    | Error (Retry.Breaker.Inner e) ->
+        t.last_error <- Some e;
+        Error (Retry.Breaker.Inner e)
+  in
+  match t.obs with
+  | None -> guarded ()
+  | Some m ->
+      let timed () =
+        let c0 = Mclock.now_ns () in
+        let r = guarded () in
+        Metric.observe m.recut_ms (Mclock.ms_since c0);
+        r
+      in
+      (match m.t_trace with
+      | Some sink -> Trace.with_span sink "recut" timed
+      | None -> timed ())
 
 let checkpoint t =
-  let state = Snapshot.of_stream ~seq:t.seq t.stream in
-  match
-    Retry.with_retries t.retry ~attempts:t.retry_attempts (fun () ->
-        Snapshot.write ~fault:t.fault ~keep:t.cfg.keep ~sync:t.cfg.sync
-          ~dir:t.cfg.dir state)
-  with
-  | Error e ->
-      t.checkpoint_failures <- t.checkpoint_failures + 1;
-      t.last_error <- Some e;
-      Log.warn (fun m -> m "checkpoint failed: %s" (Validate.to_string e));
-      Error e
-  | Ok gen ->
-      t.checkpoints <- t.checkpoints + 1;
-      t.last_generation <- Some gen;
-      (* The journal must keep reaching back to the *oldest* retained
-         generation, so a corrupt newer one can still fall back. *)
-      let keep_after =
-        match Snapshot.list ~dir:t.cfg.dir with
-        | Error _ | Ok [] -> 0
-        | Ok gens -> (
-            let oldest = List.hd (List.rev gens) in
-            match Snapshot.decode_file (Snapshot.file_of_generation t.cfg.dir oldest) with
-            | Ok s -> s.Snapshot.seq
-            | Error _ -> 0)
+  let body () =
+    let state = Snapshot.of_stream ~seq:t.seq t.stream in
+    match
+      Retry.with_retries t.retry ~attempts:t.retry_attempts (fun () ->
+          Snapshot.write ~fault:t.fault ~keep:t.cfg.keep ~sync:t.cfg.sync
+            ~dir:t.cfg.dir state)
+    with
+    | Error e ->
+        t.checkpoint_failures <- t.checkpoint_failures + 1;
+        t.last_error <- Some e;
+        (match t.obs with
+        | None -> ()
+        | Some m -> Metric.incr m.checkpoint_failed);
+        Log.warn (fun m -> m "checkpoint failed: %s" (Validate.to_string e));
+        Error e
+    | Ok gen ->
+        t.checkpoints <- t.checkpoints + 1;
+        t.last_generation <- Some gen;
+        (match t.obs with
+        | None -> ()
+        | Some m ->
+            Metric.incr m.checkpoint_completed;
+            Metric.set m.checkpoint_generation (float_of_int gen));
+        (* The journal must keep reaching back to the *oldest* retained
+           generation, so a corrupt newer one can still fall back. *)
+        let keep_after =
+          match Snapshot.list ~dir:t.cfg.dir with
+          | Error _ | Ok [] -> 0
+          | Ok gens -> (
+              let oldest = List.hd (List.rev gens) in
+              match Snapshot.decode_file (Snapshot.file_of_generation t.cfg.dir oldest) with
+              | Ok s -> s.Snapshot.seq
+              | Error _ -> 0)
+        in
+        (match Journal.rotate t.journal ~keep_after with
+        | Ok _ -> (
+            match t.obs with
+            | None -> ()
+            | Some m -> Metric.incr m.journal_rotations)
+        | Error e ->
+            (* Rotation is space management, not correctness: the journal
+               simply stays longer. *)
+            t.last_error <- Some e;
+            Log.warn (fun m -> m "rotation failed: %s" (Validate.to_string e)));
+        Ok gen
+  in
+  match t.obs with
+  | None -> body ()
+  | Some m ->
+      let timed () =
+        let c0 = Mclock.now_ns () in
+        let r = body () in
+        Metric.observe m.checkpoint_ms (Mclock.ms_since c0);
+        r
       in
-      (match Journal.rotate t.journal ~keep_after with
-      | Ok _ -> ()
-      | Error e ->
-          (* Rotation is space management, not correctness: the journal
-             simply stays longer. *)
-          t.last_error <- Some e;
-          Log.warn (fun m -> m "rotation failed: %s" (Validate.to_string e)));
-      Ok gen
+      (match m.t_trace with
+      | Some sink -> Trace.with_span sink "checkpoint" timed
+      | None -> timed ())
 
-let ingest t ~i ~delta =
+let ingest_body t ~i ~delta =
   if i < 0 || i >= t.cfg.n then
     Error
       (Validate.Bad_value
@@ -472,10 +662,33 @@ let ingest t ~i ~delta =
            so a crash between the two replays it on recovery. *)
         t.seq <- seq;
         t.acked <- t.acked + 1;
+        (match t.obs with
+        | None -> ()
+        | Some m ->
+            Metric.incr m.journal_appends;
+            if t.cfg.sync then Metric.incr m.journal_fsyncs;
+            Metric.set m.seq_gauge (float_of_int seq));
         Stream_synopsis.update t.stream ~i ~delta;
         if seq mod t.cfg.recut_every = 0 then ignore (recut t);
         if seq mod t.cfg.checkpoint_every = 0 then ignore (checkpoint t);
         Ok seq
+
+let ingest t ~i ~delta =
+  match t.obs with
+  | None -> ingest_body t ~i ~delta
+  | Some m ->
+      let timed () =
+        let c0 = Mclock.now_ns () in
+        let r = ingest_body t ~i ~delta in
+        (match r with
+        | Ok _ -> Metric.incr m.ingest_accepted
+        | Error _ -> Metric.incr m.ingest_rejected);
+        Metric.observe m.ingest_ms (Mclock.ms_since c0);
+        r
+      in
+      (match m.t_trace with
+      | Some sink -> Trace.with_span sink "ingest" timed
+      | None -> timed ())
 
 let close t =
   Journal.close t.journal

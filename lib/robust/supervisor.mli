@@ -56,10 +56,13 @@ type recovery = {
 }
 
 val pp_recovery : Format.formatter -> recovery -> unit
+(** One-line [generation=… replayed=… truncated=… corrupt=…] form. *)
 
 type t
 
 val open_store :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?trace:Wavesyn_obs.Trace.sink ->
   ?fault:Fault.t ->
   ?retry:Retry.policy ->
   ?retry_attempts:int ->
@@ -72,7 +75,17 @@ val open_store :
     a [Bad_shape]. [fault] arms the storage and ladder fault points
     (default none); [retry]/[retry_attempts] configure I/O retries
     (default: seeded policy, 4 attempts); [breaker] supervises re-cuts
-    (default: threshold 3, 1s cooldown). *)
+    (default: threshold 3, 1s cooldown).
+
+    [obs] registers the [store.*] and [stream.*] metric families into
+    the given registry and forwards it to every {!Ladder.serve} this
+    store runs (see [docs/OBSERVABILITY.md] for the full contract).
+    Journal replay during this open is reported once as
+    [store.recovery.replayed]; only post-open traffic moves the live
+    [stream.*] counters. [trace] (honoured only with [obs]) records
+    [ingest] / [recut] / [checkpoint] / [tier:*] spans, nested. Without
+    [obs] the supervisor runs the exact uninstrumented path —
+    instrumentation sites cost a single branch and no allocation. *)
 
 val ingest : t -> i:int -> delta:float -> (int, Validate.error) result
 (** Accept the point update [d_i += delta]: journal it durably (with
@@ -127,6 +140,7 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Counters since [open_store] (recovery work excluded). *)
 
 val close : t -> unit
 (** Flush and close the journal (does {e not} checkpoint — call

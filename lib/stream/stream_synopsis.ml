@@ -6,12 +6,17 @@ type t = {
   n : int;
   coeffs : (int, float) Hashtbl.t;  (* sparse non-zero coefficients *)
   mutable updates : int;
+  mutable observer : (int -> unit) option;
+      (* called once per applied update with the path length (coefficient
+         touches); [None] costs one branch on the update path *)
 }
 
 let create ~n =
   if not (Float_util.is_pow2 n) then
     invalid_arg "Stream_synopsis.create: n must be a power of two";
-  { n; coeffs = Hashtbl.create 64; updates = 0 }
+  { n; coeffs = Hashtbl.create 64; updates = 0; observer = None }
+
+let set_observer t obs = t.observer <- obs
 
 let n t = t.n
 let updates_seen t = t.updates
@@ -28,13 +33,15 @@ let bump t j delta =
 let update t ~i ~delta =
   if i < 0 || i >= t.n then
     invalid_arg "Stream_synopsis.update: cell out of range";
+  let path = Haar1d.path ~n:t.n i in
   List.iter
     (fun j ->
       let support = if j = 0 then t.n else Haar1d.support_size ~n:t.n j in
       let sign = float_of_int (Haar1d.sign ~n:t.n ~coeff:j ~cell:i) in
       bump t j (sign *. delta /. float_of_int support))
-    (Haar1d.path ~n:t.n i);
-  t.updates <- t.updates + 1
+    path;
+  t.updates <- t.updates + 1;
+  match t.observer with None -> () | Some f -> f (List.length path)
 
 let of_data data =
   let t = create ~n:(Array.length data) in

@@ -23,6 +23,16 @@ val update : t -> i:int -> delta:float -> unit
 
 val updates_seen : t -> int
 
+val set_observer : t -> (int -> unit) option -> unit
+(** Attach (or with [None] detach) an update observer: after each
+    applied {!update} it receives the number of coefficients touched
+    ([log2 N + 1]). This keeps the stream layer free of any metrics
+    dependency — the serving layer bridges the callback into its
+    registry — and an unobserved structure pays only a [None] branch
+    per update. The observer is deliberately {e not} captured by
+    {!coeffs}/{!restore}: recovery replay reattaches it explicitly so
+    replayed updates are not double-counted as live traffic. *)
+
 val coefficient : t -> int -> float
 (** Current value of one coefficient. *)
 

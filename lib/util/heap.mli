@@ -5,6 +5,7 @@
     retained priority at the root so it can be evicted in O(log B)). *)
 
 type 'a t
+(** Mutable heap; grows as needed. *)
 
 val create : unit -> 'a t
 val size : 'a t -> int

@@ -1,0 +1,424 @@
+(* Observability core (lib/obs) and its integration contract.
+
+   Under test: instrument arithmetic (bucket placement, quantile
+   interpolation, NaN hygiene), registry naming rules (idempotent
+   lookup, loud collisions), the trace ring buffer, both exposition
+   formats — and the property the whole layer stands on: enabling
+   metrics never changes an answer. *)
+
+module Metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+module Trace = Wavesyn_obs.Trace
+module Mclock = Wavesyn_obs.Mclock
+module Ladder = Wavesyn_robust.Ladder
+module Supervisor = Wavesyn_robust.Supervisor
+module Stream_synopsis = Wavesyn_stream.Stream_synopsis
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Prng = Wavesyn_util.Prng
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let raises_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> true
+  | _ -> false
+
+(* --- Mclock --- *)
+
+let test_mclock () =
+  let a = Mclock.now_ns () in
+  let b = Mclock.now_ns () in
+  check "monotonic" true (Int64.compare b a >= 0);
+  check "ms_since non-negative" true (Mclock.ms_since a >= 0.)
+
+(* --- counters and gauges --- *)
+
+let test_counter_gauge () =
+  let c = Metric.counter () in
+  Metric.incr c;
+  Metric.incr ~by:41 c;
+  checki "counter accumulates" 42 (Metric.counter_value c);
+  Metric.incr ~by:0 c;
+  checki "by:0 is a no-op" 42 (Metric.counter_value c);
+  check "negative increments rejected" true
+    (raises_invalid (fun () -> Metric.incr ~by:(-1) c));
+  let g = Metric.gauge () in
+  Metric.set g 3.5;
+  Metric.set g (-2.);
+  checkf "gauge keeps the last value" (-2.) (Metric.gauge_value g)
+
+(* --- histogram buckets --- *)
+
+let test_histogram_buckets () =
+  let h = Metric.histogram ~bounds:[| 1.; 2.; 4. |] () in
+  (* One observation per region: bucket upper bounds are inclusive. *)
+  List.iter (Metric.observe h) [ 0.5; 1.0; 1.5; 4.0; 9.0 ];
+  checki "count" 5 (Metric.hist_count h);
+  check "buckets" true (Metric.bucket_counts h = [| 2; 1; 1; 1 |]);
+  checkf "sum" 16.0 (Metric.hist_sum h);
+  checkf "min" 0.5 (Metric.hist_min h);
+  checkf "max" 9.0 (Metric.hist_max h);
+  check "cumulative view" true
+    (Metric.cumulative h = [ (1., 2); (2., 3); (4., 4); (infinity, 5) ]);
+  (* Invalid bounds are a programming error, caught loudly. *)
+  check "empty bounds rejected" true
+    (raises_invalid (fun () -> Metric.histogram ~bounds:[||] ()));
+  check "non-increasing bounds rejected" true
+    (raises_invalid (fun () -> Metric.histogram ~bounds:[| 1.; 1. |] ()));
+  check "non-finite bounds rejected" true
+    (raises_invalid (fun () -> Metric.histogram ~bounds:[| 1.; infinity |] ()))
+
+let test_histogram_nan_hygiene () =
+  let h = Metric.histogram ~bounds:[| 1.; 2. |] () in
+  Metric.observe h 1.5;
+  Metric.observe h Float.nan;
+  Metric.observe h Float.infinity;
+  checki "non-finite observations counted" 3 (Metric.hist_count h);
+  check "in the overflow bucket" true (Metric.bucket_counts h = [| 0; 1; 2 |]);
+  checkf "but excluded from sum" 1.5 (Metric.hist_sum h);
+  checkf "and from min" 1.5 (Metric.hist_min h);
+  checkf "and from max" 1.5 (Metric.hist_max h)
+
+let test_histogram_quantiles () =
+  let h = Metric.histogram ~bounds:[| 1.; 2.; 4. |] () in
+  check "empty quantile is nan" true (Float.is_nan (Metric.quantile h 0.5));
+  (* 100 observations uniform over (1, 2]: interpolation inside the
+     covering bucket reproduces the uniform quantiles. *)
+  for k = 1 to 100 do
+    Metric.observe h (1. +. (float_of_int k /. 100.))
+  done;
+  checkf "q=0 clamps to min" 1.01 (Metric.quantile h 0.);
+  checkf "q=1 clamps to max" 2.0 (Metric.quantile h 1.);
+  let q50 = Metric.quantile h 0.5 in
+  check "median inside the covering bucket" true (q50 > 1.4 && q50 <= 1.6);
+  check "q outside [0,1] rejected" true
+    (raises_invalid (fun () -> Metric.quantile h 1.5));
+  (* All mass in one bucket below several empty ones: the estimate must
+     stay within the observed range, not wander into empty buckets. *)
+  let h2 = Metric.histogram ~bounds:[| 1.; 2.; 4. |] () in
+  Metric.observe h2 0.25;
+  Metric.observe h2 0.75;
+  let q90 = Metric.quantile h2 0.9 in
+  check "clamped to observed max" true (q90 <= 0.75 +. 1e-9)
+
+(* --- registry --- *)
+
+let test_registry_names () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "store.ingest.accepted");
+  ignore (Registry.counter reg "a.b_2.c");
+  List.iter
+    (fun bad ->
+      check (bad ^ " rejected") true
+        (raises_invalid (fun () -> Registry.counter reg bad)))
+    [ ""; "Store.x"; "store..x"; ".store"; "store."; "store x"; "2store" ];
+  List.iter
+    (fun bad ->
+      check "bad labels rejected" true
+        (raises_invalid (fun () ->
+             Registry.counter reg ~labels:bad "lbl.test")))
+    [
+      [ ("Tier", "minmax") ];
+      [ ("tier", "with\"quote") ];
+      [ ("tier", "a,b") ];
+      [ ("tier", "x"); ("tier", "y") ];
+    ]
+
+let test_registry_idempotent () =
+  let reg = Registry.create () in
+  let c1 = Registry.counter reg ~help:"h" ~unit_:"u" "x.y" in
+  let c2 = Registry.counter reg "x.y" in
+  Metric.incr c1;
+  checki "same instrument returned" 1 (Metric.counter_value c2);
+  let l1 = Registry.counter reg ~labels:[ ("a", "1"); ("b", "2") ] "x.z" in
+  let l2 = Registry.counter reg ~labels:[ ("b", "2"); ("a", "1") ] "x.z" in
+  Metric.incr l1;
+  checki "label order is canonicalized" 1 (Metric.counter_value l2);
+  checki "two distinct instruments" 2 (Registry.size reg)
+
+let test_registry_collisions () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg ~help:"events" ~unit_:"u" "c.a");
+  check "kind collision" true
+    (raises_invalid (fun () -> Registry.gauge reg "c.a"));
+  check "help collision" true
+    (raises_invalid (fun () -> Registry.counter reg ~help:"other" "c.a"));
+  check "unit collision" true
+    (raises_invalid (fun () -> Registry.counter reg ~unit_:"v" "c.a"));
+  ignore (Registry.histogram reg ~bounds:[| 1.; 2. |] "c.h");
+  check "bounds collision" true
+    (raises_invalid (fun () ->
+         Registry.histogram reg ~bounds:[| 1.; 3. |] "c.h"));
+  ignore (Registry.histogram reg ~bounds:[| 1.; 2. |] "c.h");
+  checki "collisions registered nothing" 2 (Registry.size reg)
+
+let test_exposition () =
+  let reg = Registry.create () in
+  Metric.incr ~by:7
+    (Registry.counter reg ~help:"accepted" ~unit_:"updates" "s.acc");
+  Metric.set (Registry.gauge reg ~help:"seq" ~unit_:"seq" "s.seq") 40.;
+  let h =
+    Registry.histogram reg ~help:"lat" ~unit_:"ms" ~bounds:[| 1.; 2. |]
+      "s.lat"
+  in
+  Metric.observe h 0.5;
+  Metric.observe h 1.5;
+  let table = Registry.render_table reg in
+  let expected_table =
+    "counter    s.acc                                        7 updates\n\
+     histogram  s.lat                                        count=2 \
+     sum=2.000 min=0.500 p50=1.000 p90=1.500 p99=1.500 max=1.500 ms\n\
+     gauge      s.seq                                        40 seq\n"
+  in
+  Alcotest.(check string) "table golden" expected_table table;
+  let prom = Registry.render_prometheus reg in
+  let expected_prom =
+    "# HELP wavesyn_s_acc accepted\n\
+     # TYPE wavesyn_s_acc counter\n\
+     wavesyn_s_acc 7\n\
+     # HELP wavesyn_s_lat lat\n\
+     # TYPE wavesyn_s_lat histogram\n\
+     wavesyn_s_lat_bucket{le=\"1\"} 1\n\
+     wavesyn_s_lat_bucket{le=\"2\"} 2\n\
+     wavesyn_s_lat_bucket{le=\"+Inf\"} 2\n\
+     wavesyn_s_lat_sum 2\n\
+     wavesyn_s_lat_count 2\n\
+     # HELP wavesyn_s_seq seq\n\
+     # TYPE wavesyn_s_seq gauge\n\
+     wavesyn_s_seq 40\n"
+  in
+  Alcotest.(check string) "prometheus golden" expected_prom prom
+
+(* --- trace --- *)
+
+let test_trace_nesting () =
+  let sink = Trace.sink () in
+  let v =
+    Trace.with_span sink "outer" (fun () ->
+        Trace.with_span sink "inner" (fun () -> 42))
+  in
+  checki "value passes through" 42 v;
+  (match Trace.spans sink with
+  | [ inner; outer ] ->
+      check "child finishes first" true (inner.Trace.name = "inner");
+      check "parent linked" true (inner.Trace.parent = Some outer.Trace.id);
+      check "outer is a root" true (outer.Trace.parent = None)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+  (* A raising span still records, and re-raises. *)
+  (match
+     Trace.with_span sink "boom" (fun () -> raise (Failure "injected"))
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception must re-raise");
+  checki "raising span recorded" 3 (Trace.recorded sink);
+  (* ...and did not corrupt the ambient stack for later spans. *)
+  Trace.with_span sink "after" (fun () -> ());
+  (match List.rev (Trace.spans sink) with
+  | after :: _ -> check "after is a root" true (after.Trace.parent = None)
+  | [] -> Alcotest.fail "span missing")
+
+let test_trace_ring () =
+  let sink = Trace.sink ~capacity:4 () in
+  for k = 1 to 10 do
+    Trace.with_span sink (Printf.sprintf "s%d" k) (fun () -> ())
+  done;
+  checki "recorded counts everything" 10 (Trace.recorded sink);
+  checki "dropped = overflow" 6 (Trace.dropped sink);
+  let names = List.map (fun s -> s.Trace.name) (Trace.spans sink) in
+  check "newest retained, oldest first" true
+    (names = [ "s7"; "s8"; "s9"; "s10" ]);
+  check "capacity must be positive" true
+    (raises_invalid (fun () -> Trace.sink ~capacity:0 ()))
+
+(* --- neutrality: metrics never change an answer --- *)
+
+let prop_ladder_obs_neutral =
+  QCheck.Test.make ~name:"ladder answer identical with and without metrics"
+    ~count:40
+    QCheck.(
+      pair (int_bound 1000) (int_range 1 16))
+    (fun (seed, budget) ->
+      let rng = Prng.create ~seed in
+      let data = Array.init 64 (fun _ -> float_of_int (Prng.int rng 100)) in
+      let plain =
+        Ladder.serve ~state_cap:2000 ~data ~budget Metrics.Abs
+      in
+      let reg = Registry.create () in
+      let observed =
+        Ladder.serve ~obs:reg ~trace:(Trace.sink ()) ~state_cap:2000 ~data
+          ~budget Metrics.Abs
+      in
+      match (plain, observed) with
+      | Ok a, Ok b ->
+          a.Ladder.tier = b.Ladder.tier
+          && a.Ladder.max_err = b.Ladder.max_err
+          && Synopsis.to_string a.Ladder.synopsis
+             = Synopsis.to_string b.Ladder.synopsis
+      | _ -> false)
+
+let prop_stream_observer_neutral =
+  QCheck.Test.make
+    ~name:"stream observer never changes the coefficient state" ~count:60
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let apply ~observe =
+        let t = Stream_synopsis.create ~n:32 in
+        if observe then Stream_synopsis.set_observer t (Some (fun _ -> ()));
+        let rng = Prng.create ~seed in
+        for _ = 1 to 50 do
+          Stream_synopsis.update t ~i:(Prng.int rng 32)
+            ~delta:(float_of_int (Prng.int rng 19 - 9))
+        done;
+        Stream_synopsis.coeffs t
+      in
+      apply ~observe:true = apply ~observe:false)
+
+let test_observer_reports_path_length () =
+  let t = Stream_synopsis.create ~n:16 in
+  let total = ref 0 and calls = ref 0 in
+  Stream_synopsis.set_observer t
+    (Some
+       (fun touches ->
+         incr calls;
+         total := !total + touches));
+  Stream_synopsis.update t ~i:3 ~delta:1.;
+  Stream_synopsis.update t ~i:9 ~delta:(-2.);
+  checki "one call per update" 2 !calls;
+  (* path length is log2 16 + 1 = 5 *)
+  checki "touches = log2 n + 1 each" 10 !total;
+  Stream_synopsis.set_observer t None;
+  Stream_synopsis.update t ~i:0 ~delta:1.;
+  checki "detached observer is silent" 2 !calls
+
+(* --- supervisor integration: metrics mirror stats --- *)
+
+let with_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wavesyn_obs_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let counter_value reg ?labels name =
+  Metric.counter_value (Registry.counter reg ?labels name)
+
+let test_supervisor_metrics () =
+  with_store (fun dir ->
+      let reg = Registry.create () in
+      let cfg =
+        Supervisor.config ~checkpoint_every:8 ~recut_every:4 ~sync:false ~dir
+          ~n:32 ~budget:4 Metrics.Abs
+      in
+      let sup =
+        match Supervisor.open_store ~obs:reg cfg with
+        | Ok s -> s
+        | Error e -> Alcotest.fail (Wavesyn_robust.Validate.to_string e)
+      in
+      let rng = Prng.create ~seed:5 in
+      for _ = 1 to 16 do
+        match
+          Supervisor.ingest sup ~i:(Prng.int rng 32)
+            ~delta:(float_of_int (Prng.int rng 9 - 4))
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Wavesyn_robust.Validate.to_string e)
+      done;
+      (* An invalid update is rejected and counted as such. *)
+      (match Supervisor.ingest sup ~i:99 ~delta:1. with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "out-of-domain ingest must fail");
+      let stats = Supervisor.stats sup in
+      checki "accepted mirrors acked" stats.Supervisor.acked
+        (counter_value reg "store.ingest.accepted");
+      checki "one rejection" 1 (counter_value reg "store.ingest.rejected");
+      checki "appends mirror acked" stats.Supervisor.acked
+        (counter_value reg "store.journal.appends");
+      checki "no fsyncs when sync=false" 0
+        (counter_value reg "store.journal.fsyncs");
+      checki "recuts mirror stats" stats.Supervisor.recuts_served
+        (counter_value reg "store.recut.served");
+      checki "checkpoints mirror stats" stats.Supervisor.checkpoints
+        (counter_value reg "store.checkpoint.completed");
+      checki "live updates counted" 16 (counter_value reg "stream.updates");
+      (* log2 32 + 1 = 6 coefficient touches per update *)
+      checki "coefficient touches" (16 * 6)
+        (counter_value reg "stream.coeff_touches");
+      checki "ladder serves mirror recuts" stats.Supervisor.recuts_served
+        (counter_value reg ~labels:[ ("tier", "minmax") ] "ladder.serves");
+      check "seq gauge tracks" true
+        (Metric.gauge_value (Registry.gauge reg "store.seq")
+        = float_of_int stats.Supervisor.seq);
+      checki "ingest latency histogram count = attempts" 17
+        (Metric.hist_count
+           (Registry.histogram reg ~unit_:"ms" "store.ingest.ms"));
+      Supervisor.close sup;
+      (* Reopen with a fresh registry: replay is recovery, not live
+         traffic. *)
+      let reg2 = Registry.create () in
+      let sup2 =
+        match Supervisor.open_store ~obs:reg2 cfg with
+        | Ok s -> s
+        | Error e -> Alcotest.fail (Wavesyn_robust.Validate.to_string e)
+      in
+      checki "replayed counted once"
+        (Supervisor.last_recovery sup2).Supervisor.replayed
+        (counter_value reg2 "store.recovery.replayed");
+      checki "no live stream traffic after replay" 0
+        (counter_value reg2 "stream.updates");
+      Supervisor.close sup2)
+
+let () =
+  Alcotest.run "wavesyn-obs"
+    [
+      ( "mclock",
+        [ Alcotest.test_case "monotonic ms" `Quick test_mclock ] );
+      ( "metric",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "NaN hygiene" `Quick test_histogram_nan_hygiene;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_histogram_quantiles;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "name and label validation" `Quick
+            test_registry_names;
+          Alcotest.test_case "idempotent lookup" `Quick
+            test_registry_idempotent;
+          Alcotest.test_case "collision rejection" `Quick
+            test_registry_collisions;
+          Alcotest.test_case "exposition goldens" `Quick test_exposition;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and re-raise" `Quick test_trace_nesting;
+          Alcotest.test_case "ring buffer eviction" `Quick test_trace_ring;
+        ] );
+      ( "neutrality",
+        [
+          QCheck_alcotest.to_alcotest prop_ladder_obs_neutral;
+          QCheck_alcotest.to_alcotest prop_stream_observer_neutral;
+          Alcotest.test_case "observer reports path length" `Quick
+            test_observer_reports_path_length;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "metrics mirror stats" `Quick
+            test_supervisor_metrics;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Documentation lint for the public interfaces.
+
+   odoc is not part of the pinned toolchain, so `dune build @doc`
+   cannot serve as the documentation gate. This lint enforces the
+   contract we actually rely on, directly on the sources:
+
+   - every [.mli] must open with a module synopsis: the first
+     non-blank token is a [(**] doc comment;
+   - comment delimiters must balance (an unterminated [(* ] is the
+     classic way to ship an interface odoc would choke on);
+   - every top-level [val] must sit adjacent to a doc comment —
+     either the preceding non-blank line closes one ([*)]), or one
+     opens right after the declaration (odoc's trailing-comment
+     attachment), or the val directly extends a run of vals whose
+     head is documented (one group comment covering a block of
+     accessors). Section headings ([{1 ...}]) close with [*)] and
+     therefore cover the vals they introduce.
+
+   Usage: doclint DIR...  — walks each directory for [.mli] files,
+   prints one line per violation and exits 1 if any were found. *)
+
+let violations = ref 0
+
+let complain file line msg =
+  incr violations;
+  Printf.printf "%s:%d: %s\n" file line msg
+
+let is_blank s = String.trim s = ""
+
+let starts_with pre s =
+  let s = String.trim s in
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let ends_with suf s =
+  let s = String.trim s in
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+(* Count comment opens/closes on a line, cheaply: we only need balance
+   across the whole file, not per-line nesting. *)
+let count_sub sub s =
+  let n = String.length s and m = String.length sub in
+  let c = ref 0 in
+  for i = 0 to n - m do
+    if String.sub s i m = sub then incr c
+  done;
+  !c
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  go []
+
+let lint_file file =
+  let lines = Array.of_list (read_lines file) in
+  let n = Array.length lines in
+  (* 1. module synopsis *)
+  let rec first_nonblank i =
+    if i >= n then None
+    else if is_blank lines.(i) then first_nonblank (i + 1)
+    else Some i
+  in
+  (match first_nonblank 0 with
+  | None -> complain file 1 "empty interface (no module synopsis)"
+  | Some i ->
+      if not (starts_with "(**" lines.(i)) then
+        complain file (i + 1)
+          "missing module synopsis: interface must open with a (** ... *) doc comment");
+  (* 2. balanced comment delimiters. "(**" also opens with "(*", and
+     "*)" closes both, so plain open/close counts balance. *)
+  let opens = ref 0 and closes = ref 0 in
+  Array.iteri
+    (fun i line ->
+      opens := !opens + count_sub "(*" line;
+      closes := !closes + count_sub "*)" line;
+      if !closes > !opens then
+        complain file (i + 1) "comment close without matching open")
+    lines;
+  if !opens > !closes then
+    complain file n "unterminated comment: more (* than *)";
+  (* 3. every top-level val adjacent to documentation *)
+  let toplevel l =
+    List.exists
+      (fun k -> starts_with k l)
+      [ "val "; "type "; "module"; "exception "; "include "; "open "; "(*" ]
+  in
+  (* a val declaration spans from its [val] line up to (excluding) the
+     first blank line, next top-level item, or comment *)
+  let item_end i =
+    let rec go j =
+      if j >= n || is_blank lines.(j) || toplevel lines.(j) then j else go (j + 1)
+    in
+    go (i + 1)
+  in
+  (* lines belonging to a val item that is itself documented; a val
+     whose previous non-blank line falls in such a span inherits the
+     group comment *)
+  let covered_span = Array.make n false in
+  for i = 0 to n - 1 do
+    if starts_with "val " lines.(i) then begin
+      let prev_documents =
+        let rec back j =
+          if j < 0 then false
+          else if is_blank lines.(j) then back (j - 1)
+          else ends_with "*)" lines.(j) || covered_span.(j)
+        in
+        back (i - 1)
+      in
+      let stop = item_end i in
+      let next_documents = stop < n && starts_with "(**" lines.(stop) in
+      if prev_documents || next_documents then
+        for j = i to stop - 1 do
+          covered_span.(j) <- true
+        done
+      else
+        complain file (i + 1)
+          (Printf.sprintf "undocumented val: %s" (String.trim lines.(i)))
+    end
+  done
+
+let rec walk dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.iter (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then walk path
+         else if Filename.check_suffix entry ".mli" then lint_file path)
+
+let () =
+  let dirs = List.tl (Array.to_list Sys.argv) in
+  if dirs = [] then (prerr_endline "usage: doclint DIR..."; exit 2);
+  List.iter walk dirs;
+  if !violations > 0 then begin
+    Printf.printf "doclint: %d violation(s)\n" !violations;
+    exit 1
+  end
