@@ -118,7 +118,7 @@ let test_e8 =
   let grid = Signal.grid_int ~rng ~side:8 ~levels:32 in
   Test.make ~name:"E8/approx-abs-2d:8x8"
     (Staged.stage (fun () ->
-         ignore (Approx_abs.solve ~data:grid ~budget:6 ~epsilon:0.25)))
+         ignore (Approx_abs.solve ~data:grid ~budget:6 ~epsilon:0.25 ())))
 
 (* E10: query answering throughput. *)
 let query_tests =

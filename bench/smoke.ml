@@ -22,6 +22,10 @@ module Greedy_l2 = Wavesyn_baselines.Greedy_l2
 module Stream_synopsis = Wavesyn_stream.Stream_synopsis
 module Ladder = Wavesyn_robust.Ladder
 module Registry = Wavesyn_obs.Registry
+module Approx_abs = Wavesyn_core.Approx_abs
+module Multi_measure = Wavesyn_core.Multi_measure
+module Ndarray = Wavesyn_util.Ndarray
+module Pool = Wavesyn_par.Pool
 
 let rng = Prng.create ~seed:31415
 let signal n = Signal.random_walk ~rng ~n ~step:3.
@@ -64,7 +68,40 @@ let cases =
            ignore (Ladder.serve ~obs ~data:data64 ~budget:8 rel1)));
   ]
 
-let benchmark () =
+(* Sequential-vs-pooled pairs for the deterministic solver pool
+   (docs/PARALLELISM.md). The pooled runs return bit-identical results;
+   only the wall clock may differ, and only on multicore hosts — the
+   recorded BENCH_par.json notes the host's core count so a 1-core
+   container's numbers are not read as a parallelism regression. *)
+let par_cases pool4 =
+  let grid = Ndarray.init ~dims:[| 8; 8 |] (fun _ -> Prng.float rng 50.) in
+  let measures = Array.init 3 (fun _ -> signal 64) in
+  let data64 = signal 64 in
+  [
+    Test.make ~name:"PAR/approx-abs-seq:8x8"
+      (Staged.stage (fun () ->
+           ignore (Approx_abs.solve ~data:grid ~budget:12 ~epsilon:0.25 ())));
+    Test.make ~name:"PAR/approx-abs-pool4:8x8"
+      (Staged.stage (fun () ->
+           ignore
+             (Approx_abs.solve ~pool:pool4 ~data:grid ~budget:12 ~epsilon:0.25
+                ())));
+    Test.make ~name:"PAR/multi-measure-seq:3x64-b12"
+      (Staged.stage (fun () ->
+           ignore (Multi_measure.solve ~measures ~budget:12 rel1)));
+    Test.make ~name:"PAR/multi-measure-pool4:3x64-b12"
+      (Staged.stage (fun () ->
+           ignore (Multi_measure.solve ~pool:pool4 ~measures ~budget:12 rel1)));
+    Test.make ~name:"PAR/budget-for-seq:64"
+      (Staged.stage (fun () ->
+           ignore (Minmax_dp.budget_for ~data:data64 ~target:2.5 rel1)));
+    Test.make ~name:"PAR/budget-for-pool4:64"
+      (Staged.stage (fun () ->
+           ignore
+             (Minmax_dp.budget_for ~pool:pool4 ~data:data64 ~target:2.5 rel1)));
+  ]
+
+let benchmark pool4 =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -72,7 +109,9 @@ let benchmark () =
   let cfg =
     Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~stabilize:true ()
   in
-  let tests = Test.make_grouped ~name:"smoke" ~fmt:"%s/%s" cases in
+  let tests =
+    Test.make_grouped ~name:"smoke" ~fmt:"%s/%s" (cases @ par_cases pool4)
+  in
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
@@ -86,9 +125,22 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let write_rows oc ~schema ~extra rows =
+  Printf.fprintf oc "{\n  \"schema\": \"%s\",%s\n  \"results\": [\n" schema
+    extra;
+  List.iteri
+    (fun k (name, ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+        (json_escape name) ns
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n"
+
 let () =
   let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
-  let results = benchmark () in
+  let pool4 = Pool.create ~domains:4 () in
+  let results = benchmark pool4 in
+  Pool.shutdown pool4;
   let rows =
     Hashtbl.fold
       (fun name ols acc ->
@@ -102,14 +154,21 @@ let () =
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let oc = open_out out in
-  output_string oc "{\n  \"schema\": \"wavesyn-bench-smoke/1\",\n  \"results\": [\n";
-  List.iteri
-    (fun k (name, ns) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
-        (json_escape name) ns
-        (if k = List.length rows - 1 then "" else ","))
-    rows;
-  output_string oc "  ]\n}\n";
+  write_rows oc ~schema:"wavesyn-bench-smoke/1" ~extra:"" rows;
+  close_out oc;
+  (* The PAR pairs also land in their own file, tagged with the host's
+     core count: on a 1-core container the pooled numbers legitimately
+     match (or slightly trail) the sequential ones. *)
+  let par_rows =
+    List.filter (fun (name, _) -> String.starts_with ~prefix:"smoke/PAR/" name)
+      rows
+  in
+  let oc = open_out "BENCH_par.json" in
+  write_rows oc ~schema:"wavesyn-bench-par/1"
+    ~extra:
+      (Printf.sprintf "\n  \"host_recommended_domains\": %d,"
+         (Domain.recommended_domain_count ()))
+    par_rows;
   close_out oc;
   List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/run\n" name ns) rows;
   Printf.printf "wrote %s\n" out

@@ -27,6 +27,8 @@ module Stream_synopsis = Wavesyn_stream.Stream_synopsis
 module Obs_metric = Wavesyn_obs.Metric
 module Registry = Wavesyn_obs.Registry
 module Trace = Wavesyn_obs.Trace
+module Approx_abs = Wavesyn_core.Approx_abs
+module Pool = Wavesyn_par.Pool
 
 open Cmdliner
 
@@ -88,6 +90,26 @@ let load_data file gen n seed =
              reason = "pass either --file or --gen, not both";
            })
 
+(* --- shared solver-pool argument --- *)
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Size of the deterministic solver pool (OCaml domains). \
+                 Results are bit-identical for every value \
+                 (docs/PARALLELISM.md); 1, the default, runs everything on \
+                 the calling domain and spawns nothing.")
+
+(* The pool is created even for --jobs 1 (it spawns no domain then) so
+   the flag is validated uniformly; solvers only receive it when it can
+   actually fan out, keeping the default path byte-identical to the
+   sequential code. *)
+let pool_of_jobs ?obs jobs =
+  if jobs < 1 then
+    die
+      (Validate.Bad_option { what = "--jobs"; reason = "must be at least 1" });
+  Pool.create ?obs ~domains:jobs ()
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -131,7 +153,8 @@ let decompose_cmd =
 let algo_arg =
   Arg.(value & opt string "minmax-rel"
        & info [ "algo"; "a" ] ~docv:"ALGO"
-           ~doc:"Algorithm: minmax-rel, minmax-abs, l2, greedy-maxerr, prob-var, prob-bias.")
+           ~doc:"Algorithm: minmax-rel, minmax-abs, approx-abs, l2, \
+                 greedy-maxerr, prob-var, prob-bias.")
 
 let budget_arg =
   Arg.(value & opt int 8 & info [ "budget"; "B" ] ~docv:"B" ~doc:"Synopsis budget.")
@@ -140,10 +163,13 @@ let sanity_arg =
   Arg.(value & opt float 1.0 & info [ "sanity"; "s" ] ~docv:"S"
          ~doc:"Sanity bound for relative error.")
 
-let build_synopsis ~data ~budget ~sanity = function
+let build_synopsis ?pool ?(epsilon = 0.25) ~data ~budget ~sanity = function
   | "minmax-rel" ->
       (Minmax_dp.solve ~data ~budget (Metrics.Rel { sanity })).Minmax_dp.synopsis
   | "minmax-abs" -> (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.synopsis
+  | "approx-abs" ->
+      let _err, syn = Approx_abs.solve_1d ?pool ~data ~budget ~epsilon () in
+      syn
   | "l2" -> Greedy_l2.threshold ~data ~budget
   | "greedy-maxerr" -> Greedy_maxerr.threshold ~data ~budget (Metrics.Rel { sanity })
   | "prob-var" ->
@@ -164,8 +190,8 @@ let build_synopsis ~data ~budget ~sanity = function
            {
              what = Printf.sprintf "--algo %s" other;
              reason =
-               "unknown algorithm (expected minmax-rel, minmax-abs, l2, \
-                greedy-maxerr, prob-var or prob-bias)";
+               "unknown algorithm (expected minmax-rel, minmax-abs, \
+                approx-abs, l2, greedy-maxerr, prob-var or prob-bias)";
            })
 
 let metric_of_minmax_algo ~sanity ~flag algo =
@@ -213,8 +239,9 @@ let threshold_cmd =
   let epsilon_arg =
     Arg.(value & opt float 0.25
          & info [ "epsilon" ] ~docv:"EPS"
-             ~doc:"Per-rounding ratio of the ladder's approximation tier \
-                   (retried once at twice this value).")
+             ~doc:"Approximation parameter: per-rounding ratio of the \
+                   ladder's approximation tier (retried once at twice this \
+                   value) and epsilon of the approx-abs algorithm.")
   in
   let write_out syn = function
     | None -> ()
@@ -227,8 +254,11 @@ let threshold_cmd =
             Printf.printf "wrote %s\n" path)
   in
   let run file gen n seed algo budget sanity target out deadline_ms ladder
-      epsilon =
+      epsilon jobs =
     let data = load_data file gen n seed in
+    let pool0 = pool_of_jobs jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool0) @@ fun () ->
+    let pool = if jobs > 1 then Some pool0 else None in
     if ladder || deadline_ms <> None then begin
       if target <> None then
         die
@@ -256,10 +286,25 @@ let threshold_cmd =
     else begin
       let syn =
         match target with
-        | None -> build_synopsis ~data ~budget ~sanity algo
+        | None -> build_synopsis ?pool ~epsilon ~data ~budget ~sanity algo
         | Some t ->
             let metric = metric_of_minmax_algo ~sanity ~flag:"--target" algo in
-            (Minmax_dp.budget_for ~data ~target:t metric).Minmax_dp.synopsis
+            let { Minmax_dp.best; feasible } =
+              Minmax_dp.budget_for ?pool ~data ~target:t metric
+            in
+            if not feasible then
+              die
+                (Validate.Bad_option
+                   {
+                     what = "--target";
+                     reason =
+                       Printf.sprintf
+                         "unreachable: even retaining every nonzero \
+                          coefficient (budget %d) the maximum error is %g"
+                         (Synopsis.size best.Minmax_dp.synopsis)
+                         best.Minmax_dp.max_err;
+                   });
+            best.Minmax_dp.synopsis
       in
       let approx = Synopsis.reconstruct syn in
       let summary = Metrics.summary ~sanity ~data ~approx () in
@@ -274,7 +319,7 @@ let threshold_cmd =
     (Cmd.info "threshold" ~doc:"Build a synopsis and report its errors.")
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
           $ budget_arg $ sanity_arg $ target_arg $ out_arg $ deadline_arg
-          $ ladder_arg $ epsilon_arg)
+          $ ladder_arg $ epsilon_arg $ jobs_arg)
 
 (* --- evaluate --- *)
 
@@ -512,7 +557,7 @@ let serve_cmd =
   in
   let run store n seed metric_name sanity budget checkpoint_every recut_every
       deadline_ms updates random keep no_fsync metrics metrics_every
-      metrics_format trace =
+      metrics_format trace jobs =
     let metric = metric_of_name ~sanity metric_name in
     (match metrics with
     | Some _ -> ignore (render_metrics (Registry.create ()) metrics_format)
@@ -522,6 +567,13 @@ let serve_cmd =
             (Validate.Bad_option
                { what = "--trace"; reason = "requires --metrics" }));
     let obs = Option.map (fun _ -> Registry.create ()) metrics in
+    (* The pool's par.* instruments only join the exposition when the
+       pool can actually fan out, so the default --jobs 1 exposition
+       stays byte-identical to the sequential serve loop's. *)
+    let pool =
+      pool_of_jobs ?obs:(if jobs > 1 then obs else None) jobs
+    in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
     let trace_sink = if trace then Some (Trace.sink ()) else None in
     let cfg =
       Supervisor.config ~checkpoint_every ~recut_every
@@ -610,7 +662,7 @@ let serve_cmd =
     Term.(const run $ store_arg $ n_arg $ seed_arg $ metric_arg $ sanity_arg
           $ budget_arg $ checkpoint_arg $ recut_arg $ deadline_arg
           $ updates_arg $ random_arg $ keep_arg $ no_fsync_arg $ metrics_arg
-          $ metrics_every_arg $ metrics_format_arg $ trace_arg)
+          $ metrics_every_arg $ metrics_format_arg $ trace_arg $ jobs_arg)
 
 let recover_cmd =
   let deadline_arg =
@@ -640,7 +692,10 @@ let stats_cmd =
              ~doc:"Emit Prometheus-format gauges instead of the summary \
                    table.")
   in
-  let run store prom =
+  let run store prom jobs =
+    (* stats is read-only and single-domain today; the flag is validated
+       for interface uniformity with threshold/serve. *)
+    Pool.shutdown (pool_of_jobs jobs);
     let r = ok_or_die (Supervisor.recover ~dir:store) in
     let cfg = r.Supervisor.r_config in
     let stream = r.Supervisor.r_stream in
@@ -688,7 +743,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Inspect a store read-only: recovered state summary or gauges.")
-    Term.(const run $ store_arg $ prom_arg)
+    Term.(const run $ store_arg $ prom_arg $ jobs_arg)
 
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in

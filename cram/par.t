@@ -1,0 +1,62 @@
+The deterministic solver pool through the CLI (docs/PARALLELISM.md):
+--jobs N must change nothing observable but the wall clock.
+
+  $ printf '2\n2\n0\n2\n3\n5\n4\n4\n' > paper.txt
+
+The dual budget search, sequentially and with a 4-domain pool — the
+outputs must be byte-identical:
+
+  $ wavesyn threshold --file paper.txt -a minmax-abs --target 1.5 > seq.out
+  $ wavesyn threshold --file paper.txt -a minmax-abs --target 1.5 --jobs 4 > par.out
+  $ cmp seq.out par.out && cat par.out
+  algorithm: minmax-abs  budget: 8  retained: 2  N: 8
+  synopsis: {c0=2.75; c1=-1.25}
+  errors: max_abs=1.5 max_rel=1.5 mean_abs=0.625 mean_rel=0.347917 rms=0.790569
+
+The (1+eps) approximation scheme fans its tau sweep across the pool;
+again byte-identical:
+
+  $ wavesyn threshold --file paper.txt -a approx-abs -B 3 > seq.out
+  $ wavesyn threshold --file paper.txt -a approx-abs -B 3 --jobs 8 > par.out
+  $ cmp seq.out par.out && cat par.out
+  algorithm: approx-abs  budget: 3  retained: 3  N: 8
+  synopsis: {c0=2.75; c1=-1.25; c5=-1}
+  errors: max_abs=1 max_rel=0.5 mean_abs=0.5 mean_rel=0.222917 rms=0.612372
+
+An unreachable --target is reported instead of silently absorbed: the
+best-effort error is named and the exit code is the usage-error 2.
+
+  $ wavesyn threshold --file paper.txt -a minmax-abs --target=-1
+  wavesyn: --target: unreachable: even retaining every nonzero coefficient (budget 5) the maximum error is 0
+  [2]
+
+--jobs is validated uniformly:
+
+  $ wavesyn threshold --file paper.txt -a minmax-abs --jobs 0
+  wavesyn: --jobs: must be at least 1
+  [2]
+
+  $ wavesyn stats --store ./nostore --jobs 0
+  wavesyn: --jobs: must be at least 1
+  [2]
+
+A pooled serve exposes the pool's par.* instruments (gauge set at
+creation; serve's ingest loop itself stays on the calling domain):
+
+  $ wavesyn serve --store ./store -n 32 --budget 4 --random 4 \
+  >   --recut-every 8 --checkpoint-every 16 --no-fsync --jobs 2 \
+  >   --metrics - --metrics-format prom \
+  >   | grep -E '^wavesyn_par_(pool_domains|tasks|chunk_ms_count)'
+  wavesyn_par_chunk_ms_count 0
+  wavesyn_par_pool_domains 2
+  wavesyn_par_tasks 0
+
+At the default --jobs 1 the exposition is free of par.* families, so
+the golden outputs of cram/obs.t are untouched:
+
+  $ rm -rf ./store
+  $ wavesyn serve --store ./store -n 32 --budget 4 --random 4 \
+  >   --recut-every 8 --checkpoint-every 16 --no-fsync \
+  >   --metrics - --metrics-format prom | grep -cE '^wavesyn_par'
+  0
+  [1]

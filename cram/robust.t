@@ -39,7 +39,7 @@ Usage errors print a one-line message and exit 2:
   [2]
 
   $ wavesyn threshold --gen zipf -n 16 -a nosuch
-  wavesyn: --algo nosuch: unknown algorithm (expected minmax-rel, minmax-abs, l2, greedy-maxerr, prob-var or prob-bias)
+  wavesyn: --algo nosuch: unknown algorithm (expected minmax-rel, minmax-abs, approx-abs, l2, greedy-maxerr, prob-var or prob-bias)
   [2]
 
 The graceful-degradation ladder: a 1 ms deadline on a 4096-cell input

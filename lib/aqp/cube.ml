@@ -51,7 +51,7 @@ let build t ~budget strategy =
       (Wavesyn_core.Approx_additive.solve ~data:t.data ~budget ~epsilon metric)
         .Wavesyn_core.Approx_additive.synopsis
   | Abs_approx { epsilon } ->
-      (Wavesyn_core.Approx_abs.solve ~data:t.data ~budget ~epsilon)
+      (Wavesyn_core.Approx_abs.solve ~data:t.data ~budget ~epsilon ())
         .Wavesyn_core.Approx_abs.synopsis
 
 type answer = { exact : float; approx : float; abs_err : float; rel_err : float }

@@ -2,6 +2,7 @@ module Md_tree = Wavesyn_haar.Md_tree
 module Ndarray = Wavesyn_util.Ndarray
 module Synopsis = Wavesyn_synopsis.Synopsis
 module Metrics = Wavesyn_synopsis.Metrics
+module Pool = Wavesyn_par.Pool
 
 type result = {
   max_err : float;
@@ -12,6 +13,13 @@ type result = {
 }
 
 let theorem_epsilon eps = eps /. 4.
+
+(* The DP keys truncated errors with [int_of_float], whose behaviour is
+   unspecified beyond the native int range. Coefficients scale to
+   [c / K_tau], so a τ whose scaled magnitude can reach 2^62 would
+   produce garbage keys (and, for denormal K_tau, infinite or NaN
+   values); such τ candidates are skipped instead of run. *)
+let key_guard = Float.ldexp 1. 62
 
 (* τ sweep: powers of two covering [smallest non-zero |c|, R]. The
    proof only needs some τ' in [C, 2C) for C the largest coefficient
@@ -31,12 +39,13 @@ let tau_candidates ~wavelet =
     List.init (kmax - kmin + 1) (fun i -> Float.pow 2. (float_of_int (kmin + i)))
   end
 
-let solve_tree ~tree ~budget ~epsilon =
+let solve_tree ?pool ~tree ~budget ~epsilon () =
   if epsilon <= 0. || epsilon > 1. then
     invalid_arg "Approx_abs: epsilon must be in (0, 1]";
   let data = Md_tree.data tree in
   let dims = Ndarray.dims data in
   let wavelet = Md_tree.wavelet tree in
+  let r = Ndarray.max_abs wavelet in
   let d = Md_tree.ndim tree in
   let total = Ndarray.size data in
   let logn = Float.max 1. (Float.log (float_of_int total) /. Float.log 2.) in
@@ -44,17 +53,20 @@ let solve_tree ~tree ~budget ~epsilon =
     let synopsis = Synopsis.Md.make ~dims coeffs in
     (Metrics.of_md_synopsis Metrics.Abs ~data synopsis, synopsis)
   in
-  (* The empty synopsis is always feasible and seeds the search. *)
-  let best_err, best_syn = evaluate [] in
-  let best = ref (best_err, best_syn, Float.infinity) in
-  let states = ref 0 and sweeps = ref 0 in
+  (* One τ candidate: run the truncated DP and measure the candidate
+     synopsis with its true error. Pure (only reads the shared tree),
+     so candidates can run on any domain. *)
   let run_tau tau =
     let forced_count = ref 0 in
     for i = 0 to Ndarray.size wavelet - 1 do
       if Float.abs (Ndarray.get_flat wavelet i) > tau then incr forced_count
     done;
-    if !forced_count <= budget then begin
-      let k_tau = epsilon *. tau /. (float_of_int (1 lsl d) *. logn) in
+    let k_tau = epsilon *. tau /. (float_of_int (1 lsl d) *. logn) in
+    let max_scaled = r /. k_tau in
+    if !forced_count > budget then None
+    else if (not (Float.is_finite max_scaled)) || max_scaled >= key_guard then
+      None
+    else begin
       let cfg =
         {
           Md_dp.coeff_value =
@@ -67,27 +79,46 @@ let solve_tree ~tree ~budget ~epsilon =
         }
       in
       match Md_dp.run ~tree ~budget cfg with
-      | None -> ()
+      | None -> None
       | Some { Md_dp.retained; dp_states; _ } ->
-          incr sweeps;
-          states := !states + dp_states;
           let coeffs =
             List.map (fun pos -> (pos, Ndarray.get_flat wavelet pos)) retained
           in
           let err, syn = evaluate coeffs in
-          let cur_err, _, _ = !best in
-          if err < cur_err then best := (err, syn, tau)
+          Some (err, syn, tau, dp_states)
     end
   in
-  List.iter run_tau (tau_candidates ~wavelet);
+  let candidates = Array.of_list (tau_candidates ~wavelet) in
+  let outcomes =
+    match pool with
+    | Some p when Array.length candidates > 1 ->
+        Pool.map_chunked p (Array.length candidates) (fun i ->
+            run_tau candidates.(i))
+    | _ -> Array.map run_tau candidates
+  in
+  (* Merge in ascending-τ order with a strict '<': the first-best
+     tie-break is exactly the sequential sweep's, whatever the pool
+     size. The empty synopsis is always feasible and seeds the fold. *)
+  let best_err, best_syn = evaluate [] in
+  let best = ref (best_err, best_syn, Float.infinity) in
+  let states = ref 0 and sweeps = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (err, syn, tau, dp_states) ->
+          incr sweeps;
+          states := !states + dp_states;
+          let cur_err, _, _ = !best in
+          if err < cur_err then best := (err, syn, tau))
+    outcomes;
   let max_err, synopsis, tau = !best in
   { max_err; synopsis; tau; dp_states = !states; sweeps = !sweeps }
 
-let solve ~data ~budget ~epsilon =
-  solve_tree ~tree:(Md_tree.of_data data) ~budget ~epsilon
+let solve ?pool ~data ~budget ~epsilon () =
+  solve_tree ?pool ~tree:(Md_tree.of_data data) ~budget ~epsilon ()
 
-let solve_1d ~data ~budget ~epsilon =
+let solve_1d ?pool ~data ~budget ~epsilon () =
   let n = Array.length data in
   let nd = Ndarray.of_flat_array ~dims:[| n |] data in
-  let r = solve ~data:nd ~budget ~epsilon in
+  let r = solve ?pool ~data:nd ~budget ~epsilon () in
   (r.max_err, Synopsis.make ~n (Synopsis.Md.coeffs r.synopsis))

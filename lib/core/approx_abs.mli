@@ -21,18 +21,42 @@ type result = {
 }
 
 val solve_tree :
-  tree:Wavesyn_haar.Md_tree.t -> budget:int -> epsilon:float -> result
+  ?pool:Wavesyn_par.Pool.t ->
+  tree:Wavesyn_haar.Md_tree.t ->
+  budget:int ->
+  epsilon:float ->
+  unit ->
+  result
 (** [epsilon] in (0, 1]. Guarantee:
-    [max_err <= (1 + 4 epsilon) * OPT]. *)
+    [max_err <= (1 + 4 epsilon) * OPT].
+
+    With [pool], the independent per-τ DPs run across the pool's
+    domains and the per-τ candidates are merged in ascending-τ order
+    with the sequential sweep's strict-less "first best wins"
+    tie-break, so the result (synopsis, winning τ, state counts) is
+    bit-for-bit identical for every pool size. τ candidates whose
+    scaled coefficient magnitude [R / K_τ] would exceed the safe
+    [2^62] integer-key range are skipped (they cannot be keyed
+    exactly); {!result.sweeps} counts only the τ values actually
+    run. *)
 
 val solve :
-  data:Wavesyn_util.Ndarray.t -> budget:int -> epsilon:float -> result
+  ?pool:Wavesyn_par.Pool.t ->
+  data:Wavesyn_util.Ndarray.t ->
+  budget:int ->
+  epsilon:float ->
+  unit ->
+  result
+(** {!solve_tree} over a freshly decomposed [data]. *)
 
 val solve_1d :
+  ?pool:Wavesyn_par.Pool.t ->
   data:float array ->
   budget:int ->
   epsilon:float ->
+  unit ->
   float * Wavesyn_synopsis.Synopsis.t
+(** One-dimensional convenience wrapper around {!solve}. *)
 
 val theorem_epsilon : float -> float
 (** [theorem_epsilon eps = eps / 4]: the internal ε that yields a

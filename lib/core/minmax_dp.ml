@@ -4,6 +4,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 module Error_tree = Wavesyn_haar.Error_tree
 module Float_util = Wavesyn_util.Float_util
+module Pool = Wavesyn_par.Pool
 module Synopsis = Wavesyn_synopsis.Synopsis
 module Metrics = Wavesyn_synopsis.Metrics
 
@@ -141,7 +142,9 @@ let solve_tree ?(split = Binary_search) ?(cap_budget = true)
         (Hashtbl.length memo) max_err);
   { max_err; synopsis; dp_states = Hashtbl.length memo }
 
-let budget_for ?on_state ~data ~target metric =
+type budget_search = { best : result; feasible : bool }
+
+let budget_for ?pool ?on_state ~data ~target metric =
   if not (Float_util.is_pow2 (Array.length data)) then
     invalid_arg "Minmax_dp.budget_for: data length must be a power of two";
   let tree = Error_tree.of_data data in
@@ -150,18 +153,57 @@ let budget_for ?on_state ~data ~target metric =
       (fun acc c -> if c <> 0. then acc + 1 else acc)
       0 (Error_tree.coeffs tree)
   in
-  let solve_b b = solve_tree ?on_state ~tree ~budget:b metric in
+  (* Every probe is cached, so no budget is ever solved twice — in
+     particular the final answer reuses the last probe instead of
+     re-solving at [hi]. *)
+  let cache : (int, result) Hashtbl.t = Hashtbl.create 16 in
+  let solve_fresh b = solve_tree ?on_state ~tree ~budget:b metric in
+  let solve_b b =
+    match Hashtbl.find_opt cache b with
+    | Some r -> r
+    | None ->
+        let r = solve_fresh b in
+        Hashtbl.replace cache b r;
+        r
+  in
   (* Optimal error is non-increasing in the budget: binary search for
-     the smallest feasible budget. *)
+     the smallest feasible budget. With a pool, each round probes up to
+     [domains] evenly spaced budgets speculatively (the round's
+     narrowing depends only on the probes' deterministic outcomes, so
+     the search converges to the same minimal budget for every pool
+     size; one probe per round degrades to the classic bisection). *)
+  let speculate = match pool with Some p -> Pool.domains p | None -> 1 in
   let lo = ref 0 and hi = ref nonzero in
   if (solve_b 0).max_err <= target then hi := 0
   else begin
     while !lo + 1 < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if (solve_b mid).max_err <= target then hi := mid else lo := mid
+      let span = !hi - !lo in
+      let count = Stdlib.min speculate (span - 1) in
+      let probes =
+        List.init count (fun j -> !lo + (span * (j + 1) / (count + 1)))
+        |> List.sort_uniq compare
+      in
+      let fresh =
+        Array.of_list
+          (List.filter (fun b -> not (Hashtbl.mem cache b)) probes)
+      in
+      (match pool with
+      | Some p when Array.length fresh > 1 ->
+          let rs =
+            Pool.map_chunked p (Array.length fresh) (fun i ->
+                solve_fresh fresh.(i))
+          in
+          Array.iteri (fun i r -> Hashtbl.replace cache fresh.(i) r) rs
+      | _ -> Array.iter (fun b -> ignore (solve_b b)) fresh);
+      List.iter
+        (fun b ->
+          if (solve_b b).max_err <= target then hi := Stdlib.min !hi b
+          else lo := Stdlib.max !lo b)
+        probes
     done
   end;
-  solve_b !hi
+  let best = solve_b !hi in
+  { best; feasible = best.max_err <= target }
 
 let solve ?split ?cap_budget ?on_state ~data ~budget metric =
   if not (Float_util.is_pow2 (Array.length data)) then

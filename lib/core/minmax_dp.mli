@@ -53,18 +53,40 @@ val solve :
     [Wavesyn_robust.Deadline] bounds the DP's runtime. The default does
     nothing. *)
 
+type budget_search = {
+  best : result;
+      (** the solution at the smallest feasible budget (or at the full
+          nonzero-coefficient budget when the target is infeasible) *)
+  feasible : bool;
+      (** whether [best.max_err <= target]; [false] means the target
+          cannot be reached even retaining every nonzero coefficient
+          (only possible for [target < 0] in practice, since the full
+          set reconstructs exactly) *)
+}
+(** Outcome of the dual search: the chosen solution plus an explicit
+    feasibility verdict, so callers can tell an achieved target from a
+    best-effort fallback. *)
+
 val budget_for :
+  ?pool:Wavesyn_par.Pool.t ->
   ?on_state:(unit -> unit) ->
   data:float array ->
   target:float ->
   Wavesyn_synopsis.Metrics.error_metric ->
-  result
+  budget_search
 (** The dual problem: the smallest budget whose optimal maximum error
     is at most [target], found by binary search over the budget (each
-    probe is one {!solve}). Returns that budget's solution; if even
-    retaining every non-zero coefficient cannot reach [target] (only
-    possible for [target < 0] in practice, since the full set is
-    exact), the full-budget solution is returned. *)
+    probe is one {!solve}). Probes are cached, so no budget is solved
+    twice — in particular the returned solution reuses the last
+    probe's result rather than re-solving.
+
+    With [pool], each bisection round speculatively probes up to
+    [Pool.domains pool] evenly spaced budgets in parallel. The search
+    narrows on the probes' deterministic outcomes only, so it
+    converges to the same minimal budget — and bit-identical [best] —
+    for every pool size. [on_state] may then be invoked concurrently
+    from several domains; compose only thread-safe hooks with a
+    pool. *)
 
 val solve_tree :
   ?split:split_strategy ->

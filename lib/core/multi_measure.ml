@@ -1,5 +1,7 @@
 module Synopsis = Wavesyn_synopsis.Synopsis
 module Float_util = Wavesyn_util.Float_util
+module Error_tree = Wavesyn_haar.Error_tree
+module Pool = Wavesyn_par.Pool
 
 type allocation = {
   budgets : int array;
@@ -20,9 +22,20 @@ let check_measures measures =
         invalid_arg "Multi_measure: measures must share one domain")
     measures
 
-let finalize ~measures ~budgets metric =
-  let solve_one i b = Minmax_dp.solve ~data:measures.(i) ~budget:b metric in
-  let results = Array.mapi (fun i b -> solve_one i b) budgets in
+(* Decompose each measure once; the error trees are immutable and are
+   shared freely across pool domains. *)
+let trees_of measures = Array.map Error_tree.of_data measures
+
+let finalize ?pool ~trees ~budgets metric =
+  let solve_one i =
+    Minmax_dp.solve_tree ~tree:trees.(i) ~budget:budgets.(i) metric
+  in
+  let m = Array.length trees in
+  let results =
+    match pool with
+    | Some p when m > 1 -> Pool.map_chunked p m solve_one
+    | _ -> Array.init m solve_one
+  in
   let per_measure_err = Array.map (fun r -> r.Minmax_dp.max_err) results in
   {
     budgets;
@@ -31,18 +44,27 @@ let finalize ~measures ~budgets metric =
     per_measure_err;
   }
 
-let solve ~measures ~budget metric =
+let solve ?pool ~measures ~budget metric =
   check_measures measures;
   if budget < 0 then invalid_arg "Multi_measure: negative budget";
   let m = Array.length measures in
-  (* Per-measure optimal-error curves err_m(b), b = 0..budget. *)
-  let curves =
-    Array.map
-      (fun data ->
-        Array.init (budget + 1) (fun b ->
-            (Minmax_dp.solve ~data ~budget:b metric).Minmax_dp.max_err))
-      measures
+  let trees = trees_of measures in
+  (* Per-measure optimal-error curves err_i(b), b = 0..budget. Each of
+     the [m * (budget + 1)] cells is an independent DP; with a pool the
+     flat cell index fans out across domains and the results land in
+     their positional slots, so the curves are identical for every pool
+     size. *)
+  let width = budget + 1 in
+  let curve_cell idx =
+    let i = idx / width and b = idx mod width in
+    (Minmax_dp.solve_tree ~tree:trees.(i) ~budget:b metric).Minmax_dp.max_err
   in
+  let flat =
+    match pool with
+    | Some p when m * width > 1 -> Pool.map_chunked p (m * width) curve_cell
+    | _ -> Array.init (m * width) curve_cell
+  in
+  let curves = Array.init m (fun i -> Array.sub flat (i * width) width) in
   (* Minimal budget that brings measure i to error <= t. *)
   let need i t =
     let curve = curves.(i) in
@@ -74,24 +96,46 @@ let solve ~measures ~budget metric =
         Float_util.max_abs (Array.map (fun c -> c.(0)) curves)
   in
   let budgets = Array.init m (fun i -> Option.value ~default:0 (need i best_t)) in
-  (* Spend any leftover budget on the currently-worst measures. *)
+  (* Spend any leftover budget on the currently-worst measure that can
+     still use it. A measure saturates at its nonzero-coefficient
+     count — beyond that extra coefficients change nothing — so spare
+     units flow to the next-worst uncapped measure (ties to the lowest
+     index) and the loop stops once every measure is saturated instead
+     of silently parking unusable units. *)
+  let caps =
+    Array.map
+      (fun tree ->
+        let nonzero =
+          Array.fold_left
+            (fun acc c -> if c <> 0. then acc + 1 else acc)
+            0 (Error_tree.coeffs tree)
+        in
+        Stdlib.min nonzero budget)
+      trees
+  in
   let used = ref (Array.fold_left ( + ) 0 budgets) in
   let errs = Array.mapi (fun i b -> curves.(i).(b)) budgets in
-  while !used < budget do
-    let worst = ref 0 in
-    Array.iteri (fun i e -> if e > errs.(!worst) then worst := i) errs;
-    if budgets.(!worst) < budget then begin
-      budgets.(!worst) <- budgets.(!worst) + 1;
-      errs.(!worst) <- curves.(!worst).(budgets.(!worst))
-    end;
-    incr used
+  let exhausted = ref false in
+  while !used < budget && not !exhausted do
+    let worst = ref (-1) in
+    Array.iteri
+      (fun i e ->
+        if budgets.(i) < caps.(i) && (!worst < 0 || e > errs.(!worst)) then
+          worst := i)
+      errs;
+    match !worst with
+    | -1 -> exhausted := true
+    | w ->
+        budgets.(w) <- budgets.(w) + 1;
+        errs.(w) <- curves.(w).(budgets.(w));
+        incr used
   done;
-  finalize ~measures ~budgets metric
+  finalize ?pool ~trees ~budgets metric
 
-let even_split ~measures ~budget metric =
+let even_split ?pool ~measures ~budget metric =
   check_measures measures;
   if budget < 0 then invalid_arg "Multi_measure: negative budget";
   let m = Array.length measures in
   let base = budget / m and extra = budget mod m in
   let budgets = Array.init m (fun i -> base + if i < extra then 1 else 0) in
-  finalize ~measures ~budgets metric
+  finalize ?pool ~trees:(trees_of measures) ~budgets metric

@@ -24,14 +24,24 @@ type allocation = {
 }
 
 val solve :
+  ?pool:Wavesyn_par.Pool.t ->
   measures:float array array ->
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->
   allocation
 (** All measure arrays must share the same power-of-two length.
-    Cost: [M * (B + 1)] runs of the single-measure DP. *)
+    Cost: [M * (B + 1)] runs of the single-measure DP — all
+    independent, so with [pool] both the error-curve construction and
+    the final per-measure solves fan out across the pool's domains;
+    results are merged positionally and are identical for every pool
+    size. Leftover budget beyond the optimal allocation is spent on
+    the worst uncapped measure (ties to the lowest index); a measure
+    saturates at its nonzero-coefficient count, and the loop stops
+    once every measure is saturated rather than parking unusable
+    units. *)
 
 val even_split :
+  ?pool:Wavesyn_par.Pool.t ->
   measures:float array array ->
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->

@@ -100,7 +100,7 @@ let e8_abs_approximation () =
       in
       List.iter
         (fun epsilon ->
-          let r = Approx_abs.solve ~data:grid ~budget ~epsilon in
+          let r = Approx_abs.solve ~data:grid ~budget ~epsilon () in
           let ratio = if opt > 0. then r.Approx_abs.max_err /. opt else 1. in
           Table.add_row table
             [

@@ -55,7 +55,7 @@ let e13_exhaustive_blowup () =
             ])
         [ 0.25; 0.05 ];
       let ab, dt =
-        time (fun () -> Approx_abs.solve_tree ~tree ~budget ~epsilon:0.25)
+        time (fun () -> Approx_abs.solve_tree ~tree ~budget ~epsilon:0.25 ())
       in
       Table.add_row table
         [

@@ -1,10 +1,17 @@
 type 'a entry = { priority : float; payload : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+(* Slots at or beyond [size] hold [None]: a popped payload must become
+   unreachable immediately, not live on in the backing array until a
+   later push happens to overwrite its slot. *)
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 let size t = t.size
 let is_empty t = t.size = 0
+let capacity t = Array.length t.data
+
+let get t i =
+  match t.data.(i) with Some e -> e | None -> assert false
 
 let swap t i j =
   let tmp = t.data.(i) in
@@ -14,7 +21,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.data.(i).priority < t.data.(parent).priority then begin
+    if (get t i).priority < (get t parent).priority then begin
       swap t i parent;
       sift_up t parent
     end
@@ -23,9 +30,9 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.data.(l).priority < t.data.(!smallest).priority then
+  if l < t.size && (get t l).priority < (get t !smallest).priority then
     smallest := l;
-  if r < t.size && t.data.(r).priority < t.data.(!smallest).priority then
+  if r < t.size && (get t r).priority < (get t !smallest).priority then
     smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
@@ -33,32 +40,51 @@ let rec sift_down t i =
   end
 
 let push t ~priority payload =
-  let entry = { priority; payload } in
   if t.size = Array.length t.data then begin
     let cap = Stdlib.max 8 (2 * Array.length t.data) in
-    let fresh = Array.make cap entry in
+    let fresh = Array.make cap None in
     Array.blit t.data 0 fresh 0 t.size;
     t.data <- fresh
   end;
-  t.data.(t.size) <- entry;
+  t.data.(t.size) <- Some { priority; payload };
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let peek t =
   if t.size = 0 then None
-  else Some (t.data.(0).priority, t.data.(0).payload)
+  else
+    let e = get t 0 in
+    Some (e.priority, e.payload)
+
+(* Halve the backing array once it is at most a quarter full, so a heap
+   that bursts and then drains returns the memory instead of pinning
+   its high-water capacity forever. The 16-slot floor avoids churn on
+   tiny heaps, and quarter-full hysteresis keeps push/pop sequences at
+   the boundary amortized O(1). *)
+let shrink t =
+  let cap = Array.length t.data in
+  if cap >= 16 && t.size * 4 <= cap then begin
+    let fresh = Array.make (cap / 2) None in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- None;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- None;
+    shrink t;
     Some (top.priority, top.payload)
   end
 
 let to_list t =
-  List.init t.size (fun i -> (t.data.(i).priority, t.data.(i).payload))
+  List.init t.size (fun i ->
+      let e = get t i in
+      (e.priority, e.payload))

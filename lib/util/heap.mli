@@ -18,7 +18,15 @@ val peek : 'a t -> (float * 'a) option
 (** Smallest priority, O(1). *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the smallest priority, O(log n). *)
+(** Remove and return the smallest priority, O(log n) amortized. The
+    vacated slot is cleared so the popped payload is immediately
+    collectable, and the backing array halves once it is at most a
+    quarter full (16-slot floor), so a drained heap does not pin its
+    high-water memory. *)
+
+val capacity : 'a t -> int
+(** Current backing-array length (>= {!size}); exposed so tests can
+    observe the shrink policy. *)
 
 val to_list : 'a t -> (float * 'a) list
 (** All elements, unordered. *)

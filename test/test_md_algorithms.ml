@@ -205,7 +205,7 @@ let test_approx_abs_guarantee_2d () =
       let opt =
         (Pseudo_poly.solve_int_data ~data ~budget Metrics.Abs).Pseudo_poly.max_err
       in
-      let r = Approx_abs.solve ~data ~budget ~epsilon in
+      let r = Approx_abs.solve ~data ~budget ~epsilon () in
       let bound = ((1. +. (4. *. epsilon)) *. opt) +. 1e-9 in
       check
         (Printf.sprintf "B=%d eps=%g within (1+4eps) (%g vs opt %g)" budget
@@ -222,7 +222,7 @@ let test_approx_abs_guarantee_1d () =
     (fun (n, budget, epsilon) ->
       let data = int_signal rng n 20 in
       let opt = (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.max_err in
-      let measured, syn = Approx_abs.solve_1d ~data ~budget ~epsilon in
+      let measured, syn = Approx_abs.solve_1d ~data ~budget ~epsilon () in
       check
         (Printf.sprintf "1d n=%d B=%d eps=%g within (1+4eps) (%g vs %g)" n
            budget epsilon measured opt)
@@ -236,7 +236,7 @@ let test_approx_abs_converges () =
   let data = int_signal rng 16 15 in
   let budget = 4 in
   let opt = (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.max_err in
-  let fine, _ = Approx_abs.solve_1d ~data ~budget ~epsilon:0.02 in
+  let fine, _ = Approx_abs.solve_1d ~data ~budget ~epsilon:0.02 () in
   check
     (Printf.sprintf "eps=0.02 essentially optimal (%g vs %g)" fine opt)
     true
@@ -245,14 +245,14 @@ let test_approx_abs_converges () =
 let test_approx_abs_zero_data () =
   let r =
     Approx_abs.solve ~data:(Ndarray.create ~dims:[| 4; 4 |] 0.) ~budget:3
-      ~epsilon:0.2
+      ~epsilon:0.2 ()
   in
   checkf "zero data" 0. r.Approx_abs.max_err
 
 let test_approx_abs_budget_zero () =
   let rng = Prng.create ~seed:52 in
   let data = int_grid rng 4 10 in
-  let r = Approx_abs.solve ~data ~budget:0 ~epsilon:0.5 in
+  let r = Approx_abs.solve ~data ~budget:0 ~epsilon:0.5 () in
   let flat = Ndarray.to_flat_array data in
   checkf "B=0 error is max |d|" (Float_util.max_abs flat) r.Approx_abs.max_err
 
@@ -267,7 +267,7 @@ let test_paper_example_cross_check () =
     (fun budget ->
       let exact = (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.max_err in
       let pp, _ = Pseudo_poly.solve_1d ~data ~budget Metrics.Abs in
-      let aa, _ = Approx_abs.solve_1d ~data ~budget ~epsilon:0.05 in
+      let aa, _ = Approx_abs.solve_1d ~data ~budget ~epsilon:0.05 () in
       checkf (Printf.sprintf "pseudo-poly B=%d" budget) exact pp;
       check
         (Printf.sprintf "approx-abs B=%d close (%g vs %g)" budget aa exact)
@@ -324,7 +324,7 @@ let test_approx_abs_3d_guarantee () =
   in
   List.iter
     (fun epsilon ->
-      let r = Approx_abs.solve ~data ~budget ~epsilon in
+      let r = Approx_abs.solve ~data ~budget ~epsilon () in
       check
         (Printf.sprintf "3d eps=%g within 1+4eps (%g vs %g)" epsilon
            r.Approx_abs.max_err opt)
@@ -398,13 +398,43 @@ let test_additive_budget_monotone () =
   let _, full = List.nth results 5 in
   check "full budget exact" true (full.Approx_additive.measured <= 1e-9)
 
+(* Regression for the integer-key overflow: a pathological coefficient
+   spread (a 1e18 spike over unit-scale values) makes the smallest τ
+   candidates scale coefficients past the exactly-representable integer
+   range, where [int_of_float] keys are unspecified. Those τ must be
+   skipped — visible in [sweeps] — while the surviving sweep still
+   meets the (1 + 4ε) guarantee (the skipped τ are far below the
+   largest dropped coefficient, so Proposition 3.3 never needs them). *)
+let test_approx_abs_overflow_guard () =
+  let data = [| 1e18; 2.; 1.; 3.; 1.; 2.; 1.; 0.5 |] in
+  let budget = 5 in
+  let epsilon = 0.25 in
+  let nd = Ndarray.of_flat_array ~dims:[| 8 |] data in
+  let r = Approx_abs.solve ~data:nd ~budget ~epsilon () in
+  (* 61 power-of-two candidates cover the clamped coefficient range;
+     the three smallest (τ = 1/2, 1, 2) scale the 5e17 top coefficient
+     past 2^62 and must not run. *)
+  Alcotest.(check int) "overflowing tau candidates skipped" 58 r.Approx_abs.sweeps;
+  check "error finite" true (Float.is_finite r.Approx_abs.max_err);
+  let opt = (Minmax_dp.solve ~data ~budget Metrics.Abs).Minmax_dp.max_err in
+  check
+    (Printf.sprintf "guarantee holds under spread (%g vs opt %g)"
+       r.Approx_abs.max_err opt)
+    true
+    (r.Approx_abs.max_err <= ((1. +. (4. *. epsilon)) *. opt) +. 1e-9);
+  (* denormal territory: K_τ underflows to 0 for the smallest τ, making
+     the scaled magnitude infinite — also guarded, never crashes. *)
+  let tiny = [| 1e-290; 2e-308; 0.; 4e-308; 1e-300; 0.; 3e-308; 0. |] in
+  let err, _ = Approx_abs.solve_1d ~data:tiny ~budget:3 ~epsilon () in
+  check "denormal spread yields a finite error" true (Float.is_finite err)
+
 let test_approx_abs_budget_monotone () =
   let rng = Prng.create ~seed:65 in
   let data = int_grid rng 8 20 in
   let errs =
     List.map
       (fun budget ->
-        (Approx_abs.solve ~data ~budget ~epsilon:0.25).Approx_abs.max_err)
+        (Approx_abs.solve ~data ~budget ~epsilon:0.25 ()).Approx_abs.max_err)
       [ 0; 2; 4; 8; 16 ]
   in
   let rec non_increasing = function
@@ -465,5 +495,6 @@ let () =
           Alcotest.test_case "paper example cross-check" `Quick test_paper_example_cross_check;
           Alcotest.test_case "3d guarantee" `Quick test_approx_abs_3d_guarantee;
           Alcotest.test_case "budget monotone" `Quick test_approx_abs_budget_monotone;
+          Alcotest.test_case "overflow guard" `Quick test_approx_abs_overflow_guard;
         ] );
     ]

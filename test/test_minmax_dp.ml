@@ -192,7 +192,13 @@ let test_budget_for () =
     (fun metric ->
       List.iter
         (fun target ->
-          let r = Minmax_dp.budget_for ~data ~target metric in
+          let { Minmax_dp.best = r; feasible } =
+            Minmax_dp.budget_for ~data ~target metric
+          in
+          check
+            (Printf.sprintf "target %g feasibility verdict" target)
+            (r.Minmax_dp.max_err <= target)
+            feasible;
           check
             (Printf.sprintf "target %g reached (%g)" target r.Minmax_dp.max_err)
             true
@@ -211,15 +217,50 @@ let test_budget_for () =
 
 let test_budget_for_zero_target_needs_all () =
   let data = [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |] in
-  let r = Minmax_dp.budget_for ~data ~target:0. Metrics.Abs in
+  let r = (Minmax_dp.budget_for ~data ~target:0. Metrics.Abs).Minmax_dp.best in
   checkf "exact reconstruction" 0. r.Minmax_dp.max_err;
   checki "needs all five non-zero coefficients" 5
     (Synopsis.size r.Minmax_dp.synopsis)
 
 let test_budget_for_huge_target_needs_nothing () =
   let data = [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |] in
-  let r = Minmax_dp.budget_for ~data ~target:100. Metrics.Abs in
+  let r =
+    (Minmax_dp.budget_for ~data ~target:100. Metrics.Abs).Minmax_dp.best
+  in
   checki "empty synopsis suffices" 0 (Synopsis.size r.Minmax_dp.synopsis)
+
+(* Regression: the dual search used to re-solve its final budget after
+   the bisection even though that budget had just been probed. With the
+   probe cache, a huge target — answered entirely by the budget-0
+   probe — must cost exactly one solve's worth of DP states. *)
+let test_budget_for_probe_cache () =
+  let rng = Prng.create ~seed:901 in
+  let data = Array.init 32 (fun _ -> Prng.float rng 100. -. 50.) in
+  let search_states = ref 0 in
+  let r =
+    Minmax_dp.budget_for
+      ~on_state:(fun () -> incr search_states)
+      ~data ~target:1e9 Metrics.Abs
+  in
+  check "huge target feasible" true r.Minmax_dp.feasible;
+  let solo_states = ref 0 in
+  ignore
+    (Minmax_dp.solve
+       ~on_state:(fun () -> incr solo_states)
+       ~data ~budget:0 Metrics.Abs);
+  checki "budget 0 solved exactly once" !solo_states !search_states
+
+(* Regression: an unreachable target used to be silently absorbed — the
+   caller got the full-budget solution with no way to tell it missed.
+   A negative target is unreachable by definition (errors are >= 0). *)
+let test_budget_for_infeasible_target () =
+  let data = [| 2.; 2.; 0.; 2.; 3.; 5.; 4.; 4. |] in
+  let r = Minmax_dp.budget_for ~data ~target:(-1.) Metrics.Abs in
+  check "negative target infeasible" false r.Minmax_dp.feasible;
+  check "best still reported" true
+    (r.Minmax_dp.best.Minmax_dp.max_err >= 0.);
+  checki "best retains every nonzero coefficient" 5
+    (Synopsis.size r.Minmax_dp.best.Minmax_dp.synopsis)
 
 let prop_dp_matches_brute =
   QCheck.Test.make ~name:"dp equals brute force on random instances" ~count:60
@@ -276,6 +317,8 @@ let () =
           Alcotest.test_case "budget_for dual" `Quick test_budget_for;
           Alcotest.test_case "budget_for zero target" `Quick test_budget_for_zero_target_needs_all;
           Alcotest.test_case "budget_for huge target" `Quick test_budget_for_huge_target_needs_nothing;
+          Alcotest.test_case "budget_for probe cache" `Quick test_budget_for_probe_cache;
+          Alcotest.test_case "budget_for infeasible target" `Quick test_budget_for_infeasible_target;
         ] );
       ( "properties",
         [

@@ -129,6 +129,39 @@ let test_optimal_three_measures_exhaustive () =
   done;
   checkf "matches exhaustive 3-way split" !best a.Multi_measure.max_err
 
+(* Regression: the leftover-budget loop used to keep piling spare units
+   onto the worst measure even after that measure had retained every
+   nonzero coefficient it has, silently parking budget where it cannot
+   reduce any error. A saturated measure must stop at its
+   nonzero-coefficient count and the spare units must flow to the next
+   measure that can still use them. *)
+let test_leftover_stops_at_saturation () =
+  let rng = Prng.create ~seed:30 in
+  (* measure 0 is constant: exactly one nonzero coefficient (the overall
+     average). measure 1 is rough: up to 16 nonzero coefficients. *)
+  let flat = Array.make 16 7. in
+  let rough = Array.init 16 (fun _ -> Prng.float rng 40.) in
+  let nonzero data =
+    let tree = Wavesyn_haar.Error_tree.of_data data in
+    Array.fold_left
+      (fun acc c -> if c <> 0. then acc + 1 else acc)
+      0
+      (Wavesyn_haar.Error_tree.coeffs tree)
+  in
+  let caps = [| nonzero flat; nonzero rough |] in
+  check "flat measure saturates immediately" true (caps.(0) = 1);
+  (* budget exceeds the total usable coefficients, so a naive loop
+     inflates some measure past its cap. *)
+  let budget = caps.(0) + caps.(1) + 4 in
+  let a = Multi_measure.solve ~measures:[| flat; rough |] ~budget Metrics.Abs in
+  Array.iteri
+    (fun i b ->
+      check
+        (Printf.sprintf "measure %d budget %d within cap %d" i b caps.(i))
+        true (b <= caps.(i)))
+    a.Multi_measure.budgets;
+  checkf "both measures exactly reconstructed" 0. a.Multi_measure.max_err
+
 let prop_optimal_two_measures =
   QCheck.Test.make ~name:"allocation optimal for two measures" ~count:25
     QCheck.(
@@ -163,6 +196,8 @@ let () =
           Alcotest.test_case "single measure" `Quick test_single_measure_equals_minmax;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "relative metric" `Quick test_rel_metric;
+          Alcotest.test_case "leftover stops at saturation" `Quick
+            test_leftover_stops_at_saturation;
           QCheck_alcotest.to_alcotest prop_optimal_two_measures;
         ] );
     ]

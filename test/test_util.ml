@@ -6,6 +6,7 @@ module Stats = Wavesyn_util.Stats
 module Table = Wavesyn_util.Table
 module Ndarray = Wavesyn_util.Ndarray
 module Bits = Wavesyn_util.Bits
+module Heap = Wavesyn_util.Heap
 
 let check = Alcotest.(check bool)
 let checkf = Alcotest.(check (float 1e-9))
@@ -189,6 +190,92 @@ let test_bits_masks () =
 let test_bits_to_list () =
   check "to_list" true (Bits.to_list 0b10110 = [ 1; 2; 4 ])
 
+let test_heap_basics () =
+  let h = Heap.create () in
+  check "fresh empty" true (Heap.is_empty h);
+  Heap.push h ~priority:3. "c";
+  Heap.push h ~priority:1. "a";
+  Heap.push h ~priority:2. "b";
+  checki "size" 3 (Heap.size h);
+  check "peek min" true (Heap.peek h = Some (1., "a"));
+  check "pop min" true (Heap.pop h = Some (1., "a"));
+  check "pop next" true (Heap.pop h = Some (2., "b"));
+  check "pop last" true (Heap.pop h = Some (3., "c"));
+  check "pop empty" true (Heap.pop h = None)
+
+(* Regression: pop only moved [size], so slots at or beyond it kept
+   strong references to entries already handed out — after draining, the
+   backing array still pinned popped payloads (the last pop left its
+   entry in slot 0 forever). The weak pointer must go dead once the
+   payload has been popped and a major GC runs. *)
+let test_heap_pop_releases_payload () =
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  for i = 0 to 7 do
+    Heap.push h ~priority:(float_of_int i) (Bytes.make 64 'x')
+  done;
+  let payload = Bytes.make 64 'y' in
+  Weak.set w 0 (Some payload);
+  (* highest priority: popped last, exercising the final-pop path that
+     used to leave its entry stranded in slot 0. *)
+  Heap.push h ~priority:100. payload;
+  check "weak set while retained" true (Weak.check w 0);
+  let last = ref None in
+  while not (Heap.is_empty h) do
+    last := Heap.pop h
+  done;
+  (match !last with
+  | Some (p, _) -> checkf "planted max popped last" 100. p
+  | None -> Alcotest.fail "heap unexpectedly empty");
+  last := None;
+  Gc.full_major ();
+  check "payload collectable after drain" false (Weak.check w 0)
+
+(* Regression: the backing array never shrank, pinning the high-water
+   capacity forever after a burst. *)
+let test_heap_shrinks_after_drain () =
+  let h = Heap.create () in
+  for i = 1 to 1000 do
+    Heap.push h ~priority:(float_of_int i) i
+  done;
+  check "grew past burst" true (Heap.capacity h >= 1000);
+  for _ = 1 to 990 do
+    ignore (Heap.pop h)
+  done;
+  checki "ten left" 10 (Heap.size h);
+  check
+    (Printf.sprintf "drained capacity shrank (%d)" (Heap.capacity h))
+    true
+    (Heap.capacity h <= 40);
+  while not (Heap.is_empty h) do
+    ignore (Heap.pop h)
+  done;
+  check
+    (Printf.sprintf "empty heap holds no slack (%d)" (Heap.capacity h))
+    true
+    (Heap.capacity h <= 8)
+
+let prop_heap_pops_sorted =
+  QCheck.Test.make ~name:"heap pops a sorted permutation of its pushes"
+    ~count:200
+    QCheck.(array_of_size (Gen.int_range 0 200) (float_range (-100.) 100.))
+    (fun priorities ->
+      let h = Heap.create () in
+      Array.iteri (fun i p -> Heap.push h ~priority:p i) priorities;
+      let popped = ref [] in
+      let rec drain () =
+        match Heap.pop h with
+        | None -> ()
+        | Some (p, _) ->
+            popped := p :: !popped;
+            drain ()
+      in
+      drain ();
+      (* reversed pops are ascending <=> popped (built head-first) is
+         descending; and they are exactly the pushed multiset. *)
+      let descending = List.rev (List.sort compare (Array.to_list priorities)) in
+      !popped = descending && Heap.capacity h <= 8)
+
 let prop_submask_count =
   QCheck.Test.make ~name:"submask count is 2^popcount" ~count:200
     QCheck.(int_bound 1023)
@@ -247,6 +334,15 @@ let () =
           Alcotest.test_case "of_flat" `Quick test_ndarray_of_flat;
           Alcotest.test_case "equal/map" `Quick test_ndarray_equal_map;
           Alcotest.test_case "bounds" `Quick test_ndarray_bounds;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basics" `Quick test_heap_basics;
+          Alcotest.test_case "pop releases payload" `Quick
+            test_heap_pop_releases_payload;
+          Alcotest.test_case "shrinks after drain" `Quick
+            test_heap_shrinks_after_drain;
+          QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
         ] );
       ( "bits",
         [
