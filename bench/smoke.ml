@@ -26,6 +26,8 @@ module Approx_abs = Wavesyn_core.Approx_abs
 module Multi_measure = Wavesyn_core.Multi_measure
 module Ndarray = Wavesyn_util.Ndarray
 module Pool = Wavesyn_par.Pool
+module Wire = Wavesyn_server.Wire
+module Admit = Wavesyn_server.Admit
 
 let rng = Prng.create ~seed:31415
 let signal n = Signal.random_walk ~rng ~n ~step:3.
@@ -101,6 +103,47 @@ let par_cases pool4 =
              (Minmax_dp.budget_for ~pool:pool4 ~data:data64 ~target:2.5 rel1)));
   ]
 
+(* Wire-protocol and admission-control hot paths of the serving
+   subsystem (docs/SERVING.md). All pure in-process work: framing a
+   request, decoding a framed reply (CRC check included), and a full
+   offer/drain cycle through the bounded admission queue. Recorded in
+   BENCH_server.json so later protocol changes show up as perf moves. *)
+let srv_cases =
+  let batch =
+    Wire.Batch
+      (List.init 8 (fun i ->
+           if i mod 2 = 0 then Wire.Point i
+           else Wire.Range { lo = i; hi = i + 7 }))
+  in
+  let framed_reply = Wire.encode_reply (Wire.Value 1496.640625) in
+  let framed_batch = Wire.encode_request batch in
+  let admit = Admit.create ~bound:64 () in
+  [
+    Test.make ~name:"SRV/wire-encode-batch:8"
+      (Staged.stage (fun () -> ignore (Wire.encode_request batch)));
+    Test.make ~name:"SRV/wire-decode-reply"
+      (Staged.stage (fun () ->
+           ignore
+             (Wire.decode
+                (Bytes.of_string framed_reply)
+                ~pos:0
+                ~len:(String.length framed_reply))));
+    Test.make ~name:"SRV/wire-decode-batch:8"
+      (Staged.stage (fun () ->
+           ignore
+             (Wire.decode
+                (Bytes.of_string framed_batch)
+                ~pos:0
+                ~len:(String.length framed_batch))));
+    Test.make ~name:"SRV/admit-offer-drain:32"
+      (Staged.stage (fun () ->
+           for i = 0 to 31 do
+             ignore (Admit.offer admit i)
+           done;
+           ignore (Admit.take_batch admit);
+           ignore (Admit.note_round admit ~shed:0)));
+  ]
+
 let benchmark pool4 =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -110,7 +153,8 @@ let benchmark pool4 =
     Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~stabilize:true ()
   in
   let tests =
-    Test.make_grouped ~name:"smoke" ~fmt:"%s/%s" (cases @ par_cases pool4)
+    Test.make_grouped ~name:"smoke" ~fmt:"%s/%s"
+      (cases @ srv_cases @ par_cases pool4)
   in
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
@@ -169,6 +213,14 @@ let () =
       (Printf.sprintf "\n  \"host_recommended_domains\": %d,"
          (Domain.recommended_domain_count ()))
     par_rows;
+  close_out oc;
+  (* Serving-subsystem cases in their own file (docs/SERVING.md). *)
+  let srv_rows =
+    List.filter (fun (name, _) -> String.starts_with ~prefix:"smoke/SRV/" name)
+      rows
+  in
+  let oc = open_out "BENCH_server.json" in
+  write_rows oc ~schema:"wavesyn-bench-server/1" ~extra:"" srv_rows;
   close_out oc;
   List.iter (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/run\n" name ns) rows;
   Printf.printf "wrote %s\n" out

@@ -7,7 +7,9 @@
      query      answer a range-sum query exactly and from a synopsis
      serve      run the durable supervised ingest loop over a store
      recover    rebuild a store's state from snapshots + journal
-     stats      inspect a store read-only (state summary or gauges) *)
+     stats      inspect a store read-only, or scrape a running server
+     server     serve synopsis queries over a Unix-domain socket
+     loadgen    drive a server with a seeded, reproducible workload *)
 
 module Haar1d = Wavesyn_haar.Haar1d
 module Synopsis = Wavesyn_synopsis.Synopsis
@@ -29,6 +31,10 @@ module Registry = Wavesyn_obs.Registry
 module Trace = Wavesyn_obs.Trace
 module Approx_abs = Wavesyn_core.Approx_abs
 module Pool = Wavesyn_par.Pool
+module Wire = Wavesyn_server.Wire
+module Server = Wavesyn_server.Server
+module Client = Wavesyn_server.Client
+module Loadgen = Wavesyn_server.Loadgen
 
 open Cmdliner
 
@@ -417,23 +423,114 @@ let quantile_cmd =
 
 (* --- query --- *)
 
+(* Remote-mode plumbing shared by query, stats and loadgen
+   (docs/SERVING.md). *)
+
+let connect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"SOCK"
+           ~doc:"Talk to the query server listening on the Unix-domain \
+                 socket $(docv) instead of working locally.")
+
+let wait_arg =
+  Arg.(value & opt float 0.
+       & info [ "wait-ms" ] ~docv:"MS"
+           ~doc:"Keep retrying the connection for up to $(docv) milliseconds \
+                 (covers a server still binding its socket).")
+
+let connect_client ~wait_ms path = ok_or_die (Client.connect ~wait_ms path)
+
+let print_reply = function
+  | Wire.Stats_text body -> print_string body
+  | reply -> print_endline (Wire.describe_reply reply)
+
 let query_cmd =
-  let lo_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"LO") in
-  let hi_arg = Arg.(required & pos 1 (some int) None & info [] ~docv:"HI") in
-  let run file gen n seed algo budget sanity lo hi =
-    let data = load_data file gen n seed in
-    let syn = build_synopsis ~data ~budget ~sanity algo in
-    let exact = Range_query.range_sum_exact data ~lo ~hi in
-    let approx = Range_query.range_sum syn ~lo ~hi in
-    Printf.printf "range [%d, %d]  exact: %g  approx: %g  abs err: %g  rel err: %g\n"
-      lo hi exact approx
-      (Float.abs (exact -. approx))
-      (Float.abs (exact -. approx) /. Float.max (Float.abs exact) 1.)
+  let lo_arg = Arg.(value & pos 0 (some int) None & info [] ~docv:"LO") in
+  let hi_arg = Arg.(value & pos 1 (some int) None & info [] ~docv:"HI") in
+  let ping_arg =
+    Arg.(value & flag
+         & info [ "ping" ] ~doc:"Liveness probe (server mode only).")
+  in
+  let point_arg =
+    Arg.(value & opt (some int) None
+         & info [ "point" ] ~docv:"I"
+             ~doc:"Reconstructed value of cell $(docv) (server mode only).")
+  in
+  let q_arg =
+    Arg.(value & opt (some float) None
+         & info [ "quantile"; "q" ] ~docv:"Q"
+             ~doc:"Position of the $(docv)-quantile (server mode only).")
+  in
+  let server_stats_arg =
+    Arg.(value & flag
+         & info [ "server-stats" ]
+             ~doc:"Fetch the server's metrics table (server mode only).")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the server to drain and stop (server mode only).")
+  in
+  let run file gen n seed algo budget sanity connect wait_ms ping point q
+      server_stats shutdown lo hi =
+    match connect with
+    | Some path ->
+        let actions =
+          List.concat
+            [
+              (if ping then [ Wire.Ping ] else []);
+              (match point with Some i -> [ Wire.Point i ] | None -> []);
+              (match q with Some q -> [ Wire.Quantile q ] | None -> []);
+              (if server_stats then [ Wire.Stats ] else []);
+              (if shutdown then [ Wire.Shutdown ] else []);
+              (match (lo, hi) with
+              | Some lo, Some hi -> [ Wire.Range { lo; hi } ]
+              | _ -> []);
+            ]
+        in
+        let request =
+          match actions with
+          | [ one ] -> one
+          | _ ->
+              die
+                (Validate.Bad_option
+                   {
+                     what = "--connect";
+                     reason =
+                       "pass exactly one of --ping, --point, --q, \
+                        --server-stats, --shutdown or LO HI";
+                   })
+        in
+        let client = connect_client ~wait_ms path in
+        Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+        print_reply (ok_or_die (Client.request_one client request))
+    | None -> (
+        match (lo, hi) with
+        | Some lo, Some hi ->
+            let data = load_data file gen n seed in
+            let syn = build_synopsis ~data ~budget ~sanity algo in
+            let exact = Range_query.range_sum_exact data ~lo ~hi in
+            let approx = Range_query.range_sum syn ~lo ~hi in
+            Printf.printf
+              "range [%d, %d]  exact: %g  approx: %g  abs err: %g  rel err: %g\n"
+              lo hi exact approx
+              (Float.abs (exact -. approx))
+              (Float.abs (exact -. approx) /. Float.max (Float.abs exact) 1.)
+        | _ ->
+            die
+              (Validate.Bad_option
+                 {
+                   what = "LO HI";
+                   reason = "both range bounds are required without --connect";
+                 }))
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Answer a range-sum query from a synopsis.")
+    (Cmd.info "query"
+       ~doc:"Answer a query from a local synopsis or a running server.")
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
-          $ budget_arg $ sanity_arg $ lo_arg $ hi_arg)
+          $ budget_arg $ sanity_arg $ connect_arg $ wait_arg $ ping_arg
+          $ point_arg $ q_arg $ server_stats_arg $ shutdown_arg $ lo_arg
+          $ hi_arg)
 
 (* --- serve / recover: the durable supervised store --- *)
 
@@ -692,10 +789,47 @@ let stats_cmd =
              ~doc:"Emit Prometheus-format gauges instead of the summary \
                    table.")
   in
-  let run store prom jobs =
+  let store_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Store directory holding snapshots, journal and manifest.")
+  in
+  let run store connect wait_ms prom jobs =
     (* stats is read-only and single-domain today; the flag is validated
        for interface uniformity with threshold/serve. *)
     Pool.shutdown (pool_of_jobs jobs);
+    let store =
+      match (store, connect) with
+      | Some _, Some _ ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--store/--connect";
+                 reason = "pass either --store or --connect, not both";
+               })
+      | None, None ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--store/--connect";
+                 reason = "pass one of --store or --connect";
+               })
+      | None, Some path ->
+          (* Live server metrics (server.*, and par.* when its pool fans
+             out), rendered by the server itself. *)
+          if prom then
+            die
+              (Validate.Bad_option
+                 {
+                   what = "--prom";
+                   reason = "server stats are table-format only";
+                 });
+          let client = connect_client ~wait_ms path in
+          Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+          print_reply (ok_or_die (Client.request_one client Wire.Stats));
+          exit 0
+      | Some store, None -> store
+    in
     let r = ok_or_die (Supervisor.recover ~dir:store) in
     let cfg = r.Supervisor.r_config in
     let stream = r.Supervisor.r_stream in
@@ -742,14 +876,173 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Inspect a store read-only: recovered state summary or gauges.")
-    Term.(const run $ store_arg $ prom_arg $ jobs_arg)
+       ~doc:"Inspect a store read-only, or scrape a running server's \
+             metrics.")
+    Term.(const run $ store_opt_arg $ connect_arg $ wait_arg $ prom_arg
+          $ jobs_arg)
+
+(* --- server / loadgen: the network serving layer (docs/SERVING.md) --- *)
+
+let server_cmd =
+  let listen_arg =
+    Arg.(required & opt (some string) None
+         & info [ "listen" ] ~docv:"SOCK"
+             ~doc:"Unix-domain socket path to listen on (a stale socket \
+                   file left by a dead server is replaced).")
+  in
+  let store_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Serve the recovered state of the durable store $(docv); \
+                   domain size, budget and metric come from its manifest.")
+  in
+  let metric_arg =
+    Arg.(value & opt string "abs"
+         & info [ "metric" ] ~docv:"M" ~doc:"Error metric: abs or rel.")
+  in
+  let epsilon_arg =
+    Arg.(value & opt float 0.25
+         & info [ "epsilon" ] ~docv:"EPS"
+             ~doc:"Approximation parameter of the ladder's approx tier.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"BOUND"
+             ~doc:"Admission queue capacity per serving round; requests \
+                   past it are shed with a structured OVERLOAD reply.")
+  in
+  let idle_arg =
+    Arg.(value & opt float 30000.
+         & info [ "idle-ms" ] ~docv:"MS"
+             ~doc:"Close connections idle for longer than $(docv).")
+  in
+  let max_requests_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"K"
+             ~doc:"Stop after $(docv) request frames (test safety net).")
+  in
+  let run listen store file gen n seed metric_name sanity budget epsilon
+      queue idle_ms max_requests jobs =
+    let obs = Registry.create () in
+    (* Matching the serve loop's convention: the pool's par.* metrics
+       join the exposition only when it can actually fan out. *)
+    let pool = pool_of_jobs ?obs:(if jobs > 1 then Some obs else None) jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let data, budget, metric =
+      match store with
+      | Some dir ->
+          if file <> None || gen <> None then
+            die
+              (Validate.Bad_option
+                 {
+                   what = "--store";
+                   reason = "cannot be combined with --file/--gen";
+                 });
+          let r = ok_or_die (Supervisor.recover ~dir) in
+          let cfg = r.Supervisor.r_config in
+          ( Stream_synopsis.current_data r.Supervisor.r_stream,
+            cfg.Supervisor.budget,
+            cfg.Supervisor.metric )
+      | None ->
+          (load_data file gen n seed, budget, metric_of_name ~sanity metric_name)
+    in
+    let cfg =
+      match
+        Server.config ~budget ~metric ~epsilon ~queue_bound:queue ~idle_ms
+          ?max_requests ~path:listen data
+      with
+      | cfg -> cfg
+      | exception Invalid_argument reason ->
+          die (Validate.Bad_option { what = "server"; reason })
+    in
+    let server = Server.create ~obs ~pool cfg in
+    Printf.printf "server: listening on %s n=%d budget=%d queue=%d jobs=%d\n%!"
+      listen (Array.length data) budget queue jobs;
+    ok_or_die (Server.run server);
+    let s = Server.stats server in
+    Printf.printf
+      "server: connections=%d requests=%d admitted=%d shed=%d errors=%d \
+       recuts=%d tier=%s\n"
+      s.Server.accepted s.Server.requests s.Server.admitted s.Server.shed
+      s.Server.errors s.Server.recuts s.Server.tier
+  in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:"Serve synopsis queries over a Unix-domain socket.")
+    Term.(const run $ listen_arg $ store_opt_arg $ file_arg $ gen_arg $ n_arg
+          $ seed_arg $ metric_arg $ sanity_arg $ budget_arg $ epsilon_arg
+          $ queue_arg $ idle_arg $ max_requests_arg $ jobs_arg)
+
+let loadgen_cmd =
+  let connect_req_arg =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCK"
+             ~doc:"Unix-domain socket of the server under load.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 64
+         & info [ "requests" ] ~docv:"K" ~doc:"Total requests to send.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"B"
+             ~doc:"Requests per frame; a batch larger than the server's \
+                   queue bound demonstrates overload shedding.")
+  in
+  let mix_arg =
+    Arg.(value & opt string "point=4,range=3,quantile=2,ping=1"
+         & info [ "mix" ] ~docv:"SPEC"
+             ~doc:"Relative request-kind weights, e.g. \
+                   point=4,range=3,quantile=2,ping=1.")
+  in
+  let out_arg =
+    Arg.(value & opt string "-"
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"Write the transcript to $(docv) ($(b,-) for stdout).")
+  in
+  let run connect wait_ms seed requests batch mix n out =
+    let mix =
+      match Loadgen.mix_of_string mix with
+      | Ok m -> m
+      | Error reason -> die (Validate.Bad_option { what = "--mix"; reason })
+    in
+    let oc, close_out_fn =
+      match out with
+      | "-" -> (stdout, fun () -> ())
+      | path -> (
+          match open_out path with
+          | oc -> (oc, fun () -> close_out oc)
+          | exception Sys_error reason ->
+              die (Validate.Io_error { path; reason }))
+    in
+    Fun.protect ~finally:close_out_fn @@ fun () ->
+    let client = connect_client ~wait_ms connect in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    let summary =
+      match
+        Loadgen.run ~client ~seed ~requests ~batch ~n ~mix
+          ~out:(output_string oc) ()
+      with
+      | result -> ok_or_die result
+      | exception Invalid_argument reason ->
+          die (Validate.Bad_option { what = "loadgen"; reason })
+    in
+    Printf.printf "loadgen: sent=%d replies=%d overloads=%d errors=%d crc=%s\n"
+      summary.Loadgen.sent summary.Loadgen.replies summary.Loadgen.overloads
+      summary.Loadgen.errors summary.Loadgen.transcript_crc
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a server with a seeded, reproducible workload.")
+    Term.(const run $ connect_req_arg $ wait_arg $ seed_arg $ requests_arg
+          $ batch_arg $ mix_arg $ n_arg $ out_arg)
 
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in
   Cmd.group
     (Cmd.info "wavesyn" ~doc ~version:"1.0.0")
     [ generate_cmd; decompose_cmd; threshold_cmd; evaluate_cmd; compare_cmd;
-      query_cmd; quantile_cmd; serve_cmd; recover_cmd; stats_cmd ]
+      query_cmd; quantile_cmd; serve_cmd; recover_cmd; stats_cmd; server_cmd;
+      loadgen_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -14,26 +14,26 @@ timing-dependent histogram statistics are masked.
   recuts: 3 served, 0 degraded, 0 rejected
   served: tier=minmax retained=4 guarantee=F
   --- metrics (final) ---
-  histogram  dp.phase.ms{tier="minmax"}                   count=3 sum=F min=F p50=F p90=F p99=F max=F ms
+  histogram  dp.phase.ms{tier="minmax"}                   count=3 sum=F min=F p50<=F p95<=F p99<=F max=F ms
   counter    dp.states{solver="minmax"}                   2301 states
   counter    ladder.attempts{outcome="served",tier="minmax"} 3 attempts
-  histogram  ladder.serve.ms                              count=3 sum=F min=F p50=F p90=F p99=F max=F ms
+  histogram  ladder.serve.ms                              count=3 sum=F min=F p50<=F p95<=F p99<=F max=F ms
   counter    ladder.serves{tier="minmax"}                 3 requests
   gauge      store.breaker.state                          0 state
   counter    store.breaker.transitions                    0 transitions
   counter    store.checkpoint.completed                   2 checkpoints
   counter    store.checkpoint.failed                      0 checkpoints
   gauge      store.checkpoint.generation                  2 generation
-  histogram  store.checkpoint.ms                          count=2 sum=F min=F p50=F p90=F p99=F max=F ms
+  histogram  store.checkpoint.ms                          count=2 sum=F min=F p50<=F p95<=F p99<=F max=F ms
   counter    store.ingest.accepted                        20 updates
-  histogram  store.ingest.ms                              count=20 sum=F min=F p50=F p90=F p99=F max=F ms
+  histogram  store.ingest.ms                              count=20 sum=F min=F p50<=F p95<=F p99<=F max=F ms
   counter    store.ingest.rejected                        0 updates
   counter    store.journal.appends                        20 records
   counter    store.journal.fsyncs                         0 fsyncs
   counter    store.journal.rotations                      2 rotations
   counter    store.recovery.replayed                      0 records
   counter    store.recut.degraded                         0 recuts
-  histogram  store.recut.ms                               count=3 sum=F min=F p50=F p90=F p99=F max=F ms
+  histogram  store.recut.ms                               count=3 sum=F min=F p50<=F p95<=F p99<=F max=F ms
   counter    store.recut.rejected                         0 recuts
   counter    store.recut.served                           3 recuts
   gauge      store.seq                                    20 seq

@@ -1,0 +1,132 @@
+The network serving layer of docs/SERVING.md, end to end over a real
+Unix-domain socket: start a server, query every request kind, trigger
+overload shedding, prove --jobs determinism, scrape live metrics, and
+shut down cleanly. Sockets live under mktemp -d because sun_path caps
+socket paths at ~100 bytes (the cram sandbox path is longer).
+
+  $ SOCK_DIR=$(mktemp -d)
+  $ S=$SOCK_DIR/q.sock
+
+A server over a generated dataset with a deliberately tiny admission
+queue. --max-requests is a safety net so a wedged test cannot leak a
+server past the timeout.
+
+  $ timeout 60 wavesyn server --listen $S --gen bumps -n 64 --budget 8 \
+  >   --queue 4 --max-requests 500 > server.log 2>&1 &
+
+Every query kind answers; --wait-ms covers the server still binding.
+Replies are pure functions of the (seeded) dataset, so the values are
+golden.
+
+  $ wavesyn query --connect $S --wait-ms 5000 --ping
+  PONG
+  $ wavesyn query --connect $S --point 3
+  VALUE 17.3011
+  $ wavesyn query --connect $S 0 63
+  VALUE 1496.64
+  $ wavesyn query --connect $S --quantile 0.5
+  QPOS 25
+  $ wavesyn query --connect $S --quantile 1.0
+  QPOS 63
+
+Malformed queries come back as structured errors on a connection that
+stays open — the next query still answers.
+
+  $ wavesyn query --connect $S --point 999
+  ERROR out-of-range cell 999 outside domain [0, 63]
+  $ wavesyn query --connect $S 40 2
+  ERROR out-of-range range [40, 2] invalid over domain [0, 63]
+  $ wavesyn query --connect $S --quantile 1.5
+  ERROR out-of-range Quantiles: q must be in [0, 1]
+  $ wavesyn query --connect $S --ping
+  PONG
+
+Client-side validation: exactly one action, and a missing socket is an
+I/O error (exit 66).
+
+  $ wavesyn query --connect $S
+  wavesyn: --connect: pass exactly one of --ping, --point, --q, --server-stats, --shutdown or LO HI
+  [2]
+  $ wavesyn query --connect $SOCK_DIR/nope.sock --ping 2> err.txt
+  [66]
+  $ sed "s#$SOCK_DIR#SOCKDIR#" err.txt
+  wavesyn: SOCKDIR/nope.sock: No such file or directory
+  $ wavesyn loadgen --connect $S --mix point=riches
+  wavesyn: --mix: bad mix weight "riches"
+  [2]
+
+Overload: a BATCH of 8 against a queue bound of 4 sheds exactly the
+last 4 queryable requests with a structured OVERLOAD reply — the
+connection survives and the summary counts the sheds.
+
+  $ wavesyn loadgen --connect $S --requests 8 --batch 8 -n 64 --seed 3 \
+  >   --mix point=1 --out burst.txt
+  loadgen: sent=8 replies=8 overloads=4 errors=0 crc=81ec27f4
+  $ grep -c OVERLOAD burst.txt
+  4
+
+Live metrics over the wire: the server.* families of
+docs/OBSERVABILITY.md, with timing-dependent floats masked. The shed
+burst above pushed the pressure gauge up and re-cut the serving
+synopsis one ladder tier down.
+
+  $ wavesyn stats --connect $S | grep -E 'server\.' \
+  >   | sed -E 's/[0-9]+\.[0-9]+(e[+-][0-9]+)?/F/g'
+  counter    server.admitted                              11 requests
+  counter    server.connections.accepted                  11 connections
+  gauge      server.connections.open                      1 connections
+  counter    server.errors                                3 replies
+  gauge      server.pressure                              1 level
+  gauge      server.queue.bound                           4 requests
+  gauge      server.queue.depth                           0 requests
+  counter    server.recuts                                2 recuts
+  counter    server.requests{kind="batch"}                1 requests
+  counter    server.requests{kind="ping"}                 2 requests
+  counter    server.requests{kind="point"}                2 requests
+  counter    server.requests{kind="quantile"}             3 requests
+  counter    server.requests{kind="range"}                2 requests
+  counter    server.requests{kind="shutdown"}             0 requests
+  counter    server.requests{kind="stats"}                1 requests
+  histogram  server.round.ms                              count=10 sum=F min=F p50<=F p95<=F p99<=F max=F ms
+  counter    server.shed                                  4 requests
+
+Clean shutdown: BYE to the requester, then the server exits by itself,
+removing its socket file.
+
+  $ wavesyn query --connect $S --shutdown
+  BYE
+  $ wait
+  $ test -S $S || echo socket removed
+  socket removed
+  $ sed "s#$S#SOCK#" server.log
+  server: listening on SOCK n=64 budget=8 queue=4 jobs=1
+  server: connections=12 requests=12 admitted=11 shed=4 errors=3 recuts=2 tier=approx(eps=0.25)
+
+Determinism across worker pools: two fresh servers over the same data,
+one sequential and one with four domains, fed the same seeded schedule
+(batches of 8 against queue bound 4, so it sheds), produce
+byte-identical transcripts with the same CRC.
+
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/j1.sock --gen bumps -n 64 \
+  >   --budget 8 --queue 4 --jobs 1 --max-requests 500 > j1.log 2>&1 &
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/j4.sock --gen bumps -n 64 \
+  >   --budget 8 --queue 4 --jobs 4 --max-requests 500 > j4.log 2>&1 &
+  $ wavesyn loadgen --connect $SOCK_DIR/j1.sock --wait-ms 5000 \
+  >   --requests 40 --batch 8 -n 64 --seed 11 --out t1.txt
+  loadgen: sent=40 replies=40 overloads=16 errors=0 crc=5b18fabc
+  $ wavesyn loadgen --connect $SOCK_DIR/j4.sock --wait-ms 5000 \
+  >   --requests 40 --batch 8 -n 64 --seed 11 --out t4.txt
+  loadgen: sent=40 replies=40 overloads=16 errors=0 crc=5b18fabc
+  $ cmp t1.txt t4.txt && echo transcripts identical
+  transcripts identical
+  $ head -4 t1.txt
+  PING => PONG
+  QUANTILE 0.769643 => QPOS 52
+  QUANTILE 0.0508126 => QPOS 4
+  POINT 36 => VALUE 8.79745
+  $ wavesyn query --connect $SOCK_DIR/j1.sock --shutdown
+  BYE
+  $ wavesyn query --connect $SOCK_DIR/j4.sock --shutdown
+  BYE
+  $ wait
+  $ rm -rf $SOCK_DIR

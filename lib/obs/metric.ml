@@ -87,6 +87,27 @@ let cumulative t =
   in
   finite @ [ (Float.infinity, t.count) ]
 
+(* Deterministic quantile bound: a pure function of the bucket counts
+   alone. Unlike {!quantile} below, no interpolation against the
+   (timing-dependent, float-valued) min/max is involved, so equal
+   observation multisets always export equal bounds. *)
+let quantile_le t q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Metric.quantile_le: q outside [0,1]";
+  if t.count = 0 then Float.nan
+  else begin
+    let target =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.count)))
+    in
+    let n = Array.length t.bnds in
+    let i = ref 0 and cum = ref 0 in
+    while !i < n && !cum + t.counts.(!i) < target do
+      cum := !cum + t.counts.(!i);
+      Stdlib.incr i
+    done;
+    if !i < n then t.bnds.(!i) else Float.infinity
+  end
+
 let quantile t q =
   if not (q >= 0. && q <= 1.) then invalid_arg "Metric.quantile: q outside [0,1]";
   if t.count = 0 then Float.nan

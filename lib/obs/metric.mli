@@ -80,3 +80,15 @@ val quantile : histogram -> float -> float
     a uniform distribution inside the covering bucket, clamped to the
     observed [min]/[max]. [nan] when empty. Raises [Invalid_argument]
     when [q] is outside [0, 1]. *)
+
+val quantile_le : histogram -> float -> float
+(** [quantile_le h q] is the {e deterministic} quantile bound exported
+    by the exposition formats: the smallest bucket upper bound [b]
+    such that at least [ceil (q * count)] observations fell in buckets
+    with bound [<= b] ([infinity] when only the overflow bucket
+    qualifies, [nan] when empty). A pure function of the bucket counts
+    — no interpolation against the timing-dependent [min]/[max] — so
+    two histograms over the same observation multiset always export
+    identical values, which is what lets [wavesyn stats] pin p50/p95/
+    p99 in golden tests. Raises [Invalid_argument] when [q] is outside
+    [0, 1]. *)

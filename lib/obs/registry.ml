@@ -169,12 +169,19 @@ let render_table t =
         | I_histogram h ->
             if Metric.hist_count h = 0 then "count=0"
             else
+              (* The percentile fields are the deterministic bucket
+                 bounds of [Metric.quantile_le], and every float field
+                 prints with a '.' ([%.3f], or "inf"), so goldens can
+                 mask the lot with one regex. *)
+              let le q =
+                let b = Metric.quantile_le h q in
+                if Float.is_finite b then Printf.sprintf "%.3f" b else "inf"
+              in
               Printf.sprintf
-                "count=%d sum=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f \
+                "count=%d sum=%.3f min=%.3f p50<=%s p95<=%s p99<=%s \
                  max=%.3f"
                 (Metric.hist_count h) (Metric.hist_sum h) (Metric.hist_min h)
-                (Metric.quantile h 0.5) (Metric.quantile h 0.9)
-                (Metric.quantile h 0.99) (Metric.hist_max h)
+                (le 0.5) (le 0.95) (le 0.99) (Metric.hist_max h)
       in
       let unit_ =
         match fam.f_unit with Some u -> " " ^ u | None -> ""

@@ -66,13 +66,16 @@ val render_table : t -> string
 
     {v
     counter    store.ingest.accepted                40 updates
-    histogram  store.ingest.ms                      count=40 sum=1.234 min=0.012 p50=0.031 p90=0.052 p99=0.067 max=0.071 ms
+    histogram  store.ingest.ms                      count=40 sum=1.234 min=0.012 p50<=0.050 p95<=0.100 p99<=0.100 max=0.071 ms
     v}
 
-    Histogram statistics print with three decimals ([%.3f]) — always
-    containing a ['.'] — while counters print as plain integers, so
-    tests can mask the (timing-dependent) float fields and keep exact
-    integer counts. An empty histogram prints [count=0] only. *)
+    The [p50<=]/[p95<=]/[p99<=] fields are the deterministic bucket
+    bounds of {!Metric.quantile_le} (a pure function of the bucket
+    counts; [inf] when only the overflow bucket qualifies). Histogram
+    statistics print with three decimals ([%.3f]) — always containing
+    a ['.'] — while counters print as plain integers, so tests can
+    mask the (timing-dependent) float fields and keep exact integer
+    counts. An empty histogram prints [count=0] only. *)
 
 val render_prometheus : t -> string
 (** Prometheus text exposition (v0.0.4-style): [# HELP] / [# TYPE]

@@ -100,7 +100,7 @@ let slices = [ 0.5; 0.25; 0.125 ]
 let min_slice_ms = 0.01
 
 let serve ?obs ?trace ?deadline_ms ?state_cap ?(epsilon = 0.25)
-    ?(fault = Fault.none) ~data ~budget metric =
+    ?(top = `Minmax) ?(fault = Fault.none) ~data ~budget metric =
   let ( let* ) = Result.bind in
   let* data = Validate.data ~what:"Ladder.serve" ~require_pow2:true data in
   let* budget = Validate.budget budget in
@@ -227,6 +227,16 @@ let serve ?obs ?trace ?deadline_ms ?state_cap ?(epsilon = 0.25)
         Approx_additive { epsilon = Float.min 1.0 (2. *. epsilon) };
       ]
       slices
+  in
+  (* An overloaded caller can enter the ladder below the top: the
+     skipped tiers are simply not attempted (no Timed_out records),
+     everything below runs exactly as a full serve would. *)
+  let bounded_tiers =
+    match top with
+    | `Minmax -> bounded_tiers
+    | `Approx ->
+        List.filter (fun (t, _) -> t <> Minmax) bounded_tiers
+    | `Greedy -> []
   in
   let rec go = function
     | (tier, frac) :: rest -> (

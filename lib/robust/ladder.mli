@@ -60,6 +60,7 @@ val serve :
   ?deadline_ms:float ->
   ?state_cap:int ->
   ?epsilon:float ->
+  ?top:[ `Minmax | `Approx | `Greedy ] ->
   ?fault:Fault.t ->
   data:float array ->
   budget:int ->
@@ -72,8 +73,13 @@ val serve :
     the exact {!Minmax} optimum unless a fault degrades it).
     [state_cap] additionally caps each bounded tier at that many DP
     states — a deterministic budget useful in tests. [epsilon]
-    (default 0.25) seeds the approximation tier. [fault] (default
-    {!Fault.none}) injects faults at this ladder's fault points.
+    (default 0.25) seeds the approximation tier. [top] (default
+    [`Minmax]) enters the ladder below its top: [`Approx] skips the
+    exact DP, [`Greedy] goes straight to the floor — how an overloaded
+    serving layer sheds build cost while keeping the exact degradation
+    semantics (skipped tiers are not attempted and record nothing).
+    [fault] (default {!Fault.none}) injects faults at this ladder's
+    fault points.
 
     [obs] enables metrics: the serve records [ladder.serve.ms],
     [ladder.serves{tier}], [ladder.attempts{tier,outcome}],

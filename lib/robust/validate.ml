@@ -88,12 +88,37 @@ let read_lines ~max_bytes ~max_line_bytes ~max_values path ~parse =
                          })
                   else values := v :: !values
           in
+          (* CRLF tolerance: a '\r' is held back one character, so the
+             "\r\n" pair collapses to a plain line break (and does not
+             count against [max_line_bytes]); a lone '\r' is an
+             ordinary byte and reaches the parser as such. *)
+          let pending_cr = ref false in
+          let add_char c =
+            if Buffer.length line >= max_line_bytes then
+              set
+                (Bad_value
+                   {
+                     path = Some path;
+                     line = !line_no + 1;
+                     token =
+                       (let b = Buffer.contents line in
+                        String.sub b 0 (Stdlib.min 32 (String.length b))
+                        ^ "...");
+                     reason =
+                       Printf.sprintf "line exceeds %d bytes" max_line_bytes;
+                   })
+            else Buffer.add_char line c
+          in
           let eof = ref false in
           while !err = None && not !eof do
             match input ic chunk 0 (Bytes.length chunk) with
             | 0 | (exception End_of_file) ->
                 eof := true;
-                if Buffer.length line > 0 then flush_line ()
+                if !pending_cr then add_char '\r';
+                pending_cr := false;
+                (* A final line without a trailing newline is data, not
+                   an error: flush whatever the buffer holds. *)
+                if !err = None && Buffer.length line > 0 then flush_line ()
             | k ->
                 total := !total + k;
                 if !total > max_bytes then
@@ -107,23 +132,14 @@ let read_lines ~max_bytes ~max_line_bytes ~max_values path ~parse =
                   let i = ref 0 in
                   while !err = None && !i < k do
                     (match Bytes.get chunk !i with
-                    | '\n' -> flush_line ()
+                    | '\n' ->
+                        pending_cr := false;
+                        flush_line ()
                     | c ->
-                        if Buffer.length line >= max_line_bytes then
-                          set
-                            (Bad_value
-                               {
-                                 path = Some path;
-                                 line = !line_no + 1;
-                                 token =
-                                   (let b = Buffer.contents line in
-                                    String.sub b 0 (Stdlib.min 32 (String.length b))
-                                    ^ "...");
-                                 reason =
-                                   Printf.sprintf "line exceeds %d bytes"
-                                     max_line_bytes;
-                               })
-                        else Buffer.add_char line c);
+                        if !pending_cr then add_char '\r';
+                        pending_cr := false;
+                        if c = '\r' then pending_cr := true
+                        else add_char c);
                     incr i
                   done
           done;

@@ -47,6 +47,11 @@ val read_file :
     per-line error reporting. Empty files and files with no data lines
     are [Bad_shape]; unreadable paths are [Io_error].
 
+    Line endings are tolerant: CRLF ("\r\n") terminators are accepted
+    (the '\r' does not count against [max_line_bytes] and never
+    reaches the token parser), and a final line without a trailing
+    newline is parsed like any other.
+
     Reads are bounded against adversarial inputs: files over
     [max_bytes] (default 64 MiB) or with more than [max_values]
     (default 2^22) values are [Bad_shape], and any single line longer
@@ -61,8 +66,8 @@ val read_updates :
   string ->
   ((int * float) array, error) result
 (** Read a point-update stream (["<cell> <delta>"] per line, blank
-    lines skipped) under the same bounds and error reporting as
-    {!read_file}. Cell indices must be non-negative integers; deltas
+    lines skipped) under the same bounds, line-ending tolerance and
+    error reporting as {!read_file}. Cell indices must be non-negative integers; deltas
     must be finite. Domain range checking is the consumer's job
     (the store knows its [n], this parser does not). *)
 

@@ -1,0 +1,100 @@
+(* Blocking client for the query server's binary protocol: connect
+   with a bounded retry (the server may still be binding its socket),
+   send one frame, read exactly the replies that frame commands. *)
+
+module Validate = Wavesyn_robust.Validate
+module Deadline = Wavesyn_robust.Deadline
+
+type t = { fd : Unix.file_descr; mutable rbuf : Bytes.t; mutable rlen : int }
+
+let retry_pause_s = 0.02
+
+let connect ?(wait_ms = 0.) path =
+  let deadline = Deadline.now_ms () +. wait_ms in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; rbuf = Bytes.create 4096; rlen = 0 }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Deadline.now_ms () < deadline then begin
+          Unix.sleepf retry_pause_s;
+          go ()
+        end
+        else
+          Error
+            (Validate.Io_error { path; reason = Unix.error_message e })
+  in
+  go ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let io_error reason =
+  Error (Validate.Io_error { path = "<server socket>"; reason })
+
+let send t frame =
+  let len = String.length frame in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring t.fd frame off (len - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          io_error (Unix.error_message e)
+  in
+  go 0
+
+let ensure_room t =
+  if t.rlen = Bytes.length t.rbuf then begin
+    let bigger = Bytes.create (2 * Bytes.length t.rbuf) in
+    Bytes.blit t.rbuf 0 bigger 0 t.rlen;
+    t.rbuf <- bigger
+  end
+
+let read_reply t =
+  let rec go () =
+    match Wire.decode t.rbuf ~pos:0 ~len:t.rlen with
+    | `Frame (Wire.Rep reply, next) ->
+        Bytes.blit t.rbuf next t.rbuf 0 (t.rlen - next);
+        t.rlen <- t.rlen - next;
+        Ok reply
+    | `Frame (Wire.Req _, _) -> io_error "request frame from server"
+    | `Corrupt reason -> io_error ("corrupt reply: " ^ reason)
+    | `Incomplete -> (
+        ensure_room t;
+        match
+          Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen)
+        with
+        | 0 -> io_error "server closed the connection"
+        | k ->
+            t.rlen <- t.rlen + k;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            io_error (Unix.error_message e))
+  in
+  go ()
+
+let reply_count = function
+  | Wire.Batch reqs -> List.length reqs
+  | _ -> 1
+
+let request t req =
+  match send t (Wire.encode_request req) with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec gather acc k =
+        if k = 0 then Ok (List.rev acc)
+        else
+          match read_reply t with
+          | Ok reply -> gather (reply :: acc) (k - 1)
+          | Error _ as e -> e
+      in
+      gather [] (reply_count req)
+
+let request_one t req =
+  match request t req with
+  | Ok [ reply ] -> Ok reply
+  | Ok _ -> io_error "unexpected reply count"
+  | Error _ as e -> e

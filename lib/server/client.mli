@@ -1,0 +1,26 @@
+(** Blocking client for the query server's binary protocol.
+
+    One connection, one outstanding request at a time: {!request}
+    sends a frame and reads exactly the replies that frame commands
+    (a [BATCH] of [k] yields [k] replies, anything else one). All
+    failures are {!Wavesyn_robust.Validate.Io_error} values, so CLI
+    callers exit through the standard error path. *)
+
+type t
+
+val connect :
+  ?wait_ms:float -> string -> (t, Wavesyn_robust.Validate.error) result
+(** [connect path] opens the server's Unix-domain socket. [wait_ms]
+    (default 0) keeps retrying a refused or missing socket for that
+    long — the standard way to race a server that is still binding. *)
+
+val request :
+  t -> Wire.request -> (Wire.reply list, Wavesyn_robust.Validate.error) result
+(** Send one request frame and read its replies, in order. *)
+
+val request_one :
+  t -> Wire.request -> (Wire.reply, Wavesyn_robust.Validate.error) result
+(** {!request} for non-batch requests: exactly one reply. *)
+
+val close : t -> unit
+(** Close the connection; idempotent. *)

@@ -1,0 +1,196 @@
+(* Per-connection mechanics: nonblocking reads into a growable buffer,
+   frame/line extraction, mode detection, buffered writes.
+
+   The first byte of a connection picks the mode: the binary magic
+   starts with 'W', no text verb does. A connection never changes mode.
+   Reply bytes are queued whole and flushed as the socket drains, so a
+   slow reader never blocks the serving loop; an overloaded server
+   replies (with OVERLOAD frames) instead of dropping the peer. *)
+
+type mode = Unknown | Binary | Text
+
+type event =
+  | Request of Wire.request
+  | Bad_line of string  (* text-mode parse failure, connection survives *)
+  | Corrupt of string (* binary framing failure, connection must close *)
+
+type t = {
+  fd : Unix.file_descr;
+  id : int;
+  mutable mode : mode;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable wbuf : string list; (* pending output, reversed *)
+  mutable wpending : string; (* partially written head *)
+  mutable woff : int;
+  mutable last_ms : float;
+  mutable closing : bool; (* close once the write queue drains *)
+  mutable dead : bool;
+}
+
+let chunk = 4096
+
+let create ~id ~now_ms fd =
+  Unix.set_nonblock fd;
+  {
+    fd;
+    id;
+    mode = Unknown;
+    rbuf = Bytes.create chunk;
+    rlen = 0;
+    wbuf = [];
+    wpending = "";
+    woff = 0;
+    last_ms = now_ms;
+    closing = false;
+    dead = false;
+  }
+
+let fd t = t.fd
+let id t = t.id
+let is_text t = t.mode = Text
+let mark_closing t = t.closing <- true
+let closing t = t.closing
+
+let idle_exceeded t ~now_ms ~idle_ms = now_ms -. t.last_ms > idle_ms
+
+let close t =
+  if not t.dead then begin
+    t.dead <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* --- reading --- *)
+
+let ensure_room t =
+  if t.rlen = Bytes.length t.rbuf then begin
+    let bigger = Bytes.create (2 * Bytes.length t.rbuf) in
+    Bytes.blit t.rbuf 0 bigger 0 t.rlen;
+    t.rbuf <- bigger
+  end
+
+let consume t upto =
+  if upto > 0 then begin
+    Bytes.blit t.rbuf upto t.rbuf 0 (t.rlen - upto);
+    t.rlen <- t.rlen - upto
+  end
+
+(* Oversized text lines and binary buffers are framing errors, not a
+   reason to buffer without bound. *)
+let max_buffered = Wire.max_payload + 64
+
+let parse_binary t events =
+  let rec go pos =
+    match Wire.decode t.rbuf ~pos ~len:t.rlen with
+    | `Frame (Wire.Req r, next) ->
+        events := Request r :: !events;
+        go next
+    | `Frame (Wire.Rep _, _) ->
+        events := Corrupt "reply frame sent to server" :: !events;
+        pos
+    | `Incomplete ->
+        if t.rlen - pos > max_buffered then begin
+          events := Corrupt "frame exceeds buffer bound" :: !events;
+          t.rlen <- pos
+        end;
+        pos
+    | `Corrupt reason ->
+        events := Corrupt reason :: !events;
+        pos
+  in
+  consume t (go 0)
+
+let parse_text t events =
+  let rec go from =
+    match Bytes.index_from_opt t.rbuf from '\n' with
+    | Some nl when nl < t.rlen ->
+        let line = Bytes.sub_string t.rbuf from (nl - from) in
+        (match Wire.parse_text_request line with
+        | Ok r -> events := Request r :: !events
+        | Error reason -> events := Bad_line reason :: !events);
+        go (nl + 1)
+    | _ ->
+        if t.rlen - from > max_buffered then begin
+          events := Corrupt "text line exceeds buffer bound" :: !events;
+          t.rlen <- from
+        end;
+        from
+  in
+  consume t (go 0)
+
+let parse t events =
+  (match t.mode with
+  | Unknown when t.rlen > 0 ->
+      t.mode <- (if Bytes.get t.rbuf 0 = Wire.magic.[0] then Binary else Text)
+  | _ -> ());
+  match t.mode with
+  | Unknown -> ()
+  | Binary -> parse_binary t events
+  | Text -> parse_text t events
+
+let read t ~now_ms =
+  let events = ref [] in
+  let rec drain () =
+    ensure_room t;
+    match
+      Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen)
+    with
+    | 0 -> `Eof
+    | k ->
+        t.rlen <- t.rlen + k;
+        t.last_ms <- now_ms;
+        parse t events;
+        if List.exists (function Corrupt _ -> true | _ -> false) !events
+        then `More
+        else drain ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        `More
+    | exception Unix.Unix_error _ -> `Eof
+  in
+  let status = drain () in
+  (List.rev !events, status)
+
+(* --- writing --- *)
+
+let queue_reply t reply =
+  let bytes =
+    match t.mode with
+    | Text -> Wire.render_text_reply reply
+    | Binary | Unknown -> Wire.encode_reply reply
+  in
+  t.wbuf <- bytes :: t.wbuf
+
+let wants_write t =
+  t.wpending <> "" || t.wbuf <> []
+
+let rec flush t =
+  if t.wpending = "" then
+    if t.wbuf = [] then `Drained
+    else begin
+      (* Coalesce the queued chunks into one pending string. *)
+      t.wpending <- String.concat "" (List.rev t.wbuf);
+      t.wbuf <- [];
+      t.woff <- 0;
+      flush t
+    end
+  else
+    let len = String.length t.wpending in
+    let rec go () =
+      if t.woff >= len then begin
+        t.wpending <- "";
+        t.woff <- 0;
+        flush t
+      end
+      else
+        match
+          Unix.write_substring t.fd t.wpending t.woff (len - t.woff)
+        with
+        | k ->
+            t.woff <- t.woff + k;
+            go ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+          ->
+            `More
+        | exception Unix.Unix_error _ -> `Peer_gone
+    in
+    go ()

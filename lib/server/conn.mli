@@ -1,0 +1,64 @@
+(** One client connection of the query server: nonblocking buffered
+    reads, frame/line extraction, mode detection, buffered writes.
+
+    The first byte received picks the connection's mode for its whole
+    lifetime — the binary magic starts with ['W'], no text verb does.
+    Writes are queued whole and flushed as the socket drains, so a
+    slow reader never blocks the serving loop, and an overloaded
+    server answers (with [OVERLOAD] frames) rather than dropping the
+    peer. Timestamps are caller-supplied monotonic milliseconds
+    ({!Wavesyn_robust.Deadline.now_ms}), keeping the module free of
+    hidden clocks. *)
+
+type t
+
+(** What reading produced, in arrival order. *)
+type event =
+  | Request of Wire.request  (** a complete, well-formed request *)
+  | Bad_line of string
+      (** text-mode parse failure; the connection survives *)
+  | Corrupt of string
+      (** binary framing failure; the connection cannot resync and
+          must close after an error reply *)
+
+val create : id:int -> now_ms:float -> Unix.file_descr -> t
+(** Wrap a freshly accepted descriptor (made nonblocking here).
+    [id] is a serving-loop serial used in logs and metrics labels. *)
+
+val fd : t -> Unix.file_descr
+
+val id : t -> int
+
+val is_text : t -> bool
+(** Whether mode detection has settled on text. *)
+
+val read : t -> now_ms:float -> event list * [ `More | `Eof ]
+(** Drain the socket without blocking and extract every complete
+    request. [`Eof] means the peer closed (or the descriptor failed);
+    [`More] means the socket is merely empty for now. Refreshes the
+    idle stamp when bytes arrive. *)
+
+val queue_reply : t -> Wire.reply -> unit
+(** Append one reply, encoded for the connection's mode, to the write
+    queue. Nothing is written until {!flush}. *)
+
+val wants_write : t -> bool
+(** Whether queued output remains — the caller adds the descriptor to
+    its write set exactly when this holds. *)
+
+val flush : t -> [ `Drained | `More | `Peer_gone ]
+(** Write queued output until the socket would block. [`Peer_gone]
+    means the peer vanished mid-write (e.g. [EPIPE]) and the
+    connection should be dropped. *)
+
+val mark_closing : t -> unit
+(** Close once the write queue drains — used after [BYE] and after a
+    [Corrupt] event's error reply. *)
+
+val closing : t -> bool
+
+val idle_exceeded : t -> now_ms:float -> idle_ms:float -> bool
+(** Whether no byte has arrived for longer than [idle_ms]. *)
+
+val close : t -> unit
+(** Close the descriptor; idempotent. *)

@@ -1,0 +1,133 @@
+(* Deterministic load generator: a seeded request schedule against a
+   running server, with a transcript suitable for byte comparison.
+
+   The schedule is a pure function of (seed, requests, batch, n, mix):
+   every draw comes from one Prng in a fixed order. Replies are
+   appended to the transcript as canonical one-line forms, so two runs
+   with the same schedule against equivalent servers produce
+   byte-identical transcripts — the determinism check the cram suite
+   performs across --jobs values. Round-trip latencies land in the
+   [loadgen.rtt.ms] histogram, never in the transcript. *)
+
+module Prng = Wavesyn_util.Prng
+module Crc32 = Wavesyn_util.Crc32
+module Validate = Wavesyn_robust.Validate
+module Deadline = Wavesyn_robust.Deadline
+module Metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+
+type mix = { point : int; range : int; quantile : int; ping : int }
+
+let default_mix = { point = 4; range = 3; quantile = 2; ping = 1 }
+
+let weight_total m = m.point + m.range + m.quantile + m.ping
+
+let mix_of_string s =
+  let parse_entry acc entry =
+    Result.bind acc @@ fun m ->
+    match String.split_on_char '=' (String.trim entry) with
+    | [ key; v ] -> (
+        match int_of_string_opt v with
+        | Some w when w >= 0 -> (
+            match key with
+            | "point" -> Ok { m with point = w }
+            | "range" -> Ok { m with range = w }
+            | "quantile" -> Ok { m with quantile = w }
+            | "ping" -> Ok { m with ping = w }
+            | _ -> Error (Printf.sprintf "unknown mix kind %S" key))
+        | _ -> Error (Printf.sprintf "bad mix weight %S" v))
+    | _ -> Error (Printf.sprintf "bad mix entry %S (want kind=weight)" entry)
+  in
+  let zero = { point = 0; range = 0; quantile = 0; ping = 0 } in
+  match
+    List.fold_left parse_entry (Ok zero) (String.split_on_char ',' s)
+  with
+  | Error _ as e -> e
+  | Ok m when weight_total m = 0 -> Error "mix has no positive weight"
+  | Ok m -> Ok m
+
+let gen_request rng ~n mix =
+  let r = Prng.int rng (weight_total mix) in
+  if r < mix.point then Wire.Point (Prng.int rng n)
+  else if r < mix.point + mix.range then begin
+    let lo = Prng.int rng n in
+    let hi = lo + Prng.int rng (n - lo) in
+    Wire.Range { lo; hi }
+  end
+  else if r < mix.point + mix.range + mix.quantile then
+    Wire.Quantile (Prng.float rng 1.0)
+  else Wire.Ping
+
+type summary = {
+  sent : int;
+  replies : int;
+  overloads : int;
+  errors : int;
+  transcript_crc : string;
+}
+
+let run ?obs ~client ~seed ~requests ~batch ~n ~mix ~out () =
+  if requests < 0 then invalid_arg "Loadgen.run: negative request count";
+  if batch < 1 then invalid_arg "Loadgen.run: batch must be at least 1";
+  if n < 1 then invalid_arg "Loadgen.run: n must be at least 1";
+  let h_rtt =
+    Option.map
+      (fun reg ->
+        Registry.histogram reg ~help:"request round-trip latency" ~unit_:"ms"
+          "loadgen.rtt.ms")
+      obs
+  in
+  let rng = Prng.create ~seed in
+  let crc = ref (Crc32.string "") in
+  let sent = ref 0 and replies = ref 0 in
+  let overloads = ref 0 and errors = ref 0 in
+  let record req reply =
+    Stdlib.incr replies;
+    (match reply with
+    | Wire.Overload _ -> Stdlib.incr overloads
+    | Wire.Error _ -> Stdlib.incr errors
+    | _ -> ());
+    let line =
+      Wire.describe_request req ^ " => " ^ Wire.describe_reply reply ^ "\n"
+    in
+    crc := Crc32.update !crc line;
+    out line
+  in
+  let rec rounds remaining =
+    if remaining <= 0 then Ok ()
+    else begin
+      let k = Stdlib.min batch remaining in
+      let reqs = List.init k (fun _ -> gen_request rng ~n mix) in
+      let frame = if k = 1 then List.hd reqs else Wire.Batch reqs in
+      sent := !sent + k;
+      let t0 = Deadline.now_ms () in
+      match Client.request client frame with
+      | Error _ as e -> e
+      | Ok got ->
+          Option.iter
+            (fun h -> Metric.observe h (Deadline.now_ms () -. t0))
+            h_rtt;
+          if List.length got <> k then
+            Error
+              (Validate.Io_error
+                 {
+                   path = "<server socket>";
+                   reason = "reply count does not match the batch";
+                 })
+          else begin
+            List.iter2 record reqs got;
+            rounds (remaining - k)
+          end
+    end
+  in
+  match rounds requests with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok
+        {
+          sent = !sent;
+          replies = !replies;
+          overloads = !overloads;
+          errors = !errors;
+          transcript_crc = Crc32.to_hex !crc;
+        }

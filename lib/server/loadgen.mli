@@ -1,0 +1,50 @@
+(** Deterministic load generator for the query server.
+
+    The request schedule is a pure function of (seed, request count,
+    batch size, domain size, mix): every draw comes from one
+    {!Wavesyn_util.Prng} in a fixed order. The transcript — one
+    canonical ["REQUEST => REPLY"] line per request — therefore
+    byte-matches between any two runs whose servers answer
+    identically, which is how the cram suite proves [--jobs 1] and
+    [--jobs 4] servers equivalent. Latencies are recorded as metrics,
+    never written into the transcript. *)
+
+(** Relative draw weights of the request kinds; zero disables a
+    kind. *)
+type mix = { point : int; range : int; quantile : int; ping : int }
+
+val default_mix : mix
+(** [point=4, range=3, quantile=2, ping=1]. *)
+
+val mix_of_string : string -> (mix, string) result
+(** Parse ["point=4,range=3,quantile=2,ping=1"]-style specs; omitted
+    kinds get weight 0. Errors on unknown kinds, malformed or negative
+    weights, and an all-zero mix. *)
+
+type summary = {
+  sent : int;  (** individual requests sent (batch entries counted) *)
+  replies : int;  (** replies received *)
+  overloads : int;  (** [OVERLOAD] replies among them *)
+  errors : int;  (** [ERROR] replies among them *)
+  transcript_crc : string;  (** CRC-32 hex of the whole transcript *)
+}
+
+val run :
+  ?obs:Wavesyn_obs.Registry.t ->
+  client:Client.t ->
+  seed:int ->
+  requests:int ->
+  batch:int ->
+  n:int ->
+  mix:mix ->
+  out:(string -> unit) ->
+  unit ->
+  (summary, Wavesyn_robust.Validate.error) result
+(** Send [requests] requests in frames of [batch] (a batch of 1 is a
+    plain request frame; the final frame may be short), appending each
+    transcript line to [out]. [n] is the server's domain size — range
+    and point parameters are drawn inside it. With [obs], round-trip
+    times land in the [loadgen.rtt.ms] histogram. Fails with the first
+    transport error; [OVERLOAD]/[ERROR] replies are counted, not
+    failures. Raises [Invalid_argument] on a negative request count,
+    batch < 1 or n < 1. *)

@@ -1,0 +1,498 @@
+(* The query server: a single-threaded select loop over a Unix-domain
+   socket, answering synopsis queries with deterministic replies.
+
+   Determinism is the design constraint. Replies are a pure function
+   of the loaded synopsis, so two servers over the same data produce
+   byte-identical reply streams for the same request schedule — for
+   any worker-pool size, because admitted requests are evaluated
+   positionally with [Pool.map_chunked]. Admission (the queue bound)
+   is per round, and a BATCH frame's sub-requests all land in one
+   round, which is what makes overload shedding reproducible: a batch
+   of 8 against a bound of 4 sheds exactly the last 4, every time.
+
+   Per connection, replies keep request order: every incoming request
+   takes a slot, control requests and sheds fill theirs immediately,
+   admitted requests fill theirs when the round's evaluation finishes,
+   and slots flush strictly in order. *)
+
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Range_query = Wavesyn_synopsis.Range_query
+module Quantiles = Wavesyn_aqp.Quantiles
+module Validate = Wavesyn_robust.Validate
+module Ladder = Wavesyn_robust.Ladder
+module Deadline = Wavesyn_robust.Deadline
+module Metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+module Trace = Wavesyn_obs.Trace
+module Pool = Wavesyn_par.Pool
+
+type config = {
+  path : string;
+  data : float array;
+  budget : int;
+  metric : Metrics.error_metric;
+  epsilon : float;
+  queue_bound : int;
+  idle_ms : float;
+  max_requests : int option;
+}
+
+let config ?(budget = 8) ?(metric = Metrics.Abs) ?(epsilon = 0.25)
+    ?(queue_bound = 64) ?(idle_ms = 30_000.) ?max_requests ~path data =
+  if queue_bound < 1 then
+    invalid_arg "Server.config: queue_bound must be at least 1";
+  if idle_ms <= 0. then invalid_arg "Server.config: idle_ms must be positive";
+  { path; data; budget; metric; epsilon; queue_bound; idle_ms; max_requests }
+
+type stats = {
+  accepted : int;
+  requests : int;
+  admitted : int;
+  shed : int;
+  errors : int;
+  recuts : int;
+  tier : string;
+}
+
+type t = {
+  cfg : config;
+  obs : Registry.t;
+  trace : Trace.sink option;
+  pool : Pool.t;
+  admit : int Admit.t;
+  mutable synopsis : Synopsis.t;
+  mutable tier_name : string;
+  mutable listen_fd : Unix.file_descr option;
+  conns : (int, Conn.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable running : bool;
+  mutable total_requests : int;
+  mutable total_errors : int;
+  mutable total_accepted : int;
+  mutable total_recuts : int;
+  c_accepted : Metric.counter;
+  g_open : Metric.gauge;
+  c_errors : Metric.counter;
+  c_recuts : Metric.counter;
+  h_round : Metric.histogram;
+  c_kind : Wire.request -> Metric.counter;
+}
+
+let with_span t name f =
+  match t.trace with None -> f () | Some sink -> Trace.with_span sink name f
+
+(* Re-cut the serving synopsis at the ladder tier the current pressure
+   allows. No deadline: tier choice is by pressure alone, so the
+   synopsis served at a given pressure level is deterministic. *)
+let recut t =
+  let top = Admit.top_of_pressure (Admit.pressure t.admit) in
+  match
+    with_span t "server.recut" @@ fun () ->
+    Ladder.serve ~epsilon:t.cfg.epsilon ~top ~data:t.cfg.data
+      ~budget:t.cfg.budget t.cfg.metric
+  with
+  | Ok served ->
+      t.synopsis <- served.Ladder.synopsis;
+      t.tier_name <- Ladder.tier_name served.Ladder.tier;
+      t.total_recuts <- t.total_recuts + 1;
+      Metric.incr t.c_recuts
+  | Error _ ->
+      (* Every tier failed (cannot happen for finite data: the greedy
+         floor is total); keep serving the previous synopsis. *)
+      ()
+
+let create ?obs ?trace ?pool cfg =
+  let obs = match obs with Some r -> r | None -> Registry.create () in
+  let pool =
+    match pool with Some p -> p | None -> Pool.create ~domains:1 ()
+  in
+  let kind_counter =
+    let make kind =
+      Registry.counter obs ~help:"requests received, by kind"
+        ~unit_:"requests" ~labels:[ ("kind", kind) ] "server.requests"
+    in
+    let ping = make "ping" and point = make "point" and range = make "range"
+    and quantile = make "quantile" and stats = make "stats"
+    and batch = make "batch" and shutdown = make "shutdown" in
+    function
+    | Wire.Ping -> ping
+    | Wire.Point _ -> point
+    | Wire.Range _ -> range
+    | Wire.Quantile _ -> quantile
+    | Wire.Stats -> stats
+    | Wire.Batch _ -> batch
+    | Wire.Shutdown -> shutdown
+  in
+  let t =
+    {
+      cfg;
+      obs;
+      trace;
+      pool;
+      admit = Admit.create ~obs ~bound:cfg.queue_bound ();
+      synopsis = Synopsis.make ~n:(Array.length cfg.data) [];
+      tier_name = "none";
+      listen_fd = None;
+      conns = Hashtbl.create 16;
+      next_id = 0;
+      running = false;
+      total_requests = 0;
+      total_errors = 0;
+      total_accepted = 0;
+      total_recuts = 0;
+      c_accepted =
+        Registry.counter obs ~help:"connections accepted" ~unit_:"connections"
+          "server.connections.accepted";
+      g_open =
+        Registry.gauge obs ~help:"connections currently open"
+          ~unit_:"connections" "server.connections.open";
+      c_errors =
+        Registry.counter obs ~help:"error replies sent" ~unit_:"replies"
+          "server.errors";
+      c_recuts =
+        Registry.counter obs ~help:"synopsis re-cuts on pressure change"
+          ~unit_:"recuts" "server.recuts";
+      h_round =
+        Registry.histogram obs ~help:"serving round latency" ~unit_:"ms"
+          "server.round.ms";
+      c_kind = kind_counter;
+    }
+  in
+  recut t;
+  t
+
+let stats t =
+  {
+    accepted = t.total_accepted;
+    requests = t.total_requests;
+    admitted = Admit.admitted_total t.admit;
+    shed = Admit.shed_total t.admit;
+    errors = t.total_errors;
+    recuts = t.total_recuts;
+    tier = t.tier_name;
+  }
+
+let registry t = t.obs
+
+(* --- query evaluation (pure reads of the serving synopsis) --- *)
+
+let eval_one t req =
+  let n = Synopsis.n t.synopsis in
+  match req with
+  | Wire.Point i ->
+      if i < 0 || i >= n then
+        Wire.Error
+          {
+            code = Wire.Out_of_range;
+            message = Printf.sprintf "cell %d outside domain [0, %d]" i (n - 1);
+          }
+      else Wire.Value (Synopsis.reconstruct_point t.synopsis i)
+  | Wire.Range { lo; hi } -> (
+      match Range_query.range_sum t.synopsis ~lo ~hi with
+      | v -> Wire.Value v
+      | exception Invalid_argument _ ->
+          Wire.Error
+            {
+              code = Wire.Out_of_range;
+              message =
+                Printf.sprintf "range [%d, %d] invalid over domain [0, %d]" lo
+                  hi (n - 1);
+            })
+  | Wire.Quantile q -> (
+      match Quantiles.estimate t.synopsis ~q with
+      | pos -> Wire.Quantile_pos pos
+      | exception Invalid_argument reason ->
+          let code =
+            if q < 0. || q > 1. || Float.is_nan q then Wire.Out_of_range
+            else Wire.Unanswerable
+          in
+          Wire.Error { code; message = reason })
+  | Wire.Ping | Wire.Stats | Wire.Batch _ | Wire.Shutdown ->
+      Wire.Error { code = Wire.Internal; message = "not an admitted kind" }
+
+(* --- the serving round --- *)
+
+type slot = { s_conn : Conn.t; mutable s_reply : Wire.reply option }
+
+let overload_reply t =
+  Wire.Overload
+    {
+      bound = Admit.bound t.admit;
+      depth = Admit.depth t.admit;
+      tier = t.tier_name;
+    }
+
+let count_error t = function
+  | Wire.Error _ ->
+      t.total_errors <- t.total_errors + 1;
+      Metric.incr t.c_errors
+  | _ -> ()
+
+let process_request t ~(slots : slot list ref) ~evals conn request =
+  t.total_requests <- t.total_requests + 1;
+  Metric.incr (t.c_kind request);
+  let push reply =
+    count_error t reply;
+    slots := { s_conn = conn; s_reply = Some reply } :: !slots
+  in
+  let admit request =
+    let slot = { s_conn = conn; s_reply = None } in
+    if Admit.offer t.admit (List.length !evals) then begin
+      slots := slot :: !slots;
+      evals := (slot, request) :: !evals
+    end
+    else begin
+      slot.s_reply <- Some (overload_reply t);
+      slots := slot :: !slots
+    end
+  in
+  match request with
+  | Wire.Ping -> push Wire.Pong
+  | Wire.Stats -> push (Wire.Stats_text (Registry.render_table t.obs))
+  | Wire.Shutdown ->
+      t.running <- false;
+      push Wire.Bye;
+      Conn.mark_closing conn
+  | Wire.Batch reqs ->
+      List.iter
+        (fun r ->
+          match r with
+          | Wire.Ping -> push Wire.Pong
+          | Wire.Stats -> push (Wire.Stats_text (Registry.render_table t.obs))
+          | Wire.Point _ | Wire.Range _ | Wire.Quantile _ -> admit r
+          | Wire.Batch _ | Wire.Shutdown ->
+              push
+                (Wire.Error
+                   {
+                     code = Wire.Bad_request;
+                     message = "illegal BATCH entry";
+                   }))
+        reqs
+  | Wire.Point _ | Wire.Range _ | Wire.Quantile _ -> admit request
+
+(* Evaluate the round's admitted requests, batched by query kind, each
+   kind fanned out positionally over the pool — results land back in
+   their slots, so per-connection reply order is request order no
+   matter how the pool schedules the work. *)
+let evaluate_round t evals =
+  ignore (Admit.take_batch t.admit);
+  let evals = Array.of_list (List.rev evals) in
+  let by_kind tag =
+    let group =
+      Array.of_list
+        (List.filter
+           (fun (_, r) ->
+             match (tag, r) with
+             | `Point, Wire.Point _
+             | `Range, Wire.Range _
+             | `Quantile, Wire.Quantile _ ->
+                 true
+             | _ -> false)
+           (Array.to_list evals))
+    in
+    if Array.length group > 0 then begin
+      let replies =
+        Pool.map_chunked t.pool (Array.length group) (fun i ->
+            eval_one t (snd group.(i)))
+      in
+      Array.iteri
+        (fun i (slot, _) ->
+          count_error t replies.(i);
+          slot.s_reply <- Some replies.(i))
+        group
+    end
+  in
+  by_kind `Point;
+  by_kind `Range;
+  by_kind `Quantile
+
+(* --- the select loop --- *)
+
+exception Bind_error of Validate.error
+
+let listen_on path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ ->
+      raise
+        (Bind_error (Validate.Io_error { path; reason = "exists and is not a socket" }))
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    Unix.set_nonblock fd
+  with
+  | () -> fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise
+        (Bind_error
+           (Validate.Io_error { path; reason = Unix.error_message e }))
+
+let accept_ready t listen_fd ~now_ms =
+  let rec go () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | fd, _ ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        t.total_accepted <- t.total_accepted + 1;
+        Metric.incr t.c_accepted;
+        Hashtbl.replace t.conns id (Conn.create ~id ~now_ms fd);
+        Metric.set t.g_open (float_of_int (Hashtbl.length t.conns));
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let drop_conn t conn =
+  Conn.close conn;
+  Hashtbl.remove t.conns (Conn.id conn);
+  Metric.set t.g_open (float_of_int (Hashtbl.length t.conns))
+
+let flush_conn t conn =
+  match Conn.flush conn with
+  | `Drained -> if Conn.closing conn then drop_conn t conn
+  | `More -> ()
+  | `Peer_gone -> drop_conn t conn
+
+let limit_reached t =
+  match t.cfg.max_requests with
+  | Some k -> t.total_requests >= k
+  | None -> false
+
+let run_exn t =
+  let previous_sigpipe =
+    (* A peer closing mid-write must surface as EPIPE, not kill the
+       process. *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter (fun h -> Sys.set_signal Sys.sigpipe h) previous_sigpipe)
+  @@ fun () ->
+  let listen_fd = listen_on t.cfg.path in
+  t.listen_fd <- Some listen_fd;
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ c -> Conn.close c) t.conns;
+      Hashtbl.reset t.conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink t.cfg.path with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  while t.running do
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    let rds = listen_fd :: List.map Conn.fd conns in
+    let wrs =
+      List.filter_map
+        (fun c -> if Conn.wants_write c then Some (Conn.fd c) else None)
+        conns
+    in
+    let readable, writable, _ =
+      match Unix.select rds wrs [] 0.1 with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let now_ms = Deadline.now_ms () in
+    let t0 = now_ms in
+    if List.memq listen_fd readable then accept_ready t listen_fd ~now_ms;
+    (* Gather this round's requests in connection-arrival order. The
+       iteration order is the connection id, so rounds are reproducible
+       given the request schedule. *)
+    let slots = ref [] and evals = ref [] in
+    let shed_before = Admit.shed_total t.admit in
+    let active =
+      List.sort
+        (fun a b -> compare (Conn.id a) (Conn.id b))
+        (List.filter (fun c -> List.memq (Conn.fd c) readable) conns)
+    in
+    let eof = ref [] in
+    List.iter
+      (fun conn ->
+        let events, status = Conn.read conn ~now_ms in
+        List.iter
+          (function
+            | Conn.Request r -> process_request t ~slots ~evals conn r
+            | Conn.Bad_line reason ->
+                t.total_requests <- t.total_requests + 1;
+                let reply =
+                  Wire.Error { code = Wire.Bad_request; message = reason }
+                in
+                count_error t reply;
+                slots := { s_conn = conn; s_reply = Some reply } :: !slots
+            | Conn.Corrupt reason ->
+                let reply =
+                  Wire.Error { code = Wire.Bad_request; message = reason }
+                in
+                count_error t reply;
+                slots := { s_conn = conn; s_reply = Some reply } :: !slots;
+                Conn.mark_closing conn)
+          events;
+        if status = `Eof then eof := conn :: !eof)
+      active;
+    (if !evals <> [] then
+       with_span t "server.round" @@ fun () -> evaluate_round t !evals);
+    let shed = Admit.shed_total t.admit - shed_before in
+    (* Flush every filled slot in per-connection request order. *)
+    List.iter
+      (fun slot ->
+        match slot.s_reply with
+        | Some reply -> Conn.queue_reply slot.s_conn reply
+        | None -> ())
+      (List.rev !slots);
+    List.iter
+      (fun conn ->
+        if Conn.wants_write conn || List.memq (Conn.fd conn) writable then
+          flush_conn t conn)
+      (List.sort (fun a b -> compare (Conn.id a) (Conn.id b)) conns);
+    (* EOF connections leave after their replies are flushed. *)
+    List.iter
+      (fun conn -> if Hashtbl.mem t.conns (Conn.id conn) then drop_conn t conn)
+      !eof;
+    (* Idle connections are reaped quietly. *)
+    Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+    |> List.iter (fun c ->
+           if Conn.idle_exceeded c ~now_ms ~idle_ms:t.cfg.idle_ms then
+             drop_conn t c);
+    (* Only rounds that carried requests advance the pressure state:
+       idle select timeouts are invisible to it, so the pressure
+       trajectory — and with it every OVERLOAD reply and re-cut — is a
+       pure function of the request schedule, not of timing. *)
+    if !slots <> [] then begin
+      Metric.observe t.h_round (Deadline.now_ms () -. t0);
+      if Admit.note_round t.admit ~shed then recut t
+    end;
+    if limit_reached t then t.running <- false
+  done;
+  (* Drain: give every connection a short window to receive queued
+     replies before the listener goes away. *)
+  let deadline = Deadline.now_ms () +. 500. in
+  let rec drain () =
+    let pending =
+      Hashtbl.fold
+        (fun _ c acc -> if Conn.wants_write c then c :: acc else acc)
+        t.conns []
+    in
+    if pending <> [] && Deadline.now_ms () < deadline then begin
+      (match
+         Unix.select [] (List.map Conn.fd pending) [] 0.05
+       with
+      | _, writable, _ ->
+          List.iter
+            (fun c ->
+              if List.memq (Conn.fd c) writable then flush_conn t c)
+            pending
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      drain ()
+    end
+  in
+  drain ()
+
+let run t =
+  match run_exn t with
+  | () -> Ok ()
+  | exception Bind_error e -> Error e

@@ -1,0 +1,81 @@
+(** The query server: a select loop over a Unix-domain socket
+    answering synopsis queries with deterministic replies.
+
+    Replies are a pure function of the serving synopsis and the
+    request schedule. Admitted requests are batched by query kind and
+    evaluated positionally over a {!Wavesyn_par.Pool}, so the reply
+    stream is byte-identical for every pool size; admission (the
+    {!Admit} queue bound) applies per serving round, and a [BATCH]
+    frame lands in one round, which makes overload shedding
+    reproducible. Per connection, replies always keep request order.
+
+    Overload feeds back into quality, not availability: pressure from
+    shedding steps the serving synopsis down the
+    {!Wavesyn_robust.Ladder} (minmax → approx → greedy) by re-cutting
+    at a lower top tier, exactly as the in-process serving path
+    degrades, and recovers the same way. Connections are never dropped
+    in response to load. *)
+
+type config = {
+  path : string;  (** Unix-domain socket path to listen on *)
+  data : float array;  (** backing dataset (power-of-two length) *)
+  budget : int;  (** synopsis coefficient budget *)
+  metric : Wavesyn_synopsis.Metrics.error_metric;
+  epsilon : float;  (** ladder approximation tier seed *)
+  queue_bound : int;  (** admission queue capacity per round *)
+  idle_ms : float;  (** idle connection timeout *)
+  max_requests : int option;
+      (** stop after this many request frames (test safety net) *)
+}
+
+val config :
+  ?budget:int ->
+  ?metric:Wavesyn_synopsis.Metrics.error_metric ->
+  ?epsilon:float ->
+  ?queue_bound:int ->
+  ?idle_ms:float ->
+  ?max_requests:int ->
+  path:string ->
+  float array ->
+  config
+(** Defaults: budget 8, absolute error, ε 0.25, queue bound 64, idle
+    timeout 30 s, no request limit. Raises [Invalid_argument] on a
+    non-positive queue bound or idle timeout. *)
+
+type t
+
+val create :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?trace:Wavesyn_obs.Trace.sink ->
+  ?pool:Wavesyn_par.Pool.t ->
+  config ->
+  t
+(** Build the serving state and cut the initial synopsis at the
+    ladder's top tier. [obs] (fresh registry when absent) carries the
+    [server.*] metrics of [docs/OBSERVABILITY.md]; [trace] records
+    [server.recut] and [server.round] spans; [pool] (sequential when
+    absent) evaluates admitted requests — the caller shuts it down. *)
+
+val run : t -> (unit, Wavesyn_robust.Validate.error) result
+(** Bind the socket (unlinking a stale socket file left by a dead
+    server), serve until a [SHUTDOWN] request or the [max_requests]
+    limit, then drain pending replies, close every connection and
+    remove the socket file. [Error] is an [Io_error] when the path
+    cannot be bound (or names a non-socket). *)
+
+type stats = {
+  accepted : int;  (** connections accepted *)
+  requests : int;  (** request frames processed *)
+  admitted : int;  (** queryable requests admitted *)
+  shed : int;  (** queryable requests shed with [OVERLOAD] *)
+  errors : int;  (** error replies sent *)
+  recuts : int;  (** synopsis re-cuts on pressure change *)
+  tier : string;  (** ladder tier currently serving *)
+}
+
+val stats : t -> stats
+(** Point-in-time counters (stable once {!run} returns). *)
+
+val registry : t -> Wavesyn_obs.Registry.t
+(** The registry carrying the [server.*] metrics (the one passed to
+    {!create}, or the private one it made). *)

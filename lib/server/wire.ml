@@ -1,0 +1,343 @@
+(* Versioned wire protocol: binary frames plus a line-oriented text
+   mode, sharing one request/reply vocabulary.
+
+   Binary frame layout (all integers big-endian):
+
+     magic   4 bytes  "WSYN"
+     version 1 byte   (currently 1)
+     kind    1 byte   (request kinds 0x01..; reply kinds 0x81..)
+     length  4 bytes  payload byte count
+     payload length bytes
+     crc     4 bytes  CRC-32 over version..payload inclusive
+
+   The CRC covers everything after the magic so a flipped bit anywhere
+   in the header or payload is caught, while the magic itself doubles
+   as the binary/text mode discriminator (no legal text command starts
+   with 'W'). Decoding is strict: an unknown version, unknown kind,
+   oversized length or CRC mismatch is [`Corrupt], never a guess. *)
+
+module Crc32 = Wavesyn_util.Crc32
+
+type error_code =
+  | Bad_request
+  | Out_of_range
+  | Unanswerable
+  | Shutting_down
+  | Internal
+
+type request =
+  | Ping
+  | Point of int
+  | Range of { lo : int; hi : int }
+  | Quantile of float
+  | Stats
+  | Batch of request list
+  | Shutdown
+
+type reply =
+  | Pong
+  | Value of float
+  | Quantile_pos of int
+  | Stats_text of string
+  | Overload of { bound : int; depth : int; tier : string }
+  | Bye
+  | Error of { code : error_code; message : string }
+
+type frame = Req of request | Rep of reply
+
+type decoded =
+  [ `Frame of frame * int | `Incomplete | `Corrupt of string ]
+
+let version = 1
+let magic = "WSYN"
+let max_payload = 1 lsl 20
+
+let error_code_name = function
+  | Bad_request -> "bad-request"
+  | Out_of_range -> "out-of-range"
+  | Unanswerable -> "unanswerable"
+  | Shutting_down -> "shutting-down"
+  | Internal -> "internal"
+
+let error_code_byte = function
+  | Bad_request -> 1
+  | Out_of_range -> 2
+  | Unanswerable -> 3
+  | Shutting_down -> 4
+  | Internal -> 5
+
+let error_code_of_byte = function
+  | 1 -> Some Bad_request
+  | 2 -> Some Out_of_range
+  | 3 -> Some Unanswerable
+  | 4 -> Some Shutting_down
+  | 5 -> Some Internal
+  | _ -> None
+
+(* --- payload primitives --- *)
+
+let put_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+let put_f64 buf v = Buffer.add_int64_be buf (Int64.bits_of_float v)
+
+let put_str buf s =
+  Buffer.add_int32_be buf (Int32.of_int (String.length s));
+  Buffer.add_string buf s
+
+let get_i64 s pos = Int64.to_int (String.get_int64_be s pos)
+let get_f64 s pos = Int64.float_of_bits (String.get_int64_be s pos)
+
+(* --- request encoding --- *)
+
+let request_kind = function
+  | Ping -> 0x01
+  | Point _ -> 0x02
+  | Range _ -> 0x03
+  | Quantile _ -> 0x04
+  | Stats -> 0x05
+  | Batch _ -> 0x06
+  | Shutdown -> 0x07
+
+let reply_kind = function
+  | Pong -> 0x81
+  | Value _ -> 0x82
+  | Quantile_pos _ -> 0x83
+  | Stats_text _ -> 0x84
+  | Overload _ -> 0x85
+  | Bye -> 0x86
+  | Error _ -> 0x87
+
+(* Batch entries are a kind byte plus that kind's fixed-size payload;
+   nesting is rejected at encode time so the decoder never recurses. *)
+let rec put_request_payload buf = function
+  | Ping | Stats | Shutdown -> ()
+  | Point i -> put_i64 buf i
+  | Range { lo; hi } ->
+      put_i64 buf lo;
+      put_i64 buf hi
+  | Quantile q -> put_f64 buf q
+  | Batch reqs ->
+      put_i64 buf (List.length reqs);
+      List.iter
+        (fun r ->
+          (match r with
+          | Batch _ -> invalid_arg "Wire: nested BATCH"
+          | Shutdown -> invalid_arg "Wire: SHUTDOWN inside BATCH"
+          | _ -> ());
+          Buffer.add_uint8 buf (request_kind r);
+          put_request_payload buf r)
+        reqs
+
+let put_reply_payload buf = function
+  | Pong | Bye -> ()
+  | Value v -> put_f64 buf v
+  | Quantile_pos i -> put_i64 buf i
+  | Stats_text s -> Buffer.add_string buf s
+  | Overload { bound; depth; tier } ->
+      put_i64 buf bound;
+      put_i64 buf depth;
+      put_str buf tier
+  | Error { code; message } ->
+      Buffer.add_uint8 buf (error_code_byte code);
+      Buffer.add_string buf message
+
+let frame_of ~kind payload =
+  let buf = Buffer.create (String.length payload + 14) in
+  Buffer.add_string buf magic;
+  let body = Buffer.create (String.length payload + 6) in
+  Buffer.add_uint8 body version;
+  Buffer.add_uint8 body kind;
+  Buffer.add_int32_be body (Int32.of_int (String.length payload));
+  Buffer.add_string body payload;
+  let body = Buffer.contents body in
+  Buffer.add_string buf body;
+  Buffer.add_int32_be buf (Int32.of_int (Crc32.string body));
+  Buffer.contents buf
+
+let encode_request r =
+  let buf = Buffer.create 32 in
+  put_request_payload buf r;
+  frame_of ~kind:(request_kind r) (Buffer.contents buf)
+
+let encode_reply r =
+  let buf = Buffer.create 32 in
+  put_reply_payload buf r;
+  frame_of ~kind:(reply_kind r) (Buffer.contents buf)
+
+(* --- decoding --- *)
+
+exception Corrupt_payload of string
+
+let need payload pos k =
+  if pos + k > String.length payload then
+    raise (Corrupt_payload "truncated payload")
+
+let decode_batch_entry payload pos =
+  need payload pos 1;
+  let kind = Char.code payload.[pos] in
+  let pos = pos + 1 in
+  match kind with
+  | 0x01 -> (Ping, pos)
+  | 0x02 ->
+      need payload pos 8;
+      (Point (get_i64 payload pos), pos + 8)
+  | 0x03 ->
+      need payload pos 16;
+      (Range { lo = get_i64 payload pos; hi = get_i64 payload (pos + 8) },
+       pos + 16)
+  | 0x04 ->
+      need payload pos 8;
+      (Quantile (get_f64 payload pos), pos + 8)
+  | 0x05 -> (Stats, pos)
+  | k -> raise (Corrupt_payload (Printf.sprintf "bad batch entry kind 0x%02x" k))
+
+let decode_request ~kind payload =
+  let exact k v =
+    if String.length payload <> k then
+      raise (Corrupt_payload "payload length mismatch")
+    else v
+  in
+  match kind with
+  | 0x01 -> exact 0 Ping
+  | 0x02 -> exact 8 (Point (get_i64 payload 0))
+  | 0x03 ->
+      exact 16 (Range { lo = get_i64 payload 0; hi = get_i64 payload 8 })
+  | 0x04 -> exact 8 (Quantile (get_f64 payload 0))
+  | 0x05 -> exact 0 Stats
+  | 0x06 ->
+      need payload 0 8;
+      let count = get_i64 payload 0 in
+      if count < 0 || count > max_payload then
+        raise (Corrupt_payload "bad batch count");
+      let pos = ref 8 in
+      let reqs =
+        List.init count (fun _ ->
+            let r, pos' = decode_batch_entry payload !pos in
+            pos := pos';
+            r)
+      in
+      if !pos <> String.length payload then
+        raise (Corrupt_payload "trailing bytes after batch");
+      Batch reqs
+  | 0x07 -> exact 0 Shutdown
+  | k -> raise (Corrupt_payload (Printf.sprintf "unknown request kind 0x%02x" k))
+
+let decode_reply ~kind payload =
+  let exact k v =
+    if String.length payload <> k then
+      raise (Corrupt_payload "payload length mismatch")
+    else v
+  in
+  match kind with
+  | 0x81 -> exact 0 Pong
+  | 0x82 -> exact 8 (Value (get_f64 payload 0))
+  | 0x83 -> exact 8 (Quantile_pos (get_i64 payload 0))
+  | 0x84 -> Stats_text payload
+  | 0x85 ->
+      need payload 0 20;
+      let bound = get_i64 payload 0 and depth = get_i64 payload 8 in
+      let tlen = Int32.to_int (String.get_int32_be payload 16) in
+      if tlen < 0 || 20 + tlen <> String.length payload then
+        raise (Corrupt_payload "bad overload tier length");
+      Overload { bound; depth; tier = String.sub payload 20 tlen }
+  | 0x86 -> exact 0 Bye
+  | 0x87 ->
+      need payload 0 1;
+      let code =
+        match error_code_of_byte (Char.code payload.[0]) with
+        | Some c -> c
+        | None -> raise (Corrupt_payload "unknown error code")
+      in
+      Error
+        { code; message = String.sub payload 1 (String.length payload - 1) }
+  | k -> raise (Corrupt_payload (Printf.sprintf "unknown reply kind 0x%02x" k))
+
+let decode buf ~pos ~len : decoded =
+  let avail = len - pos in
+  if avail < 4 then `Incomplete
+  else if Bytes.sub_string buf pos 4 <> magic then `Corrupt "bad magic"
+  else if avail < 14 then `Incomplete
+  else begin
+    let v = Bytes.get_uint8 buf (pos + 4) in
+    let kind = Bytes.get_uint8 buf (pos + 5) in
+    let plen = Int32.to_int (Bytes.get_int32_be buf (pos + 6)) in
+    if v <> version then `Corrupt (Printf.sprintf "unknown version %d" v)
+    else if plen < 0 || plen > max_payload then
+      `Corrupt (Printf.sprintf "payload length %d out of bounds" plen)
+    else if avail < 14 + plen then `Incomplete
+    else begin
+      let body = Bytes.sub_string buf (pos + 4) (6 + plen) in
+      let crc =
+        Int32.to_int (Bytes.get_int32_be buf (pos + 10 + plen)) land 0xFFFFFFFF
+      in
+      if crc <> Crc32.string body then `Corrupt "CRC mismatch"
+      else begin
+        let payload = String.sub body 6 plen in
+        match
+          if kind land 0x80 = 0 then Req (decode_request ~kind payload)
+          else Rep (decode_reply ~kind payload)
+        with
+        | frame -> `Frame (frame, pos + 14 + plen)
+        | exception Corrupt_payload reason -> `Corrupt reason
+      end
+    end
+  end
+
+(* --- text mode --- *)
+
+let describe_request r =
+  let rec go = function
+    | Ping -> "PING"
+    | Point i -> Printf.sprintf "POINT %d" i
+    | Range { lo; hi } -> Printf.sprintf "RANGE %d %d" lo hi
+    | Quantile q -> Printf.sprintf "QUANTILE %g" q
+    | Stats -> "STATS"
+    | Batch reqs ->
+        Printf.sprintf "BATCH[%s]" (String.concat "; " (List.map go reqs))
+    | Shutdown -> "SHUTDOWN"
+  in
+  go r
+
+let describe_reply = function
+  | Pong -> "PONG"
+  | Value v -> Printf.sprintf "VALUE %g" v
+  | Quantile_pos i -> Printf.sprintf "QPOS %d" i
+  | Stats_text _ -> "STATS-TEXT"
+  | Overload { bound; depth; tier } ->
+      Printf.sprintf "OVERLOAD bound=%d depth=%d tier=%s" bound depth tier
+  | Bye -> "BYE"
+  | Error { code; message } ->
+      Printf.sprintf "ERROR %s %s" (error_code_name code) message
+
+let parse_text_request line =
+  let line = String.trim line in
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  let int_of w =
+    match int_of_string_opt w with
+    | Some i -> Ok i
+    | None -> Stdlib.Error (Printf.sprintf "not an integer: %s" w)
+  in
+  match words with
+  | [ "PING" ] -> Ok Ping
+  | [ "POINT"; i ] -> Result.map (fun i -> Point i) (int_of i)
+  | [ "RANGE"; lo; hi ] ->
+      Result.bind (int_of lo) (fun lo ->
+          Result.map (fun hi -> Range { lo; hi }) (int_of hi))
+  | [ "QUANTILE"; q ] -> (
+      match float_of_string_opt q with
+      | Some q -> Ok (Quantile q)
+      | None -> Stdlib.Error (Printf.sprintf "not a float: %s" q))
+  | [ "STATS" ] -> Ok Stats
+  | [ "SHUTDOWN" ] -> Ok Shutdown
+  | [] -> Stdlib.Error "empty command"
+  | verb :: _ -> Stdlib.Error (Printf.sprintf "unknown command %s" verb)
+
+(* Text replies are single lines except STATS, whose table body is
+   followed by an [END] terminator so a line-oriented client knows
+   where the multi-line reply stops. *)
+let render_text_reply = function
+  | Stats_text s ->
+      let s = if s <> "" && s.[String.length s - 1] <> '\n' then s ^ "\n" else s in
+      s ^ "END\n"
+  | r -> describe_reply r ^ "\n"

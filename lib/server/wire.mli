@@ -1,0 +1,104 @@
+(** Versioned wire protocol for the query server: CRC-guarded binary
+    frames plus a line-oriented text mode over one request/reply
+    vocabulary.
+
+    A binary frame is [magic "WSYN" | version | kind | length (4-byte
+    big-endian) | payload | CRC-32 (4-byte big-endian)], the checksum
+    covering every byte after the magic. Integers travel as 8-byte
+    big-endian words, floats as their IEEE-754 bit patterns, so a reply
+    decodes to the exact value the server computed. Decoding is strict:
+    unknown versions or kinds, out-of-bounds lengths and checksum
+    mismatches are [`Corrupt], never silently skipped. The text mode
+    ([docs/SERVING.md]) exists for humans with netcat; the first byte
+    of a connection picks the mode, since no text verb starts with the
+    magic's ['W']. *)
+
+(** Structured failure classes carried by {!reply.Error}; see
+    {!error_code_name} for the stable wire names. *)
+type error_code =
+  | Bad_request  (** malformed or unparseable request *)
+  | Out_of_range  (** cell, range or quantile outside the domain *)
+  | Unanswerable  (** well-formed but the synopsis cannot answer it *)
+  | Shutting_down  (** server is draining; retry elsewhere *)
+  | Internal  (** unexpected server-side failure *)
+
+type request =
+  | Ping
+  | Point of int  (** reconstructed value of one cell *)
+  | Range of { lo : int; hi : int }  (** inclusive range sum *)
+  | Quantile of float  (** position of the q-quantile, q in [0,1] *)
+  | Stats  (** metrics table of the serving registry *)
+  | Batch of request list
+      (** sub-requests answered by one reply frame each, in order;
+          nesting and [Shutdown] entries are rejected at encode time *)
+  | Shutdown  (** drain and stop the server *)
+
+type reply =
+  | Pong
+  | Value of float
+  | Quantile_pos of int
+  | Stats_text of string
+  | Overload of { bound : int; depth : int; tier : string }
+      (** request shed by admission control: the configured queue
+          [bound], the queue [depth] at shed time, and the ladder
+          [tier] currently serving *)
+  | Bye  (** acknowledges [Shutdown] *)
+  | Error of { code : error_code; message : string }
+
+type frame = Req of request | Rep of reply
+
+type decoded =
+  [ `Frame of frame * int  (** decoded frame and the offset just past it *)
+  | `Incomplete  (** keep the bytes, read more *)
+  | `Corrupt of string  (** unrecoverable; close the connection *) ]
+
+val version : int
+(** Protocol version stamped into and required of every frame. *)
+
+val magic : string
+(** The 4-byte frame preamble, ["WSYN"]. *)
+
+val max_payload : int
+(** Upper bound on a frame's payload length (1 MiB); larger lengths
+    are [`Corrupt] without buffering the payload. *)
+
+val error_code_name : error_code -> string
+(** Stable lowercase wire name, e.g. ["out-of-range"]. *)
+
+val error_code_byte : error_code -> int
+(** One-byte wire tag (1..5). *)
+
+val error_code_of_byte : int -> error_code option
+(** Inverse of {!error_code_byte}. *)
+
+val encode_request : request -> string
+(** Complete binary frame for a request. Raises [Invalid_argument] on
+    a nested [Batch] or a [Shutdown] inside a [Batch]. *)
+
+val encode_reply : reply -> string
+(** Complete binary frame for a reply. *)
+
+val decode : Bytes.t -> pos:int -> len:int -> decoded
+(** [decode buf ~pos ~len] inspects [buf.[pos..len-1]] for one frame.
+    Returns [`Incomplete] until a whole frame is buffered, so callers
+    can feed partial reads as they arrive. *)
+
+val describe_request : request -> string
+(** Canonical one-line form, e.g. ["RANGE 0 7"] — also the text-mode
+    command syntax (batches render as ["BATCH[...]"], which text mode
+    does not accept). Used verbatim in load-generator transcripts. *)
+
+val describe_reply : reply -> string
+(** Canonical one-line form, e.g. ["VALUE 5.25"] or
+    ["OVERLOAD bound=4 depth=4 tier=minmax"]. [Stats_text] renders as
+    ["STATS-TEXT"] without the body, keeping transcripts single-line. *)
+
+val parse_text_request : string -> (request, string) result
+(** Parse one text-mode line (["PING"], ["POINT 3"], ["RANGE 0 7"],
+    ["QUANTILE 0.5"], ["STATS"], ["SHUTDOWN"]). The error is a
+    human-readable reason. *)
+
+val render_text_reply : reply -> string
+(** Text-mode rendering, newline-terminated. [Stats_text] emits the
+    table body followed by an ["END"] line; everything else is the
+    single {!describe_reply} line. *)

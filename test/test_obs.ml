@@ -104,6 +104,35 @@ let test_histogram_quantiles () =
   let q90 = Metric.quantile h2 0.9 in
   check "clamped to observed max" true (q90 <= 0.75 +. 1e-9)
 
+(* The deterministic bound exported by the expositions: a pure function
+   of the bucket counts, independent of the observed min/max floats. *)
+let test_histogram_quantile_le () =
+  let h = Metric.histogram ~bounds:[| 1.; 2.; 4. |] () in
+  check "empty is nan" true (Float.is_nan (Metric.quantile_le h 0.5));
+  (* 10 observations: 6 in (0,1], 3 in (1,2], 1 overflowing. *)
+  for _ = 1 to 6 do Metric.observe h 0.5 done;
+  for _ = 1 to 3 do Metric.observe h 1.5 done;
+  Metric.observe h 9.;
+  checkf "p0 is the first nonempty bound" 1. (Metric.quantile_le h 0.);
+  checkf "p50 covers 5 of 10" 1. (Metric.quantile_le h 0.5);
+  checkf "p60 still inside the first bucket" 1. (Metric.quantile_le h 0.6);
+  checkf "p90 needs the second bucket" 2. (Metric.quantile_le h 0.9);
+  check "p99 lands in the overflow bucket" true
+    (Metric.quantile_le h 0.99 = Float.infinity);
+  check "q outside [0,1] rejected" true
+    (raises_invalid (fun () -> Metric.quantile_le h 1.5));
+  (* Determinism: a histogram with the same counts but different raw
+     observations (hence different min/max) exports the same bounds,
+     where the interpolating {!Metric.quantile} does not. *)
+  let h2 = Metric.histogram ~bounds:[| 1.; 2.; 4. |] () in
+  for _ = 1 to 6 do Metric.observe h2 0.9 done;
+  for _ = 1 to 3 do Metric.observe h2 1.1 done;
+  Metric.observe h2 100.;
+  checkf "same counts, same p50" (Metric.quantile_le h 0.5)
+    (Metric.quantile_le h2 0.5);
+  checkf "same counts, same p90" (Metric.quantile_le h 0.9)
+    (Metric.quantile_le h2 0.9)
+
 (* --- registry --- *)
 
 let test_registry_names () =
@@ -170,7 +199,7 @@ let test_exposition () =
   let expected_table =
     "counter    s.acc                                        7 updates\n\
      histogram  s.lat                                        count=2 \
-     sum=2.000 min=0.500 p50=1.000 p90=1.500 p99=1.500 max=1.500 ms\n\
+     sum=2.000 min=0.500 p50<=1.000 p95<=2.000 p99<=2.000 max=1.500 ms\n\
      gauge      s.seq                                        40 seq\n"
   in
   Alcotest.(check string) "table golden" expected_table table;
@@ -393,6 +422,8 @@ let () =
           Alcotest.test_case "NaN hygiene" `Quick test_histogram_nan_hygiene;
           Alcotest.test_case "quantile interpolation" `Quick
             test_histogram_quantiles;
+          Alcotest.test_case "deterministic quantile bound" `Quick
+            test_histogram_quantile_le;
         ] );
       ( "registry",
         [

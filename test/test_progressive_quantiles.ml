@@ -144,6 +144,37 @@ let test_quantiles_small_synopsis_close () =
         (abs (a - e) <= 8))
     [ 0.25; 0.5; 0.75 ]
 
+(* The query server's QUANTILE hot path: the boundary q values a remote
+   client can legally send, on full and thresholded synopses alike. *)
+let test_quantiles_boundary_q () =
+  let data = [| 1.; 1.; 2.; 4. |] in
+  let syn = Greedy_l2.threshold ~data ~budget:4 in
+  (* q=0: the smallest position whose cumulative reaches 0 — position 0
+     whenever the first reconstructed frequency is non-negative. *)
+  checki "estimate q=0" (Quantiles.exact data ~q:0.) (Quantiles.estimate syn ~q:0.);
+  checki "estimate q=0 is 0" 0 (Quantiles.estimate syn ~q:0.);
+  (* q=1: the full cumulative mass — never past the domain end. *)
+  checki "estimate q=1" (Quantiles.exact data ~q:1.) (Quantiles.estimate syn ~q:1.);
+  check "estimate q=1 in domain" true (Quantiles.estimate syn ~q:1. <= 3);
+  (* A thresholded synopsis still answers both boundaries in-domain. *)
+  let rng = Prng.create ~seed:11 in
+  let big = Array.init 64 (fun _ -> Prng.float rng 10.) in
+  let small = Greedy_l2.threshold ~data:big ~budget:6 in
+  List.iter
+    (fun q ->
+      let p = Quantiles.estimate small ~q in
+      check (Printf.sprintf "q=%g in domain" q) true (p >= 0 && p <= 63))
+    [ 0.; 1. ];
+  (* Monotonicity across the boundaries: q=0 <= median <= q=1. *)
+  let m = Quantiles.median small in
+  check "q=0 <= median" true (Quantiles.estimate small ~q:0. <= m);
+  check "median <= q=1" true (m <= Quantiles.estimate small ~q:1.);
+  (* Degenerate single-cell domain: every q answers position 0. *)
+  let one = Synopsis.make ~n:1 [ (0, 3.) ] in
+  List.iter
+    (fun q -> checki (Printf.sprintf "n=1 q=%g" q) 0 (Quantiles.estimate one ~q))
+    [ 0.; 0.5; 1. ]
+
 let test_quantiles_validation () =
   let syn = Synopsis.make ~n:8 [ (0, 1.) ] in
   Alcotest.check_raises "q out of range"
@@ -201,6 +232,7 @@ let () =
           Alcotest.test_case "exact reference" `Quick test_quantiles_exact_reference;
           Alcotest.test_case "full synopsis" `Quick test_quantiles_full_synopsis_matches_exact;
           Alcotest.test_case "small synopsis" `Quick test_quantiles_small_synopsis_close;
+          Alcotest.test_case "boundary q" `Quick test_quantiles_boundary_q;
           Alcotest.test_case "validation" `Quick test_quantiles_validation;
         ] );
       ( "bounded range sums",

@@ -149,6 +149,41 @@ let test_read_updates () =
   | Error (Validate.Bad_value { line = 1; _ }) -> ()
   | _ -> Alcotest.fail "three tokens must be Bad_value"
 
+(* Line-ending tolerance: CRLF terminators and a newline-less final
+   line are data, not token errors (regression: a '\r' used to count
+   against max_line_bytes, so an exactly-cap-length CRLF line was
+   rejected where its LF twin passed). *)
+let test_read_line_endings () =
+  let write s =
+    let path = Filename.temp_file "wavesyn_eol" ".txt" in
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc;
+    path
+  in
+  (match Validate.read_file (write "1.5\r\n\r\n-2\r\n3") with
+  | Ok a ->
+      check "CRLF + newline-less final line parse" true
+        (a = [| 1.5; -2.; 3. |])
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (match Validate.read_file ~max_line_bytes:5 (write "12345\r\n1\r\n") with
+  | Ok a -> check "CR does not count against the line cap" true (a = [| 12345.; 1. |])
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (match Validate.read_file ~max_line_bytes:5 (write "123456\r\n") with
+  | Error (Validate.Bad_value { line = 1; _ }) -> ()
+  | _ -> Alcotest.fail "the cap must still trip on the payload bytes");
+  (match Validate.read_file (write "1\r2\n") with
+  | Error (Validate.Bad_value { line = 1; _ }) -> ()
+  | _ -> Alcotest.fail "a lone interior CR is not a line break");
+  (match Validate.read_updates (write "3 1.5\r\n0 -2") with
+  | Ok a ->
+      check "updates accept CRLF and a newline-less tail" true
+        (a = [| (3, 1.5); (0, -2.) |])
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  match Validate.read_file (write "7\r") with
+  | Ok a -> check "trailing CR at EOF is trimmed" true (a = [| 7. |])
+  | Error e -> Alcotest.fail (Validate.to_string e)
+
 (* --- Retry --- *)
 
 let test_retry_backoff_deterministic () =
@@ -897,6 +932,8 @@ let () =
           Alcotest.test_case "read_file" `Quick test_read_file;
           Alcotest.test_case "read_file caps" `Quick test_read_file_caps;
           Alcotest.test_case "read_updates" `Quick test_read_updates;
+          Alcotest.test_case "CRLF / newline-less final line" `Quick
+            test_read_line_endings;
           Alcotest.test_case "data / budget / epsilon" `Quick test_data_checks;
           QCheck_alcotest.to_alcotest prop_validated_ingestion_total;
         ] );

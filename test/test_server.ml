@@ -1,0 +1,444 @@
+(* Tests for the network serving subsystem: wire protocol framing,
+   admission control, and live end-to-end rounds over a Unix socket. *)
+
+module Wire = Wavesyn_server.Wire
+module Admit = Wavesyn_server.Admit
+module Server = Wavesyn_server.Server
+module Client = Wavesyn_server.Client
+module Loadgen = Wavesyn_server.Loadgen
+module Registry = Wavesyn_obs.Registry
+module Validate = Wavesyn_robust.Validate
+module Prng = Wavesyn_util.Prng
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-12))
+
+(* --- wire framing --- *)
+
+let roundtrip_request r =
+  let frame = Wire.encode_request r in
+  match
+    Wire.decode
+      (Bytes.of_string frame)
+      ~pos:0
+      ~len:(String.length frame)
+  with
+  | `Frame (Wire.Req r', consumed) ->
+      checki "whole frame consumed" (String.length frame) consumed;
+      check ("roundtrip " ^ Wire.describe_request r) true (r = r')
+  | `Frame (Wire.Rep _, _) -> Alcotest.fail "decoded as reply"
+  | `Incomplete -> Alcotest.fail "incomplete"
+  | `Corrupt reason -> Alcotest.fail ("corrupt: " ^ reason)
+
+let roundtrip_reply r =
+  let frame = Wire.encode_reply r in
+  match
+    Wire.decode
+      (Bytes.of_string frame)
+      ~pos:0
+      ~len:(String.length frame)
+  with
+  | `Frame (Wire.Rep r', consumed) ->
+      checki "whole frame consumed" (String.length frame) consumed;
+      check ("roundtrip " ^ Wire.describe_reply r) true (r = r')
+  | `Frame (Wire.Req _, _) -> Alcotest.fail "decoded as request"
+  | `Incomplete -> Alcotest.fail "incomplete"
+  | `Corrupt reason -> Alcotest.fail ("corrupt: " ^ reason)
+
+let test_wire_roundtrip () =
+  List.iter roundtrip_request
+    [
+      Wire.Ping;
+      Wire.Point 0;
+      Wire.Point 123456789;
+      Wire.Range { lo = 0; hi = 63 };
+      Wire.Quantile 0.5;
+      Wire.Quantile 1e-300;
+      Wire.Stats;
+      Wire.Shutdown;
+      Wire.Batch [ Wire.Ping; Wire.Point 3; Wire.Range { lo = 1; hi = 2 } ];
+      Wire.Batch [];
+    ];
+  List.iter roundtrip_reply
+    [
+      Wire.Pong;
+      Wire.Value 5.25;
+      Wire.Value (-0.);
+      Wire.Value Float.infinity;
+      Wire.Quantile_pos 42;
+      Wire.Stats_text "counter server.shed 0\n";
+      Wire.Stats_text "";
+      Wire.Overload { bound = 4; depth = 4; tier = "minmax" };
+      Wire.Bye;
+      Wire.Error { code = Wire.Out_of_range; message = "cell 99" };
+      Wire.Error { code = Wire.Internal; message = "" };
+    ]
+
+let test_wire_float_exact () =
+  (* IEEE bit patterns survive the wire: the reply carries the exact
+     double the server computed, not a printed approximation. *)
+  let v = 0.1 +. 0.2 in
+  let frame = Wire.encode_reply (Wire.Value v) in
+  match
+    Wire.decode (Bytes.of_string frame) ~pos:0 ~len:(String.length frame)
+  with
+  | `Frame (Wire.Rep (Wire.Value v'), _) ->
+      checkf "bits preserved" v v';
+      check "bit-identical" true
+        (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v'))
+  | _ -> Alcotest.fail "expected a Value reply"
+
+let test_wire_corruption () =
+  let frame = Wire.encode_request (Wire.Point 7) in
+  let len = String.length frame in
+  (* No flipped byte after the magic is ever accepted as a frame. Most
+     flips are an immediate CRC mismatch; a flip in the length field
+     may instead read as Incomplete (the frame now claims to be
+     longer), which the CRC rejects once more bytes arrive — either
+     way, never a decoded frame. *)
+  for i = 4 to len - 1 do
+    let b = Bytes.of_string frame in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    match Wire.decode b ~pos:0 ~len with
+    | `Corrupt _ | `Incomplete -> ()
+    | `Frame _ -> Alcotest.fail (Printf.sprintf "byte %d: accepted" i)
+  done;
+  (* A flip outside the length field specifically is a CRC mismatch. *)
+  (let b = Bytes.of_string frame in
+   Bytes.set b (len - 6) (Char.chr (Char.code (Bytes.get b (len - 6)) lxor 1));
+   match Wire.decode b ~pos:0 ~len with
+   | `Corrupt _ -> ()
+   | _ -> Alcotest.fail "payload flip not caught by CRC");
+  (* Bad magic. *)
+  (match Wire.decode (Bytes.of_string "XYZW____") ~pos:0 ~len:8 with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  (* Every truncation is Incomplete, never Corrupt. *)
+  for k = 0 to len - 1 do
+    match Wire.decode (Bytes.of_string frame) ~pos:0 ~len:k with
+    | `Incomplete -> ()
+    | `Frame _ -> Alcotest.fail (Printf.sprintf "prefix %d: frame" k)
+    | `Corrupt r -> Alcotest.fail (Printf.sprintf "prefix %d: corrupt %s" k r)
+  done;
+  (* Oversized declared payload is rejected before buffering it. *)
+  let huge = Bytes.of_string frame in
+  Bytes.set_int32_be huge 6 (Int32.of_int (Wire.max_payload + 1));
+  (match Wire.decode huge ~pos:0 ~len with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "oversized payload accepted");
+  (* Frames decode at any offset. *)
+  let shifted = Bytes.of_string ("\x00\x00\x00" ^ frame) in
+  match Wire.decode shifted ~pos:3 ~len:(3 + len) with
+  | `Frame (Wire.Req (Wire.Point 7), consumed) ->
+      checki "offset consumed" (3 + len) consumed
+  | _ -> Alcotest.fail "offset decode failed"
+
+let test_wire_batch_constraints () =
+  Alcotest.check_raises "nested batch"
+    (Invalid_argument "Wire: nested BATCH") (fun () ->
+      ignore (Wire.encode_request (Wire.Batch [ Wire.Batch [] ])));
+  Alcotest.check_raises "shutdown in batch"
+    (Invalid_argument "Wire: SHUTDOWN inside BATCH") (fun () ->
+      ignore (Wire.encode_request (Wire.Batch [ Wire.Shutdown ])))
+
+let test_wire_text () =
+  let ok line expected =
+    match Wire.parse_text_request line with
+    | Ok r -> check line true (r = expected)
+    | Error reason -> Alcotest.fail (line ^ ": " ^ reason)
+  in
+  ok "PING" Wire.Ping;
+  ok "POINT 3" (Wire.Point 3);
+  ok "  RANGE 0 7  " (Wire.Range { lo = 0; hi = 7 });
+  ok "QUANTILE 0.5" (Wire.Quantile 0.5);
+  ok "STATS" Wire.Stats;
+  ok "SHUTDOWN" Wire.Shutdown;
+  List.iter
+    (fun line ->
+      match Wire.parse_text_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ line))
+    [ ""; "ping"; "POINT"; "POINT x"; "RANGE 1"; "QUANTILE a"; "NOPE 1" ];
+  checks "pong" "PONG\n" (Wire.render_text_reply Wire.Pong);
+  checks "value" "VALUE 5.25\n" (Wire.render_text_reply (Wire.Value 5.25));
+  checks "stats end-terminated" "a 1\nEND\n"
+    (Wire.render_text_reply (Wire.Stats_text "a 1\n"));
+  checks "overload" "OVERLOAD bound=4 depth=4 tier=minmax\n"
+    (Wire.render_text_reply
+       (Wire.Overload { bound = 4; depth = 4; tier = "minmax" }))
+
+(* --- admission control --- *)
+
+let test_admit_bound_and_drain () =
+  let a = Admit.create ~bound:2 () in
+  check "offer 1" true (Admit.offer a 1);
+  check "offer 2" true (Admit.offer a 2);
+  check "offer 3 shed" false (Admit.offer a 3);
+  checki "depth" 2 (Admit.depth a);
+  checki "shed" 1 (Admit.shed_total a);
+  check "fifo" true (Admit.take_batch a = [ 1; 2 ]);
+  checki "drained" 0 (Admit.depth a);
+  check "offer after drain" true (Admit.offer a 4);
+  checki "admitted total" 3 (Admit.admitted_total a);
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Admit.create: bound must be at least 1") (fun () ->
+      ignore (Admit.create ~bound:0 () : int Admit.t))
+
+let test_admit_pressure_trajectory () =
+  let a = Admit.create ~bound:1 () in
+  checki "starts calm" 0 (Admit.pressure a);
+  (* Shedding rounds climb one level each, capped at 2. *)
+  check "0->1" true (Admit.note_round a ~shed:1);
+  checki "level 1" 1 (Admit.pressure a);
+  check "1->2" true (Admit.note_round a ~shed:3);
+  checki "level 2" 2 (Admit.pressure a);
+  check "capped" false (Admit.note_round a ~shed:1);
+  checki "still 2" 2 (Admit.pressure a);
+  (* Eight consecutive quiet rounds relax one level. *)
+  for k = 1 to 7 do
+    check (Printf.sprintf "quiet %d" k) false (Admit.note_round a ~shed:0)
+  done;
+  check "2->1 on the eighth" true (Admit.note_round a ~shed:0);
+  checki "level 1 again" 1 (Admit.pressure a);
+  (* A shed in the middle restarts the quiet run. *)
+  for _ = 1 to 7 do ignore (Admit.note_round a ~shed:0) done;
+  check "shed restarts the count" true (Admit.note_round a ~shed:1);
+  checki "back to 2" 2 (Admit.pressure a);
+  for _ = 1 to 7 do ignore (Admit.note_round a ~shed:0) done;
+  check "needs a full fresh run" true (Admit.note_round a ~shed:0);
+  checki "level 1 once more" 1 (Admit.pressure a);
+  (* Level to ladder top. *)
+  check "top 0" true (Admit.top_of_pressure 0 = `Minmax);
+  check "top 1" true (Admit.top_of_pressure 1 = `Approx);
+  check "top 2" true (Admit.top_of_pressure 2 = `Greedy)
+
+(* --- end-to-end over a live socket --- *)
+
+let sock_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "%s/wavesyn-test-%d-%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) !counter
+
+let test_data n =
+  let rng = Prng.create ~seed:5 in
+  Array.init n (fun _ -> Prng.float rng 50.)
+
+(* Start a server in its own domain, run [f client], always shut the
+   server down and join. *)
+let with_server ?(queue_bound = 64) ?obs ~n f =
+  let path = sock_path () in
+  let data = test_data n in
+  let cfg = Server.config ~budget:8 ~queue_bound ~path data in
+  let server = Server.create ?obs cfg in
+  let runner = Domain.spawn (fun () -> Server.run server) in
+  let finish () =
+    (match Client.connect ~wait_ms:5000. path with
+    | Ok c ->
+        ignore (Client.request_one c Wire.Shutdown);
+        Client.close c
+    | Error _ -> ());
+    match Domain.join runner with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("server run: " ^ Validate.to_string e)
+  in
+  match
+    let client =
+      match Client.connect ~wait_ms:5000. path with
+      | Ok c -> c
+      | Error e -> failwith (Validate.to_string e)
+    in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    f ~data client
+  with
+  | result ->
+      finish ();
+      (result, Server.stats server)
+  | exception e ->
+      finish ();
+      raise e
+
+let expect_one client req =
+  match Client.request_one client req with
+  | Ok reply -> reply
+  | Error e -> Alcotest.fail (Validate.to_string e)
+
+let test_end_to_end () =
+  let (), stats =
+    with_server ~n:32 @@ fun ~data client ->
+    check "ping" true (expect_one client Wire.Ping = Wire.Pong);
+    (* Replies match direct evaluation of the same synopsis; with
+       budget 8 < 32 cells the values are approximations of [data],
+       so compare against the synopsis, not the raw data. *)
+    (match expect_one client (Wire.Range { lo = 0; hi = 31 }) with
+    | Wire.Value v -> check "range finite" true (Float.is_finite v)
+    | r -> Alcotest.fail ("range: " ^ Wire.describe_reply r));
+    (match expect_one client (Wire.Point 3) with
+    | Wire.Value v -> check "point finite" true (Float.is_finite v)
+    | r -> Alcotest.fail ("point: " ^ Wire.describe_reply r));
+    (match expect_one client (Wire.Quantile 0.5) with
+    | Wire.Quantile_pos p ->
+        check "quantile in domain" true (p >= 0 && p < Array.length data)
+    | r -> Alcotest.fail ("quantile: " ^ Wire.describe_reply r));
+    (* Structured errors, connection intact afterwards. *)
+    (match expect_one client (Wire.Point 99) with
+    | Wire.Error { code = Wire.Out_of_range; _ } -> ()
+    | r -> Alcotest.fail ("bad point: " ^ Wire.describe_reply r));
+    (match expect_one client (Wire.Range { lo = 5; hi = 2 }) with
+    | Wire.Error { code = Wire.Out_of_range; _ } -> ()
+    | r -> Alcotest.fail ("bad range: " ^ Wire.describe_reply r));
+    (match expect_one client (Wire.Quantile 1.5) with
+    | Wire.Error { code = Wire.Out_of_range; _ } -> ()
+    | r -> Alcotest.fail ("bad quantile: " ^ Wire.describe_reply r));
+    (* Still alive. *)
+    check "ping after errors" true (expect_one client Wire.Ping = Wire.Pong);
+    (* The metrics table comes back over the wire. *)
+    match expect_one client Wire.Stats with
+    | Wire.Stats_text body ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        check "stats mentions server.requests" true
+          (contains body "server.requests")
+    | r -> Alcotest.fail ("stats: " ^ Wire.describe_reply r)
+  in
+  check "no shedding" true (stats.Server.shed = 0);
+  check "tier stays top" true (stats.Server.tier = "minmax");
+  (* The query connection plus the shutdown helper's. *)
+  checki "connections" 2 stats.Server.accepted
+
+let test_batch_and_overload () =
+  let (), stats =
+    with_server ~n:32 ~queue_bound:3 @@ fun ~data:_ client ->
+    let reqs = List.init 6 (fun i -> Wire.Point i) in
+    match Client.request client (Wire.Batch reqs) with
+    | Error e -> Alcotest.fail (Validate.to_string e)
+    | Ok replies ->
+        checki "one reply per entry" 6 (List.length replies);
+        let values, overloads =
+          List.partition
+            (function Wire.Value _ -> true | _ -> false)
+            replies
+        in
+        checki "first three answered" 3 (List.length values);
+        checki "rest shed" 3 (List.length overloads);
+        List.iter
+          (function
+            | Wire.Overload { bound; depth; tier } ->
+                checki "bound" 3 bound;
+                checki "depth at bound" 3 depth;
+                checks "tier named" "minmax" tier
+            | r -> Alcotest.fail ("expected overload: " ^ Wire.describe_reply r))
+          overloads;
+        (* The connection survived the burst. *)
+        check "ping after burst" true (expect_one client Wire.Ping = Wire.Pong)
+  in
+  checki "shed count" 3 stats.Server.shed;
+  check "pressure stepped the ladder down" true
+    (stats.Server.recuts >= 2 (* initial cut + pressure recut *))
+
+let test_jobs_determinism () =
+  (* The same seeded schedule against two servers — pool of 1 and pool
+     of 3 domains — must produce byte-identical transcripts. *)
+  let transcript domains =
+    let path = sock_path () in
+    let data = test_data 64 in
+    let pool = Wavesyn_par.Pool.create ~domains () in
+    Fun.protect ~finally:(fun () -> Wavesyn_par.Pool.shutdown pool)
+    @@ fun () ->
+    let cfg = Server.config ~budget:8 ~queue_bound:4 ~path data in
+    let server = Server.create ~pool cfg in
+    let runner = Domain.spawn (fun () -> Server.run server) in
+    let buf = Buffer.create 4096 in
+    let client =
+      match Client.connect ~wait_ms:5000. path with
+      | Ok c -> c
+      | Error e -> failwith (Validate.to_string e)
+    in
+    let summary =
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      let result =
+        Loadgen.run ~client ~seed:11 ~requests:40 ~batch:8 ~n:64
+          ~mix:Loadgen.default_mix ~out:(Buffer.add_string buf) ()
+      in
+      ignore (Client.request_one client Wire.Shutdown);
+      match result with
+      | Ok s -> s
+      | Error e -> failwith (Validate.to_string e)
+    in
+    (match Domain.join runner with
+    | Ok () -> ()
+    | Error e -> failwith (Validate.to_string e));
+    (Buffer.contents buf, summary)
+  in
+  let t1, s1 = transcript 1 in
+  let t3, s3 = transcript 3 in
+  check "transcripts byte-identical" true (String.equal t1 t3);
+  checks "crc identical" s1.Loadgen.transcript_crc s3.Loadgen.transcript_crc;
+  checki "same shed count" s1.Loadgen.overloads s3.Loadgen.overloads;
+  check "the schedule actually overloads" true (s1.Loadgen.overloads > 0);
+  checki "all requests answered" 40 s1.Loadgen.replies
+
+let test_client_connect_error () =
+  match Client.connect (sock_path ()) with
+  | Error (Validate.Io_error _) -> ()
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Validate.to_string e)
+  | Ok _ -> Alcotest.fail "connected to a nonexistent socket"
+
+(* --- loadgen mix parsing --- *)
+
+let test_mix_of_string () =
+  (match Loadgen.mix_of_string "point=4,range=3,quantile=2,ping=1" with
+  | Ok m -> check "full spec" true (m = Loadgen.default_mix)
+  | Error reason -> Alcotest.fail reason);
+  (match Loadgen.mix_of_string "point=1" with
+  | Ok m ->
+      check "omitted kinds are zero" true
+        (m = { Loadgen.point = 1; range = 0; quantile = 0; ping = 0 })
+  | Error reason -> Alcotest.fail reason);
+  List.iter
+    (fun s ->
+      match Loadgen.mix_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ s))
+    [ ""; "point"; "point=x"; "point=-1"; "nope=3"; "point=0,range=0" ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "float exactness" `Quick test_wire_float_exact;
+          Alcotest.test_case "corruption and truncation" `Quick
+            test_wire_corruption;
+          Alcotest.test_case "batch constraints" `Quick
+            test_wire_batch_constraints;
+          Alcotest.test_case "text mode" `Quick test_wire_text;
+        ] );
+      ( "admit",
+        [
+          Alcotest.test_case "bound and drain" `Quick
+            test_admit_bound_and_drain;
+          Alcotest.test_case "pressure trajectory" `Quick
+            test_admit_pressure_trajectory;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "query kinds and errors" `Quick test_end_to_end;
+          Alcotest.test_case "batch overload shedding" `Quick
+            test_batch_and_overload;
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
+          Alcotest.test_case "connect error" `Quick test_client_connect_error;
+        ] );
+      ( "loadgen",
+        [ Alcotest.test_case "mix parsing" `Quick test_mix_of_string ] );
+    ]

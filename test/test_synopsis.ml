@@ -154,6 +154,46 @@ let test_range_bounds_checked () =
     (Invalid_argument "Range_query: invalid range bounds")
     (fun () -> ignore (Range_query.range_sum full_synopsis ~lo:5 ~hi:2))
 
+(* The query server's hot path (docs/SERVING.md): the range shapes a
+   remote client can legally send, pinned on a {e thresholded} synopsis
+   (retained detail coefficients partially covering the range), plus
+   every empty/out-of-domain shape, which must raise — the server maps
+   the exception to a structured out-of-range reply. *)
+let test_range_server_hot_path_corners () =
+  let syn = Synopsis.of_wavelet ~wavelet:paper_wavelet [ 0; 1; 5 ] in
+  let n = Synopsis.n syn in
+  (* Single-cell ranges agree with point reconstruction everywhere. *)
+  for i = 0 to n - 1 do
+    checkf
+      (Printf.sprintf "single cell [%d,%d]" i i)
+      (Synopsis.reconstruct_point syn i)
+      (Range_query.range_sum syn ~lo:i ~hi:i)
+  done;
+  (* The full-domain range: detail coefficients cancel over their whole
+     support, so only c0 contributes, n * c0. *)
+  checkf "full domain is n*c0" (8. *. 2.75)
+    (Range_query.range_sum syn ~lo:0 ~hi:(n - 1));
+  (* Prefix sums stitch: sum[0,i] + sum[i+1,n-1] = sum[0,n-1]. *)
+  for i = 0 to n - 2 do
+    checkf
+      (Printf.sprintf "prefix split at %d" i)
+      (Range_query.range_sum syn ~lo:0 ~hi:(n - 1))
+      (Range_query.range_sum syn ~lo:0 ~hi:i
+      +. Range_query.range_sum syn ~lo:(i + 1) ~hi:(n - 1))
+  done;
+  (* Every illegal shape raises (empty lo>hi, either bound outside). *)
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.check_raises
+        (Printf.sprintf "range [%d,%d] rejected" lo hi)
+        (Invalid_argument "Range_query: invalid range bounds")
+        (fun () -> ignore (Range_query.range_sum syn ~lo ~hi)))
+    [ (3, 2); (-1, 4); (0, 8); (8, 8); (-2, -1) ];
+  (* An empty (budget-0) synopsis still answers: everything is 0. *)
+  let empty = Synopsis.make ~n:8 [] in
+  checkf "empty synopsis sums to zero" 0.
+    (Range_query.range_sum empty ~lo:0 ~hi:7)
+
 let test_selectivity_zero_total () =
   let s = Synopsis.make ~n:8 [] in
   checkf "zero total" 0. (Range_query.selectivity s ~lo:0 ~hi:3)
@@ -312,6 +352,8 @@ let () =
           Alcotest.test_case "full synopsis exact" `Quick test_range_sum_full_synopsis_is_exact;
           Alcotest.test_case "avg and selectivity" `Quick test_range_avg_and_selectivity;
           Alcotest.test_case "bounds checked" `Quick test_range_bounds_checked;
+          Alcotest.test_case "server hot-path corners" `Quick
+            test_range_server_hot_path_corners;
           Alcotest.test_case "zero total" `Quick test_selectivity_zero_total;
           Alcotest.test_case "md full synopsis" `Quick test_md_range_sum_full_synopsis;
           QCheck_alcotest.to_alcotest prop_range_sum_matches_reconstruction;
