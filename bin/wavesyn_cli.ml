@@ -31,10 +31,13 @@ module Registry = Wavesyn_obs.Registry
 module Trace = Wavesyn_obs.Trace
 module Approx_abs = Wavesyn_core.Approx_abs
 module Pool = Wavesyn_par.Pool
+module Fault = Wavesyn_robust.Fault
 module Wire = Wavesyn_server.Wire
 module Server = Wavesyn_server.Server
 module Client = Wavesyn_server.Client
 module Loadgen = Wavesyn_server.Loadgen
+module Failover = Wavesyn_server.Failover
+module Replica = Wavesyn_server.Replica
 
 open Cmdliner
 
@@ -438,7 +441,77 @@ let wait_arg =
            ~doc:"Keep retrying the connection for up to $(docv) milliseconds \
                  (covers a server still binding its socket).")
 
-let connect_client ~wait_ms path = ok_or_die (Client.connect ~wait_ms path)
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Bound every read and write on the server connection by \
+                 $(docv) milliseconds; expiry is a structured timeout error \
+                 (exit code 75).")
+
+let check_timeout = function
+  | Some ms when ms <= 0. ->
+      die
+        (Validate.Bad_option
+           { what = "--timeout-ms"; reason = "must be positive" })
+  | _ -> ()
+
+let connect_client ~wait_ms ?timeout_ms path =
+  check_timeout timeout_ms;
+  ok_or_die (Client.connect ~wait_ms ?timeout_ms path)
+
+(* --- network chaos plumbing (docs/SERVING.md) --- *)
+
+let chaos_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"KINDS"
+           ~doc:"Arm deterministic network fault injection: a comma list \
+                 drawn from conn-drop, conn-delay, conn-truncate, \
+                 corrupt-frame, blackhole, or $(b,all).")
+
+let chaos_rate_arg =
+  Arg.(value & opt float 1.0
+       & info [ "chaos-rate" ] ~docv:"P"
+           ~doc:"Independent firing probability of each armed fault kind.")
+
+let chaos_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "chaos-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the chaos plan's PRNG; a run is reproducible from \
+                 it.")
+
+let fault_of_chaos ?(allowed = Fault.conn_kinds) ~rate ~seed spec =
+  match spec with
+  | None -> Fault.none
+  | Some s ->
+      if rate < 0. || rate > 1. then
+        die
+          (Validate.Bad_option
+             { what = "--chaos-rate"; reason = "must be in [0, 1]" });
+      let kinds =
+        if String.trim s = "all" then allowed
+        else
+          List.map
+            (fun name ->
+              let name = String.trim name in
+              match Fault.kind_of_name name with
+              | Some k when List.mem k allowed -> k
+              | Some _ ->
+                  die
+                    (Validate.Bad_option
+                       {
+                         what = "--chaos " ^ name;
+                         reason = "not an armable connection fault here";
+                       })
+              | None ->
+                  die
+                    (Validate.Bad_option
+                       {
+                         what = "--chaos " ^ name;
+                         reason = "unknown fault kind";
+                       }))
+            (String.split_on_char ',' s)
+      in
+      Fault.create ~kinds ~rate ~seed ()
 
 let print_reply = function
   | Wire.Stats_text body -> print_string body
@@ -471,8 +544,8 @@ let query_cmd =
          & info [ "shutdown" ]
              ~doc:"Ask the server to drain and stop (server mode only).")
   in
-  let run file gen n seed algo budget sanity connect wait_ms ping point q
-      server_stats shutdown lo hi =
+  let run file gen n seed algo budget sanity connect wait_ms timeout_ms ping
+      point q server_stats shutdown lo hi =
     match connect with
     | Some path ->
         let actions =
@@ -501,7 +574,7 @@ let query_cmd =
                         --server-stats, --shutdown or LO HI";
                    })
         in
-        let client = connect_client ~wait_ms path in
+        let client = connect_client ~wait_ms ?timeout_ms path in
         Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
         print_reply (ok_or_die (Client.request_one client request))
     | None -> (
@@ -528,9 +601,9 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Answer a query from a local synopsis or a running server.")
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
-          $ budget_arg $ sanity_arg $ connect_arg $ wait_arg $ ping_arg
-          $ point_arg $ q_arg $ server_stats_arg $ shutdown_arg $ lo_arg
-          $ hi_arg)
+          $ budget_arg $ sanity_arg $ connect_arg $ wait_arg $ timeout_arg
+          $ ping_arg $ point_arg $ q_arg $ server_stats_arg $ shutdown_arg
+          $ lo_arg $ hi_arg)
 
 (* --- serve / recover: the durable supervised store --- *)
 
@@ -794,7 +867,7 @@ let stats_cmd =
          & info [ "store" ] ~docv:"DIR"
              ~doc:"Store directory holding snapshots, journal and manifest.")
   in
-  let run store connect wait_ms prom jobs =
+  let run store connect wait_ms timeout_ms prom jobs =
     (* stats is read-only and single-domain today; the flag is validated
        for interface uniformity with threshold/serve. *)
     Pool.shutdown (pool_of_jobs jobs);
@@ -824,7 +897,7 @@ let stats_cmd =
                    what = "--prom";
                    reason = "server stats are table-format only";
                  });
-          let client = connect_client ~wait_ms path in
+          let client = connect_client ~wait_ms ?timeout_ms path in
           Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
           print_reply (ok_or_die (Client.request_one client Wire.Stats));
           exit 0
@@ -878,8 +951,8 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Inspect a store read-only, or scrape a running server's \
              metrics.")
-    Term.(const run $ store_opt_arg $ connect_arg $ wait_arg $ prom_arg
-          $ jobs_arg)
+    Term.(const run $ store_opt_arg $ connect_arg $ wait_arg $ timeout_arg
+          $ prom_arg $ jobs_arg)
 
 (* --- server / loadgen: the network serving layer (docs/SERVING.md) --- *)
 
@@ -921,44 +994,151 @@ let server_cmd =
          & info [ "max-requests" ] ~docv:"K"
              ~doc:"Stop after $(docv) request frames (test safety net).")
   in
-  let run listen store file gen n seed metric_name sanity budget epsilon
-      queue idle_ms max_requests jobs =
+  let follower_arg =
+    Arg.(value & opt (some string) None
+         & info [ "follower-of" ] ~docv:"SOCK"
+             ~doc:"Run as a warm standby: sync the local $(b,--store) from \
+                   the primary server on $(docv) (journal shipping, snapshot \
+                   bootstrap when compacted), then serve its state \
+                   read-to-promote.")
+  in
+  let crash_after_arg =
+    Arg.(value & opt (some int) None
+         & info [ "crash-after" ] ~docv:"K"
+             ~doc:"Chaos harness: simulate a crash after $(docv) request \
+                   frames — stop without answering, flushing or draining.")
+  in
+  let run listen store follower_of file gen n seed metric_name sanity budget
+      epsilon queue idle_ms max_requests wait_ms chaos chaos_rate chaos_seed
+      crash_after jobs =
     let obs = Registry.create () in
     (* Matching the serve loop's convention: the pool's par.* metrics
        join the exposition only when it can actually fan out. *)
     let pool = pool_of_jobs ?obs:(if jobs > 1 then Some obs else None) jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
-    let data, budget, metric =
-      match store with
-      | Some dir ->
-          if file <> None || gen <> None then
-            die
-              (Validate.Bad_option
-                 {
-                   what = "--store";
-                   reason = "cannot be combined with --file/--gen";
-                 });
+    let conn_fault =
+      fault_of_chaos ~rate:chaos_rate ~seed:chaos_seed chaos
+    in
+    let no_file_gen () =
+      if file <> None || gen <> None then
+        die
+          (Validate.Bad_option
+             {
+               what = "--store";
+               reason = "cannot be combined with --file/--gen";
+             })
+    in
+    let follower_sup = ref None in
+    let data, budget, metric, epsilon, ship, role =
+      match (follower_of, store) with
+      | Some primary, Some dir ->
+          no_file_gen ();
+          let client = connect_client ~wait_ms primary in
+          let sup, scfg, manifest, progress =
+            Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+            let _, manifest = ok_or_die (Replica.handshake client) in
+            let scfg =
+              ok_or_die (Supervisor.config_of_manifest ~dir manifest)
+            in
+            let sup =
+              ok_or_die
+                (Supervisor.open_store ~obs ~role:Supervisor.Follower scfg)
+            in
+            match Replica.sync client sup with
+            | Ok progress -> (sup, scfg, manifest, progress)
+            | Error e ->
+                Supervisor.close sup;
+                die e
+          in
+          Printf.printf
+            "follower: synced from %s seq=%d (batches=%d records=%d \
+             snapshots=%d)\n"
+            primary progress.Replica.final_seq progress.Replica.batches
+            progress.Replica.records progress.Replica.snapshots;
+          follower_sup := Some sup;
+          ( Stream_synopsis.current_data (Supervisor.stream sup),
+            scfg.Supervisor.budget,
+            scfg.Supervisor.metric,
+            scfg.Supervisor.epsilon,
+            Some
+              {
+                Server.ship_dir = dir;
+                ship_seq = Supervisor.seq sup;
+                ship_manifest = manifest;
+              },
+            "follower" )
+      | Some _, None ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--follower-of";
+                 reason = "requires --store for the local replica";
+               })
+      | None, Some dir ->
+          no_file_gen ();
           let r = ok_or_die (Supervisor.recover ~dir) in
-          let cfg = r.Supervisor.r_config in
+          let scfg = r.Supervisor.r_config in
           ( Stream_synopsis.current_data r.Supervisor.r_stream,
-            cfg.Supervisor.budget,
-            cfg.Supervisor.metric )
-      | None ->
-          (load_data file gen n seed, budget, metric_of_name ~sanity metric_name)
+            scfg.Supervisor.budget,
+            scfg.Supervisor.metric,
+            scfg.Supervisor.epsilon,
+            Some
+              {
+                Server.ship_dir = dir;
+                ship_seq = r.Supervisor.r_seq;
+                ship_manifest = Supervisor.manifest_text scfg;
+              },
+            "primary" )
+      | None, None ->
+          ( load_data file gen n seed,
+            budget,
+            metric_of_name ~sanity metric_name,
+            epsilon,
+            None,
+            "standalone" )
     in
     let cfg =
       match
         Server.config ~budget ~metric ~epsilon ~queue_bound:queue ~idle_ms
-          ?max_requests ~path:listen data
+          ?max_requests ?ship ~role ~conn_fault ?crash_after ~path:listen data
       with
       | cfg -> cfg
       | exception Invalid_argument reason ->
           die (Validate.Bad_option { what = "server"; reason })
     in
-    let server = Server.create ~obs ~pool cfg in
+    let on_handoff =
+      Option.map
+        (fun sup () ->
+          Supervisor.promote sup;
+          Supervisor.seq sup)
+        !follower_sup
+    in
+    let on_drain =
+      Option.map
+        (fun sup () ->
+          match Supervisor.checkpoint sup with Ok _ | Error _ -> ())
+        !follower_sup
+    in
+    let server = Server.create ~obs ~pool ?on_handoff ?on_drain cfg in
     Printf.printf "server: listening on %s n=%d budget=%d queue=%d jobs=%d\n%!"
       listen (Array.length data) budget queue jobs;
+    (if role <> "standalone" then
+       match ship with
+       | Some s ->
+           Printf.printf "server: role=%s seq=%d\n%!" role s.Server.ship_seq
+       | None -> ());
     ok_or_die (Server.run server);
+    if Server.crashed server then begin
+      (* The simulated kill: drop descriptors without the shutdown
+         path, report, and die with a SIGKILL-like status — none of
+         the orderly summary a live server would print. *)
+      Option.iter Supervisor.crash !follower_sup;
+      Printf.printf "server: crashed (simulated kill)\n";
+      exit 137
+    end;
+    Option.iter Supervisor.close !follower_sup;
+    if Server.drained server then
+      Printf.printf "server: drained (sigterm)\n";
     let s = Server.stats server in
     Printf.printf
       "server: connections=%d requests=%d admitted=%d shed=%d errors=%d \
@@ -969,9 +1149,11 @@ let server_cmd =
   Cmd.v
     (Cmd.info "server"
        ~doc:"Serve synopsis queries over a Unix-domain socket.")
-    Term.(const run $ listen_arg $ store_opt_arg $ file_arg $ gen_arg $ n_arg
-          $ seed_arg $ metric_arg $ sanity_arg $ budget_arg $ epsilon_arg
-          $ queue_arg $ idle_arg $ max_requests_arg $ jobs_arg)
+    Term.(const run $ listen_arg $ store_opt_arg $ follower_arg $ file_arg
+          $ gen_arg $ n_arg $ seed_arg $ metric_arg $ sanity_arg $ budget_arg
+          $ epsilon_arg $ queue_arg $ idle_arg $ max_requests_arg $ wait_arg
+          $ chaos_arg $ chaos_rate_arg $ chaos_seed_arg $ crash_after_arg
+          $ jobs_arg)
 
 let loadgen_cmd =
   let connect_req_arg =
@@ -1000,11 +1182,37 @@ let loadgen_cmd =
          & info [ "out" ] ~docv:"PATH"
              ~doc:"Write the transcript to $(docv) ($(b,-) for stdout).")
   in
-  let run connect wait_ms seed requests batch mix n out =
+  let failover_arg =
+    Arg.(value & opt (some string) None
+         & info [ "failover-to" ] ~docv:"SOCK"
+             ~doc:"Warm standby to promote (HANDOFF) and fail over to on \
+                   the first primary transport failure; the failed frame is \
+                   resent, keeping the transcript byte-identical to a \
+                   failure-free run.")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Dump the client-side metrics table (loadgen.rtt.ms, and \
+                   retry.* / client.failover.* when failing over) to \
+                   $(docv) ($(b,-) for stdout) after the run.")
+  in
+  let run connect wait_ms timeout_ms failover_to chaos chaos_rate chaos_seed
+      metrics seed requests batch mix n out =
+    check_timeout timeout_ms;
     let mix =
       match Loadgen.mix_of_string mix with
       | Ok m -> m
       | Error reason -> die (Validate.Bad_option { what = "--mix"; reason })
+    in
+    (* Only transcript-preserving kinds may be armed client-side: a
+       dropped or torn frame is resent whole, a delay moves no bytes.
+       Corruption/blackholing belong on the server (`server --chaos`),
+       where the injected failure is what the run measures. *)
+    let fault =
+      fault_of_chaos
+        ~allowed:[ Fault.Conn_drop; Fault.Conn_truncate; Fault.Conn_delay ]
+        ~rate:chaos_rate ~seed:chaos_seed chaos
     in
     let oc, close_out_fn =
       match out with
@@ -1016,11 +1224,34 @@ let loadgen_cmd =
               die (Validate.Io_error { path; reason }))
     in
     Fun.protect ~finally:close_out_fn @@ fun () ->
-    let client = connect_client ~wait_ms connect in
-    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    let obs = Option.map (fun _ -> Registry.create ()) metrics in
+    (* The plain path keeps one blocking client, byte-for-byte the old
+       behavior; failover/chaos/timeout runs go through the failover
+       endpoint. *)
+    let plain = ref None and fo = ref None in
+    let rpc =
+      if failover_to = None && chaos = None && timeout_ms = None then begin
+        let c = connect_client ~wait_ms connect in
+        plain := Some c;
+        fun req -> Client.request c req
+      end
+      else begin
+        let f =
+          Failover.create ?obs ~wait_ms ?timeout_ms ~fault
+            ?standby:failover_to connect
+        in
+        fo := Some f;
+        Failover.rpc f
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Client.close !plain;
+        Option.iter Failover.close !fo)
+    @@ fun () ->
     let summary =
       match
-        Loadgen.run ~client ~seed ~requests ~batch ~n ~mix
+        Loadgen.run ?obs ~rpc ~seed ~requests ~batch ~n ~mix
           ~out:(output_string oc) ()
       with
       | result -> ok_or_die result
@@ -1029,13 +1260,23 @@ let loadgen_cmd =
     in
     Printf.printf "loadgen: sent=%d replies=%d overloads=%d errors=%d crc=%s\n"
       summary.Loadgen.sent summary.Loadgen.replies summary.Loadgen.overloads
-      summary.Loadgen.errors summary.Loadgen.transcript_crc
+      summary.Loadgen.errors summary.Loadgen.transcript_crc;
+    (match !fo with
+    | Some f when Failover.promoted f ->
+        Printf.printf "loadgen: failed over to %s (seq %d)\n"
+          (Failover.endpoint f) (Failover.seen_seq f)
+    | _ -> ());
+    match (metrics, obs) with
+    | Some dest, Some reg ->
+        dump_metrics ~dest ~format:"table" ~label:"(loadgen)" reg
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a server with a seeded, reproducible workload.")
-    Term.(const run $ connect_req_arg $ wait_arg $ seed_arg $ requests_arg
-          $ batch_arg $ mix_arg $ n_arg $ out_arg)
+    Term.(const run $ connect_req_arg $ wait_arg $ timeout_arg $ failover_arg
+          $ chaos_arg $ chaos_rate_arg $ chaos_seed_arg $ metrics_arg
+          $ seed_arg $ requests_arg $ batch_arg $ mix_arg $ n_arg $ out_arg)
 
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in

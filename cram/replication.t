@@ -1,0 +1,179 @@
+Replicated serving, end to end (docs/SERVING.md): a primary serving a
+durable store, a warm standby bootstrapped over the wire by journal
+shipping, client-side failover through a mid-storm crash with a
+byte-identical transcript, graceful SIGTERM drain, and the structured
+client timeout. Sockets live under mktemp -d because sun_path caps
+socket paths at ~100 bytes.
+
+  $ SOCK_DIR=$(mktemp -d)
+
+Build the primary's durable store: 40 seeded updates, checkpointed on
+close — a fresh follower therefore bootstraps from the shipped
+snapshot rather than replaying the compacted journal.
+
+  $ wavesyn serve --store store_p -n 64 --budget 8 --random 40 --seed 6 \
+  >   --no-fsync | head -3
+  serve: store=store_p n=64 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  ingested: 40 updates (seq 40)
+
+The reference run: the store served healthy, no failures anywhere.
+The transcript CRC is the yardstick every chaos run must reproduce.
+
+  $ R=$SOCK_DIR/ref.sock
+  $ timeout 60 wavesyn server --listen $R --store store_p \
+  >   --max-requests 500 > ref.log 2>&1 &
+  $ wavesyn loadgen --connect $R --wait-ms 5000 --requests 32 --batch 4 \
+  >   -n 64 --seed 7 --out ref.txt
+  loadgen: sent=32 replies=32 overloads=0 errors=6 crc=a15f8ad7
+
+A store-backed server registers the replication metrics; --timeout-ms
+arms the client's read deadline (harmless against a healthy server).
+
+  $ wavesyn stats --connect $R --timeout-ms 2000 \
+  >   | grep -E 'server\.(role|ship|handoffs)'
+  counter    server.handoffs                              0 handoffs
+  gauge      server.role                                  0 role
+  counter    server.ship.batches                          0 batches
+  counter    server.ship.records                          0 records
+  counter    server.ship.snapshots                        0 snapshots
+
+  $ wavesyn query --connect $R --shutdown
+  BYE
+  $ wait
+  $ sed "s#$R#SOCK#" ref.log
+  server: listening on SOCK n=64 budget=8 queue=64 jobs=1
+  server: role=primary seq=40
+  server: connections=3 requests=10 admitted=28 shed=0 errors=6 recuts=1 tier=minmax
+
+The failover drill at --jobs 1. The primary is armed with
+--crash-after so it dies mid-storm, unannounced, with a frame
+unanswered; the standby bootstraps from it over the wire, then waits
+warm. The loadgen client fails over on the dead socket: SYNC probe
+(read-your-replays), HANDOFF promotion, resend of the lost frame.
+
+  $ P=$SOCK_DIR/p1.sock
+  $ B=$SOCK_DIR/b1.sock
+  $ timeout 60 wavesyn server --listen $P --store store_p --crash-after 8 \
+  >   --max-requests 500 --jobs 1 > p1.log 2>&1 &
+  $ PID1=$!
+  $ timeout 60 wavesyn server --listen $B --store store_f1 --follower-of $P \
+  >   --wait-ms 5000 --max-requests 500 --jobs 1 > b1.log 2>&1 &
+
+The standby binds its socket only once its bootstrap from the primary
+has landed, so a ping doubles as a ready-barrier: past it, the crash
+frame budget below is consumed by the load storm alone.
+
+  $ wavesyn query --connect $B --wait-ms 5000 --ping
+  PONG
+  $ wavesyn loadgen --connect $P --wait-ms 5000 --failover-to $B \
+  >   --requests 32 --batch 4 -n 64 --seed 7 --out fo1.txt \
+  >   --metrics fo1.metrics | sed "s#$B#STANDBY#"
+  loadgen: sent=32 replies=32 overloads=0 errors=6 crc=a15f8ad7
+  loadgen: failed over to STANDBY (seq 40)
+
+The primary died with the SIGKILL-style status; the transcript is
+byte-identical to the failure-free reference anyway.
+
+  $ wait $PID1
+  [137]
+  $ cmp ref.txt fo1.txt && echo transcript identical
+  transcript identical
+
+The client-side failover counters tell the story: one transport
+failure, one promotion, one resent frame, one breaker trip.
+
+  $ grep -E 'client\.failover|retry\.breaker\.(trips|rejected)' fo1.metrics
+  counter    client.failover.failures                     1 failures
+  counter    client.failover.promotions                   1 promotions
+  counter    client.failover.resends                      1 frames
+  counter    retry.breaker.rejected{breaker="client.primary"} 0 calls
+  counter    retry.breaker.trips{breaker="client.primary"} 1 trips
+
+  $ wavesyn query --connect $B --shutdown
+  BYE
+  $ wait
+  $ sed "s#$P#PRIMARY#" p1.log
+  server: listening on PRIMARY n=64 budget=8 queue=64 jobs=1
+  server: role=primary seq=40
+  server: crashed (simulated kill)
+  $ sed -e "s#$P#PRIMARY#" -e "s#$B#STANDBY#" b1.log
+  follower: synced from PRIMARY seq=40 (batches=0 records=0 snapshots=1)
+  server: listening on STANDBY n=64 budget=8 queue=64 jobs=1
+  server: role=follower seq=40
+  server: connections=3 requests=10 admitted=19 shed=0 errors=4 recuts=1 tier=minmax
+
+The same drill at --jobs 4: positional evaluation over the pool keeps
+replies deterministic, so the transcript — through bootstrap, crash,
+promotion and resend — is still byte-identical to the reference.
+
+  $ P4=$SOCK_DIR/p4.sock
+  $ B4=$SOCK_DIR/b4.sock
+  $ timeout 60 wavesyn server --listen $P4 --store store_p --crash-after 8 \
+  >   --max-requests 500 --jobs 4 > p4.log 2>&1 &
+  $ PID4=$!
+  $ timeout 60 wavesyn server --listen $B4 --store store_f4 --follower-of $P4 \
+  >   --wait-ms 5000 --max-requests 500 --jobs 4 > b4.log 2>&1 &
+  $ wavesyn query --connect $B4 --wait-ms 5000 --ping
+  PONG
+  $ wavesyn loadgen --connect $P4 --wait-ms 5000 --failover-to $B4 \
+  >   --requests 32 --batch 4 -n 64 --seed 7 --out fo4.txt | sed "s#$B4#STANDBY#"
+  loadgen: sent=32 replies=32 overloads=0 errors=6 crc=a15f8ad7
+  loadgen: failed over to STANDBY (seq 40)
+  $ wait $PID4
+  [137]
+  $ wavesyn query --connect $B4 --shutdown
+  BYE
+  $ wait
+  $ cmp ref.txt fo4.txt && echo transcript identical
+  transcript identical
+
+Graceful drain: SIGTERM stops accepting, answers what is in flight,
+and exits 0 — pinned without a timeout wrapper so the exit status is
+the server's own.
+
+  $ D=$SOCK_DIR/drain.sock
+  $ wavesyn server --listen $D --gen bumps -n 64 > drain.log 2>&1 &
+  $ DP=$!
+  $ wavesyn query --connect $D --wait-ms 5000 --ping
+  PONG
+  $ kill -TERM $DP && wait $DP
+  $ sed "s#$D#SOCK#" drain.log
+  server: listening on SOCK n=64 budget=8 queue=64 jobs=1
+  server: drained (sigterm)
+  server: connections=1 requests=1 admitted=0 shed=0 errors=0 recuts=1 tier=minmax
+
+A blackholed server hears the request and answers nothing: only the
+client's --timeout-ms read deadline escapes, as the structured timeout
+error (exit 75, EX_TEMPFAIL).
+
+  $ T=$SOCK_DIR/bh.sock
+  $ wavesyn server --listen $T --gen bumps -n 64 \
+  >   --chaos blackhole > bh.log 2>&1 &
+  $ BH=$!
+  $ wavesyn query --connect $T --wait-ms 5000 --timeout-ms 200 --ping
+  wavesyn: server reply: timed out after 200ms
+  [75]
+  $ kill -TERM $BH && wait $BH
+  $ sed "s#$T#SOCK#" bh.log | tail -2
+  server: drained (sigterm)
+  server: connections=1 requests=0 admitted=0 shed=0 errors=0 recuts=1 tier=minmax
+
+Option validation: a non-positive timeout, a follower without a local
+store, and a fault kind that may not be armed client-side are all
+structured usage errors.
+
+  $ wavesyn query --connect $T --timeout-ms 0 --ping
+  wavesyn: --timeout-ms: must be positive
+  [2]
+  $ wavesyn server --listen $T --follower-of $P
+  wavesyn: --follower-of: requires --store for the local replica
+  [2]
+  $ wavesyn loadgen --connect $T --chaos corrupt-frame
+  wavesyn: --chaos corrupt-frame: not an armable connection fault here
+  [2]
+  $ wavesyn loadgen --connect $T --chaos gremlins
+  wavesyn: --chaos gremlins: unknown fault kind
+  [2]
+
+  $ rm -rf $SOCK_DIR

@@ -81,12 +81,14 @@ synopsis one ladder tier down.
   gauge      server.queue.depth                           0 requests
   counter    server.recuts                                2 recuts
   counter    server.requests{kind="batch"}                1 requests
+  counter    server.requests{kind="handoff"}              0 requests
   counter    server.requests{kind="ping"}                 2 requests
   counter    server.requests{kind="point"}                2 requests
   counter    server.requests{kind="quantile"}             3 requests
   counter    server.requests{kind="range"}                2 requests
   counter    server.requests{kind="shutdown"}             0 requests
   counter    server.requests{kind="stats"}                1 requests
+  counter    server.requests{kind="sync"}                 0 requests
   histogram  server.round.ms                              count=10 sum=F min=F p50<=F p95<=F p99<=F max=F ms
   counter    server.shed                                  4 requests
 

@@ -7,6 +7,11 @@ type kind =
   | Torn_write
   | Bit_flip
   | Io_flaky
+  | Conn_drop
+  | Conn_delay
+  | Conn_truncate
+  | Corrupt_frame
+  | Blackhole
 
 exception Injected of kind
 
@@ -17,6 +22,11 @@ let kind_name = function
   | Torn_write -> "torn-write"
   | Bit_flip -> "bit-flip"
   | Io_flaky -> "io-flaky"
+  | Conn_drop -> "conn-drop"
+  | Conn_delay -> "conn-delay"
+  | Conn_truncate -> "conn-truncate"
+  | Corrupt_frame -> "corrupt-frame"
+  | Blackhole -> "blackhole"
 
 let all_kinds =
   [
@@ -26,10 +36,19 @@ let all_kinds =
     Torn_write;
     Bit_flip;
     Io_flaky;
+    Conn_drop;
+    Conn_delay;
+    Conn_truncate;
+    Corrupt_frame;
+    Blackhole;
   ]
 
 let solver_kinds = [ Expire_deadline; Nan_coefficient; Alloc_pressure ]
 let io_kinds = [ Torn_write; Bit_flip; Io_flaky ]
+let conn_kinds = [ Conn_drop; Conn_delay; Conn_truncate; Corrupt_frame; Blackhole ]
+
+let kind_of_name name =
+  List.find_opt (fun k -> kind_name k = name) all_kinds
 
 type t = { rng : Prng.t option; kinds : kind list; rate : float }
 
@@ -88,3 +107,31 @@ let flip_bit t payload =
       else None
 
 let io_fails t = fires t Io_flaky
+
+(* Network fault points share the mechanics of their storage cousins
+   ([torn_prefix] / [flip_bit]) but draw on their own kinds, so a plan
+   can arm disk chaos and wire chaos independently. *)
+
+let prefix_of rng payload =
+  String.sub payload 0 (1 + Prng.int rng (String.length payload - 1))
+
+let conn_truncate t payload =
+  match t.rng with
+  | None -> None
+  | Some rng ->
+      if fires t Conn_truncate && String.length payload > 1 then
+        Some (prefix_of rng payload)
+      else None
+
+let corrupt_frame t payload =
+  match t.rng with
+  | None -> None
+  | Some rng ->
+      if fires t Corrupt_frame && String.length payload > 0 then begin
+        let b = Bytes.of_string payload in
+        let pos = Prng.int rng (Bytes.length b) in
+        let bit = 1 lsl Prng.int rng 8 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bit));
+        Some (Bytes.to_string b)
+      end
+      else None

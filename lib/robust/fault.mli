@@ -27,6 +27,23 @@ type kind =
       (** transient I/O failure: the operation performs no work and
           reports [Io_error], as a flaky disk or full queue would —
           retryable through {!Retry} *)
+  | Conn_drop
+      (** the connection is severed abruptly: the peer observes EOF
+          mid-conversation, as if the process died or an LB reset the
+          flow *)
+  | Conn_delay
+      (** a frame's delivery is deferred by (at least) one event-loop
+          round / a few milliseconds — reordering-free latency *)
+  | Conn_truncate
+      (** a strict prefix of a frame is written and then the connection
+          dies — the network analogue of [Torn_write] *)
+  | Corrupt_frame
+      (** one bit of an encoded frame is flipped in flight; only the
+          frame CRC on the receiving side can tell *)
+  | Blackhole
+      (** bytes are silently swallowed and never answered: the
+          connection stays open but the peer hears nothing — the case
+          that only a read deadline can escape *)
 
 exception Injected of kind
 
@@ -41,6 +58,13 @@ val solver_kinds : kind list
 
 val io_kinds : kind list
 (** The kinds consulted by {!Snapshot} / {!Journal} storage paths. *)
+
+val conn_kinds : kind list
+(** The network-level kinds consulted by the serving layer's
+    connection fault points ({!Conn}, client-side chaos). *)
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name} — parses CLI [--chaos] kind lists. *)
 
 type t
 
@@ -82,3 +106,13 @@ val flip_bit : t -> string -> string option
 
 val io_fails : t -> bool
 (** Fault point for transient I/O failure ([Io_flaky]). *)
+
+val conn_truncate : t -> string -> string option
+(** Fault point for mid-frame connection death: when [Conn_truncate]
+    fires on at least two bytes of outgoing data, a strict non-empty
+    prefix to write before severing the connection; [None] otherwise. *)
+
+val corrupt_frame : t -> string -> string option
+(** Fault point for in-flight corruption: when [Corrupt_frame] fires on
+    non-empty outgoing data, a copy with one PRNG-chosen bit flipped;
+    [None] otherwise. The frame CRC on the receiving side rejects it. *)

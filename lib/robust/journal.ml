@@ -95,6 +95,161 @@ let replay ?(since = 0) ~dir () =
                 valid_bytes = !valid_bytes;
               })
 
+(* ------------------------------------------------------------------ *)
+(* Shipping: seq-addressed record ranges for follower replication.    *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  b_since : int;
+  b_last_seq : int;
+  b_complete : bool;
+  b_records : record list;
+}
+
+let batch_error reason = Validate.Bad_shape { what = "ship batch"; reason }
+
+let encode_batch b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "ship %d %d %d %d\n" b.b_since (List.length b.b_records)
+       b.b_last_seq
+       (if b.b_complete then 1 else 0));
+  List.iter (fun r -> Buffer.add_string buf (encode r)) b.b_records;
+  let body = Buffer.contents buf in
+  body ^ "end " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+
+let decode_batch s =
+  let err reason = Error (batch_error reason) in
+  let len = String.length s in
+  if len < 2 || s.[len - 1] <> '\n' then err "missing trailer"
+  else
+    let tstart =
+      match String.rindex_from_opt s (len - 2) '\n' with
+      | Some i -> i + 1
+      | None -> 0
+    in
+    let trailer = String.sub s tstart (len - tstart - 1) in
+    let body = String.sub s 0 tstart in
+    match String.split_on_char ' ' trailer with
+    | [ "end"; hex ] -> (
+        match Crc32.of_hex hex with
+        | Some crc when crc = Crc32.string body -> (
+            (* The batch CRC held; now parse the header and re-verify
+               each record line (its own CRC plus strict contiguity
+               from the cursor). *)
+            match String.split_on_char '\n' body with
+            | header :: rest -> (
+                let record_lines =
+                  List.filter (fun l -> l <> "") rest
+                in
+                match String.split_on_char ' ' header with
+                | [ "ship"; since; count; last_seq; complete ] -> (
+                    match
+                      ( int_of_string_opt since,
+                        int_of_string_opt count,
+                        int_of_string_opt last_seq,
+                        complete )
+                    with
+                    | Some since, Some count, Some last_seq, ("0" | "1")
+                      when since >= 0 && count >= 0 && last_seq >= 0 ->
+                        let complete = complete = "1" in
+                        if List.length record_lines <> count then
+                          err "record count mismatch"
+                        else begin
+                          let records = ref [] in
+                          let bad = ref None in
+                          let expect = ref (since + 1) in
+                          List.iter
+                            (fun line ->
+                              if !bad = None then
+                                match decode_line line with
+                                | None -> bad := Some "corrupt record in batch"
+                                | Some r when r.seq <> !expect ->
+                                    bad := Some "batch records not contiguous"
+                                | Some r ->
+                                    incr expect;
+                                    records := r :: !records)
+                            record_lines;
+                          match !bad with
+                          | Some reason -> err reason
+                          | None ->
+                              let records = List.rev !records in
+                              let last_shipped =
+                                match List.rev records with
+                                | r :: _ -> r.seq
+                                | [] -> since
+                              in
+                              if complete && last_shipped <> last_seq then
+                                err "complete batch stops short of last_seq"
+                              else if last_shipped > last_seq then
+                                err "batch overruns last_seq"
+                              else
+                                Ok
+                                  {
+                                    b_since = since;
+                                    b_last_seq = last_seq;
+                                    b_complete = complete;
+                                    b_records = records;
+                                  }
+                        end
+                    | _ -> err "bad batch header"
+                  )
+                | _ -> err "bad batch header")
+            | [] -> err "empty batch body")
+        | Some _ -> err "batch CRC mismatch"
+        | None -> err "bad batch CRC field")
+    | _ -> err "bad trailer"
+
+let ship ~dir ~since ~seq ~max () =
+  if since < 0 then invalid_arg "Journal.ship: since must be >= 0";
+  if max < 0 then invalid_arg "Journal.ship: max must be >= 0";
+  match replay ~dir () with
+  | Error _ as e -> e
+  | Ok { records = all; _ } ->
+      if since > seq then
+        Error
+          (batch_error
+             (Printf.sprintf "cursor %d is ahead of store seq %d" since seq))
+      else
+        let gap =
+          match all with
+          | [] -> since < seq
+          | first :: _ -> since + 1 < first.seq && since < seq
+        in
+        if gap then
+          Error
+            (batch_error
+               (Printf.sprintf
+                  "records after seq %d compacted away — snapshot required"
+                  since))
+        else begin
+          let wanted = List.filter (fun r -> r.seq > since) all in
+          let rec take k = function
+            | r :: tl when k > 0 -> r :: take (k - 1) tl
+            | _ -> []
+          in
+          let sent = take max wanted in
+          let exhausted = List.length sent = List.length wanted in
+          let last_sent =
+            match List.rev sent with [] -> since | r :: _ -> r.seq
+          in
+          if exhausted && last_sent < seq then
+            Error
+              (batch_error
+                 (Printf.sprintf
+                    "journal ends at seq %d, short of store seq %d (torn \
+                     tail? run repair)"
+                    last_sent seq))
+          else
+            Ok
+              {
+                b_since = since;
+                b_last_seq = seq;
+                b_complete = last_sent = seq;
+                b_records = sent;
+              }
+        end
+
 type t = {
   dir : string;
   sync : bool;

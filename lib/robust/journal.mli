@@ -44,6 +44,60 @@ val repair : dir:string -> (replay, Validate.error) result
     would glue the new record onto the partial line and lose it. Run
     before reopening a writer on a store that may have crashed. *)
 
+(** {1 Shipping}
+
+    The replication cursor: a follower holds a sequence number [since]
+    (the last record it has applied) and asks the primary for the range
+    [(since, since + max]]. The primary answers with a {!batch} — a
+    self-verifying text artifact whose trailer CRC covers the header
+    and every record line, on top of each record's own CRC — so a
+    flipped bit anywhere in flight is rejected as a unit. *)
+
+type batch = {
+  b_since : int;  (** the cursor this batch continues from *)
+  b_last_seq : int;
+      (** the primary's current sequence — authoritative, may exceed
+          the last shipped record when [max] truncated the range *)
+  b_complete : bool;
+      (** the batch reaches [b_last_seq]; [false] means re-SYNC from
+          the last shipped record *)
+  b_records : record list;
+      (** strictly consecutive, starting at [b_since + 1] *)
+}
+
+val encode_batch : batch -> string
+(** Wire form: a [ship <since> <count> <last_seq> <complete>] header,
+    the record lines, and an [end <CRC-32>] trailer over everything
+    above. *)
+
+val decode_batch : string -> (batch, Validate.error) result
+(** Verify the trailer CRC, the header, every record CRC, and strict
+    contiguity from [b_since + 1]; any failure is a [Bad_shape] and the
+    whole batch is rejected (a follower never applies a prefix of a
+    corrupt batch). *)
+
+val ship :
+  dir:string ->
+  since:int ->
+  seq:int ->
+  max:int ->
+  unit ->
+  (batch, Validate.error) result
+(** Read records [(since, since + max]] from the store's WAL. [seq] is
+    the store's authoritative current sequence (the journal on disk may
+    legitimately stop earlier after compaction — and must not be
+    trusted to know the end of history).
+
+    Structured [Bad_shape] errors, all of which the serving layer maps
+    to a snapshot ship or an operator-visible fault: the cursor is
+    {e ahead} of the store (split brain); the requested range was
+    {e compacted away} by {!rotate} — the caller must bootstrap the
+    follower from a snapshot instead; or the journal ends {e short} of
+    [seq] (torn tail not yet repaired). A torn or corrupt tail
+    {e within} the range is silently excluded by replay's
+    truncate-at-first-bad-record rule — the batch then reports
+    [b_complete = false] without overrunning the damage. *)
+
 (** {1 Writing} *)
 
 type t

@@ -49,6 +49,9 @@ let with_retries ?(sleep = fun (_ : float) -> ()) p ~attempts f =
   go 1
 
 module Breaker = struct
+  module Registry = Wavesyn_obs.Registry
+  module Metric = Wavesyn_obs.Metric
+
   type state = Closed | Open | Half_open
 
   let state_name = function
@@ -56,10 +59,21 @@ module Breaker = struct
     | Open -> "open"
     | Half_open -> "half-open"
 
+  (* Exposition contract (docs/OBSERVABILITY.md): the state gauge is
+     ordered by badness so dashboards can threshold on it. *)
+  let state_value = function Closed -> 0. | Half_open -> 1. | Open -> 2.
+
+  type tele = {
+    g_state : Metric.gauge;
+    c_trips : Metric.counter;
+    c_rejected : Metric.counter;
+  }
+
   type t = {
     threshold : int;
     cooldown_ms : float;
     clock : unit -> float;
+    tele : tele option;
     mutable st : state;
     mutable consecutive_failures : int;
     mutable opened_at_ms : float;
@@ -67,15 +81,43 @@ module Breaker = struct
     mutable rejected : int;
   }
 
-  let create ?(threshold = 3) ?(cooldown_ms = 1000.0) ?clock () =
+  let set_state t st =
+    t.st <- st;
+    match t.tele with
+    | None -> ()
+    | Some tele -> Metric.set tele.g_state (state_value st)
+
+  let create ?(threshold = 3) ?(cooldown_ms = 1000.0) ?clock ?obs
+      ?(name = "default") () =
     if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
     if cooldown_ms < 0. then
       invalid_arg "Breaker.create: cooldown must be non-negative";
     let clock = Option.value clock ~default:Deadline.now_ms in
+    let tele =
+      match obs with
+      | None -> None
+      | Some reg ->
+          let labels = [ ("breaker", name) ] in
+          Some
+            {
+              g_state =
+                Registry.gauge reg ~labels
+                  ~help:"breaker state: 0 closed, 1 half-open, 2 open"
+                  "retry.breaker.state";
+              c_trips =
+                Registry.counter reg ~labels ~unit_:"trips"
+                  ~help:"times the breaker opened" "retry.breaker.trips";
+              c_rejected =
+                Registry.counter reg ~labels ~unit_:"calls"
+                  ~help:"calls refused while the breaker was open"
+                  "retry.breaker.rejected";
+            }
+    in
     {
       threshold;
       cooldown_ms;
       clock;
+      tele;
       st = Closed;
       consecutive_failures = 0;
       opened_at_ms = 0.;
@@ -85,7 +127,7 @@ module Breaker = struct
 
   let refresh t =
     if t.st = Open && t.clock () -. t.opened_at_ms >= t.cooldown_ms then
-      t.st <- Half_open
+      set_state t Half_open
 
   let state t =
     refresh t;
@@ -95,9 +137,12 @@ module Breaker = struct
   let rejected t = t.rejected
 
   let trip t =
-    t.st <- Open;
+    set_state t Open;
     t.opened_at_ms <- t.clock ();
     t.trips <- t.trips + 1;
+    (match t.tele with
+    | None -> ()
+    | Some tele -> Metric.incr tele.c_trips);
     Log.info (fun m ->
         m "circuit opened after %d consecutive failures"
           t.consecutive_failures)
@@ -109,13 +154,16 @@ module Breaker = struct
     match t.st with
     | Open ->
         t.rejected <- t.rejected + 1;
+        (match t.tele with
+        | None -> ()
+        | Some tele -> Metric.incr tele.c_rejected);
         Error Open_circuit
     | Closed | Half_open -> (
         let probing = t.st = Half_open in
         match f () with
         | Ok _ as ok ->
             t.consecutive_failures <- 0;
-            t.st <- Closed;
+            set_state t Closed;
             ok
         | Error e ->
             t.consecutive_failures <- t.consecutive_failures + 1;

@@ -53,9 +53,23 @@ module Breaker : sig
   type t
 
   val create :
-    ?threshold:int -> ?cooldown_ms:float -> ?clock:(unit -> float) -> unit -> t
+    ?threshold:int ->
+    ?cooldown_ms:float ->
+    ?clock:(unit -> float) ->
+    ?obs:Wavesyn_obs.Registry.t ->
+    ?name:string ->
+    unit ->
+    t
   (** Defaults: threshold 3, cooldown 1000ms, clock
-      {!Deadline.now_ms} (injectable for deterministic tests). *)
+      {!Deadline.now_ms} (injectable for deterministic tests).
+
+      With [obs], the breaker exposes itself under the [retry.*]
+      family, labelled [{breaker=name}] (default ["default"]):
+      [retry.breaker.state] (gauge — 0 closed, 1 half-open, 2 open),
+      [retry.breaker.trips] and [retry.breaker.rejected] (counters).
+      State transitions update the gauge at the transition point, so a
+      scrape between calls sees the current state, not the last
+      queried one. *)
 
   val state : t -> state
   val trips : t -> int

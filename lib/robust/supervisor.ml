@@ -109,6 +109,14 @@ let decode_manifest ~path text =
       | _ -> fail "manifest checksum mismatch")
   | _ -> fail "not a wavesyn store manifest"
 
+let manifest_text cfg = encode_manifest cfg
+
+let config_of_manifest ~dir text =
+  match decode_manifest ~path:"<shipped manifest>" text with
+  | Error _ as e -> e
+  | Ok (n, budget, metric, epsilon) ->
+      Ok (config ~epsilon ~dir ~n ~budget metric)
+
 let read_manifest dir =
   let path = manifest_path dir in
   match open_in_bin path with
@@ -326,6 +334,10 @@ let breaker_code = function
 
 (* --- the supervised loop --- *)
 
+type role = Primary | Follower
+
+let role_name = function Primary -> "primary" | Follower -> "follower"
+
 type stats = {
   seq : int;
   updates : int;
@@ -346,8 +358,9 @@ type t = {
   retry_attempts : int;
   breaker : Retry.Breaker.t;
   obs : telemetry option;
-  stream : Stream_synopsis.t;
-  journal : Journal.t;
+  mutable role : role;
+  mutable stream : Stream_synopsis.t;
+  mutable journal : Journal.t;
   mutable seq : int;
   mutable acked : int;
   mutable served : Ladder.served option;
@@ -392,7 +405,7 @@ let ensure_dir dir =
         Error (Validate.Io_error { path = dir; reason = Unix.error_message e })
 
 let open_store ?obs ?trace ?(fault = Fault.none) ?retry ?(retry_attempts = 4)
-    ?breaker cfg =
+    ?breaker ?(role = Primary) cfg =
   let ( let* ) = Result.bind in
   let* () = validate_config cfg in
   let* () = ensure_dir cfg.dir in
@@ -455,6 +468,7 @@ let open_store ?obs ?trace ?(fault = Fault.none) ?retry ?(retry_attempts = 4)
       retry_attempts;
       breaker;
       obs;
+      role;
       stream;
       journal;
       seq;
@@ -472,9 +486,16 @@ let open_store ?obs ?trace ?(fault = Fault.none) ?retry ?(retry_attempts = 4)
 
 let stream t = t.stream
 let seq t = t.seq
+let role t = t.role
 let last_recovery t = t.recovery
 let last_served t = t.served
 let last_error t = t.last_error
+
+let promote t =
+  if t.role = Follower then begin
+    t.role <- Primary;
+    Log.info (fun m -> m "promoted to primary at seq %d" t.seq)
+  end
 
 let stats t =
   {
@@ -631,7 +652,14 @@ let checkpoint t =
       | None -> timed ())
 
 let ingest_body t ~i ~delta =
-  if i < 0 || i >= t.cfg.n then
+  if t.role = Follower then
+    Error
+      (Validate.Bad_option
+         {
+           what = "ingest";
+           reason = "store is a read-only follower (promote it first)";
+         })
+  else if i < 0 || i >= t.cfg.n then
     Error
       (Validate.Bad_value
          {
@@ -689,6 +717,158 @@ let ingest t ~i ~delta =
       (match m.t_trace with
       | Some sink -> Trace.with_span sink "ingest" timed
       | None -> timed ())
+
+(* --- follower replication --- *)
+
+(* One shipped record, journal-before-apply: exactly the ingest
+   discipline, except the sequence number is the primary's and must be
+   reproduced bit-for-bit (the journal assigns [t.seq + 1] internally,
+   which the caller has already checked lines up with the batch). *)
+let apply_record t (r : Journal.record) =
+  match
+    Retry.with_retries t.retry ~attempts:t.retry_attempts (fun () ->
+        Journal.append t.journal ~i:r.Journal.i ~delta:r.Journal.delta)
+  with
+  | Error e ->
+      t.last_error <- Some e;
+      Error e
+  | Ok seq ->
+      if seq <> r.Journal.seq then
+        Error
+          (Validate.Bad_shape
+             {
+               what = "apply_shipped";
+               reason =
+                 Printf.sprintf
+                   "journal assigned seq %d to shipped record %d — follower \
+                    WAL out of step"
+                   seq r.Journal.seq;
+             })
+      else begin
+        t.seq <- seq;
+        t.acked <- t.acked + 1;
+        (match t.obs with
+        | None -> ()
+        | Some m ->
+            Metric.incr m.journal_appends;
+            if t.cfg.sync then Metric.incr m.journal_fsyncs;
+            Metric.set m.seq_gauge (float_of_int seq));
+        (* Same out-of-domain tolerance as recovery replay: the record
+           stays journaled verbatim, only the apply is skipped. *)
+        if r.Journal.i < t.cfg.n then
+          Stream_synopsis.update t.stream ~i:r.Journal.i ~delta:r.Journal.delta;
+        if seq mod t.cfg.checkpoint_every = 0 then ignore (checkpoint t);
+        Ok seq
+      end
+
+let apply_shipped t (batch : Journal.batch) =
+  if t.role <> Follower then
+    Error
+      (Validate.Bad_option
+         {
+           what = "apply_shipped";
+           reason = "store is not a follower";
+         })
+  else if batch.Journal.b_since <> t.seq then
+    Error
+      (Validate.Bad_shape
+         {
+           what = "apply_shipped";
+           reason =
+             Printf.sprintf "batch continues from seq %d but store is at %d"
+               batch.Journal.b_since t.seq;
+         })
+  else begin
+    let rec go = function
+      | [] -> Ok t.seq
+      | r :: tl -> (
+          match apply_record t r with Ok _ -> go tl | Error _ as e -> e)
+    in
+    go batch.Journal.b_records
+  end
+
+let install_snapshot t (state : Snapshot.state) =
+  if t.role <> Follower then
+    Error
+      (Validate.Bad_option
+         {
+           what = "install_snapshot";
+           reason = "store is not a follower";
+         })
+  else if state.Snapshot.n <> t.cfg.n then
+    Error
+      (Validate.Bad_shape
+         {
+           what = "install_snapshot";
+           reason =
+             Printf.sprintf
+               "snapshot domain %d does not match store domain %d"
+               state.Snapshot.n t.cfg.n;
+         })
+  else if state.Snapshot.seq < t.seq then
+    Error
+      (Validate.Bad_shape
+         {
+           what = "install_snapshot";
+           reason =
+             Printf.sprintf "snapshot seq %d is behind store seq %d"
+               state.Snapshot.seq t.seq;
+         })
+  else
+    match
+      Retry.with_retries t.retry ~attempts:t.retry_attempts (fun () ->
+          Snapshot.write ~fault:t.fault ~keep:t.cfg.keep ~sync:t.cfg.sync
+            ~dir:t.cfg.dir state)
+    with
+    | Error e ->
+        t.last_error <- Some e;
+        Error e
+    | Ok gen -> (
+        t.last_generation <- Some gen;
+        (match t.obs with
+        | None -> ()
+        | Some m -> Metric.set m.checkpoint_generation (float_of_int gen));
+        let stream = Snapshot.to_stream state in
+        (match t.obs with
+        | None -> ()
+        | Some m ->
+            Stream_synopsis.set_observer stream
+              (Some
+                 (fun touches ->
+                   Metric.incr m.stream_updates;
+                   Metric.incr ~by:touches m.stream_coeff_touches)));
+        t.stream <- stream;
+        (* Re-align the WAL writer with the installed history: records
+           at or before the snapshot are superseded, and the next
+           shipped record continues from [state.seq + 1]. *)
+        Journal.close t.journal;
+        match
+          Journal.open_writer ~fault:t.fault ~sync:t.cfg.sync ~dir:t.cfg.dir
+            ~next_seq:(state.Snapshot.seq + 1) ()
+        with
+        | Error e ->
+            t.last_error <- Some e;
+            Error e
+        | Ok j ->
+            t.journal <- j;
+            t.seq <- state.Snapshot.seq;
+            (match Journal.rotate j ~keep_after:state.Snapshot.seq with
+            | Ok _ -> (
+                match t.obs with
+                | None -> ()
+                | Some m -> Metric.incr m.journal_rotations)
+            | Error e ->
+                t.last_error <- Some e;
+                Log.warn (fun m ->
+                    m "post-install rotation failed: %s"
+                      (Validate.to_string e)));
+            (match t.obs with
+            | None -> ()
+            | Some m -> Metric.set m.seq_gauge (float_of_int t.seq));
+            Log.info (fun m ->
+                m "installed shipped snapshot at seq %d (generation %d)"
+                  t.seq gen);
+            Ok t.seq)
 
 let close t =
   Journal.close t.journal

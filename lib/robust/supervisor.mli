@@ -60,6 +60,14 @@ val pp_recovery : Format.formatter -> recovery -> unit
 
 type t
 
+type role = Primary | Follower
+(** A [Primary] accepts {!ingest}; a [Follower] is read-only to
+    clients and advances only through {!apply_shipped} /
+    {!install_snapshot}, until {!promote} flips it. *)
+
+val role_name : role -> string
+(** ["primary"] / ["follower"]. *)
+
 val open_store :
   ?obs:Wavesyn_obs.Registry.t ->
   ?trace:Wavesyn_obs.Trace.sink ->
@@ -67,6 +75,7 @@ val open_store :
   ?retry:Retry.policy ->
   ?retry_attempts:int ->
   ?breaker:Retry.Breaker.t ->
+  ?role:role ->
   config ->
   (t, Validate.error) result
 (** Open a store, creating the directory and manifest ([store.cfg]) on
@@ -117,6 +126,16 @@ val stream : t -> Wavesyn_stream.Stream_synopsis.t
 val seq : t -> int
 (** Last acknowledged sequence number. *)
 
+val role : t -> role
+
+val promote : t -> unit
+(** Flip a [Follower] to [Primary] — after this, {!ingest} is accepted
+    and the shipped history continues under local writes. Idempotent;
+    a no-op on a store already primary. Promotion is purely an
+    in-memory role change: the store's on-disk format is identical for
+    both roles, which is what makes warm-standby failover a
+    metadata-only operation. *)
+
 val last_served : t -> Ladder.served option
 (** The most recent re-cut synopsis, if any re-cut has run. *)
 
@@ -149,6 +168,44 @@ val close : t -> unit
 val crash : t -> unit
 (** Chaos-suite helper: drop descriptors without the shutdown path, as
     a kill would. *)
+
+(** {1 Replication}
+
+    The follower side of journal shipping. A follower applies each
+    shipped record with exactly the ingest discipline — journal first,
+    then the in-memory state, through the same
+    [Stream_synopsis.update] code path — so after applying the same
+    record range, primary and follower coefficient states are
+    bit-identical, and so are the synopses cut from them. *)
+
+val apply_shipped : t -> Journal.batch -> (int, Validate.error) result
+(** Apply one verified shipped batch (see {!Journal.decode_batch}) to
+    a follower. The batch must continue exactly from the store's
+    current sequence ([b_since = seq t]); each record is journaled
+    before it is applied, and the checkpoint cadence runs as for
+    ingest (re-cuts are the serving layer's business). Returns the new
+    sequence. [Bad_option] on a non-follower; [Bad_shape] on a cursor
+    mismatch. On a mid-batch journal failure the store stays at the
+    last applied record — safe to re-SYNC from [seq t]. *)
+
+val install_snapshot :
+  t -> Snapshot.state -> (int, Validate.error) result
+(** Bootstrap a follower whose cursor fell behind the primary's
+    compacted journal: persist the shipped snapshot as a local
+    generation, adopt its coefficient state wholesale, and re-align
+    the WAL writer to continue at [state.seq + 1]. Returns the new
+    sequence. Rejected on a non-follower, a domain mismatch, or a
+    snapshot older than the store's current sequence. *)
+
+val manifest_text : config -> string
+(** The store manifest as its sealed on-disk text — shipped to
+    followers so they reproduce the primary's domain, budget, metric
+    and epsilon exactly. *)
+
+val config_of_manifest :
+  dir:string -> string -> (config, Validate.error) result
+(** Parse a shipped {!manifest_text} into a config rooted at the
+    (local) directory [dir]; cadence knobs take their defaults. *)
 
 (** {1 Read-only recovery} *)
 

@@ -12,6 +12,7 @@ type error =
   | Bad_epsilon of { epsilon : float; reason : string }
   | Bad_option of { what : string; reason : string }
   | Io_error of { path : string; reason : string }
+  | Timeout of { what : string; ms : float }
 
 let to_string = function
   | Bad_value { path; line; token; reason } ->
@@ -31,10 +32,13 @@ let to_string = function
       (* [Sys_error] messages already lead with the path. *)
       if String.starts_with ~prefix:(path ^ ": ") reason then reason
       else Printf.sprintf "%s: %s" path reason
+  | Timeout { what; ms } ->
+      Printf.sprintf "%s: timed out after %gms" what ms
 
 let exit_code = function
   | Bad_option _ -> 2
   | Io_error _ -> 66
+  | Timeout _ -> 75
   | Bad_value _ | Bad_shape _ | Bad_budget _ | Bad_epsilon _ -> 65
 
 let parse_float ?path ~line token =

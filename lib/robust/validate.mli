@@ -22,6 +22,11 @@ type error =
   | Bad_option of { what : string; reason : string }
       (** usage errors: conflicting flags, unknown names *)
   | Io_error of { path : string; reason : string }
+  | Timeout of { what : string; ms : float }
+      (** a bounded network operation exceeded its deadline — the peer
+          may be alive but unresponsive (blackholed, overloaded), so
+          the condition is transient and retry-worthy, unlike
+          [Io_error] *)
 
 val to_string : error -> string
 (** One-line human-readable rendering, [file:line:] prefixed where a
@@ -30,6 +35,7 @@ val to_string : error -> string
 val exit_code : error -> int
 (** Process exit code for a CLI rejecting this input: 2 for usage
     errors ([Bad_option]), 66 for [Io_error] (sysexits EX_NOINPUT),
+    75 for [Timeout] (EX_TEMPFAIL — transient, retry may succeed),
     65 for data errors (EX_DATAERR). Never 0. *)
 
 val parse_float :

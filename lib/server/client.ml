@@ -5,16 +5,35 @@
 module Validate = Wavesyn_robust.Validate
 module Deadline = Wavesyn_robust.Deadline
 
-type t = { fd : Unix.file_descr; mutable rbuf : Bytes.t; mutable rlen : int }
+type t = {
+  fd : Unix.file_descr;
+  timeout_ms : float option;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+}
 
 let retry_pause_s = 0.02
 
-let connect ?(wait_ms = 0.) path =
+let connect ?(wait_ms = 0.) ?timeout_ms path =
+  (match timeout_ms with
+  | Some ms when ms <= 0. ->
+      invalid_arg "Client.connect: timeout_ms must be positive"
+  | _ -> ());
   let deadline = Deadline.now_ms () +. wait_ms in
   let rec go () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> Ok { fd; rbuf = Bytes.create 4096; rlen = 0 }
+    match
+      (* The kernel deadline bounds every blocking read and write on
+         the socket, so a blackholed server surfaces as a structured
+         [Timeout] instead of a hang. *)
+      Option.iter
+        (fun ms ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO (ms /. 1000.);
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO (ms /. 1000.))
+        timeout_ms;
+      Unix.connect fd (Unix.ADDR_UNIX path)
+    with
+    | () -> Ok { fd; timeout_ms; rbuf = Bytes.create 4096; rlen = 0 }
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         if Deadline.now_ms () < deadline then begin
@@ -32,6 +51,13 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 let io_error reason =
   Error (Validate.Io_error { path = "<server socket>"; reason })
 
+(* With a socket deadline armed, EAGAIN means the kernel timer fired,
+   not that the socket is nonblocking (it isn't). *)
+let timeout t what =
+  match t.timeout_ms with
+  | Some ms -> Error (Validate.Timeout { what; ms })
+  | None -> io_error "spurious EAGAIN on a blocking socket"
+
 let send t frame =
   let len = String.length frame in
   let rec go off =
@@ -40,10 +66,15 @@ let send t frame =
       match Unix.write_substring t.fd frame off (len - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          timeout t "server write"
       | exception Unix.Unix_error (e, _, _) ->
           io_error (Unix.error_message e)
   in
   go 0
+
+let send_raw = send
 
 let ensure_room t =
   if t.rlen = Bytes.length t.rbuf then begin
@@ -71,6 +102,9 @@ let read_reply t =
             t.rlen <- t.rlen + k;
             go ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            timeout t "server reply"
         | exception Unix.Unix_error (e, _, _) ->
             io_error (Unix.error_message e))
   in

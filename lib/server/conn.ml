@@ -7,6 +7,8 @@
    slow reader never blocks the serving loop; an overloaded server
    replies (with OVERLOAD frames) instead of dropping the peer. *)
 
+module Fault = Wavesyn_robust.Fault
+
 type mode = Unknown | Binary | Text
 
 type event =
@@ -17,6 +19,7 @@ type event =
 type t = {
   fd : Unix.file_descr;
   id : int;
+  fault : Fault.t;
   mutable mode : mode;
   mutable rbuf : Bytes.t;
   mutable rlen : int;
@@ -30,11 +33,12 @@ type t = {
 
 let chunk = 4096
 
-let create ~id ~now_ms fd =
+let create ?(fault = Fault.none) ~id ~now_ms fd =
   Unix.set_nonblock fd;
   {
     fd;
     id;
+    fault;
     mode = Unknown;
     rbuf = Bytes.create chunk;
     rlen = 0;
@@ -129,26 +133,40 @@ let parse t events =
   | Text -> parse_text t events
 
 let read t ~now_ms =
-  let events = ref [] in
-  let rec drain () =
-    ensure_room t;
-    match
-      Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen)
-    with
-    | 0 -> `Eof
-    | k ->
-        t.rlen <- t.rlen + k;
-        t.last_ms <- now_ms;
-        parse t events;
-        if List.exists (function Corrupt _ -> true | _ -> false) !events
-        then `More
-        else drain ()
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-        `More
-    | exception Unix.Unix_error _ -> `Eof
-  in
-  let status = drain () in
-  (List.rev !events, status)
+  (* Conn_drop severs the flow before any byte is looked at, as an LB
+     reset or a peer kill would. The pending socket bytes are lost with
+     the connection. *)
+  if Fault.fires t.fault Fault.Conn_drop then ([], `Eof)
+  else begin
+    let events = ref [] in
+    let rec drain () =
+      ensure_room t;
+      match
+        Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen)
+      with
+      | 0 -> `Eof
+      | k ->
+          if Fault.fires t.fault Fault.Blackhole then
+            (* The bytes vanish: not buffered, not parsed, never
+               answered — and the idle stamp is not refreshed, so the
+               reaper eventually collects the silent connection. Only a
+               client read deadline escapes sooner. *)
+            drain ()
+          else begin
+            t.rlen <- t.rlen + k;
+            t.last_ms <- now_ms;
+            parse t events;
+            if List.exists (function Corrupt _ -> true | _ -> false) !events
+            then `More
+            else drain ()
+          end
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          `More
+      | exception Unix.Unix_error _ -> `Eof
+    in
+    let status = drain () in
+    (List.rev !events, status)
+  end
 
 (* --- writing --- *)
 
@@ -167,11 +185,36 @@ let rec flush t =
   if t.wpending = "" then
     if t.wbuf = [] then `Drained
     else begin
-      (* Coalesce the queued chunks into one pending string. *)
-      t.wpending <- String.concat "" (List.rev t.wbuf);
+      (* Coalesce the queued chunks into one pending string. The
+         connection fault points draw here, once per coalesced burst,
+         in a fixed order (delay, truncate, corrupt) so a chaos run is
+         reproducible from the plan's seed. *)
+      let pending = String.concat "" (List.rev t.wbuf) in
       t.wbuf <- [];
       t.woff <- 0;
-      flush t
+      if Fault.fires t.fault Fault.Conn_delay then begin
+        (* Deferred: the bytes stay queued and go out on the next
+           writable round — latency without reordering. *)
+        t.wpending <- pending;
+        `More
+      end
+      else
+        match Fault.conn_truncate t.fault pending with
+        | Some prefix ->
+            (* A strict prefix reaches the wire, then the connection
+               dies — the network's torn write. *)
+            (try
+               ignore
+                 (Unix.write_substring t.fd prefix 0 (String.length prefix))
+             with Unix.Unix_error _ -> ());
+            t.wpending <- "";
+            `Peer_gone
+        | None ->
+            t.wpending <-
+              (match Fault.corrupt_frame t.fault pending with
+              | Some corrupted -> corrupted
+              | None -> pending);
+            flush t
     end
   else
     let len = String.length t.wpending in

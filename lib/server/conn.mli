@@ -21,9 +21,26 @@ type event =
       (** binary framing failure; the connection cannot resync and
           must close after an error reply *)
 
-val create : id:int -> now_ms:float -> Unix.file_descr -> t
+val create :
+  ?fault:Wavesyn_robust.Fault.t ->
+  id:int ->
+  now_ms:float ->
+  Unix.file_descr ->
+  t
 (** Wrap a freshly accepted descriptor (made nonblocking here).
-    [id] is a serving-loop serial used in logs and metrics labels. *)
+    [id] is a serving-loop serial used in logs and metrics labels.
+
+    [fault] (default none) arms this connection's network fault
+    points, drawn in a fixed order so a chaos run is reproducible from
+    the plan's seed: on the read side [Conn_drop] (sever before
+    looking at the bytes — the peer sees EOF) and [Blackhole] (swallow
+    arriving bytes silently; the connection stays open, nothing is
+    ever answered, and the idle stamp is not refreshed); on the write
+    side, once per coalesced burst, [Conn_delay] (defer the flush one
+    round), [Conn_truncate] (write a strict prefix, then report
+    [`Peer_gone] — the network torn write), and [Corrupt_frame] (flip
+    one bit of the outgoing bytes, which the peer's frame CRC
+    rejects). *)
 
 val fd : t -> Unix.file_descr
 

@@ -1,0 +1,191 @@
+(* Client-side warm-standby failover: one logical endpoint over a
+   primary and an optional standby.
+
+   The client tracks the highest authoritative sequence it has seen
+   acknowledged ([seen_seq], learned from SYNC probes). When the
+   primary fails — connect failure, transport error, corrupt reply —
+   the breaker trips, the client connects to the standby, verifies
+   read-your-replays (the standby must already hold every sequence
+   this client observed), promotes it with HANDOFF, and resends the
+   frame the dead primary never answered. A request schedule therefore
+   produces the same reply transcript with or without the failover,
+   which is the byte-identity the chaos suite proves.
+
+   Client-side chaos ([fault]) draws once per frame, in a fixed order
+   (drop, truncate, delay), so a chaos run is reproducible from the
+   seed. Only transcript-preserving kinds are armed here: a dropped or
+   torn frame is resent whole on a fresh connection, and a delay moves
+   no bytes. *)
+
+module Validate = Wavesyn_robust.Validate
+module Retry = Wavesyn_robust.Retry
+module Fault = Wavesyn_robust.Fault
+module Metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+
+type tele = {
+  c_failures : Metric.counter;
+  c_promotions : Metric.counter;
+  c_resends : Metric.counter;
+}
+
+type t = {
+  standby : string option;
+  wait_ms : float;
+  timeout_ms : float option;
+  fault : Fault.t;
+  breaker : Retry.Breaker.t;
+  tele : tele option;
+  mutable target : string;
+  mutable conn : Client.t option;
+  mutable probed : bool;
+  mutable seen_seq : int;
+  mutable promoted : bool;
+}
+
+let create ?obs ?(wait_ms = 0.) ?timeout_ms ?(fault = Fault.none) ?standby
+    primary =
+  let tele =
+    Option.map
+      (fun reg ->
+        {
+          c_failures =
+            Registry.counter reg ~help:"primary transport failures observed"
+              ~unit_:"failures" "client.failover.failures";
+          c_promotions =
+            Registry.counter reg ~help:"standby promotions completed"
+              ~unit_:"promotions" "client.failover.promotions";
+          c_resends =
+            Registry.counter reg
+              ~help:"frames resent after a failover" ~unit_:"frames"
+              "client.failover.resends";
+        })
+      obs
+  in
+  {
+    standby;
+    wait_ms;
+    timeout_ms;
+    fault;
+    (* One strike: a serving client cannot afford to probe a dead
+       primary repeatedly — the first transport failure fails over. *)
+    breaker =
+      Retry.Breaker.create ~threshold:1 ?obs ~name:"client.primary" ();
+    tele;
+    target = primary;
+    conn = None;
+    probed = false;
+    seen_seq = 0;
+    promoted = false;
+  }
+
+let endpoint t = t.target
+let promoted t = t.promoted
+let seen_seq t = t.seen_seq
+
+let reset t =
+  Option.iter Client.close t.conn;
+  t.conn <- None
+
+let close t = reset t
+
+let conn t =
+  match t.conn with
+  | Some c -> Ok c
+  | None -> (
+      match Client.connect ~wait_ms:t.wait_ms ?timeout_ms:t.timeout_ms t.target
+      with
+      | Error _ as e -> e
+      | Ok c ->
+          t.conn <- Some c;
+          (* First contact with a target: learn its authoritative
+             sequence, the basis of the read-your-replays check. A
+             standalone server answers the probe with an ERROR reply,
+             which simply leaves the floor at 0. *)
+          if not t.probed then begin
+            t.probed <- true;
+            match Client.request_one c (Wire.Sync { since = 0; max = 0 }) with
+            | Ok (Wire.Ship { last_seq; _ }) ->
+                t.seen_seq <- max t.seen_seq last_seq
+            | Ok _ | Error _ -> ()
+          end;
+          Ok c)
+
+let exec t req =
+  match conn t with
+  | Error _ as e -> e
+  | Ok c -> (
+      match Client.request c req with
+      | Ok _ as ok -> ok
+      | Error _ as e ->
+          (* A poisoned connection never carries another frame. *)
+          reset t;
+          e)
+
+let bad reason = Error (Validate.Bad_shape { what = "failover"; reason })
+
+let failover t req standby =
+  Option.iter (fun tl -> Metric.incr tl.c_failures) t.tele;
+  t.target <- standby;
+  t.probed <- false;
+  reset t;
+  match conn t with
+  | Error _ as e -> e
+  | Ok c -> (
+      (* Read-your-replays: refuse to promote a standby that has not
+         yet replayed every sequence this client saw acknowledged. *)
+      match Client.request_one c (Wire.Sync { since = t.seen_seq; max = 0 })
+      with
+      | Ok (Wire.Ship { last_seq; _ }) when last_seq >= t.seen_seq -> (
+          match Client.request_one c Wire.Handoff with
+          | Ok (Wire.Handoff_ack { seq; _ }) when seq >= t.seen_seq ->
+              t.seen_seq <- max t.seen_seq seq;
+              t.promoted <- true;
+              Option.iter
+                (fun tl ->
+                  Metric.incr tl.c_promotions;
+                  Metric.incr tl.c_resends)
+                t.tele;
+              exec t req
+          | Ok (Wire.Handoff_ack { seq; _ }) ->
+              bad
+                (Printf.sprintf
+                   "standby acked promotion at seq %d, behind the %d this \
+                    client saw"
+                   seq t.seen_seq)
+          | Ok reply ->
+              bad ("unexpected HANDOFF reply: " ^ Wire.describe_reply reply)
+          | Error _ as e -> e)
+      | Ok (Wire.Ship { last_seq; _ }) ->
+          bad
+            (Printf.sprintf
+               "standby at seq %d, behind the %d this client saw — refusing \
+                to promote"
+               last_seq t.seen_seq)
+      | Ok reply -> bad ("unexpected SYNC reply: " ^ Wire.describe_reply reply)
+      | Error _ as e -> e)
+
+let rpc t req =
+  (* Chaos draws, once per frame in a fixed order. *)
+  let dropped = Fault.fires t.fault Fault.Conn_drop in
+  let torn = Fault.conn_truncate t.fault (Wire.encode_request req) in
+  if Fault.fires t.fault Fault.Conn_delay then Unix.sleepf 0.002;
+  if dropped then reset t;
+  (match torn with
+  | Some prefix -> (
+      (* A torn client write: the server sees a partial frame then EOF
+         and discards it unanswered; the full frame is resent on a
+         fresh connection below. *)
+      match conn t with
+      | Ok c ->
+          (match Client.send_raw c prefix with Ok () | Error _ -> ());
+          reset t
+      | Error _ -> ())
+  | None -> ());
+  match t.standby with
+  | Some standby when not t.promoted -> (
+      match Retry.Breaker.call t.breaker (fun () -> exec t req) with
+      | Ok _ as ok -> ok
+      | Error (Retry.Breaker.Open_circuit | Retry.Breaker.Inner _) ->
+          failover t req standby)
+  | Some _ | None -> exec t req

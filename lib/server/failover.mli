@@ -1,0 +1,59 @@
+(** Client-side warm-standby failover: one logical endpoint over a
+    primary and an optional standby socket.
+
+    {!rpc} behaves like {!Client.request} against the primary until
+    the first transport failure (connect failure, read/write error or
+    timeout, corrupt reply). That trips a one-strike
+    {!Wavesyn_robust.Retry.Breaker}; the client then connects to the
+    standby, verifies {e read-your-replays} — a [SYNC] probe must show
+    the standby holding every sequence this client has seen
+    acknowledged — promotes it with [HANDOFF], and resends the frame
+    the dead primary never answered. A request schedule therefore
+    yields the same reply transcript with or without the failover; the
+    chaos suite proves the byte-identity.
+
+    The optional fault plan arms client-side, transcript-preserving
+    network chaos, drawn once per frame in a fixed order so a run is
+    reproducible from the plan's seed: [Conn_drop] (reconnect before
+    sending), [Conn_truncate] (send a torn frame the server discards
+    unanswered, then resend whole on a fresh connection) and
+    [Conn_delay] (a small sleep; no bytes move). *)
+
+type t
+
+val create :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?wait_ms:float ->
+  ?timeout_ms:float ->
+  ?fault:Wavesyn_robust.Fault.t ->
+  ?standby:string ->
+  string ->
+  t
+(** [create primary] — connections are opened lazily, each with
+    [wait_ms] / [timeout_ms] as in {!Client.connect}. Without
+    [standby], {!rpc} is a plain (chaos-capable) client. With [obs],
+    the breaker registers the [retry.*] family under
+    [{breaker=client.primary}] and the module the
+    [client.failover.failures] / [.promotions] / [.resends]
+    counters. *)
+
+val rpc :
+  t -> Wire.request -> (Wire.reply list, Wavesyn_robust.Validate.error) result
+(** Send one frame and read its replies, failing over (once) to the
+    standby as described above. After a promotion every subsequent
+    frame goes to the standby directly. Errors surface when there is
+    no standby left to try, or when the standby fails the
+    read-your-replays check ([Bad_shape] — refusing to silently lose
+    acknowledged writes). *)
+
+val endpoint : t -> string
+(** The socket currently targeted. *)
+
+val promoted : t -> bool
+(** Whether a failover promotion has happened. *)
+
+val seen_seq : t -> int
+(** Highest authoritative sequence observed via [SYNC] probes. *)
+
+val close : t -> unit
+(** Close the current connection; idempotent. *)

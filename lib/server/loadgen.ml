@@ -66,7 +66,7 @@ type summary = {
   transcript_crc : string;
 }
 
-let run ?obs ~client ~seed ~requests ~batch ~n ~mix ~out () =
+let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
   if requests < 0 then invalid_arg "Loadgen.run: negative request count";
   if batch < 1 then invalid_arg "Loadgen.run: batch must be at least 1";
   if n < 1 then invalid_arg "Loadgen.run: n must be at least 1";
@@ -101,7 +101,7 @@ let run ?obs ~client ~seed ~requests ~batch ~n ~mix ~out () =
       let frame = if k = 1 then List.hd reqs else Wire.Batch reqs in
       sent := !sent + k;
       let t0 = Deadline.now_ms () in
-      match Client.request client frame with
+      match rpc frame with
       | Error _ as e -> e
       | Ok got ->
           Option.iter

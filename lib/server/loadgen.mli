@@ -31,7 +31,8 @@ type summary = {
 
 val run :
   ?obs:Wavesyn_obs.Registry.t ->
-  client:Client.t ->
+  rpc:
+    (Wire.request -> (Wire.reply list, Wavesyn_robust.Validate.error) result) ->
   seed:int ->
   requests:int ->
   batch:int ->
@@ -42,9 +43,11 @@ val run :
   (summary, Wavesyn_robust.Validate.error) result
 (** Send [requests] requests in frames of [batch] (a batch of 1 is a
     plain request frame; the final frame may be short), appending each
-    transcript line to [out]. [n] is the server's domain size — range
-    and point parameters are drawn inside it. With [obs], round-trip
-    times land in the [loadgen.rtt.ms] histogram. Fails with the first
-    transport error; [OVERLOAD]/[ERROR] replies are counted, not
-    failures. Raises [Invalid_argument] on a negative request count,
-    batch < 1 or n < 1. *)
+    transcript line to [out]. [rpc] carries each frame — typically
+    {!Client.request} on one connection, or {!Failover.rpc} for a
+    chaos/failover-capable endpoint. [n] is the server's domain size —
+    range and point parameters are drawn inside it. With [obs],
+    round-trip times land in the [loadgen.rtt.ms] histogram. Fails
+    with the first transport error; [OVERLOAD]/[ERROR] replies are
+    counted, not failures. Raises [Invalid_argument] on a negative
+    request count, batch < 1 or n < 1. *)

@@ -1,0 +1,47 @@
+(** The follower's side of journal shipping: pull [SYNC] batches from
+    a primary's query server and fold them into a local follower
+    store.
+
+    Every batch is applied with
+    {!Wavesyn_robust.Supervisor.apply_shipped} — journal first, then
+    the in-memory state, the exact ingest discipline — so a caught-up
+    follower's coefficient state is bit-identical to the primary's,
+    and so is any synopsis cut from it. A cursor that fell behind the
+    primary's compaction receives a snapshot bootstrap instead and
+    re-syncs from the snapshot's sequence. *)
+
+type progress = {
+  batches : int;  (** record batches applied *)
+  records : int;  (** records applied through them *)
+  snapshots : int;  (** snapshot bootstraps installed *)
+  final_seq : int;  (** the follower's sequence when current *)
+}
+
+val handshake :
+  Client.t -> (int * string, Wavesyn_robust.Validate.error) result
+(** Probe the primary ([SYNC since=0 max=0]): its authoritative
+    sequence and manifest text. [Bad_shape] when the peer has no ship
+    source (it was not started from a store). *)
+
+val sync :
+  ?batch:int ->
+  Client.t ->
+  Wavesyn_robust.Supervisor.t ->
+  (progress, Wavesyn_robust.Validate.error) result
+(** Pull batches of up to [batch] (default 64) records until the
+    follower is current with the primary. The store must be a
+    [Follower] ([Bad_option] otherwise). On a mid-sync failure the
+    store keeps every record applied so far — safe to call again. *)
+
+val bootstrap :
+  ?obs:Wavesyn_obs.Registry.t ->
+  ?batch:int ->
+  dir:string ->
+  Client.t ->
+  ( Wavesyn_robust.Supervisor.t * progress,
+    Wavesyn_robust.Validate.error )
+  result
+(** Create (or re-open) a follower store at [dir] from the primary's
+    shipped manifest — so domain, budget, metric and epsilon match
+    exactly — then {!sync} it current. The store is returned open; the
+    caller closes it. *)

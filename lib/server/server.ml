@@ -22,10 +22,19 @@ module Quantiles = Wavesyn_aqp.Quantiles
 module Validate = Wavesyn_robust.Validate
 module Ladder = Wavesyn_robust.Ladder
 module Deadline = Wavesyn_robust.Deadline
+module Fault = Wavesyn_robust.Fault
+module Journal = Wavesyn_robust.Journal
+module Snapshot = Wavesyn_robust.Snapshot
 module Metric = Wavesyn_obs.Metric
 module Registry = Wavesyn_obs.Registry
 module Trace = Wavesyn_obs.Trace
 module Pool = Wavesyn_par.Pool
+
+type ship_source = {
+  ship_dir : string;
+  ship_seq : int;
+  ship_manifest : string;
+}
 
 type config = {
   path : string;
@@ -36,14 +45,32 @@ type config = {
   queue_bound : int;
   idle_ms : float;
   max_requests : int option;
+  ship : ship_source option;
+  role : string;
+  conn_fault : Fault.t;
+  crash_after : int option;
 }
 
 let config ?(budget = 8) ?(metric = Metrics.Abs) ?(epsilon = 0.25)
-    ?(queue_bound = 64) ?(idle_ms = 30_000.) ?max_requests ~path data =
+    ?(queue_bound = 64) ?(idle_ms = 30_000.) ?max_requests ?ship
+    ?(role = "standalone") ?(conn_fault = Fault.none) ?crash_after ~path data =
   if queue_bound < 1 then
     invalid_arg "Server.config: queue_bound must be at least 1";
   if idle_ms <= 0. then invalid_arg "Server.config: idle_ms must be positive";
-  { path; data; budget; metric; epsilon; queue_bound; idle_ms; max_requests }
+  {
+    path;
+    data;
+    budget;
+    metric;
+    epsilon;
+    queue_bound;
+    idle_ms;
+    max_requests;
+    ship;
+    role;
+    conn_fault;
+    crash_after;
+  }
 
 type stats = {
   accepted : int;
@@ -55,18 +82,34 @@ type stats = {
   tier : string;
 }
 
+(* Replication instruments, registered only on servers configured with
+   a ship source so a standalone server's stats table is unchanged. *)
+type repl_tele = {
+  g_role : Metric.gauge;
+  c_ship_batches : Metric.counter;
+  c_ship_records : Metric.counter;
+  c_ship_snapshots : Metric.counter;
+  c_handoffs : Metric.counter;
+}
+
 type t = {
   cfg : config;
   obs : Registry.t;
   trace : Trace.sink option;
   pool : Pool.t;
   admit : int Admit.t;
+  on_handoff : (unit -> int) option;
+  on_drain : (unit -> unit) option;
+  repl : repl_tele option;
+  mutable role : string;
   mutable synopsis : Synopsis.t;
   mutable tier_name : string;
   mutable listen_fd : Unix.file_descr option;
   conns : (int, Conn.t) Hashtbl.t;
   mutable next_id : int;
   mutable running : bool;
+  mutable crashed : bool;
+  mutable terminated : bool;
   mutable total_requests : int;
   mutable total_errors : int;
   mutable total_accepted : int;
@@ -102,7 +145,12 @@ let recut t =
          floor is total); keep serving the previous synopsis. *)
       ()
 
-let create ?obs ?trace ?pool cfg =
+let role_gauge_value = function
+  | "primary" -> 0.
+  | "follower" -> 1.
+  | _ -> -1.
+
+let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
   let obs = match obs with Some r -> r | None -> Registry.create () in
   let pool =
     match pool with Some p -> p | None -> Pool.create ~domains:1 ()
@@ -114,7 +162,8 @@ let create ?obs ?trace ?pool cfg =
     in
     let ping = make "ping" and point = make "point" and range = make "range"
     and quantile = make "quantile" and stats = make "stats"
-    and batch = make "batch" and shutdown = make "shutdown" in
+    and batch = make "batch" and shutdown = make "shutdown"
+    and sync = make "sync" and handoff = make "handoff" in
     function
     | Wire.Ping -> ping
     | Wire.Point _ -> point
@@ -123,6 +172,36 @@ let create ?obs ?trace ?pool cfg =
     | Wire.Stats -> stats
     | Wire.Batch _ -> batch
     | Wire.Shutdown -> shutdown
+    | Wire.Sync _ -> sync
+    | Wire.Handoff -> handoff
+  in
+  let repl =
+    match cfg.ship with
+    | None -> None
+    | Some _ ->
+        let g_role =
+          Registry.gauge obs
+            ~help:"serving role: 0 primary, 1 follower, -1 standalone"
+            ~unit_:"role" "server.role"
+        in
+        Metric.set g_role (role_gauge_value cfg.role);
+        Some
+          {
+            g_role;
+            c_ship_batches =
+              Registry.counter obs ~help:"journal batches shipped to SYNC"
+                ~unit_:"batches" "server.ship.batches";
+            c_ship_records =
+              Registry.counter obs ~help:"journal records shipped to SYNC"
+                ~unit_:"records" "server.ship.records";
+            c_ship_snapshots =
+              Registry.counter obs
+                ~help:"snapshot bootstraps shipped to SYNC" ~unit_:"snapshots"
+                "server.ship.snapshots";
+            c_handoffs =
+              Registry.counter obs ~help:"HANDOFF promotions acknowledged"
+                ~unit_:"handoffs" "server.handoffs";
+          }
   in
   let t =
     {
@@ -131,12 +210,18 @@ let create ?obs ?trace ?pool cfg =
       trace;
       pool;
       admit = Admit.create ~obs ~bound:cfg.queue_bound ();
+      on_handoff;
+      on_drain;
+      repl;
+      role = cfg.role;
       synopsis = Synopsis.make ~n:(Array.length cfg.data) [];
       tier_name = "none";
       listen_fd = None;
       conns = Hashtbl.create 16;
       next_id = 0;
       running = false;
+      crashed = false;
+      terminated = false;
       total_requests = 0;
       total_errors = 0;
       total_accepted = 0;
@@ -208,7 +293,8 @@ let eval_one t req =
             else Wire.Unanswerable
           in
           Wire.Error { code; message = reason })
-  | Wire.Ping | Wire.Stats | Wire.Batch _ | Wire.Shutdown ->
+  | Wire.Ping | Wire.Stats | Wire.Batch _ | Wire.Shutdown | Wire.Sync _
+  | Wire.Handoff ->
       Wire.Error { code = Wire.Internal; message = "not an admitted kind" }
 
 (* --- the serving round --- *)
@@ -228,6 +314,74 @@ let count_error t = function
       t.total_errors <- t.total_errors + 1;
       Metric.incr t.c_errors
   | _ -> ()
+
+(* Answer a SYNC by shipping journal records from the store's WAL. A
+   cursor that fell behind compaction (or a torn tail the batch reader
+   cannot bridge) falls back to shipping the newest verified snapshot,
+   from which the follower re-SYNCs. [max = 0] is the seq probe: no
+   records move, the reply just states the authoritative sequence. *)
+let max_ship_records = 256
+
+let sync_reply t ~since ~max =
+  match t.cfg.ship with
+  | None ->
+      Wire.Error
+        {
+          code = Wire.Unanswerable;
+          message = "no ship source: server was not started from a store";
+        }
+  | Some src ->
+      if max = 0 || since >= src.ship_seq then
+        Wire.Ship
+          {
+            last_seq = src.ship_seq;
+            complete = true;
+            manifest = src.ship_manifest;
+            body = Wire.Ship_none;
+          }
+      else begin
+        match
+          Journal.ship ~dir:src.ship_dir ~since ~seq:src.ship_seq
+            ~max:(min max max_ship_records) ()
+        with
+        | Ok batch ->
+            (match t.repl with
+            | Some r ->
+                Metric.incr r.c_ship_batches;
+                Metric.incr ~by:(List.length batch.Journal.b_records)
+                  r.c_ship_records
+            | None -> ());
+            Wire.Ship
+              {
+                last_seq = batch.Journal.b_last_seq;
+                complete = batch.Journal.b_complete;
+                manifest = src.ship_manifest;
+                body = Wire.Ship_records (Journal.encode_batch batch);
+              }
+        | Error err -> (
+            match Snapshot.read_latest ~dir:src.ship_dir with
+            | Ok { Snapshot.state = Some state; _ }
+              when state.Snapshot.seq > since
+                   && String.length (Snapshot.encode state)
+                      <= Wire.max_payload - 256 ->
+                (match t.repl with
+                | Some r -> Metric.incr r.c_ship_snapshots
+                | None -> ());
+                Wire.Ship
+                  {
+                    last_seq = src.ship_seq;
+                    complete = state.Snapshot.seq = src.ship_seq;
+                    manifest = src.ship_manifest;
+                    body =
+                      Wire.Ship_snapshot (Snapshot.seal (Snapshot.encode state));
+                  }
+            | Ok _ | Error _ ->
+                (* No snapshot bridges the gap: surface the shipping
+                   error itself (split brain, compacted range with no
+                   verified snapshot, torn tail) for the operator. *)
+                Wire.Error
+                  { code = Wire.Unanswerable; message = Validate.to_string err })
+      end
 
 let process_request t ~(slots : slot list ref) ~evals conn request =
   t.total_requests <- t.total_requests + 1;
@@ -254,6 +408,24 @@ let process_request t ~(slots : slot list ref) ~evals conn request =
       t.running <- false;
       push Wire.Bye;
       Conn.mark_closing conn
+  | Wire.Sync { since; max } -> push (sync_reply t ~since ~max)
+  | Wire.Handoff ->
+      (* Promotion: flip to primary and acknowledge with the store's
+         authoritative sequence, so the client can check it lost no
+         acked write across the failover. *)
+      let seq =
+        match t.on_handoff with
+        | Some f -> f ()
+        | None -> (
+            match t.cfg.ship with Some s -> s.ship_seq | None -> 0)
+      in
+      t.role <- "primary";
+      (match t.repl with
+      | Some r ->
+          Metric.set r.g_role (role_gauge_value t.role);
+          Metric.incr r.c_handoffs
+      | None -> ());
+      push (Wire.Handoff_ack { seq; role = t.role })
   | Wire.Batch reqs ->
       List.iter
         (fun r ->
@@ -261,7 +433,7 @@ let process_request t ~(slots : slot list ref) ~evals conn request =
           | Wire.Ping -> push Wire.Pong
           | Wire.Stats -> push (Wire.Stats_text (Registry.render_table t.obs))
           | Wire.Point _ | Wire.Range _ | Wire.Quantile _ -> admit r
-          | Wire.Batch _ | Wire.Shutdown ->
+          | Wire.Batch _ | Wire.Shutdown | Wire.Sync _ | Wire.Handoff ->
               push
                 (Wire.Error
                    {
@@ -339,7 +511,8 @@ let accept_ready t listen_fd ~now_ms =
         t.next_id <- id + 1;
         t.total_accepted <- t.total_accepted + 1;
         Metric.incr t.c_accepted;
-        Hashtbl.replace t.conns id (Conn.create ~id ~now_ms fd);
+        Hashtbl.replace t.conns id
+          (Conn.create ~fault:t.cfg.conn_fault ~id ~now_ms fd);
         Metric.set t.g_open (float_of_int (Hashtbl.length t.conns));
         go ()
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
@@ -363,16 +536,40 @@ let limit_reached t =
   | Some k -> t.total_requests >= k
   | None -> false
 
+let crash_reached t =
+  match t.cfg.crash_after with
+  | Some k -> t.total_requests >= k
+  | None -> false
+
+let crashed t = t.crashed
+let drained t = t.terminated
+
 let run_exn t =
-  let previous_sigpipe =
-    (* A peer closing mid-write must surface as EPIPE, not kill the
-       process. *)
-    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
-    with Invalid_argument _ -> None
+  let term = ref false in
+  let install signal behaviour =
+    try Some (signal, Sys.signal signal behaviour)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let previous =
+    [
+      (* A peer closing mid-write must surface as EPIPE, not kill the
+         process. *)
+      install Sys.sigpipe Sys.Signal_ignore;
+      (* SIGTERM asks for a graceful drain: finish the round, stop
+         accepting, flush queued replies, then let the caller
+         checkpoint and exit cleanly. *)
+      install Sys.sigterm (Sys.Signal_handle (fun _ -> term := true));
+    ]
   in
   Fun.protect
     ~finally:(fun () ->
-      Option.iter (fun h -> Sys.set_signal Sys.sigpipe h) previous_sigpipe)
+      List.iter
+        (function
+          | Some (signal, h) -> (
+              try Sys.set_signal signal h
+              with Invalid_argument _ | Sys_error _ -> ())
+          | None -> ())
+        previous)
   @@ fun () ->
   let listen_fd = listen_on t.cfg.path in
   t.listen_fd <- Some listen_fd;
@@ -434,63 +631,79 @@ let run_exn t =
           events;
         if status = `Eof then eof := conn :: !eof)
       active;
-    (if !evals <> [] then
-       with_span t "server.round" @@ fun () -> evaluate_round t !evals);
-    let shed = Admit.shed_total t.admit - shed_before in
-    (* Flush every filled slot in per-connection request order. *)
-    List.iter
-      (fun slot ->
-        match slot.s_reply with
-        | Some reply -> Conn.queue_reply slot.s_conn reply
-        | None -> ())
-      (List.rev !slots);
-    List.iter
-      (fun conn ->
-        if Conn.wants_write conn || List.memq (Conn.fd conn) writable then
-          flush_conn t conn)
-      (List.sort (fun a b -> compare (Conn.id a) (Conn.id b)) conns);
-    (* EOF connections leave after their replies are flushed. *)
-    List.iter
-      (fun conn -> if Hashtbl.mem t.conns (Conn.id conn) then drop_conn t conn)
-      !eof;
-    (* Idle connections are reaped quietly. *)
-    Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
-    |> List.iter (fun c ->
-           if Conn.idle_exceeded c ~now_ms ~idle_ms:t.cfg.idle_ms then
-             drop_conn t c);
-    (* Only rounds that carried requests advance the pressure state:
-       idle select timeouts are invisible to it, so the pressure
-       trajectory — and with it every OVERLOAD reply and re-cut — is a
-       pure function of the request schedule, not of timing. *)
-    if !slots <> [] then begin
-      Metric.observe t.h_round (Deadline.now_ms () -. t0);
-      if Admit.note_round t.admit ~shed then recut t
-    end;
-    if limit_reached t then t.running <- false
-  done;
-  (* Drain: give every connection a short window to receive queued
-     replies before the listener goes away. *)
-  let deadline = Deadline.now_ms () +. 500. in
-  let rec drain () =
-    let pending =
-      Hashtbl.fold
-        (fun _ c acc -> if Conn.wants_write c then c :: acc else acc)
-        t.conns []
-    in
-    if pending <> [] && Deadline.now_ms () < deadline then begin
-      (match
-         Unix.select [] (List.map Conn.fd pending) [] 0.05
-       with
-      | _, writable, _ ->
-          List.iter
-            (fun c ->
-              if List.memq (Conn.fd c) writable then flush_conn t c)
-            pending
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      drain ()
+    if crash_reached t then begin
+      (* Simulated kill: the round's requests are never evaluated or
+         answered — pending replies die with the "process", exactly as
+         a real crash would lose them. *)
+      t.crashed <- true;
+      t.running <- false
     end
-  in
-  drain ()
+    else begin
+      (if !evals <> [] then
+         with_span t "server.round" @@ fun () -> evaluate_round t !evals);
+      let shed = Admit.shed_total t.admit - shed_before in
+      (* Flush every filled slot in per-connection request order. *)
+      List.iter
+        (fun slot ->
+          match slot.s_reply with
+          | Some reply -> Conn.queue_reply slot.s_conn reply
+          | None -> ())
+        (List.rev !slots);
+      List.iter
+        (fun conn ->
+          if Conn.wants_write conn || List.memq (Conn.fd conn) writable then
+            flush_conn t conn)
+        (List.sort (fun a b -> compare (Conn.id a) (Conn.id b)) conns);
+      (* EOF connections leave after their replies are flushed. *)
+      List.iter
+        (fun conn ->
+          if Hashtbl.mem t.conns (Conn.id conn) then drop_conn t conn)
+        !eof;
+      (* Idle connections are reaped quietly. *)
+      Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+      |> List.iter (fun c ->
+             if Conn.idle_exceeded c ~now_ms ~idle_ms:t.cfg.idle_ms then
+               drop_conn t c);
+      (* Only rounds that carried requests advance the pressure state:
+         idle select timeouts are invisible to it, so the pressure
+         trajectory — and with it every OVERLOAD reply and re-cut — is a
+         pure function of the request schedule, not of timing. *)
+      if !slots <> [] then begin
+        Metric.observe t.h_round (Deadline.now_ms () -. t0);
+        if Admit.note_round t.admit ~shed then recut t
+      end;
+      if limit_reached t then t.running <- false;
+      if !term then begin
+        t.terminated <- true;
+        t.running <- false
+      end
+    end
+  done;
+  if not t.crashed then begin
+    (* Drain: give every connection a short window to receive queued
+       replies before the listener goes away. *)
+    let deadline = Deadline.now_ms () +. 500. in
+    let rec drain () =
+      let pending =
+        Hashtbl.fold
+          (fun _ c acc -> if Conn.wants_write c then c :: acc else acc)
+          t.conns []
+      in
+      if pending <> [] && Deadline.now_ms () < deadline then begin
+        (match Unix.select [] (List.map Conn.fd pending) [] 0.05 with
+        | _, writable, _ ->
+            List.iter
+              (fun c -> if List.memq (Conn.fd c) writable then flush_conn t c)
+              pending
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        drain ()
+      end
+    in
+    drain ();
+    (* A SIGTERM-initiated exit runs the caller's checkpoint hook after
+       the last reply is out, so acked state is durable before exit. *)
+    if t.terminated then Option.iter (fun f -> f ()) t.on_drain
+  end
 
 let run t =
   match run_exn t with

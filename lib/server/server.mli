@@ -16,6 +16,14 @@
     degrades, and recovers the same way. Connections are never dropped
     in response to load. *)
 
+type ship_source = {
+  ship_dir : string;  (** store directory whose WAL feeds SYNC *)
+  ship_seq : int;  (** the store's authoritative sequence at load *)
+  ship_manifest : string;
+      (** manifest text shipped with every batch, so a follower
+          reproduces the primary's exact configuration *)
+}
+
 type config = {
   path : string;  (** Unix-domain socket path to listen on *)
   data : float array;  (** backing dataset (power-of-two length) *)
@@ -26,6 +34,16 @@ type config = {
   idle_ms : float;  (** idle connection timeout *)
   max_requests : int option;
       (** stop after this many request frames (test safety net) *)
+  ship : ship_source option;
+      (** when present, [SYNC] ships journal records (or a snapshot
+          bootstrap) from this store, and the replication metrics are
+          registered *)
+  role : string;  (** ["primary"], ["follower"], or ["standalone"] *)
+  conn_fault : Wavesyn_robust.Fault.t;
+      (** network chaos plan armed on every accepted connection *)
+  crash_after : int option;
+      (** simulate a crash: after this many request frames, stop
+          without answering, flushing, or draining *)
 }
 
 val config :
@@ -35,12 +53,18 @@ val config :
   ?queue_bound:int ->
   ?idle_ms:float ->
   ?max_requests:int ->
+  ?ship:ship_source ->
+  ?role:string ->
+  ?conn_fault:Wavesyn_robust.Fault.t ->
+  ?crash_after:int ->
   path:string ->
   float array ->
   config
 (** Defaults: budget 8, absolute error, ε 0.25, queue bound 64, idle
-    timeout 30 s, no request limit. Raises [Invalid_argument] on a
-    non-positive queue bound or idle timeout. *)
+    timeout 30 s, no request limit, no ship source, role
+    ["standalone"], no connection faults, no simulated crash. Raises
+    [Invalid_argument] on a non-positive queue bound or idle
+    timeout. *)
 
 type t
 
@@ -48,20 +72,38 @@ val create :
   ?obs:Wavesyn_obs.Registry.t ->
   ?trace:Wavesyn_obs.Trace.sink ->
   ?pool:Wavesyn_par.Pool.t ->
+  ?on_handoff:(unit -> int) ->
+  ?on_drain:(unit -> unit) ->
   config ->
   t
 (** Build the serving state and cut the initial synopsis at the
     ladder's top tier. [obs] (fresh registry when absent) carries the
     [server.*] metrics of [docs/OBSERVABILITY.md]; [trace] records
     [server.recut] and [server.round] spans; [pool] (sequential when
-    absent) evaluates admitted requests — the caller shuts it down. *)
+    absent) evaluates admitted requests — the caller shuts it down.
+
+    [on_handoff] runs when a [HANDOFF] request promotes this server:
+    it must promote the backing store and return its authoritative
+    sequence for the [HANDOFF-ACK] (absent, the ship source's sequence
+    is acked). [on_drain] runs after a SIGTERM-initiated drain
+    completes — the place to checkpoint before a clean exit. *)
 
 val run : t -> (unit, Wavesyn_robust.Validate.error) result
 (** Bind the socket (unlinking a stale socket file left by a dead
-    server), serve until a [SHUTDOWN] request or the [max_requests]
-    limit, then drain pending replies, close every connection and
-    remove the socket file. [Error] is an [Io_error] when the path
-    cannot be bound (or names a non-socket). *)
+    server), serve until a [SHUTDOWN] request, the [max_requests]
+    limit, or SIGTERM, then drain pending replies, close every
+    connection and remove the socket file. SIGTERM stops accepting,
+    finishes the round in flight, drains, then runs [on_drain]. A
+    [crash_after] stop skips answering and draining entirely — the
+    simulated kill. [Error] is an [Io_error] when the path cannot be
+    bound (or names a non-socket). *)
+
+val crashed : t -> bool
+(** Whether {!run} stopped at the [crash_after] point. *)
+
+val drained : t -> bool
+(** Whether {!run} stopped on SIGTERM and completed the graceful
+    drain. *)
 
 type stats = {
   accepted : int;  (** connections accepted *)

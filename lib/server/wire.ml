@@ -33,6 +33,13 @@ type request =
   | Stats
   | Batch of request list
   | Shutdown
+  | Sync of { since : int; max : int }
+  | Handoff
+
+type ship_body =
+  | Ship_none
+  | Ship_records of string
+  | Ship_snapshot of string
 
 type reply =
   | Pong
@@ -42,6 +49,13 @@ type reply =
   | Overload of { bound : int; depth : int; tier : string }
   | Bye
   | Error of { code : error_code; message : string }
+  | Ship of {
+      last_seq : int;
+      complete : bool;
+      manifest : string;
+      body : ship_body;
+    }
+  | Handoff_ack of { seq : int; role : string }
 
 type frame = Req of request | Rep of reply
 
@@ -96,6 +110,8 @@ let request_kind = function
   | Stats -> 0x05
   | Batch _ -> 0x06
   | Shutdown -> 0x07
+  | Sync _ -> 0x08
+  | Handoff -> 0x09
 
 let reply_kind = function
   | Pong -> 0x81
@@ -105,16 +121,21 @@ let reply_kind = function
   | Overload _ -> 0x85
   | Bye -> 0x86
   | Error _ -> 0x87
+  | Ship _ -> 0x88
+  | Handoff_ack _ -> 0x89
 
 (* Batch entries are a kind byte plus that kind's fixed-size payload;
    nesting is rejected at encode time so the decoder never recurses. *)
 let rec put_request_payload buf = function
-  | Ping | Stats | Shutdown -> ()
+  | Ping | Stats | Shutdown | Handoff -> ()
   | Point i -> put_i64 buf i
   | Range { lo; hi } ->
       put_i64 buf lo;
       put_i64 buf hi
   | Quantile q -> put_f64 buf q
+  | Sync { since; max } ->
+      put_i64 buf since;
+      put_i64 buf max
   | Batch reqs ->
       put_i64 buf (List.length reqs);
       List.iter
@@ -122,6 +143,8 @@ let rec put_request_payload buf = function
           (match r with
           | Batch _ -> invalid_arg "Wire: nested BATCH"
           | Shutdown -> invalid_arg "Wire: SHUTDOWN inside BATCH"
+          | Sync _ -> invalid_arg "Wire: SYNC inside BATCH"
+          | Handoff -> invalid_arg "Wire: HANDOFF inside BATCH"
           | _ -> ());
           Buffer.add_uint8 buf (request_kind r);
           put_request_payload buf r)
@@ -139,6 +162,21 @@ let put_reply_payload buf = function
   | Error { code; message } ->
       Buffer.add_uint8 buf (error_code_byte code);
       Buffer.add_string buf message
+  | Ship { last_seq; complete; manifest; body } ->
+      put_i64 buf last_seq;
+      Buffer.add_uint8 buf (if complete then 1 else 0);
+      let body_kind, body_str =
+        match body with
+        | Ship_none -> (0, "")
+        | Ship_records s -> (1, s)
+        | Ship_snapshot s -> (2, s)
+      in
+      Buffer.add_uint8 buf body_kind;
+      put_str buf manifest;
+      put_str buf body_str
+  | Handoff_ack { seq; role } ->
+      put_i64 buf seq;
+      put_str buf role
 
 let frame_of ~kind payload =
   let buf = Buffer.create (String.length payload + 14) in
@@ -219,6 +257,9 @@ let decode_request ~kind payload =
         raise (Corrupt_payload "trailing bytes after batch");
       Batch reqs
   | 0x07 -> exact 0 Shutdown
+  | 0x08 ->
+      exact 16 (Sync { since = get_i64 payload 0; max = get_i64 payload 8 })
+  | 0x09 -> exact 0 Handoff
   | k -> raise (Corrupt_payload (Printf.sprintf "unknown request kind 0x%02x" k))
 
 let decode_reply ~kind payload =
@@ -249,6 +290,47 @@ let decode_reply ~kind payload =
       in
       Error
         { code; message = String.sub payload 1 (String.length payload - 1) }
+  | 0x88 ->
+      need payload 0 10;
+      let last_seq = get_i64 payload 0 in
+      let complete =
+        match Char.code payload.[8] with
+        | 0 -> false
+        | 1 -> true
+        | _ -> raise (Corrupt_payload "bad ship complete flag")
+      in
+      let body_kind = Char.code payload.[9] in
+      let get_lstr pos =
+        need payload pos 4;
+        let len = Int32.to_int (String.get_int32_be payload pos) in
+        if len < 0 || pos + 4 + len > String.length payload then
+          raise (Corrupt_payload "bad ship string length");
+        (String.sub payload (pos + 4) len, pos + 4 + len)
+      in
+      let manifest, pos = get_lstr 10 in
+      let body_str, pos = get_lstr pos in
+      if pos <> String.length payload then
+        raise (Corrupt_payload "trailing bytes after ship");
+      let body =
+        match body_kind with
+        | 0 ->
+            if body_str <> "" then
+              raise (Corrupt_payload "ship body on empty body kind");
+            Ship_none
+        | 1 -> Ship_records body_str
+        | 2 -> Ship_snapshot body_str
+        | k ->
+            raise
+              (Corrupt_payload (Printf.sprintf "bad ship body kind %d" k))
+      in
+      Ship { last_seq; complete; manifest; body }
+  | 0x89 ->
+      need payload 0 12;
+      let seq = get_i64 payload 0 in
+      let rlen = Int32.to_int (String.get_int32_be payload 8) in
+      if rlen < 0 || 12 + rlen <> String.length payload then
+        raise (Corrupt_payload "bad handoff role length");
+      Handoff_ack { seq; role = String.sub payload 12 rlen }
   | k -> raise (Corrupt_payload (Printf.sprintf "unknown reply kind 0x%02x" k))
 
 let decode buf ~pos ~len : decoded =
@@ -294,6 +376,8 @@ let describe_request r =
     | Batch reqs ->
         Printf.sprintf "BATCH[%s]" (String.concat "; " (List.map go reqs))
     | Shutdown -> "SHUTDOWN"
+    | Sync { since; max } -> Printf.sprintf "SYNC since=%d max=%d" since max
+    | Handoff -> "HANDOFF"
   in
   go r
 
@@ -307,6 +391,17 @@ let describe_reply = function
   | Bye -> "BYE"
   | Error { code; message } ->
       Printf.sprintf "ERROR %s %s" (error_code_name code) message
+  | Ship { last_seq; complete; body; _ } ->
+      (* Payload bytes are deliberately not rendered: transcripts must
+         stay stable across journal layouts. *)
+      Printf.sprintf "SHIP last_seq=%d complete=%s body=%s" last_seq
+        (if complete then "yes" else "no")
+        (match body with
+        | Ship_none -> "none"
+        | Ship_records _ -> "records"
+        | Ship_snapshot _ -> "snapshot")
+  | Handoff_ack { seq; role } ->
+      Printf.sprintf "HANDOFF-ACK seq=%d role=%s" seq role
 
 let parse_text_request line =
   let line = String.trim line in
@@ -330,6 +425,10 @@ let parse_text_request line =
       | None -> Stdlib.Error (Printf.sprintf "not a float: %s" q))
   | [ "STATS" ] -> Ok Stats
   | [ "SHUTDOWN" ] -> Ok Shutdown
+  (* HANDOFF is reachable from text mode so an operator can promote a
+     follower with netcat; SYNC stays binary-only (its SHIP reply
+     carries bulk payloads a line protocol cannot frame). *)
+  | [ "HANDOFF" ] -> Ok Handoff
   | [] -> Stdlib.Error "empty command"
   | verb :: _ -> Stdlib.Error (Printf.sprintf "unknown command %s" verb)
 

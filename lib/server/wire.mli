@@ -30,8 +30,27 @@ type request =
   | Stats  (** metrics table of the serving registry *)
   | Batch of request list
       (** sub-requests answered by one reply frame each, in order;
-          nesting and [Shutdown] entries are rejected at encode time *)
+          nesting and [Shutdown] / [Sync] / [Handoff] entries are
+          rejected at encode time *)
   | Shutdown  (** drain and stop the server *)
+  | Sync of { since : int; max : int }
+      (** replication cursor pull: ship journal records
+          [(since, since + max]]. [max = 0] is a pure sequence probe —
+          the {!reply.Ship} answer carries the server's current
+          sequence and manifest but no payload, which is how a
+          failing-over client checks read-your-replays consistency. *)
+  | Handoff
+      (** promote a follower to primary (idempotent — a primary just
+          acknowledges); answered by {!reply.Handoff_ack} *)
+
+(** The bulk payload of a {!reply.Ship}: either a {!Journal} batch
+    (the normal cursor advance) or a whole sealed {!Snapshot} (the
+    bootstrap path, when the requested range was compacted away), both
+    as their self-verifying text artifacts. *)
+type ship_body =
+  | Ship_none  (** sequence probe answer, no payload *)
+  | Ship_records of string  (** [Journal.encode_batch] artifact *)
+  | Ship_snapshot of string  (** sealed [Snapshot.encode] artifact *)
 
 type reply =
   | Pong
@@ -44,6 +63,18 @@ type reply =
           [tier] currently serving *)
   | Bye  (** acknowledges [Shutdown] *)
   | Error of { code : error_code; message : string }
+  | Ship of {
+      last_seq : int;
+          (** the server's authoritative current sequence — may exceed
+              the shipped range when [max] truncated it *)
+      complete : bool;  (** the shipped range reaches [last_seq] *)
+      manifest : string;
+          (** the store manifest text, so a fresh follower reproduces
+              the primary's configuration before applying anything *)
+      body : ship_body;
+    }
+  | Handoff_ack of { seq : int; role : string }
+      (** the server's sequence and its role {e after} the handoff *)
 
 type frame = Req of request | Rep of reply
 
@@ -95,8 +126,9 @@ val describe_reply : reply -> string
 
 val parse_text_request : string -> (request, string) result
 (** Parse one text-mode line (["PING"], ["POINT 3"], ["RANGE 0 7"],
-    ["QUANTILE 0.5"], ["STATS"], ["SHUTDOWN"]). The error is a
-    human-readable reason. *)
+    ["QUANTILE 0.5"], ["STATS"], ["SHUTDOWN"], ["HANDOFF"]). The error
+    is a human-readable reason. [SYNC] is deliberately binary-only:
+    its reply carries bulk payloads a line protocol cannot frame. *)
 
 val render_text_reply : reply -> string
 (** Text-mode rendering, newline-terminated. [Stats_text] emits the

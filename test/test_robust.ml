@@ -493,6 +493,132 @@ let test_journal_torn_tail_and_rotation () =
   | Ok _ -> Alcotest.fail "a torn tail must truncate the replay"
   | Error e -> Alcotest.fail (Validate.to_string e)
 
+(* --- Journal shipping (replication cursors) --- *)
+
+let seqs_of records = List.map (fun r -> r.Journal.seq) records
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let write_records dir ~from ~upto =
+  let w =
+    match Journal.open_writer ~sync:false ~dir ~next_seq:from () with
+    | Ok w -> w
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  for i = from to upto do
+    ignore (Journal.append w ~i ~delta:(float_of_int i *. 0.25))
+  done;
+  w
+
+let test_journal_ship_cursor () =
+  let dir = temp_store () in
+  Journal.close (write_records dir ~from:1 ~upto:10);
+  (* a max-bounded batch ships a prefix and says it stopped short *)
+  (match Journal.ship ~dir ~since:0 ~seq:10 ~max:4 () with
+  | Ok b ->
+      check "first four records" true (seqs_of b.Journal.b_records = [ 1; 2; 3; 4 ]);
+      checki "batch carries the authoritative seq" 10 b.Journal.b_last_seq;
+      check "prefix batch is incomplete" false b.Journal.b_complete
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* the cursor resumes mid-journal and drains to completion *)
+  (match Journal.ship ~dir ~since:4 ~seq:10 ~max:100 () with
+  | Ok b ->
+      check "suffix from the cursor" true
+        (seqs_of b.Journal.b_records = [ 5; 6; 7; 8; 9; 10 ]);
+      check "drained batch is complete" true b.Journal.b_complete;
+      (* the batch artifact survives an encode/decode roundtrip exactly *)
+      (match Journal.decode_batch (Journal.encode_batch b) with
+      | Ok b' -> check "batch round-trips bit-exactly" true (b = b')
+      | Error e -> Alcotest.fail (Validate.to_string e))
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* a current cursor gets an empty complete batch, not an error *)
+  (match Journal.ship ~dir ~since:10 ~seq:10 ~max:8 () with
+  | Ok { Journal.b_records = []; b_complete = true; b_last_seq = 10; _ } -> ()
+  | Ok _ -> Alcotest.fail "current cursor must ship an empty complete batch"
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* a cursor ahead of the store is split brain, never silently served *)
+  match Journal.ship ~dir ~since:11 ~seq:10 ~max:8 () with
+  | Error (Validate.Bad_shape { reason; _ }) ->
+      check "split brain named" true (contains reason "ahead of")
+  | Ok _ | Error _ -> Alcotest.fail "cursor ahead of the store must be refused"
+
+let test_journal_ship_rejects_bit_flip () =
+  let dir = temp_store () in
+  Journal.close (write_records dir ~from:1 ~upto:6);
+  let encoded =
+    match Journal.ship ~dir ~since:0 ~seq:6 ~max:6 () with
+    | Ok b -> Journal.encode_batch b
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  (* any single bit flip — header, record body, trailer — must trip a
+     CRC or shape check; a shipped batch is never trusted on faith *)
+  let len = String.length encoded in
+  List.iter
+    (fun pos ->
+      let b = Bytes.of_string encoded in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+      match Journal.decode_batch (Bytes.to_string b) with
+      | Error (Validate.Bad_shape _) -> ()
+      | Ok _ ->
+          Alcotest.fail
+            (Printf.sprintf "flipped byte %d must not decode" pos)
+      | Error e -> Alcotest.fail (Validate.to_string e))
+    [ 0; 5; len / 2; len - 2 ];
+  (* a batch torn mid-shipment (lost trailer) is rejected too *)
+  let torn = String.sub encoded 0 (String.rindex encoded 'e') in
+  match Journal.decode_batch torn with
+  | Error (Validate.Bad_shape { reason; _ }) ->
+      check "torn shipment names the trailer" true (contains reason "trailer")
+  | Ok _ | Error _ -> Alcotest.fail "a truncated batch must be rejected"
+
+let test_journal_ship_torn_boundary_and_compaction () =
+  let dir = temp_store () in
+  Journal.close (write_records dir ~from:1 ~upto:6);
+  (* Tear a 7th record: the store acked seq 7 but its line lost the
+     newline, so the journal ends one short of the store. *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 (Journal.path ~dir)
+  in
+  output_string oc "7 1 0x1p+0 0123";
+  close_out oc;
+  (* shipping the intact prefix still works *)
+  (match Journal.ship ~dir ~since:4 ~seq:6 ~max:8 () with
+  | Ok b ->
+      check "intact prefix ships" true (seqs_of b.Journal.b_records = [ 5; 6 ]);
+      check "complete up to the intact seq" true b.Journal.b_complete
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* shipping through the tear is a crisp error, not a silent gap *)
+  (match Journal.ship ~dir ~since:4 ~seq:7 ~max:8 () with
+  | Error (Validate.Bad_shape { reason; _ }) ->
+      check "torn boundary diagnosed" true (contains reason "short of store seq")
+  | Ok _ | Error _ -> Alcotest.fail "a torn ship boundary must be refused");
+  (* Compaction racing an active cursor: repair the tear, rotate away
+     the range the stale cursor still needs. *)
+  (match Journal.repair ~dir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  let w = write_records dir ~from:7 ~upto:8 in
+  (match Journal.rotate w ~keep_after:5 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  Journal.close w;
+  (* the stale cursor is told to bootstrap from a snapshot *)
+  (match Journal.ship ~dir ~since:2 ~seq:8 ~max:8 () with
+  | Error (Validate.Bad_shape { reason; _ }) ->
+      check "compacted cursor needs a snapshot" true
+        (contains reason "snapshot required")
+  | Ok _ | Error _ -> Alcotest.fail "a compacted-away cursor must be refused");
+  (* a cursor at the compaction frontier still streams the live suffix *)
+  match Journal.ship ~dir ~since:5 ~seq:8 ~max:8 () with
+  | Ok b ->
+      check "frontier cursor ships the suffix" true
+        (seqs_of b.Journal.b_records = [ 6; 7; 8 ]);
+      check "suffix is complete" true b.Journal.b_complete
+  | Error e -> Alcotest.fail (Validate.to_string e)
+
 (* --- Deadline --- *)
 
 let test_deadline_state_cap () =
@@ -959,6 +1085,12 @@ let () =
             test_journal_truncates_at_corruption;
           Alcotest.test_case "torn tail and rotation" `Quick
             test_journal_torn_tail_and_rotation;
+          Alcotest.test_case "ship cursor pages and completes" `Quick
+            test_journal_ship_cursor;
+          Alcotest.test_case "shipped batch rejects bit flips" `Quick
+            test_journal_ship_rejects_bit_flip;
+          Alcotest.test_case "ship vs torn boundary and compaction" `Quick
+            test_journal_ship_torn_boundary_and_compaction;
         ] );
       ( "deadline",
         [

@@ -60,6 +60,9 @@ let test_wire_roundtrip () =
       Wire.Shutdown;
       Wire.Batch [ Wire.Ping; Wire.Point 3; Wire.Range { lo = 1; hi = 2 } ];
       Wire.Batch [];
+      Wire.Sync { since = 0; max = 0 };
+      Wire.Sync { since = 123456789; max = 256 };
+      Wire.Handoff;
     ];
   List.iter roundtrip_reply
     [
@@ -74,6 +77,23 @@ let test_wire_roundtrip () =
       Wire.Bye;
       Wire.Error { code = Wire.Out_of_range; message = "cell 99" };
       Wire.Error { code = Wire.Internal; message = "" };
+      Wire.Ship
+        { last_seq = 0; complete = true; manifest = ""; body = Wire.Ship_none };
+      Wire.Ship
+        {
+          last_seq = 42;
+          complete = false;
+          manifest = "n 64\nbudget 8\n";
+          body = Wire.Ship_records "ship 0 1 42 0\n1 3 0x1.8p+0 1234abcd\nend 0\n";
+        };
+      Wire.Ship
+        {
+          last_seq = 7;
+          complete = true;
+          manifest = "n 8\n";
+          body = Wire.Ship_snapshot "sealed-bytes\x00\x01\x02";
+        };
+      Wire.Handoff_ack { seq = 99; role = "primary" };
     ]
 
 let test_wire_float_exact () =
@@ -141,7 +161,14 @@ let test_wire_batch_constraints () =
       ignore (Wire.encode_request (Wire.Batch [ Wire.Batch [] ])));
   Alcotest.check_raises "shutdown in batch"
     (Invalid_argument "Wire: SHUTDOWN inside BATCH") (fun () ->
-      ignore (Wire.encode_request (Wire.Batch [ Wire.Shutdown ])))
+      ignore (Wire.encode_request (Wire.Batch [ Wire.Shutdown ])));
+  Alcotest.check_raises "sync in batch"
+    (Invalid_argument "Wire: SYNC inside BATCH") (fun () ->
+      ignore
+        (Wire.encode_request (Wire.Batch [ Wire.Sync { since = 0; max = 1 } ])));
+  Alcotest.check_raises "handoff in batch"
+    (Invalid_argument "Wire: HANDOFF inside BATCH") (fun () ->
+      ignore (Wire.encode_request (Wire.Batch [ Wire.Handoff ])))
 
 let test_wire_text () =
   let ok line expected =
@@ -366,7 +393,8 @@ let test_jobs_determinism () =
     let summary =
       Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
       let result =
-        Loadgen.run ~client ~seed:11 ~requests:40 ~batch:8 ~n:64
+        Loadgen.run ~rpc:(Client.request client) ~seed:11 ~requests:40 ~batch:8
+          ~n:64
           ~mix:Loadgen.default_mix ~out:(Buffer.add_string buf) ()
       in
       ignore (Client.request_one client Wire.Shutdown);
