@@ -544,10 +544,64 @@ let query_cmd =
          & info [ "shutdown" ]
              ~doc:"Ask the server to drain and stop (server mode only).")
   in
+  let update_arg =
+    Arg.(value & opt_all string []
+         & info [ "update" ] ~docv:"I:DELTA"
+             ~doc:"Live point write cell $(docv) against a live server; \
+                   repeated occurrences travel as one INGEST storm \
+                   (server mode only).")
+  in
+  let storm_arg =
+    Arg.(value & opt (some string) None
+         & info [ "storm" ] ~docv:"PATH"
+             ~doc:"Send the update stream in $(docv) (one \"cell delta\" \
+                   per line; NaN/Inf refused) as one INGEST storm \
+                   (server mode only).")
+  in
+  let parse_update spec =
+    let bad reason =
+      die
+        (Validate.Bad_option
+           { what = Printf.sprintf "--update %s" spec; reason })
+    in
+    match String.index_opt spec ':' with
+    | None -> bad "want I:DELTA"
+    | Some k -> (
+        let i_s = String.sub spec 0 k in
+        let d_s = String.sub spec (k + 1) (String.length spec - k - 1) in
+        match int_of_string_opt i_s with
+        | Some i when i >= 0 -> (
+            match Validate.parse_float ~line:1 d_s with
+            | Ok d -> (i, d)
+            | Error e -> die e)
+        | _ -> bad "bad cell index")
+  in
   let run file gen n seed algo budget sanity connect wait_ms timeout_ms ping
-      point q server_stats shutdown lo hi =
+      point q server_stats shutdown updates storm lo hi =
     match connect with
     | Some path ->
+        let write_actions =
+          match (updates, storm) with
+          | [], _ -> []
+          | _ :: _, Some _ ->
+              die
+                (Validate.Bad_option
+                   {
+                     what = "--storm";
+                     reason = "cannot be combined with --update";
+                   })
+          | [ one ], None ->
+              let i, delta = parse_update one in
+              [ Wire.Update { i; delta } ]
+          | many, None -> [ Wire.Ingest (List.map parse_update many) ]
+        in
+        let storm_actions =
+          match storm with
+          | None -> []
+          | Some path ->
+              let deltas = ok_or_die (Validate.read_updates path) in
+              [ Wire.Ingest (Array.to_list deltas) ]
+        in
         let actions =
           List.concat
             [
@@ -556,6 +610,8 @@ let query_cmd =
               (match q with Some q -> [ Wire.Quantile q ] | None -> []);
               (if server_stats then [ Wire.Stats ] else []);
               (if shutdown then [ Wire.Shutdown ] else []);
+              write_actions;
+              storm_actions;
               (match (lo, hi) with
               | Some lo, Some hi -> [ Wire.Range { lo; hi } ]
               | _ -> []);
@@ -571,7 +627,8 @@ let query_cmd =
                      what = "--connect";
                      reason =
                        "pass exactly one of --ping, --point, --q, \
-                        --server-stats, --shutdown or LO HI";
+                        --server-stats, --shutdown, --update, --storm \
+                        or LO HI";
                    })
         in
         let client = connect_client ~wait_ms ?timeout_ms path in
@@ -603,7 +660,7 @@ let query_cmd =
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
           $ budget_arg $ sanity_arg $ connect_arg $ wait_arg $ timeout_arg
           $ ping_arg $ point_arg $ q_arg $ server_stats_arg $ shutdown_arg
-          $ lo_arg $ hi_arg)
+          $ update_arg $ storm_arg $ lo_arg $ hi_arg)
 
 (* --- serve / recover: the durable supervised store --- *)
 
@@ -1008,9 +1065,28 @@ let server_cmd =
              ~doc:"Chaos harness: simulate a crash after $(docv) request \
                    frames — stop without answering, flushing or draining.")
   in
+  let checkpoint_arg =
+    Arg.(value & opt int 64
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"Snapshot (and compact the journal) every $(docv) applied \
+                   updates when serving a live store.")
+  in
+  let no_fsync_arg =
+    Arg.(value & flag
+         & info [ "no-fsync" ]
+             ~doc:"Skip fsync on journal appends and snapshots of a live \
+                   store (faster, crash-unsafe — test harnesses only).")
+  in
+  let recut_every_arg =
+    Arg.(value & opt int 32
+         & info [ "recut-every" ] ~docv:"K"
+             ~doc:"Full ladder re-cut of a live server's synopsis every \
+                   $(docv) applied updates; in between, only dirtied \
+                   error-tree subtrees are re-solved.")
+  in
   let run listen store follower_of file gen n seed metric_name sanity budget
       epsilon queue idle_ms max_requests wait_ms chaos chaos_rate chaos_seed
-      crash_after jobs =
+      crash_after checkpoint_every no_fsync recut_every jobs =
     let obs = Registry.create () in
     (* Matching the serve loop's convention: the pool's par.* metrics
        join the exposition only when it can actually fan out. *)
@@ -1029,6 +1105,7 @@ let server_cmd =
              })
     in
     let follower_sup = ref None in
+    let primary_sup = ref None in
     let data, budget, metric, epsilon, ship, role =
       match (follower_of, store) with
       | Some primary, Some dir ->
@@ -1076,16 +1153,29 @@ let server_cmd =
                })
       | None, Some dir ->
           no_file_gen ();
-          let r = ok_or_die (Supervisor.recover ~dir) in
-          let scfg = r.Supervisor.r_config in
-          ( Stream_synopsis.current_data r.Supervisor.r_stream,
+          (* Open the store for writing: this server is live — UPDATE /
+             INGEST frames journal through it. Re-cut cadence is owned
+             by the server's incremental solver, so the supervisor's
+             own ladder cadence is pushed out of the way. *)
+          let scfg =
+            let r = ok_or_die (Supervisor.recover ~dir) in
+            {
+              r.Supervisor.r_config with
+              Supervisor.checkpoint_every;
+              recut_every = max_int;
+              sync = not no_fsync;
+            }
+          in
+          let sup = ok_or_die (Supervisor.open_store ~obs scfg) in
+          primary_sup := Some sup;
+          ( Stream_synopsis.current_data (Supervisor.stream sup),
             scfg.Supervisor.budget,
             scfg.Supervisor.metric,
             scfg.Supervisor.epsilon,
             Some
               {
                 Server.ship_dir = dir;
-                ship_seq = r.Supervisor.r_seq;
+                ship_seq = Supervisor.seq sup;
                 ship_manifest = Supervisor.manifest_text scfg;
               },
             "primary" )
@@ -1097,10 +1187,16 @@ let server_cmd =
             None,
             "standalone" )
     in
+    (* Both a primary's and a follower's store back the server's write
+       path: a follower rejects writes until a HANDOFF promotes it. *)
+    let live_store =
+      match !primary_sup with Some _ as s -> s | None -> !follower_sup
+    in
     let cfg =
       match
         Server.config ~budget ~metric ~epsilon ~queue_bound:queue ~idle_ms
-          ?max_requests ?ship ~role ~conn_fault ?crash_after ~path:listen data
+          ?max_requests ?ship ~role ~conn_fault ?crash_after ?store:live_store
+          ~recut_every ~path:listen data
       with
       | cfg -> cfg
       | exception Invalid_argument reason ->
@@ -1117,7 +1213,7 @@ let server_cmd =
       Option.map
         (fun sup () ->
           match Supervisor.checkpoint sup with Ok _ | Error _ -> ())
-        !follower_sup
+        live_store
     in
     let server = Server.create ~obs ~pool ?on_handoff ?on_drain cfg in
     Printf.printf "server: listening on %s n=%d budget=%d queue=%d jobs=%d\n%!"
@@ -1131,12 +1227,20 @@ let server_cmd =
     if Server.crashed server then begin
       (* The simulated kill: drop descriptors without the shutdown
          path, report, and die with a SIGKILL-like status — none of
-         the orderly summary a live server would print. *)
+         the orderly summary (or checkpoint) a live server would
+         write. Whatever the journal acked before the kill is exactly
+         what recovery replays. *)
       Option.iter Supervisor.crash !follower_sup;
+      Option.iter Supervisor.crash !primary_sup;
       Printf.printf "server: crashed (simulated kill)\n";
       exit 137
     end;
     Option.iter Supervisor.close !follower_sup;
+    Option.iter
+      (fun sup ->
+        (match Supervisor.checkpoint sup with Ok _ | Error _ -> ());
+        Supervisor.close sup)
+      !primary_sup;
     if Server.drained server then
       Printf.printf "server: drained (sigterm)\n";
     let s = Server.stats server in
@@ -1144,7 +1248,11 @@ let server_cmd =
       "server: connections=%d requests=%d admitted=%d shed=%d errors=%d \
        recuts=%d tier=%s\n"
       s.Server.accepted s.Server.requests s.Server.admitted s.Server.shed
-      s.Server.errors s.Server.recuts s.Server.tier
+      s.Server.errors s.Server.recuts s.Server.tier;
+    if s.Server.updates > 0 then
+      Printf.printf "server: updates=%d seq=%d bound=%g\n" s.Server.updates
+        (match live_store with Some sup -> Supervisor.seq sup | None -> 0)
+        s.Server.bound
   in
   Cmd.v
     (Cmd.info "server"
@@ -1153,7 +1261,7 @@ let server_cmd =
           $ gen_arg $ n_arg $ seed_arg $ metric_arg $ sanity_arg $ budget_arg
           $ epsilon_arg $ queue_arg $ idle_arg $ max_requests_arg $ wait_arg
           $ chaos_arg $ chaos_rate_arg $ chaos_seed_arg $ crash_after_arg
-          $ jobs_arg)
+          $ checkpoint_arg $ no_fsync_arg $ recut_every_arg $ jobs_arg)
 
 let loadgen_cmd =
   let connect_req_arg =
@@ -1175,7 +1283,17 @@ let loadgen_cmd =
     Arg.(value & opt string "point=4,range=3,quantile=2,ping=1"
          & info [ "mix" ] ~docv:"SPEC"
              ~doc:"Relative request-kind weights, e.g. \
-                   point=4,range=3,quantile=2,ping=1.")
+                   point=4,range=3,quantile=2,ping=1,update=2 (update \
+                   sends live point writes — needs a server over a \
+                   store).")
+  in
+  let connections_arg =
+    Arg.(value & opt int 1
+         & info [ "connections" ] ~docv:"N"
+             ~doc:"Open $(docv) connections and interleave frames across \
+                   them deterministically (seeded); prints one transcript \
+                   CRC per connection. Plain mode only — not combinable \
+                   with --failover-to, --chaos or --timeout-ms.")
   in
   let out_arg =
     Arg.(value & opt string "-"
@@ -1198,13 +1316,29 @@ let loadgen_cmd =
                    $(docv) ($(b,-) for stdout) after the run.")
   in
   let run connect wait_ms timeout_ms failover_to chaos chaos_rate chaos_seed
-      metrics seed requests batch mix n out =
+      metrics seed requests batch mix connections n out =
     check_timeout timeout_ms;
     let mix =
       match Loadgen.mix_of_string mix with
       | Ok m -> m
       | Error reason -> die (Validate.Bad_option { what = "--mix"; reason })
     in
+    if connections < 1 then
+      die
+        (Validate.Bad_option
+           { what = "--connections"; reason = "must be at least 1" });
+    if
+      connections > 1
+      && (failover_to <> None || chaos <> None || timeout_ms <> None)
+    then
+      die
+        (Validate.Bad_option
+           {
+             what = "--connections";
+             reason =
+               "multi-connection mode is plain only (no --failover-to, \
+                --chaos or --timeout-ms)";
+           });
     (* Only transcript-preserving kinds may be armed client-side: a
        dropped or torn frame is resent whole, a delay moves no bytes.
        Corruption/blackholing belong on the server (`server --chaos`),
@@ -1228,12 +1362,14 @@ let loadgen_cmd =
     (* The plain path keeps one blocking client, byte-for-byte the old
        behavior; failover/chaos/timeout runs go through the failover
        endpoint. *)
-    let plain = ref None and fo = ref None in
-    let rpc =
+    let plains = ref [] and fo = ref None in
+    let rpcs =
       if failover_to = None && chaos = None && timeout_ms = None then begin
-        let c = connect_client ~wait_ms connect in
-        plain := Some c;
-        fun req -> Client.request c req
+        let cs =
+          List.init connections (fun _ -> connect_client ~wait_ms connect)
+        in
+        plains := cs;
+        Array.of_list (List.map (fun c req -> Client.request c req) cs)
       end
       else begin
         let f =
@@ -1241,26 +1377,31 @@ let loadgen_cmd =
             ?standby:failover_to connect
         in
         fo := Some f;
-        Failover.rpc f
+        [| Failover.rpc f |]
       end
     in
     Fun.protect
       ~finally:(fun () ->
-        Option.iter Client.close !plain;
+        List.iter Client.close !plains;
         Option.iter Failover.close !fo)
     @@ fun () ->
-    let summary =
+    let msummary =
       match
-        Loadgen.run ?obs ~rpc ~seed ~requests ~batch ~n ~mix
+        Loadgen.run_multi ?obs ~rpcs ~seed ~requests ~batch ~n ~mix
           ~out:(output_string oc) ()
       with
       | result -> ok_or_die result
       | exception Invalid_argument reason ->
           die (Validate.Bad_option { what = "loadgen"; reason })
     in
+    let summary = msummary.Loadgen.totals in
     Printf.printf "loadgen: sent=%d replies=%d overloads=%d errors=%d crc=%s\n"
       summary.Loadgen.sent summary.Loadgen.replies summary.Loadgen.overloads
       summary.Loadgen.errors summary.Loadgen.transcript_crc;
+    if connections > 1 then
+      Array.iteri
+        (fun i crc -> Printf.printf "loadgen: conn=%d crc=%s\n" i crc)
+        msummary.Loadgen.connection_crcs;
     (match !fo with
     | Some f when Failover.promoted f ->
         Printf.printf "loadgen: failed over to %s (seq %d)\n"
@@ -1276,7 +1417,8 @@ let loadgen_cmd =
        ~doc:"Drive a server with a seeded, reproducible workload.")
     Term.(const run $ connect_req_arg $ wait_arg $ timeout_arg $ failover_arg
           $ chaos_arg $ chaos_rate_arg $ chaos_seed_arg $ metrics_arg
-          $ seed_arg $ requests_arg $ batch_arg $ mix_arg $ n_arg $ out_arg)
+          $ seed_arg $ requests_arg $ batch_arg $ mix_arg $ connections_arg
+          $ n_arg $ out_arg)
 
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in

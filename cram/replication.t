@@ -44,7 +44,7 @@ arms the client's read deadline (harmless against a healthy server).
   $ sed "s#$R#SOCK#" ref.log
   server: listening on SOCK n=64 budget=8 queue=64 jobs=1
   server: role=primary seq=40
-  server: connections=3 requests=10 admitted=28 shed=0 errors=6 recuts=1 tier=minmax
+  server: connections=3 requests=10 admitted=28 shed=0 errors=6 recuts=0 tier=minmax
 
 The failover drill at --jobs 1. The primary is armed with
 --crash-after so it dies mid-storm, unannounced, with a frame

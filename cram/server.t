@@ -45,7 +45,7 @@ Client-side validation: exactly one action, and a missing socket is an
 I/O error (exit 66).
 
   $ wavesyn query --connect $S
-  wavesyn: --connect: pass exactly one of --ping, --point, --q, --server-stats, --shutdown or LO HI
+  wavesyn: --connect: pass exactly one of --ping, --point, --q, --server-stats, --shutdown, --update, --storm or LO HI
   [2]
   $ wavesyn query --connect $SOCK_DIR/nope.sock --ping 2> err.txt
   [66]
@@ -82,6 +82,7 @@ synopsis one ladder tier down.
   counter    server.recuts                                2 recuts
   counter    server.requests{kind="batch"}                1 requests
   counter    server.requests{kind="handoff"}              0 requests
+  counter    server.requests{kind="ingest"}               0 requests
   counter    server.requests{kind="ping"}                 2 requests
   counter    server.requests{kind="point"}                2 requests
   counter    server.requests{kind="quantile"}             3 requests
@@ -89,6 +90,7 @@ synopsis one ladder tier down.
   counter    server.requests{kind="shutdown"}             0 requests
   counter    server.requests{kind="stats"}                1 requests
   counter    server.requests{kind="sync"}                 0 requests
+  counter    server.requests{kind="update"}               0 requests
   histogram  server.round.ms                              count=10 sum=F min=F p50<=F p95<=F p99<=F max=F ms
   counter    server.shed                                  4 requests
 

@@ -1,0 +1,216 @@
+The live update path, end to end (docs/SERVING.md): UPDATE and INGEST
+against a store-backed server, journal-before-apply crash consistency
+— a primary killed mid-storm recovers to loadgen read transcripts
+byte-identical to the failure-free run at --jobs 1 and --jobs 4 — the
+update/recut metric families, and the multi-connection loadgen.
+Sockets live under mktemp -d because sun_path caps socket paths.
+
+  $ SOCK_DIR=$(mktemp -d)
+
+Three byte-identical stores from the same seeded build: the reference
+and one per crash drill. Each starts at seq 24.
+
+  $ for s in store_a store_b store_c; do
+  >   wavesyn serve --store $s -n 64 --budget 8 --random 24 --seed 6 \
+  >     --no-fsync | head -3
+  > done
+  serve: store=store_a n=64 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  ingested: 24 updates (seq 24)
+  serve: store=store_b n=64 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  ingested: 24 updates (seq 24)
+  serve: store=store_c n=64 budget=8 metric=abs
+  recovery: generation=none replayed=0 truncated=no corrupt=[]
+  ingested: 24 updates (seq 24)
+
+An update storm as a file artifact — one "<cell> <delta>" per line,
+validated (domain, finiteness) before a single delta applies.
+
+  $ printf '3 0.5\n9 -0.25\n3 1.5\n17 2.0\n' > storm.txt
+
+The reference run: a healthy live server absorbs a point update, an
+in-band two-delta INGEST, and the storm file, then answers a seeded
+read schedule. Its transcript CRC is the yardstick both crash drills
+must reproduce.
+
+  $ A=$SOCK_DIR/a.sock
+  $ timeout 60 wavesyn server --listen $A --store store_a \
+  >   --max-requests 500 > a.log 2>&1 &
+  $ wavesyn query --connect $A --wait-ms 5000 --update 5:0.75
+  ACKED seq=25
+  $ wavesyn query --connect $A --update 11:-1.5 --update 40:0.25
+  ACKED seq=27
+  $ wavesyn query --connect $A --storm storm.txt
+  ACKED seq=31
+
+Writes are validated before they are journaled: an out-of-domain cell
+is a structured in-band error (the connection — and the sequence —
+survive), and a non-finite delta never leaves the client.
+
+  $ wavesyn query --connect $A --update 99:1.0
+  ERROR out-of-range 99: cell out of domain [0, 64)
+  $ printf '3 nan\n' > bad.txt
+  $ wavesyn query --connect $A --storm bad.txt
+  wavesyn: bad.txt:1: bad value "nan": not finite (NaN/Inf)
+  [65]
+
+The read schedule, and the update/recut metric families a live server
+registers (docs/OBSERVABILITY.md): applied vs rejected counts, the
+journal sequence, and the incremental re-cut counters behind the
+served max-error bound.
+
+  $ wavesyn loadgen --connect $A --wait-ms 5000 --requests 24 --batch 3 \
+  >   -n 64 --seed 9 --out ref.txt
+  loadgen: sent=24 replies=24 overloads=0 errors=2 crc=ce90e3ad
+  $ wavesyn stats --connect $A | grep -E '(update|recut)\.'
+  gauge      recut.bound                                  6.23438 error
+  counter    recut.dirty_coeffs                           33 coefficients
+  counter    recut.full                                   1 recuts
+  counter    recut.incremental                            3 recuts
+  counter    recut.subtrees                               6 subtrees
+  counter    store.recut.degraded                         0 recuts
+  histogram  store.recut.ms                               count=0 ms
+  counter    store.recut.rejected                         0 recuts
+  counter    store.recut.served                           0 recuts
+  counter    update.applied                               7 updates
+  counter    update.rejected                              1 updates
+  gauge      update.seq                                   31 seq
+  counter    update.storm.deltas                          6 updates
+  counter    update.storms                                2 storms
+  $ wavesyn query --connect $A --shutdown
+  BYE
+  $ wait
+  $ sed "s#$A#SOCK#" a.log
+  server: listening on SOCK n=64 budget=8 queue=64 jobs=1
+  server: role=primary seq=24
+  server: connections=7 requests=14 admitted=19 shed=0 errors=3 recuts=0 tier=minmax
+  server: updates=7 seq=31 bound=6.23438
+
+The crash drill at --jobs 1: the same server armed with
+--crash-after 1 dies on the very first write frame — unanswered, with
+nothing journaled (writes stage during the round and apply only after
+the crash check). The client's whole write schedule is therefore
+unacknowledged and safe to resend.
+
+  $ C1=$SOCK_DIR/c1.sock
+  $ timeout 60 wavesyn server --listen $C1 --store store_b --crash-after 1 \
+  >   --max-requests 500 --jobs 1 > c1.log 2>&1 &
+  $ CP1=$!
+  $ wavesyn query --connect $C1 --wait-ms 5000 --update 5:0.75
+  wavesyn: <server socket>: server closed the connection
+  [66]
+  $ wait $CP1
+  [137]
+  $ sed "s#$C1#SOCK#" c1.log
+  server: listening on SOCK n=64 budget=8 queue=64 jobs=1
+  server: role=primary seq=24
+  server: crashed (simulated kill)
+
+Recovery finds the store exactly as built — seq 24, the crashed
+round's writes absent, not half-applied.
+
+  $ wavesyn recover --store store_b
+  recovered: store=store_b updates=24 seq=24
+  recovery: generation=1 replayed=0 truncated=no corrupt=[]
+  synopsis: tier=minmax retained=8 guarantee=6
+
+Restart over the recovered store, resend every unacknowledged write,
+rerun the reads: the transcript is byte-identical to the failure-free
+reference, and the server's final state line matches it too.
+
+  $ R1=$SOCK_DIR/r1.sock
+  $ timeout 60 wavesyn server --listen $R1 --store store_b \
+  >   --max-requests 500 --jobs 1 > r1.log 2>&1 &
+  $ wavesyn query --connect $R1 --wait-ms 5000 --update 5:0.75
+  ACKED seq=25
+  $ wavesyn query --connect $R1 --update 11:-1.5 --update 40:0.25
+  ACKED seq=27
+  $ wavesyn query --connect $R1 --storm storm.txt
+  ACKED seq=31
+  $ wavesyn query --connect $R1 --update 99:1.0
+  ERROR out-of-range 99: cell out of domain [0, 64)
+  $ wavesyn loadgen --connect $R1 --wait-ms 5000 --requests 24 --batch 3 \
+  >   -n 64 --seed 9 --out c1.txt
+  loadgen: sent=24 replies=24 overloads=0 errors=2 crc=ce90e3ad
+  $ wavesyn query --connect $R1 --shutdown
+  BYE
+  $ wait
+  $ cmp ref.txt c1.txt && echo transcript identical
+  transcript identical
+  $ tail -1 r1.log
+  server: updates=7 seq=31 bound=6.23438
+
+The same drill at --jobs 4: positional evaluation over the pool keeps
+replies deterministic through the crash, recovery and resend.
+
+  $ C4=$SOCK_DIR/c4.sock
+  $ timeout 60 wavesyn server --listen $C4 --store store_c --crash-after 1 \
+  >   --max-requests 500 --jobs 4 > c4.log 2>&1 &
+  $ CP4=$!
+  $ wavesyn query --connect $C4 --wait-ms 5000 --storm storm.txt
+  wavesyn: <server socket>: server closed the connection
+  [66]
+  $ wait $CP4
+  [137]
+  $ R4=$SOCK_DIR/r4.sock
+  $ timeout 60 wavesyn server --listen $R4 --store store_c \
+  >   --max-requests 500 --jobs 4 > r4.log 2>&1 &
+  $ wavesyn query --connect $R4 --wait-ms 5000 --update 5:0.75
+  ACKED seq=25
+  $ wavesyn query --connect $R4 --update 11:-1.5 --update 40:0.25
+  ACKED seq=27
+  $ wavesyn query --connect $R4 --storm storm.txt
+  ACKED seq=31
+  $ wavesyn query --connect $R4 --update 99:1.0
+  ERROR out-of-range 99: cell out of domain [0, 64)
+  $ wavesyn loadgen --connect $R4 --wait-ms 5000 --requests 24 --batch 3 \
+  >   -n 64 --seed 9 --out c4.txt
+  loadgen: sent=24 replies=24 overloads=0 errors=2 crc=ce90e3ad
+  $ wavesyn query --connect $R4 --shutdown
+  BYE
+  $ wait
+  $ cmp ref.txt c4.txt && echo transcript identical
+  transcript identical
+  $ tail -1 r4.log
+  server: updates=7 seq=31 bound=6.23438
+
+Multi-connection loadgen: --connections interleaves frames over
+several connections by the same seeded schedule, fingerprinting each
+connection's own subsequence on top of the whole-run CRC. A write mix
+against the recovered store exercises the live path.
+
+  $ M=$SOCK_DIR/m.sock
+  $ timeout 60 wavesyn server --listen $M --store store_b \
+  >   --max-requests 500 > m.log 2>&1 &
+  $ wavesyn loadgen --connect $M --wait-ms 5000 --requests 18 --batch 3 \
+  >   -n 64 --seed 5 --connections 3 --mix point=3,range=2,update=2 \
+  >   --out m.txt
+  loadgen: sent=18 replies=18 overloads=0 errors=0 crc=3a84d245
+  loadgen: conn=0 crc=b2a55bcc
+  loadgen: conn=1 crc=abc95567
+  loadgen: conn=2 crc=aa58e7b0
+  $ wavesyn query --connect $M --shutdown
+  BYE
+  $ wait
+
+Option validation: multi-connection mode is plain connections only,
+and the write flags reject malformed input before touching the wire.
+
+  $ wavesyn loadgen --connect $M --connections 0
+  wavesyn: --connections: must be at least 1
+  [2]
+  $ wavesyn loadgen --connect $M --connections 2 --failover-to $M
+  wavesyn: --connections: multi-connection mode is plain only (no --failover-to, --chaos or --timeout-ms)
+  [2]
+  $ wavesyn query --connect $M --update 5
+  wavesyn: --update 5: want I:DELTA
+  [2]
+  $ wavesyn query --connect $M --update x:1.0
+  wavesyn: --update x:1.0: bad cell index
+  [2]
+  $ wavesyn query --connect $M --update 5:0.5 --storm storm.txt
+  wavesyn: --storm: cannot be combined with --update
+  [2]
+
+  $ rm -rf $SOCK_DIR

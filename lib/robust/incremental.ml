@@ -1,0 +1,340 @@
+(* Incremental re-cut of a served synopsis under live point updates.
+
+   The error tree is partitioned at a fixed frontier level: nodes
+   [F .. 2F-1] root the frontier subtrees (each covering [n/F] data
+   cells), nodes [0 .. F-1] are the global coefficients shared across
+   subtrees. A full ladder cut fixes, per subtree, how many retained
+   coefficients its budget share holds; between full cuts only the
+   subtrees dirtied by applied deltas are re-solved — a greedy
+   re-selection of each dirty subtree's share by absolute coefficient
+   value, exactly the greedy floor of the ladder restricted to that
+   subtree — and the served bound is re-stated from
+
+     bound = max over subtrees s of  err(s) + slack(s)
+
+   where [err(s)] is the exact max reconstruction error over [s]'s
+   cells (re-measured whenever [s] is re-solved) and [slack(s)] is the
+   triangle-inequality drift added by dirty {e dropped global}
+   coefficients that changed since [s] was last measured. The bound is
+   therefore always a true upper bound on the current max error: exact
+   on freshly re-solved subtrees, exact-plus-drift on clean ones. A
+   full ladder re-cut on the [full_every] cadence re-tightens
+   everything and re-balances the per-subtree budget shares. *)
+
+module Synopsis = Wavesyn_synopsis.Synopsis
+module Metrics = Wavesyn_synopsis.Metrics
+module Haar1d = Wavesyn_haar.Haar1d
+module Stream_synopsis = Wavesyn_stream.Stream_synopsis
+module Metric = Wavesyn_obs.Metric
+module Registry = Wavesyn_obs.Registry
+
+(* The [recut.*] metric family (docs/OBSERVABILITY.md). *)
+type telemetry = {
+  c_incremental : Metric.counter;
+  c_full : Metric.counter;
+  c_subtrees : Metric.counter;
+  c_dirty : Metric.counter;
+  g_bound : Metric.gauge;
+}
+
+let telemetry reg =
+  {
+    c_incremental =
+      Registry.counter reg ~help:"incremental (dirty-subtree) re-cuts"
+        ~unit_:"recuts" "recut.incremental";
+    c_full =
+      Registry.counter reg ~help:"full ladder re-cuts" ~unit_:"recuts"
+        "recut.full";
+    c_subtrees =
+      Registry.counter reg ~help:"dirty subtrees re-solved" ~unit_:"subtrees"
+        "recut.subtrees";
+    c_dirty =
+      Registry.counter reg ~help:"coefficients marked dirty by updates"
+        ~unit_:"coefficients" "recut.dirty_coeffs";
+    g_bound =
+      Registry.gauge reg ~help:"stated max-error bound of the served synopsis"
+        ~unit_:"error" "recut.bound";
+  }
+
+type t = {
+  n : int;
+  budget : int;
+  metric : Metrics.error_metric;
+  epsilon : float;
+  frontier : int;  (* F: subtree roots are F .. 2F-1, globals 0 .. F-1 *)
+  full_every : int;
+  obs : telemetry option;
+  retained : (int, float) Hashtbl.t;
+  sub_budget : int array;  (* per-subtree retained share, index s - F *)
+  sub_err : float array;  (* exact max error at last re-solve of s *)
+  sub_slack : float array;  (* drift bound added to s since *)
+  dirty : (int, float) Hashtbl.t;  (* coeff -> accumulated |delta c| *)
+  mutable since_full : int;
+  mutable tier : string;
+  mutable bound : float;
+  mutable synopsis : Synopsis.t;
+  mutable full_cuts : int;
+  mutable incrementals : int;
+  mutable subtrees_resolved : int;
+}
+
+let frontier_of n = Stdlib.max 1 (Stdlib.min 8 (n / 2))
+
+(* Frontier subtree owning coefficient [j >= F]. *)
+let subtree_of t j =
+  let j = ref j in
+  while !j >= 2 * t.frontier do
+    j := !j / 2
+  done;
+  !j
+
+(* Data-cell range covered by frontier subtree [s]: nodes 0 and 1 both
+   span the whole domain; a detail node's support is its cell range. *)
+let cells_of t s =
+  if s <= 1 then (0, t.n) else Haar1d.support ~n:t.n s
+
+(* All coefficient indices inside the subtree rooted at [s]. *)
+let subtree_coeffs t s =
+  let acc = ref [] in
+  let rec go j =
+    if j < t.n then begin
+      acc := j :: !acc;
+      if j >= 1 then begin
+        go (2 * j);
+        go ((2 * j) + 1)
+      end
+    end
+  in
+  go s;
+  !acc
+
+(* Exact max reconstruction error over the cells of subtree [s],
+   against the stream's current coefficients: per cell, the error is
+   the signed sum of its {e dropped} path coefficients (retained ones
+   reproduce the data exactly), measured with current values. *)
+let measure_subtree t stream s =
+  let lo, hi = cells_of t s in
+  let worst = ref 0. in
+  for cell = lo to hi - 1 do
+    let err = ref 0. in
+    List.iter
+      (fun j ->
+        if not (Hashtbl.mem t.retained j) then
+          let c = Stream_synopsis.coefficient stream j in
+          if c <> 0. then
+            err :=
+              !err
+              +. (float_of_int (Haar1d.sign ~n:t.n ~coeff:j ~cell) *. c))
+      (Haar1d.path ~n:t.n cell);
+    if Float.abs !err > !worst then worst := Float.abs !err
+  done;
+  !worst
+
+let remeasure_all t stream =
+  for s = t.frontier to (2 * t.frontier) - 1 do
+    t.sub_err.(s - t.frontier) <- measure_subtree t stream s;
+    t.sub_slack.(s - t.frontier) <- 0.
+  done
+
+let restate_bound t =
+  let b = ref 0. in
+  Array.iteri
+    (fun k e ->
+      let v = e +. t.sub_slack.(k) in
+      if v > !b then b := v)
+    t.sub_err;
+  t.bound <- !b;
+  match t.obs with None -> () | Some m -> Metric.set m.g_bound !b
+
+let rebuild_synopsis t =
+  let coeffs =
+    Hashtbl.fold (fun j c acc -> if c <> 0. then (j, c) :: acc else acc)
+      t.retained []
+  in
+  t.synopsis <- Synopsis.make ~n:t.n coeffs
+
+(* Install a full ladder answer: adopt its retained set, freeze the
+   per-subtree budget shares it implies, and re-measure every subtree
+   exactly. *)
+let install_full t stream (served : Ladder.served) =
+  Hashtbl.reset t.retained;
+  Hashtbl.reset t.dirty;
+  List.iter
+    (fun (j, c) -> Hashtbl.replace t.retained j c)
+    (Synopsis.coeffs served.Ladder.synopsis);
+  Array.fill t.sub_budget 0 (Array.length t.sub_budget) 0;
+  Hashtbl.iter
+    (fun j _ ->
+      if j >= t.frontier then begin
+        let s = subtree_of t j in
+        t.sub_budget.(s - t.frontier) <- t.sub_budget.(s - t.frontier) + 1
+      end)
+    t.retained;
+  remeasure_all t stream;
+  restate_bound t;
+  t.tier <- Ladder.tier_name served.Ladder.tier;
+  t.since_full <- 0;
+  t.full_cuts <- t.full_cuts + 1;
+  rebuild_synopsis t;
+  match t.obs with None -> () | Some m -> Metric.incr m.c_full
+
+let full_cut ?top t stream =
+  match
+    Ladder.serve ?top ~epsilon:t.epsilon
+      ~data:(Stream_synopsis.current_data stream)
+      ~budget:t.budget t.metric
+  with
+  | Ok served ->
+      install_full t stream served;
+      Ok served
+  | Error _ as e ->
+      (* Cannot happen for finite data (the greedy floor is total);
+         keep serving the previous synopsis and bound. *)
+      e
+
+let create ?obs ?(full_every = 32) ~budget ~metric ~epsilon stream =
+  if full_every < 1 then
+    invalid_arg "Incremental.create: full_every must be at least 1";
+  let n = Stream_synopsis.n stream in
+  let frontier = frontier_of n in
+  let t =
+    {
+      n;
+      budget;
+      metric;
+      epsilon;
+      frontier;
+      full_every;
+      obs = Option.map telemetry obs;
+      retained = Hashtbl.create 64;
+      sub_budget = Array.make frontier 0;
+      sub_err = Array.make frontier 0.;
+      sub_slack = Array.make frontier 0.;
+      dirty = Hashtbl.create 64;
+      since_full = 0;
+      tier = "none";
+      bound = 0.;
+      synopsis = Synopsis.make ~n [];
+      full_cuts = 0;
+      incrementals = 0;
+      subtrees_resolved = 0;
+    }
+  in
+  ignore (full_cut t stream);
+  t
+
+(* Mark the coefficients dirtied by [d_i += delta] — the same log N + 1
+   path [Stream_synopsis.update] touches, with the same per-coefficient
+   magnitude — accumulating |delta c| per coefficient for the drift
+   bound. Call once per applied update (before or after the stream
+   apply; the path is a function of [i] alone). *)
+let note_update t ~i ~delta =
+  if i >= 0 && i < t.n then begin
+    List.iter
+      (fun j ->
+        let support =
+          if j = 0 then t.n else Haar1d.support_size ~n:t.n j
+        in
+        let amt = Float.abs (delta /. float_of_int support) in
+        let prev = Option.value ~default:0. (Hashtbl.find_opt t.dirty j) in
+        Hashtbl.replace t.dirty j (prev +. amt);
+        match t.obs with
+        | Some m when prev = 0. -> Metric.incr m.c_dirty
+        | _ -> ())
+      (Haar1d.path ~n:t.n i);
+    t.since_full <- t.since_full + 1
+  end
+
+let due_full t = t.since_full >= t.full_every
+
+(* Re-solve one dirty subtree: re-select its frozen budget share by
+   absolute coefficient value (greedy max-error floor restricted to the
+   subtree), deterministically tie-broken by index. *)
+let resolve_subtree t stream s =
+  let k = s - t.frontier in
+  List.iter
+    (fun j -> Hashtbl.remove t.retained j)
+    (subtree_coeffs t s);
+  let candidates =
+    List.filter_map
+      (fun j ->
+        let c = Stream_synopsis.coefficient stream j in
+        if c <> 0. then Some (j, c) else None)
+      (subtree_coeffs t s)
+    |> List.sort (fun (i, a) (j, b) ->
+           match compare (Float.abs b) (Float.abs a) with
+           | 0 -> compare i j
+           | o -> o)
+  in
+  let rec take k = function
+    | (j, c) :: tl when k > 0 ->
+        Hashtbl.replace t.retained j c;
+        take (k - 1) tl
+    | _ -> ()
+  in
+  take t.sub_budget.(k) candidates;
+  t.sub_err.(k) <- measure_subtree t stream s;
+  t.sub_slack.(k) <- 0.;
+  t.subtrees_resolved <- t.subtrees_resolved + 1;
+  match t.obs with None -> () | Some m -> Metric.incr m.c_subtrees
+
+(* The incremental step: fold the dirty set into the served state. *)
+let refresh t stream =
+  if Hashtbl.length t.dirty > 0 then begin
+    let dirty_subtrees = Hashtbl.create 8 in
+    let dirty_globals = ref [] in
+    Hashtbl.iter
+      (fun j amt ->
+        if j < t.frontier then dirty_globals := (j, amt) :: !dirty_globals
+        else Hashtbl.replace dirty_subtrees (subtree_of t j) ())
+      t.dirty;
+    (* Dirty globals: retained ones track the stream exactly (their
+       contribution cancels in every cell's error); dropped ones add
+       their accumulated |delta c| as drift to every subtree their
+       support crosses — unless that subtree is re-measured below. *)
+    List.iter
+      (fun (j, amt) ->
+        if Hashtbl.mem t.retained j then
+          Hashtbl.replace t.retained j (Stream_synopsis.coefficient stream j)
+        else
+          let glo, ghi = if j <= 1 then (0, t.n) else Haar1d.support ~n:t.n j in
+          for s = t.frontier to (2 * t.frontier) - 1 do
+            if not (Hashtbl.mem dirty_subtrees s) then begin
+              let lo, hi = cells_of t s in
+              if lo < ghi && glo < hi then
+                t.sub_slack.(s - t.frontier) <-
+                  t.sub_slack.(s - t.frontier) +. amt
+            end
+          done)
+      (List.sort (fun (i, _) (j, _) -> compare i j) !dirty_globals);
+    let subtrees =
+      Hashtbl.fold (fun s () acc -> s :: acc) dirty_subtrees []
+      |> List.sort compare
+    in
+    List.iter (fun s -> resolve_subtree t stream s) subtrees;
+    Hashtbl.reset t.dirty;
+    restate_bound t;
+    rebuild_synopsis t;
+    t.incrementals <- t.incrementals + 1;
+    match t.obs with None -> () | Some m -> Metric.incr m.c_incremental
+  end
+
+let synopsis t = t.synopsis
+let bound t = t.bound
+let tier t = t.tier
+let frontier t = t.frontier
+
+type stats = {
+  full_cuts : int;
+  incrementals : int;
+  subtrees_resolved : int;
+  since_full : int;
+}
+
+let stats (t : t) =
+  {
+    full_cuts = t.full_cuts;
+    incrementals = t.incrementals;
+    subtrees_resolved = t.subtrees_resolved;
+    since_full = t.since_full;
+  }

@@ -223,7 +223,14 @@ let ship ~dir ~since ~seq ~max () =
                   "records after seq %d compacted away — snapshot required"
                   since))
         else begin
-          let wanted = List.filter (fun r -> r.seq > since) all in
+          (* Clamp to (since, seq]: the journal on disk may run past
+             the authoritative [seq] (an unacked suffix after a crash
+             mid-storm, or a caller shipping as-of an older sequence) —
+             shipping those records would build a batch its own
+             [decode_batch] rejects as overrunning [last_seq]. *)
+          let wanted =
+            List.filter (fun r -> r.seq > since && r.seq <= seq) all
+          in
           let rec take k = function
             | r :: tl when k > 0 -> r :: take (k - 1) tl
             | _ -> []

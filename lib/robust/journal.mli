@@ -86,7 +86,11 @@ val ship :
 (** Read records [(since, since + max]] from the store's WAL. [seq] is
     the store's authoritative current sequence (the journal on disk may
     legitimately stop earlier after compaction — and must not be
-    trusted to know the end of history).
+    trusted to know the end of history). Records beyond [seq] — an
+    unacked suffix left by a crash mid-storm, or a ship as-of an older
+    sequence — are clamped out rather than shipped, so a batch never
+    overruns its own [b_last_seq]; a cursor already at [seq] yields an
+    empty complete batch even when the journal is fully compacted.
 
     Structured [Bad_shape] errors, all of which the serving layer maps
     to a snapshot ship or an operator-visible fault: the cursor is

@@ -1,13 +1,13 @@
 (* Deterministic load generator: a seeded request schedule against a
    running server, with a transcript suitable for byte comparison.
 
-   The schedule is a pure function of (seed, requests, batch, n, mix):
-   every draw comes from one Prng in a fixed order. Replies are
-   appended to the transcript as canonical one-line forms, so two runs
-   with the same schedule against equivalent servers produce
-   byte-identical transcripts — the determinism check the cram suite
-   performs across --jobs values. Round-trip latencies land in the
-   [loadgen.rtt.ms] histogram, never in the transcript. *)
+   The schedule is a pure function of (seed, requests, batch, n, mix,
+   connection count): every draw comes from one Prng in a fixed order.
+   Replies are appended to the transcript as canonical one-line forms,
+   so two runs with the same schedule against equivalent servers
+   produce byte-identical transcripts — the determinism check the cram
+   suite performs across --jobs values. Round-trip latencies land in
+   the [loadgen.rtt.ms] histogram, never in the transcript. *)
 
 module Prng = Wavesyn_util.Prng
 module Crc32 = Wavesyn_util.Crc32
@@ -16,11 +16,17 @@ module Deadline = Wavesyn_robust.Deadline
 module Metric = Wavesyn_obs.Metric
 module Registry = Wavesyn_obs.Registry
 
-type mix = { point : int; range : int; quantile : int; ping : int }
+type mix = {
+  point : int;
+  range : int;
+  quantile : int;
+  ping : int;
+  update : int;
+}
 
-let default_mix = { point = 4; range = 3; quantile = 2; ping = 1 }
+let default_mix = { point = 4; range = 3; quantile = 2; ping = 1; update = 0 }
 
-let weight_total m = m.point + m.range + m.quantile + m.ping
+let weight_total m = m.point + m.range + m.quantile + m.ping + m.update
 
 let mix_of_string s =
   let parse_entry acc entry =
@@ -34,11 +40,12 @@ let mix_of_string s =
             | "range" -> Ok { m with range = w }
             | "quantile" -> Ok { m with quantile = w }
             | "ping" -> Ok { m with ping = w }
+            | "update" -> Ok { m with update = w }
             | _ -> Error (Printf.sprintf "unknown mix kind %S" key))
         | _ -> Error (Printf.sprintf "bad mix weight %S" v))
     | _ -> Error (Printf.sprintf "bad mix entry %S (want kind=weight)" entry)
   in
-  let zero = { point = 0; range = 0; quantile = 0; ping = 0 } in
+  let zero = { point = 0; range = 0; quantile = 0; ping = 0; update = 0 } in
   match
     List.fold_left parse_entry (Ok zero) (String.split_on_char ',' s)
   with
@@ -46,6 +53,10 @@ let mix_of_string s =
   | Ok m when weight_total m = 0 -> Error "mix has no positive weight"
   | Ok m -> Ok m
 
+(* The update branch is deliberately the last else, after Ping: a mix
+   with [update = 0] draws the exact sequence the pre-write-path
+   generator drew, keeping historical schedules (and their pinned
+   transcript CRCs) byte-identical. *)
 let gen_request rng ~n mix =
   let r = Prng.int rng (weight_total mix) in
   if r < mix.point then Wire.Point (Prng.int rng n)
@@ -56,7 +67,12 @@ let gen_request rng ~n mix =
   end
   else if r < mix.point + mix.range + mix.quantile then
     Wire.Quantile (Prng.float rng 1.0)
-  else Wire.Ping
+  else if r < mix.point + mix.range + mix.quantile + mix.ping then Wire.Ping
+  else begin
+    let i = Prng.int rng n in
+    let delta = Prng.float rng 2.0 -. 1.0 in
+    Wire.Update { i; delta }
+  end
 
 type summary = {
   sent : int;
@@ -66,7 +82,15 @@ type summary = {
   transcript_crc : string;
 }
 
-let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
+type multi_summary = {
+  totals : summary;
+  connection_crcs : string array;
+}
+
+let run_multi ?obs ~rpcs ~seed ~requests ~batch ~n ~mix ~out () =
+  let nconns = Array.length rpcs in
+  if nconns < 1 then
+    invalid_arg "Loadgen.run_multi: need at least one connection";
   if requests < 0 then invalid_arg "Loadgen.run: negative request count";
   if batch < 1 then invalid_arg "Loadgen.run: batch must be at least 1";
   if n < 1 then invalid_arg "Loadgen.run: n must be at least 1";
@@ -79,9 +103,10 @@ let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
   in
   let rng = Prng.create ~seed in
   let crc = ref (Crc32.string "") in
+  let conn_crcs = Array.make nconns (Crc32.string "") in
   let sent = ref 0 and replies = ref 0 in
   let overloads = ref 0 and errors = ref 0 in
-  let record req reply =
+  let record conn req reply =
     Stdlib.incr replies;
     (match reply with
     | Wire.Overload _ -> Stdlib.incr overloads
@@ -91,17 +116,22 @@ let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
       Wire.describe_request req ^ " => " ^ Wire.describe_reply reply ^ "\n"
     in
     crc := Crc32.update !crc line;
+    conn_crcs.(conn) <- Crc32.update conn_crcs.(conn) line;
     out line
   in
   let rec rounds remaining =
     if remaining <= 0 then Ok ()
     else begin
+      (* The carrying connection is drawn before the frame's requests,
+         and only when there is a choice — a single-connection run
+         draws exactly the schedule {!run} always drew. *)
+      let conn = if nconns = 1 then 0 else Prng.int rng nconns in
       let k = Stdlib.min batch remaining in
       let reqs = List.init k (fun _ -> gen_request rng ~n mix) in
       let frame = if k = 1 then List.hd reqs else Wire.Batch reqs in
       sent := !sent + k;
       let t0 = Deadline.now_ms () in
-      match rpc frame with
+      match rpcs.(conn) frame with
       | Error _ as e -> e
       | Ok got ->
           Option.iter
@@ -115,7 +145,7 @@ let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
                    reason = "reply count does not match the batch";
                  })
           else begin
-            List.iter2 record reqs got;
+            List.iter2 (record conn) reqs got;
             rounds (remaining - k)
           end
     end
@@ -125,9 +155,18 @@ let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
   | Ok () ->
       Ok
         {
-          sent = !sent;
-          replies = !replies;
-          overloads = !overloads;
-          errors = !errors;
-          transcript_crc = Crc32.to_hex !crc;
+          totals =
+            {
+              sent = !sent;
+              replies = !replies;
+              overloads = !overloads;
+              errors = !errors;
+              transcript_crc = Crc32.to_hex !crc;
+            };
+          connection_crcs = Array.map Crc32.to_hex conn_crcs;
         }
+
+let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
+  Result.map
+    (fun m -> m.totals)
+    (run_multi ?obs ~rpcs:[| rpc |] ~seed ~requests ~batch ~n ~mix ~out ())

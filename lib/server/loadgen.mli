@@ -10,16 +10,25 @@
     never written into the transcript. *)
 
 (** Relative draw weights of the request kinds; zero disables a
-    kind. *)
-type mix = { point : int; range : int; quantile : int; ping : int }
+    kind. [update] draws [UPDATE] point-write frames (delta uniform in
+    [[-1, 1)]) — weight it only against a live server. *)
+type mix = {
+  point : int;
+  range : int;
+  quantile : int;
+  ping : int;
+  update : int;
+}
 
 val default_mix : mix
-(** [point=4, range=3, quantile=2, ping=1]. *)
+(** [point=4, range=3, quantile=2, ping=1, update=0] — write traffic
+    is strictly opt-in, and a zero update weight reproduces the
+    historical draw sequence exactly. *)
 
 val mix_of_string : string -> (mix, string) result
-(** Parse ["point=4,range=3,quantile=2,ping=1"]-style specs; omitted
-    kinds get weight 0. Errors on unknown kinds, malformed or negative
-    weights, and an all-zero mix. *)
+(** Parse ["point=4,range=3,quantile=2,ping=1,update=2"]-style specs;
+    omitted kinds get weight 0. Errors on unknown kinds, malformed or
+    negative weights, and an all-zero mix. *)
 
 type summary = {
   sent : int;  (** individual requests sent (batch entries counted) *)
@@ -27,6 +36,15 @@ type summary = {
   overloads : int;  (** [OVERLOAD] replies among them *)
   errors : int;  (** [ERROR] replies among them *)
   transcript_crc : string;  (** CRC-32 hex of the whole transcript *)
+}
+
+type multi_summary = {
+  totals : summary;  (** whole-run counters and interleaved-transcript CRC *)
+  connection_crcs : string array;
+      (** per-connection CRC-32 hex over just the lines that
+          connection carried, in connection order — the fingerprint
+          that proves two multi-connection runs routed and answered
+          identically per connection, not merely in aggregate *)
 }
 
 val run :
@@ -46,8 +64,32 @@ val run :
     transcript line to [out]. [rpc] carries each frame — typically
     {!Client.request} on one connection, or {!Failover.rpc} for a
     chaos/failover-capable endpoint. [n] is the server's domain size —
-    range and point parameters are drawn inside it. With [obs],
-    round-trip times land in the [loadgen.rtt.ms] histogram. Fails
-    with the first transport error; [OVERLOAD]/[ERROR] replies are
-    counted, not failures. Raises [Invalid_argument] on a negative
+    range, point and update parameters are drawn inside it. With
+    [obs], round-trip times land in the [loadgen.rtt.ms] histogram.
+    Fails with the first transport error; [OVERLOAD]/[ERROR] replies
+    are counted, not failures. Raises [Invalid_argument] on a negative
     request count, batch < 1 or n < 1. *)
+
+val run_multi :
+  ?obs:Wavesyn_obs.Registry.t ->
+  rpcs:
+    (Wire.request -> (Wire.reply list, Wavesyn_robust.Validate.error) result)
+    array ->
+  seed:int ->
+  requests:int ->
+  batch:int ->
+  n:int ->
+  mix:mix ->
+  out:(string -> unit) ->
+  unit ->
+  (multi_summary, Wavesyn_robust.Validate.error) result
+(** Multi-connection {!run}: each frame is carried by a connection
+    drawn from [rpcs] by the same seeded Prng that draws the requests,
+    so the interleave is deterministic and reproducible. The carrying
+    connection is drawn {e before} the frame's requests, and only when
+    [Array.length rpcs > 1] — a one-element [rpcs] draws the exact
+    schedule of {!run} (which is implemented on top of this).
+    Transcript lines are written to [out] in send order regardless of
+    connection; {!multi_summary.connection_crcs} fingerprints each
+    connection's own subsequence. Raises additionally on an empty
+    [rpcs]. *)

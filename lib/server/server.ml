@@ -25,6 +25,8 @@ module Deadline = Wavesyn_robust.Deadline
 module Fault = Wavesyn_robust.Fault
 module Journal = Wavesyn_robust.Journal
 module Snapshot = Wavesyn_robust.Snapshot
+module Supervisor = Wavesyn_robust.Supervisor
+module Incremental = Wavesyn_robust.Incremental
 module Metric = Wavesyn_obs.Metric
 module Registry = Wavesyn_obs.Registry
 module Trace = Wavesyn_obs.Trace
@@ -49,14 +51,19 @@ type config = {
   role : string;
   conn_fault : Fault.t;
   crash_after : int option;
+  store : Supervisor.t option;
+  recut_every : int;
 }
 
 let config ?(budget = 8) ?(metric = Metrics.Abs) ?(epsilon = 0.25)
     ?(queue_bound = 64) ?(idle_ms = 30_000.) ?max_requests ?ship
-    ?(role = "standalone") ?(conn_fault = Fault.none) ?crash_after ~path data =
+    ?(role = "standalone") ?(conn_fault = Fault.none) ?crash_after ?store
+    ?(recut_every = 32) ~path data =
   if queue_bound < 1 then
     invalid_arg "Server.config: queue_bound must be at least 1";
   if idle_ms <= 0. then invalid_arg "Server.config: idle_ms must be positive";
+  if recut_every < 1 then
+    invalid_arg "Server.config: recut_every must be at least 1";
   {
     path;
     data;
@@ -70,6 +77,8 @@ let config ?(budget = 8) ?(metric = Metrics.Abs) ?(epsilon = 0.25)
     role;
     conn_fault;
     crash_after;
+    store;
+    recut_every;
   }
 
 type stats = {
@@ -80,6 +89,8 @@ type stats = {
   errors : int;
   recuts : int;
   tier : string;
+  updates : int;
+  bound : float;
 }
 
 (* Replication instruments, registered only on servers configured with
@@ -92,6 +103,17 @@ type repl_tele = {
   c_handoffs : Metric.counter;
 }
 
+(* Write-path instruments (the [update.*] family), registered only on
+   servers opened over a live store so a read-only server's stats table
+   is unchanged. *)
+type upd_tele = {
+  c_applied : Metric.counter;
+  c_rejected : Metric.counter;
+  c_storms : Metric.counter;
+  c_storm_deltas : Metric.counter;
+  g_seq : Metric.gauge;
+}
+
 type t = {
   cfg : config;
   obs : Registry.t;
@@ -101,6 +123,8 @@ type t = {
   on_handoff : (unit -> int) option;
   on_drain : (unit -> unit) option;
   repl : repl_tele option;
+  upd : upd_tele option;
+  live : Incremental.t option;
   mutable role : string;
   mutable synopsis : Synopsis.t;
   mutable tier_name : string;
@@ -114,6 +138,8 @@ type t = {
   mutable total_errors : int;
   mutable total_accepted : int;
   mutable total_recuts : int;
+  mutable total_updates : int;
+  mutable bound : float;
   c_accepted : Metric.counter;
   g_open : Metric.gauge;
   c_errors : Metric.counter;
@@ -125,25 +151,47 @@ type t = {
 let with_span t name f =
   match t.trace with None -> f () | Some sink -> Trace.with_span sink name f
 
+(* Adopt the incremental solver's current answer as the served state. *)
+let sync_from_live t live =
+  t.synopsis <- Incremental.synopsis live;
+  t.tier_name <- Incremental.tier live;
+  t.bound <- Incremental.bound live
+
 (* Re-cut the serving synopsis at the ladder tier the current pressure
    allows. No deadline: tier choice is by pressure alone, so the
-   synopsis served at a given pressure level is deterministic. *)
+   synopsis served at a given pressure level is deterministic. Over a
+   live store this is a {e full} incremental-state re-cut against the
+   stream's current data; otherwise it re-cuts the static dataset. *)
 let recut t =
   let top = Admit.top_of_pressure (Admit.pressure t.admit) in
-  match
-    with_span t "server.recut" @@ fun () ->
-    Ladder.serve ~epsilon:t.cfg.epsilon ~top ~data:t.cfg.data
-      ~budget:t.cfg.budget t.cfg.metric
-  with
-  | Ok served ->
-      t.synopsis <- served.Ladder.synopsis;
-      t.tier_name <- Ladder.tier_name served.Ladder.tier;
-      t.total_recuts <- t.total_recuts + 1;
-      Metric.incr t.c_recuts
-  | Error _ ->
-      (* Every tier failed (cannot happen for finite data: the greedy
-         floor is total); keep serving the previous synopsis. *)
-      ()
+  match t.live with
+  | Some live -> (
+      match
+        with_span t "server.recut" @@ fun () ->
+        Incremental.full_cut ~top live
+          (Supervisor.stream (Option.get t.cfg.store))
+      with
+      | Ok _ ->
+          sync_from_live t live;
+          t.total_recuts <- t.total_recuts + 1;
+          Metric.incr t.c_recuts
+      | Error _ -> ())
+  | None -> (
+      match
+        with_span t "server.recut" @@ fun () ->
+        Ladder.serve ~epsilon:t.cfg.epsilon ~top ~data:t.cfg.data
+          ~budget:t.cfg.budget t.cfg.metric
+      with
+      | Ok served ->
+          t.synopsis <- served.Ladder.synopsis;
+          t.tier_name <- Ladder.tier_name served.Ladder.tier;
+          t.total_recuts <- t.total_recuts + 1;
+          Metric.incr t.c_recuts
+      | Error _ ->
+          (* Every tier failed (cannot happen for finite data: the
+             greedy floor is total); keep serving the previous
+             synopsis. *)
+          ())
 
 let role_gauge_value = function
   | "primary" -> 0.
@@ -163,7 +211,8 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
     let ping = make "ping" and point = make "point" and range = make "range"
     and quantile = make "quantile" and stats = make "stats"
     and batch = make "batch" and shutdown = make "shutdown"
-    and sync = make "sync" and handoff = make "handoff" in
+    and sync = make "sync" and handoff = make "handoff"
+    and update = make "update" and ingest = make "ingest" in
     function
     | Wire.Ping -> ping
     | Wire.Point _ -> point
@@ -174,6 +223,8 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
     | Wire.Shutdown -> shutdown
     | Wire.Sync _ -> sync
     | Wire.Handoff -> handoff
+    | Wire.Update _ -> update
+    | Wire.Ingest _ -> ingest
   in
   let repl =
     match cfg.ship with
@@ -203,6 +254,44 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
                 ~unit_:"handoffs" "server.handoffs";
           }
   in
+  let upd =
+    match cfg.store with
+    | None -> None
+    | Some sup ->
+        Some
+          {
+            c_applied =
+              Registry.counter obs ~help:"point updates journaled and applied"
+                ~unit_:"updates" "update.applied";
+            c_rejected =
+              Registry.counter obs
+                ~help:"updates rejected (validation or journal failure)"
+                ~unit_:"updates" "update.rejected";
+            c_storms =
+              Registry.counter obs ~help:"INGEST storms accepted"
+                ~unit_:"storms" "update.storms";
+            c_storm_deltas =
+              Registry.counter obs ~help:"deltas applied from INGEST storms"
+                ~unit_:"updates" "update.storm.deltas";
+            g_seq =
+              (let g =
+                 Registry.gauge obs
+                   ~help:"last durable journal sequence acknowledged"
+                   ~unit_:"seq" "update.seq"
+               in
+               Metric.set g (float_of_int (Supervisor.seq sup));
+               g);
+          }
+  in
+  let live =
+    match cfg.store with
+    | None -> None
+    | Some sup ->
+        Some
+          (Incremental.create ~obs ~full_every:cfg.recut_every
+             ~budget:cfg.budget ~metric:cfg.metric ~epsilon:cfg.epsilon
+             (Supervisor.stream sup))
+  in
   let t =
     {
       cfg;
@@ -213,6 +302,8 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
       on_handoff;
       on_drain;
       repl;
+      upd;
+      live;
       role = cfg.role;
       synopsis = Synopsis.make ~n:(Array.length cfg.data) [];
       tier_name = "none";
@@ -226,6 +317,8 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
       total_errors = 0;
       total_accepted = 0;
       total_recuts = 0;
+      total_updates = 0;
+      bound = 0.;
       c_accepted =
         Registry.counter obs ~help:"connections accepted" ~unit_:"connections"
           "server.connections.accepted";
@@ -244,7 +337,9 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
       c_kind = kind_counter;
     }
   in
-  recut t;
+  (* Over a live store the initial full cut already ran inside
+     [Incremental.create]; adopt it instead of cutting twice. *)
+  (match t.live with Some live -> sync_from_live t live | None -> recut t);
   t
 
 let stats t =
@@ -256,6 +351,8 @@ let stats t =
     errors = t.total_errors;
     recuts = t.total_recuts;
     tier = t.tier_name;
+    updates = t.total_updates;
+    bound = t.bound;
   }
 
 let registry t = t.obs
@@ -294,7 +391,7 @@ let eval_one t req =
           in
           Wire.Error { code; message = reason })
   | Wire.Ping | Wire.Stats | Wire.Batch _ | Wire.Shutdown | Wire.Sync _
-  | Wire.Handoff ->
+  | Wire.Handoff | Wire.Update _ | Wire.Ingest _ ->
       Wire.Error { code = Wire.Internal; message = "not an admitted kind" }
 
 (* --- the serving round --- *)
@@ -331,17 +428,25 @@ let sync_reply t ~since ~max =
           message = "no ship source: server was not started from a store";
         }
   | Some src ->
-      if max = 0 || since >= src.ship_seq then
+      (* Over a live store the authoritative sequence moves with every
+         write; a static snapshot of it would strand followers behind
+         the storm they are replicating. *)
+      let ship_seq =
+        match t.cfg.store with
+        | Some sup -> Supervisor.seq sup
+        | None -> src.ship_seq
+      in
+      if max = 0 || since >= ship_seq then
         Wire.Ship
           {
-            last_seq = src.ship_seq;
+            last_seq = ship_seq;
             complete = true;
             manifest = src.ship_manifest;
             body = Wire.Ship_none;
           }
       else begin
         match
-          Journal.ship ~dir:src.ship_dir ~since ~seq:src.ship_seq
+          Journal.ship ~dir:src.ship_dir ~since ~seq:ship_seq
             ~max:(min max max_ship_records) ()
         with
         | Ok batch ->
@@ -369,8 +474,8 @@ let sync_reply t ~since ~max =
                 | None -> ());
                 Wire.Ship
                   {
-                    last_seq = src.ship_seq;
-                    complete = state.Snapshot.seq = src.ship_seq;
+                    last_seq = ship_seq;
+                    complete = state.Snapshot.seq = ship_seq;
                     manifest = src.ship_manifest;
                     body =
                       Wire.Ship_snapshot (Snapshot.seal (Snapshot.encode state));
@@ -383,7 +488,133 @@ let sync_reply t ~since ~max =
                   { code = Wire.Unanswerable; message = Validate.to_string err })
       end
 
-let process_request t ~(slots : slot list ref) ~evals conn request =
+(* --- the write path (UPDATE / INGEST over a live store) --- *)
+
+let contains_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+(* Map a store-side rejection onto the wire. Deliberately built from
+   the token and reason alone — never [Validate.to_string], whose
+   line numbers and paths depend on how many updates this process has
+   acked, which would break transcript byte-identity across a
+   crash/recover boundary. *)
+let wire_error_of_validate err =
+  match err with
+  | Validate.Bad_value { token; reason; _ } ->
+      let code =
+        if contains_sub reason "domain" then Wire.Out_of_range
+        else Wire.Bad_request
+      in
+      Wire.Error { code; message = Printf.sprintf "%s: %s" token reason }
+  | Validate.Bad_option { reason; _ } ->
+      Wire.Error { code = Wire.Unanswerable; message = reason }
+  | err -> Wire.Error { code = Wire.Internal; message = Validate.to_string err }
+
+(* One accepted delta: journal-before-apply through the supervisor,
+   then mark the incremental solver's dirty set. *)
+let apply_one t sup ~i ~delta =
+  match Supervisor.ingest sup ~i ~delta with
+  | Ok seq ->
+      (match t.live with
+      | Some live -> Incremental.note_update live ~i ~delta
+      | None -> ());
+      t.total_updates <- t.total_updates + 1;
+      (match t.upd with
+      | Some u ->
+          Metric.incr u.c_applied;
+          Metric.set u.g_seq (float_of_int seq)
+      | None -> ());
+      Ok seq
+  | Error err ->
+      (match t.upd with Some u -> Metric.incr u.c_rejected | None -> ());
+      Error err
+
+(* An INGEST storm is atomic-on-validation: every delta is checked
+   against the domain and for finiteness up front, and an invalid one
+   rejects the whole storm with nothing applied. Past validation the
+   deltas apply in order; only a journal I/O failure can then stop the
+   storm mid-way, leaving the applied prefix durable (the error reply
+   tells the client its resume cursor is the last ACKED sequence). *)
+let storm_reply t sup deltas =
+  let n = Wavesyn_stream.Stream_synopsis.n (Supervisor.stream sup) in
+  let bad =
+    List.find_opt
+      (fun (i, d) -> i < 0 || i >= n || not (Float.is_finite d))
+      deltas
+  in
+  match bad with
+  | Some (i, d) ->
+      (match t.upd with Some u -> Metric.incr u.c_rejected | None -> ());
+      if i < 0 || i >= n then
+        Wire.Error
+          {
+            code = Wire.Out_of_range;
+            message = Printf.sprintf "%d: cell out of domain [0, %d)" i n;
+          }
+      else
+        Wire.Error
+          {
+            code = Wire.Bad_request;
+            message = Printf.sprintf "%h: not finite (NaN/Inf)" d;
+          }
+  | None ->
+      let rec go last = function
+        | [] -> Wire.Acked { seq = last }
+        | (i, delta) :: tl -> (
+            match apply_one t sup ~i ~delta with
+            | Ok seq -> go seq tl
+            | Error err -> wire_error_of_validate err)
+      in
+      let reply = go (Supervisor.seq sup) deltas in
+      (match (reply, t.upd) with
+      | Wire.Acked _, Some u ->
+          Metric.incr u.c_storms;
+          Metric.incr ~by:(List.length deltas) u.c_storm_deltas
+      | _ -> ());
+      reply
+
+(* Apply the round's staged writes in arrival order. Runs only after
+   the crash check passed: a crashed round journals {e nothing}, so a
+   client resending its unanswered write frames after recovery cannot
+   double-apply — exactly-once lands on the at-most-once journal. The
+   serving synopsis then folds in the dirty subtrees (or takes the
+   cadenced full re-cut) before any of the round's reads evaluate. *)
+let apply_writes t writes =
+  match writes with
+  | [] -> ()
+  | writes ->
+      let sup =
+        match t.cfg.store with Some s -> s | None -> assert false
+      in
+      let before = t.total_updates in
+      List.iter
+        (fun (slot, req) ->
+          let reply =
+            match req with
+            | Wire.Update { i; delta } -> (
+                match apply_one t sup ~i ~delta with
+                | Ok seq -> Wire.Acked { seq }
+                | Error err -> wire_error_of_validate err)
+            | Wire.Ingest deltas -> storm_reply t sup deltas
+            | _ -> Wire.Error { code = Wire.Internal; message = "not a write" }
+          in
+          count_error t reply;
+          slot.s_reply <- Some reply)
+        writes;
+      if t.total_updates > before then (
+        match t.live with
+        | Some live ->
+            let stream = Supervisor.stream sup in
+            (if Incremental.due_full live then
+               let top = Admit.top_of_pressure (Admit.pressure t.admit) in
+               ignore (Incremental.full_cut ~top live stream)
+             else Incremental.refresh live stream);
+            sync_from_live t live
+        | None -> ())
+
+let process_request t ~(slots : slot list ref) ~evals ~writes conn request =
   t.total_requests <- t.total_requests + 1;
   Metric.incr (t.c_kind request);
   let push reply =
@@ -401,6 +632,22 @@ let process_request t ~(slots : slot list ref) ~evals conn request =
       slots := slot :: !slots
     end
   in
+  (* Writes take a slot now (order!) but are applied only after the
+     round's crash check — see [apply_writes]. *)
+  let stage_write request =
+    match t.cfg.store with
+    | None ->
+        push
+          (Wire.Error
+             {
+               code = Wire.Unanswerable;
+               message = "read-only server: no live store";
+             })
+    | Some _ ->
+        let slot = { s_conn = conn; s_reply = None } in
+        slots := slot :: !slots;
+        writes := (slot, request) :: !writes
+  in
   match request with
   | Wire.Ping -> push Wire.Pong
   | Wire.Stats -> push (Wire.Stats_text (Registry.render_table t.obs))
@@ -417,9 +664,22 @@ let process_request t ~(slots : slot list ref) ~evals conn request =
         match t.on_handoff with
         | Some f -> f ()
         | None -> (
-            match t.cfg.ship with Some s -> s.ship_seq | None -> 0)
+            match t.cfg.store with
+            | Some sup ->
+                (* Idempotent on an already-primary store. *)
+                Supervisor.promote sup;
+                Supervisor.seq sup
+            | None -> (
+                match t.cfg.ship with Some s -> s.ship_seq | None -> 0))
       in
       t.role <- "primary";
+      (* A live standby's store may have been caught up — journal
+         records shipped straight into the supervisor — behind the
+         incremental solver's back while it was a read-only follower.
+         Promotion re-cuts from the store's current stream, so the
+         sequence this ack carries is exactly the state the promoted
+         server serves. *)
+      (match t.live with Some _ -> recut t | None -> ());
       (match t.repl with
       | Some r ->
           Metric.set r.g_role (role_gauge_value t.role);
@@ -433,7 +693,9 @@ let process_request t ~(slots : slot list ref) ~evals conn request =
           | Wire.Ping -> push Wire.Pong
           | Wire.Stats -> push (Wire.Stats_text (Registry.render_table t.obs))
           | Wire.Point _ | Wire.Range _ | Wire.Quantile _ -> admit r
-          | Wire.Batch _ | Wire.Shutdown | Wire.Sync _ | Wire.Handoff ->
+          | Wire.Update _ -> stage_write r
+          | Wire.Batch _ | Wire.Shutdown | Wire.Sync _ | Wire.Handoff
+          | Wire.Ingest _ ->
               push
                 (Wire.Error
                    {
@@ -441,6 +703,7 @@ let process_request t ~(slots : slot list ref) ~evals conn request =
                      message = "illegal BATCH entry";
                    }))
         reqs
+  | Wire.Update _ | Wire.Ingest _ -> stage_write request
   | Wire.Point _ | Wire.Range _ | Wire.Quantile _ -> admit request
 
 (* Evaluate the round's admitted requests, batched by query kind, each
@@ -600,7 +863,7 @@ let run_exn t =
     (* Gather this round's requests in connection-arrival order. The
        iteration order is the connection id, so rounds are reproducible
        given the request schedule. *)
-    let slots = ref [] and evals = ref [] in
+    let slots = ref [] and evals = ref [] and writes = ref [] in
     let shed_before = Admit.shed_total t.admit in
     let active =
       List.sort
@@ -613,7 +876,7 @@ let run_exn t =
         let events, status = Conn.read conn ~now_ms in
         List.iter
           (function
-            | Conn.Request r -> process_request t ~slots ~evals conn r
+            | Conn.Request r -> process_request t ~slots ~evals ~writes conn r
             | Conn.Bad_line reason ->
                 t.total_requests <- t.total_requests + 1;
                 let reply =
@@ -632,13 +895,17 @@ let run_exn t =
         if status = `Eof then eof := conn :: !eof)
       active;
     if crash_reached t then begin
-      (* Simulated kill: the round's requests are never evaluated or
-         answered — pending replies die with the "process", exactly as
-         a real crash would lose them. *)
+      (* Simulated kill: the round's requests are never evaluated,
+         applied or answered — pending replies die with the "process"
+         and staged writes never reach the journal, exactly as a real
+         crash would lose them. Unanswered write frames are therefore
+         safe (and necessary) for the client to resend after
+         recovery. *)
       t.crashed <- true;
       t.running <- false
     end
     else begin
+      apply_writes t (List.rev !writes);
       (if !evals <> [] then
          with_span t "server.round" @@ fun () -> evaluate_round t !evals);
       let shed = Admit.shed_total t.admit - shed_before in

@@ -44,6 +44,18 @@ type config = {
   crash_after : int option;
       (** simulate a crash: after this many request frames, stop
           without answering, flushing, or draining *)
+  store : Wavesyn_robust.Supervisor.t option;
+      (** when present, the server is {e live}: [UPDATE] / [INGEST]
+          frames are journaled through this store before they touch the
+          in-memory state, the serving synopsis is maintained by
+          {!Wavesyn_robust.Incremental} (dirty subtrees re-solved per
+          round, full re-cut every [recut_every] applied updates), and
+          the [update.*] metric family is registered. Absent, write
+          frames are answered with an [unanswerable] error. *)
+  recut_every : int;
+      (** applied updates between full ladder re-cuts of a live
+          server's synopsis (the incremental solver's
+          [full_every]) *)
 }
 
 val config :
@@ -57,14 +69,17 @@ val config :
   ?role:string ->
   ?conn_fault:Wavesyn_robust.Fault.t ->
   ?crash_after:int ->
+  ?store:Wavesyn_robust.Supervisor.t ->
+  ?recut_every:int ->
   path:string ->
   float array ->
   config
 (** Defaults: budget 8, absolute error, ε 0.25, queue bound 64, idle
     timeout 30 s, no request limit, no ship source, role
-    ["standalone"], no connection faults, no simulated crash. Raises
-    [Invalid_argument] on a non-positive queue bound or idle
-    timeout. *)
+    ["standalone"], no connection faults, no simulated crash, no live
+    store, full re-cut every 32 applied updates. Raises
+    [Invalid_argument] on a non-positive queue bound, idle timeout or
+    [recut_every]. *)
 
 type t
 
@@ -84,9 +99,29 @@ val create :
 
     [on_handoff] runs when a [HANDOFF] request promotes this server:
     it must promote the backing store and return its authoritative
-    sequence for the [HANDOFF-ACK] (absent, the ship source's sequence
-    is acked). [on_drain] runs after a SIGTERM-initiated drain
-    completes — the place to checkpoint before a clean exit. *)
+    sequence for the [HANDOFF-ACK] (absent, a configured live [store]
+    is promoted in place and its sequence acked; failing that, the
+    ship source's static sequence). On a live server the promotion
+    also re-cuts the serving synopsis from the store's current stream,
+    so a standby whose store was caught up by journal shipping serves
+    exactly the state its ack sequence names. [on_drain] runs after a
+    SIGTERM-initiated drain completes — the place to checkpoint before
+    a clean exit.
+
+    {2 Write rounds}
+
+    On a live server, [UPDATE] / [INGEST] frames are {e staged} while
+    a round gathers and applied only after the round's crash check
+    passed, in connection-arrival order — so a [crash_after] kill
+    loses a whole round atomically: nothing it staged reaches the
+    journal, and the client's resend of its unanswered write frames
+    after recovery is exactly-once. All of a round's writes apply
+    before any of its reads evaluate (a batch mixing reads and updates
+    reads its own writes), after which the incremental solver folds
+    the dirtied subtrees in — or takes the cadenced full re-cut — so
+    every reply in the round is served under the refreshed bound. An
+    [INGEST] storm validates every delta (domain, finiteness) before
+    applying any, and rejects atomically. *)
 
 val run : t -> (unit, Wavesyn_robust.Validate.error) result
 (** Bind the socket (unlinking a stale socket file left by a dead
@@ -113,6 +148,11 @@ type stats = {
   errors : int;  (** error replies sent *)
   recuts : int;  (** synopsis re-cuts on pressure change *)
   tier : string;  (** ladder tier currently serving *)
+  updates : int;  (** point deltas journaled and applied (live only) *)
+  bound : float;
+      (** stated max-error bound of the served synopsis (live only;
+          [0.] on a read-only server — read the ladder's re-measured
+          guarantee instead) *)
 }
 
 val stats : t -> stats

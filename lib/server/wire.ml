@@ -35,6 +35,8 @@ type request =
   | Shutdown
   | Sync of { since : int; max : int }
   | Handoff
+  | Update of { i : int; delta : float }
+  | Ingest of (int * float) list
 
 type ship_body =
   | Ship_none
@@ -56,6 +58,7 @@ type reply =
       body : ship_body;
     }
   | Handoff_ack of { seq : int; role : string }
+  | Acked of { seq : int }
 
 type frame = Req of request | Rep of reply
 
@@ -100,6 +103,86 @@ let put_str buf s =
 let get_i64 s pos = Int64.to_int (String.get_int64_be s pos)
 let get_f64 s pos = Int64.float_of_bits (String.get_int64_be s pos)
 
+(* --- update storms ---
+
+   An INGEST payload is a self-verifying text artifact mirroring the
+   journal's SHIP batches: a [storm <count>] header, one
+   [<cell> <delta> <crc>] line per delta (the CRC over the line body),
+   and an [end <crc>] trailer sealing everything above it. The same
+   bytes could be journaled or forwarded verbatim, and a flipped bit
+   anywhere is caught twice (frame CRC and artifact CRC). *)
+
+let storm_line_body i delta = Printf.sprintf "%d %h" i delta
+
+let encode_storm deltas =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "storm %d\n" (List.length deltas));
+  List.iter
+    (fun (i, delta) ->
+      let body = storm_line_body i delta in
+      Buffer.add_string buf
+        (body ^ " " ^ Crc32.to_hex (Crc32.string body) ^ "\n"))
+    deltas;
+  let body = Buffer.contents buf in
+  body ^ "end " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+
+let decode_storm_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some cut -> (
+      let body = String.sub line 0 cut in
+      let hex = String.sub line (cut + 1) (String.length line - cut - 1) in
+      match Crc32.of_hex hex with
+      | Some crc when crc = Crc32.string body -> (
+          match String.split_on_char ' ' body with
+          | [ i; delta ] -> (
+              match (int_of_string_opt i, float_of_string_opt delta) with
+              | Some i, Some delta when i >= 0 -> Some (i, delta)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+
+let decode_storm s =
+  let len = String.length s in
+  if len < 2 || s.[len - 1] <> '\n' then Stdlib.Error "missing storm trailer"
+  else
+    let tstart =
+      match String.rindex_from_opt s (len - 2) '\n' with
+      | Some i -> i + 1
+      | None -> 0
+    in
+    let trailer = String.sub s tstart (len - tstart - 1) in
+    let body = String.sub s 0 tstart in
+    match String.split_on_char ' ' trailer with
+    | [ "end"; hex ] -> (
+        match Crc32.of_hex hex with
+        | Some crc when crc = Crc32.string body -> (
+            match String.split_on_char '\n' body with
+            | header :: rest -> (
+                let lines = List.filter (fun l -> l <> "") rest in
+                match String.split_on_char ' ' header with
+                | [ "storm"; count ] -> (
+                    match int_of_string_opt count with
+                    | Some count
+                      when count >= 0 && List.length lines = count -> (
+                        let deltas = ref [] in
+                        let bad = ref false in
+                        List.iter
+                          (fun line ->
+                            if not !bad then
+                              match decode_storm_line line with
+                              | None -> bad := true
+                              | Some d -> deltas := d :: !deltas)
+                          lines;
+                        if !bad then Stdlib.Error "corrupt storm delta"
+                        else Ok (List.rev !deltas))
+                    | _ -> Stdlib.Error "storm count mismatch")
+                | _ -> Stdlib.Error "bad storm header")
+            | [] -> Stdlib.Error "empty storm body")
+        | Some _ -> Stdlib.Error "storm CRC mismatch"
+        | None -> Stdlib.Error "bad storm CRC field")
+    | _ -> Stdlib.Error "bad storm trailer"
+
 (* --- request encoding --- *)
 
 let request_kind = function
@@ -112,6 +195,8 @@ let request_kind = function
   | Shutdown -> 0x07
   | Sync _ -> 0x08
   | Handoff -> 0x09
+  | Update _ -> 0x0A
+  | Ingest _ -> 0x0B
 
 let reply_kind = function
   | Pong -> 0x81
@@ -123,6 +208,7 @@ let reply_kind = function
   | Error _ -> 0x87
   | Ship _ -> 0x88
   | Handoff_ack _ -> 0x89
+  | Acked _ -> 0x8A
 
 (* Batch entries are a kind byte plus that kind's fixed-size payload;
    nesting is rejected at encode time so the decoder never recurses. *)
@@ -136,6 +222,10 @@ let rec put_request_payload buf = function
   | Sync { since; max } ->
       put_i64 buf since;
       put_i64 buf max
+  | Update { i; delta } ->
+      put_i64 buf i;
+      put_f64 buf delta
+  | Ingest deltas -> Buffer.add_string buf (encode_storm deltas)
   | Batch reqs ->
       put_i64 buf (List.length reqs);
       List.iter
@@ -145,6 +235,7 @@ let rec put_request_payload buf = function
           | Shutdown -> invalid_arg "Wire: SHUTDOWN inside BATCH"
           | Sync _ -> invalid_arg "Wire: SYNC inside BATCH"
           | Handoff -> invalid_arg "Wire: HANDOFF inside BATCH"
+          | Ingest _ -> invalid_arg "Wire: INGEST inside BATCH"
           | _ -> ());
           Buffer.add_uint8 buf (request_kind r);
           put_request_payload buf r)
@@ -177,6 +268,7 @@ let put_reply_payload buf = function
   | Handoff_ack { seq; role } ->
       put_i64 buf seq;
       put_str buf role
+  | Acked { seq } -> put_i64 buf seq
 
 let frame_of ~kind payload =
   let buf = Buffer.create (String.length payload + 14) in
@@ -226,6 +318,10 @@ let decode_batch_entry payload pos =
       need payload pos 8;
       (Quantile (get_f64 payload pos), pos + 8)
   | 0x05 -> (Stats, pos)
+  | 0x0A ->
+      need payload pos 16;
+      ( Update { i = get_i64 payload pos; delta = get_f64 payload (pos + 8) },
+        pos + 16 )
   | k -> raise (Corrupt_payload (Printf.sprintf "bad batch entry kind 0x%02x" k))
 
 let decode_request ~kind payload =
@@ -260,6 +356,12 @@ let decode_request ~kind payload =
   | 0x08 ->
       exact 16 (Sync { since = get_i64 payload 0; max = get_i64 payload 8 })
   | 0x09 -> exact 0 Handoff
+  | 0x0A ->
+      exact 16 (Update { i = get_i64 payload 0; delta = get_f64 payload 8 })
+  | 0x0B -> (
+      match decode_storm payload with
+      | Ok deltas -> Ingest deltas
+      | Stdlib.Error reason -> raise (Corrupt_payload reason))
   | k -> raise (Corrupt_payload (Printf.sprintf "unknown request kind 0x%02x" k))
 
 let decode_reply ~kind payload =
@@ -331,6 +433,7 @@ let decode_reply ~kind payload =
       if rlen < 0 || 12 + rlen <> String.length payload then
         raise (Corrupt_payload "bad handoff role length");
       Handoff_ack { seq; role = String.sub payload 12 rlen }
+  | 0x8A -> exact 8 (Acked { seq = get_i64 payload 0 })
   | k -> raise (Corrupt_payload (Printf.sprintf "unknown reply kind 0x%02x" k))
 
 let decode buf ~pos ~len : decoded =
@@ -378,6 +481,11 @@ let describe_request r =
     | Shutdown -> "SHUTDOWN"
     | Sync { since; max } -> Printf.sprintf "SYNC since=%d max=%d" since max
     | Handoff -> "HANDOFF"
+    | Update { i; delta } -> Printf.sprintf "UPDATE %d %g" i delta
+    | Ingest deltas ->
+        (* Storm bodies are deliberately not rendered: transcripts must
+           stay stable however the sealed artifact is laid out. *)
+        Printf.sprintf "INGEST n=%d" (List.length deltas)
   in
   go r
 
@@ -402,6 +510,7 @@ let describe_reply = function
         | Ship_snapshot _ -> "snapshot")
   | Handoff_ack { seq; role } ->
       Printf.sprintf "HANDOFF-ACK seq=%d role=%s" seq role
+  | Acked { seq } -> Printf.sprintf "ACKED seq=%d" seq
 
 let parse_text_request line =
   let line = String.trim line in
@@ -427,8 +536,15 @@ let parse_text_request line =
   | [ "SHUTDOWN" ] -> Ok Shutdown
   (* HANDOFF is reachable from text mode so an operator can promote a
      follower with netcat; SYNC stays binary-only (its SHIP reply
-     carries bulk payloads a line protocol cannot frame). *)
+     carries bulk payloads a line protocol cannot frame). UPDATE is
+     text-reachable for the same operator-with-netcat reason; INGEST
+     storms stay binary-only (their sealed artifact is multi-line). *)
   | [ "HANDOFF" ] -> Ok Handoff
+  | [ "UPDATE"; i; delta ] -> (
+      match (int_of_string_opt i, float_of_string_opt delta) with
+      | Some i, Some delta -> Ok (Update { i; delta })
+      | None, _ -> Stdlib.Error (Printf.sprintf "not an integer: %s" i)
+      | _, None -> Stdlib.Error (Printf.sprintf "not a float: %s" delta))
   | [] -> Stdlib.Error "empty command"
   | verb :: _ -> Stdlib.Error (Printf.sprintf "unknown command %s" verb)
 

@@ -30,8 +30,9 @@ type request =
   | Stats  (** metrics table of the serving registry *)
   | Batch of request list
       (** sub-requests answered by one reply frame each, in order;
-          nesting and [Shutdown] / [Sync] / [Handoff] entries are
-          rejected at encode time *)
+          nesting and [Shutdown] / [Sync] / [Handoff] / [Ingest]
+          entries are rejected at encode time ([Update] entries are
+          legal — a batch may mix reads and point writes) *)
   | Shutdown  (** drain and stop the server *)
   | Sync of { since : int; max : int }
       (** replication cursor pull: ship journal records
@@ -42,6 +43,16 @@ type request =
   | Handoff
       (** promote a follower to primary (idempotent — a primary just
           acknowledges); answered by {!reply.Handoff_ack} *)
+  | Update of { i : int; delta : float }
+      (** live point write [d_i += delta], journaled before it is
+          applied; answered by {!reply.Acked} with the assigned durable
+          sequence. Legal inside a [Batch]. *)
+  | Ingest of (int * float) list
+      (** an update storm: the deltas travel as a CRC-sealed text
+          artifact (see {!encode_storm}) exactly like a SHIP batch, so
+          a flipped bit is caught at the artifact layer as well as the
+          frame layer. Applied in order under one {!reply.Acked} naming
+          the last assigned sequence. Rejected inside a [Batch]. *)
 
 (** The bulk payload of a {!reply.Ship}: either a {!Journal} batch
     (the normal cursor advance) or a whole sealed {!Snapshot} (the
@@ -75,6 +86,9 @@ type reply =
     }
   | Handoff_ack of { seq : int; role : string }
       (** the server's sequence and its role {e after} the handoff *)
+  | Acked of { seq : int }
+      (** a write (or whole storm) is durable through this journal
+          sequence — the client's resume cursor after a crash *)
 
 type frame = Req of request | Rep of reply
 
@@ -102,6 +116,19 @@ val error_code_byte : error_code -> int
 val error_code_of_byte : int -> error_code option
 (** Inverse of {!error_code_byte}. *)
 
+val encode_storm : (int * float) list -> string
+(** The sealed update-storm artifact of an [Ingest] payload: a
+    [storm <count>] header, one [<cell> <delta> <crc>] line per delta
+    (CRC-32 over the line body), and an [end <crc>] trailer over
+    everything above it — the same self-verifying layout as
+    [Journal.encode_batch]. *)
+
+val decode_storm : string -> ((int * float) list, string) result
+(** Verify and parse a sealed storm artifact. The error is a
+    human-readable reason (trailer/header damage, CRC mismatch, a
+    corrupt delta line, or a count mismatch); negative cell indices are
+    rejected here, domain bounds are the server's business. *)
+
 val encode_request : request -> string
 (** Complete binary frame for a request. Raises [Invalid_argument] on
     a nested [Batch] or a [Shutdown] inside a [Batch]. *)
@@ -126,9 +153,10 @@ val describe_reply : reply -> string
 
 val parse_text_request : string -> (request, string) result
 (** Parse one text-mode line (["PING"], ["POINT 3"], ["RANGE 0 7"],
-    ["QUANTILE 0.5"], ["STATS"], ["SHUTDOWN"], ["HANDOFF"]). The error
-    is a human-readable reason. [SYNC] is deliberately binary-only:
-    its reply carries bulk payloads a line protocol cannot frame. *)
+    ["QUANTILE 0.5"], ["STATS"], ["SHUTDOWN"], ["HANDOFF"],
+    ["UPDATE 3 0.5"]). The error is a human-readable reason. [SYNC]
+    and [INGEST] are deliberately binary-only: their payloads are bulk
+    artifacts a line protocol cannot frame. *)
 
 val render_text_reply : reply -> string
 (** Text-mode rendering, newline-terminated. [Stats_text] emits the

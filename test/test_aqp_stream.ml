@@ -279,6 +279,91 @@ let test_stream_validation () =
     (Invalid_argument "Stream_synopsis.update: cell out of range")
     (fun () -> Stream_synopsis.update s ~i:8 ~delta:1.)
 
+(* Duplicate-index deltas accumulate: applying several deltas to one
+   cell is the same as applying their sum, in coefficients and in
+   reconstructed data — the property that makes an UPDATE storm's
+   per-delta journal records equivalent to their net effect. *)
+let test_stream_duplicate_index_accumulates () =
+  let n = 16 in
+  let a = Stream_synopsis.create ~n and b = Stream_synopsis.create ~n in
+  List.iter
+    (fun delta -> Stream_synopsis.update a ~i:5 ~delta)
+    [ 0.5; 0.25; -1.0; 0.125; 0.5 ];
+  Stream_synopsis.update b ~i:5 ~delta:(0.5 +. 0.25 -. 1.0 +. 0.125 +. 0.5);
+  for j = 0 to n - 1 do
+    checkf
+      (Printf.sprintf "coefficient %d" j)
+      (Stream_synopsis.coefficient b j)
+      (Stream_synopsis.coefficient a j)
+  done;
+  let da = Stream_synopsis.current_data a
+  and db = Stream_synopsis.current_data b in
+  for i = 0 to n - 1 do
+    checkf (Printf.sprintf "cell %d" i) db.(i) da.(i)
+  done;
+  checki "every delta counted individually" 5 (Stream_synopsis.updates_seen a)
+
+(* The durable write path rejects what the raw stream would accept or
+   crash on: out-of-domain cells and non-finite deltas come back as
+   structured validation errors, with nothing journaled or applied. *)
+let test_store_delta_validation () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wavesyn_aqp_delta_%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let module Supervisor = Wavesyn_robust.Supervisor in
+  let module Validate = Wavesyn_robust.Validate in
+  let scfg =
+    Supervisor.config ~sync:false ~dir ~n:16 ~budget:4
+      Wavesyn_synopsis.Metrics.Abs
+  in
+  let sup =
+    match Supervisor.open_store scfg with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  Fun.protect ~finally:(fun () -> Supervisor.close sup) @@ fun () ->
+  let rejected what = function
+    | Error (Validate.Bad_value { reason; _ }) -> reason
+    | Error e ->
+        Alcotest.fail (what ^ ": wrong error " ^ Validate.to_string e)
+    | Ok _ -> Alcotest.fail (what ^ ": accepted")
+  in
+  let r = rejected "negative cell" (Supervisor.ingest sup ~i:(-1) ~delta:1.) in
+  check "negative cell names the domain" true
+    (r = "cell out of domain [0, 16)");
+  let r = rejected "cell past n" (Supervisor.ingest sup ~i:16 ~delta:1.) in
+  check "cell past n names the domain" true (r = "cell out of domain [0, 16)");
+  List.iter
+    (fun delta ->
+      let r = rejected "non-finite delta" (Supervisor.ingest sup ~i:3 ~delta) in
+      check "non-finite delta named" true (r = "not finite (NaN/Inf)"))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  checki "nothing journaled by any rejection" 0 (Supervisor.seq sup);
+  checki "nothing applied to the stream" 0
+    (Stream_synopsis.updates_seen (Supervisor.stream sup));
+  (* and the file-level ingestion path refuses non-finite tokens *)
+  let storm_file = Filename.concat dir "storm.txt" in
+  let oc = open_out storm_file in
+  output_string oc "3 nan\n";
+  close_out oc;
+  match Validate.read_updates storm_file with
+  | Error (Validate.Bad_value { token = "nan"; _ }) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Validate.to_string e)
+  | Ok _ -> Alcotest.fail "nan token must be a structured error"
+
 let () =
   Alcotest.run "aqp_stream"
     [
@@ -313,5 +398,9 @@ let () =
           Alcotest.test_case "cancellation" `Quick test_stream_cancellation_removes_coefficients;
           Alcotest.test_case "cuts" `Quick test_stream_cuts;
           Alcotest.test_case "validation" `Quick test_stream_validation;
+          Alcotest.test_case "duplicate-index deltas accumulate" `Quick
+            test_stream_duplicate_index_accumulates;
+          Alcotest.test_case "store rejects bad deltas structurally" `Quick
+            test_store_delta_validation;
         ] );
     ]

@@ -13,6 +13,7 @@ module Ladder = Wavesyn_robust.Ladder
 module Retry = Wavesyn_robust.Retry
 module Snapshot = Wavesyn_robust.Snapshot
 module Journal = Wavesyn_robust.Journal
+module Incremental = Wavesyn_robust.Incremental
 module Stream_synopsis = Wavesyn_stream.Stream_synopsis
 module Minmax_dp = Wavesyn_core.Minmax_dp
 module Approx_additive = Wavesyn_core.Approx_additive
@@ -619,6 +620,140 @@ let test_journal_ship_torn_boundary_and_compaction () =
       check "suffix is complete" true b.Journal.b_complete
   | Error e -> Alcotest.fail (Validate.to_string e)
 
+(* The authoritative-sequence clamp: the WAL on disk may run past the
+   store's acked history — an unacked suffix left behind by a crash
+   whose recovery has not repaired yet, or a ship asked as-of an older
+   sequence during catch-up. Those records must never ship: a batch
+   overrunning its own [b_last_seq] would make a follower apply writes
+   the primary never acknowledged. *)
+let test_journal_ship_clamps_unacked_suffix () =
+  let dir = temp_store () in
+  Journal.close (write_records dir ~from:1 ~upto:10);
+  (* the journal holds 1..10, but only 1..7 are acked *)
+  (match Journal.ship ~dir ~since:4 ~seq:7 ~max:100 () with
+  | Ok b ->
+      check "unacked suffix clamped out" true
+        (seqs_of b.Journal.b_records = [ 5; 6; 7 ]);
+      checki "last_seq is the acked history" 7 b.Journal.b_last_seq;
+      check "clamped batch is complete" true b.Journal.b_complete
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* max truncation composes with the clamp *)
+  (match Journal.ship ~dir ~since:0 ~seq:7 ~max:3 () with
+  | Ok b ->
+      check "max-bounded prefix" true (seqs_of b.Journal.b_records = [ 1; 2; 3 ]);
+      check "still incomplete" false b.Journal.b_complete
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* a cursor already at the older seq ships an empty complete batch *)
+  (match Journal.ship ~dir ~since:7 ~seq:7 ~max:8 () with
+  | Ok { Journal.b_records = []; b_complete = true; b_last_seq = 7; _ } -> ()
+  | Ok _ -> Alcotest.fail "cursor at acked seq must ship empty and complete"
+  | Error e -> Alcotest.fail (Validate.to_string e))
+
+let test_journal_ship_fully_compacted () =
+  let dir = temp_store () in
+  let w = write_records dir ~from:1 ~upto:10 in
+  (* compact everything away: the WAL is empty, history ends at 10 *)
+  (match Journal.rotate w ~keep_after:10 with
+  | Ok kept -> checki "nothing retained" 0 kept
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  Journal.close w;
+  (* a current cursor is still served: empty, complete, no error —
+     the warm-standby steady state right after a checkpoint *)
+  (match Journal.ship ~dir ~since:10 ~seq:10 ~max:8 () with
+  | Ok { Journal.b_records = []; b_complete = true; b_last_seq = 10; _ } -> ()
+  | Ok _ -> Alcotest.fail "current cursor on a compacted WAL must be empty/complete"
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  (* one record behind the frontier: the range is gone — bootstrap *)
+  match Journal.ship ~dir ~since:9 ~seq:10 ~max:8 () with
+  | Error (Validate.Bad_shape { reason; _ }) ->
+      check "compacted-away cursor told to bootstrap" true
+        (contains reason "snapshot required")
+  | Ok _ | Error _ -> Alcotest.fail "a compacted-away cursor must be refused"
+
+(* --- Incremental re-cut (unit level; end-to-end in test_chaos_update) --- *)
+
+let max_err_of synopsis data =
+  let worst = ref 0. in
+  Array.iteri
+    (fun i v ->
+      worst := Float.max !worst (Float.abs (Synopsis.reconstruct_point synopsis i -. v)))
+    data;
+  !worst
+
+let test_incremental_bound_sound () =
+  let n = 64 in
+  let rng = Prng.create ~seed:31 in
+  let stream = Stream_synopsis.of_data (Array.init n (fun _ -> Prng.float rng 20.)) in
+  let inc =
+    Incremental.create ~full_every:1_000 ~budget:8 ~metric:Metrics.Abs
+      ~epsilon:0.25 stream
+  in
+  (* The initial full cut's bound is already a sound upper bound. *)
+  check "initial bound sound" true
+    (Incremental.bound inc
+     +. 1e-9
+    >= max_err_of (Incremental.synopsis inc) (Stream_synopsis.current_data stream));
+  (* Drive 60 random updates in refresh batches of varying width; the
+     served bound must stay an upper bound on the true max error after
+     every refresh — exact on re-solved subtrees, padded on clean
+     ones. *)
+  let applied = ref 0 in
+  for round = 1 to 12 do
+    for _ = 1 to 1 + (round mod 4) do
+      let i = Prng.int rng n and delta = Prng.float rng 4.0 -. 2.0 in
+      Stream_synopsis.update stream ~i ~delta;
+      Incremental.note_update inc ~i ~delta;
+      incr applied
+    done;
+    Incremental.refresh inc stream;
+    let true_err =
+      max_err_of (Incremental.synopsis inc) (Stream_synopsis.current_data stream)
+    in
+    if Incremental.bound inc +. 1e-9 < true_err then
+      Alcotest.fail
+        (Printf.sprintf "round %d: bound %g < true max error %g" round
+           (Incremental.bound inc) true_err)
+  done;
+  let s = Incremental.stats inc in
+  checki "every refresh did incremental work" 12 s.Incremental.incrementals;
+  checki "no cadenced full cut at full_every=1000" 1 s.Incremental.full_cuts;
+  checki "notes counted since the full cut" !applied s.Incremental.since_full;
+  (* A full re-cut re-tightens: its bound is the ladder's re-measured
+     guarantee, never above the incremental bound it replaces. *)
+  let before = Incremental.bound inc in
+  (match Incremental.full_cut inc stream with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Validate.to_string e));
+  check "full cut never loosens the bound" true
+    (Incremental.bound inc <= before +. 1e-9);
+  checki "full cut resets the cadence" 0 (Incremental.stats inc).Incremental.since_full
+
+let test_incremental_deterministic_replicas () =
+  let n = 32 in
+  let data = Array.init n (fun i -> float_of_int ((i * 7) mod 13)) in
+  let run () =
+    let stream = Stream_synopsis.of_data (Array.copy data) in
+    let inc =
+      Incremental.create ~full_every:8 ~budget:6 ~metric:Metrics.Abs
+        ~epsilon:0.25 stream
+    in
+    let rng = Prng.create ~seed:17 in
+    for _ = 1 to 5 do
+      for _ = 1 to 4 do
+        let i = Prng.int rng n and delta = Prng.float rng 2.0 -. 1.0 in
+        Stream_synopsis.update stream ~i ~delta;
+        Incremental.note_update inc ~i ~delta
+      done;
+      if Incremental.due_full inc then ignore (Incremental.full_cut inc stream)
+      else Incremental.refresh inc stream
+    done;
+    (Synopsis.coeffs (Incremental.synopsis inc), Incremental.bound inc)
+  in
+  let coeffs_a, bound_a = run () in
+  let coeffs_b, bound_b = run () in
+  check "replicas serve bit-identical synopses" true (coeffs_a = coeffs_b);
+  Alcotest.(check (float 0.)) "and state the same bound" bound_a bound_b
+
 (* --- Deadline --- *)
 
 let test_deadline_state_cap () =
@@ -1091,6 +1226,17 @@ let () =
             test_journal_ship_rejects_bit_flip;
           Alcotest.test_case "ship vs torn boundary and compaction" `Quick
             test_journal_ship_torn_boundary_and_compaction;
+          Alcotest.test_case "ship clamps the unacked suffix" `Quick
+            test_journal_ship_clamps_unacked_suffix;
+          Alcotest.test_case "ship serves a fully compacted WAL" `Quick
+            test_journal_ship_fully_compacted;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "served bound stays sound under updates" `Quick
+            test_incremental_bound_sound;
+          Alcotest.test_case "replicas converge bit-identically" `Quick
+            test_incremental_deterministic_replicas;
         ] );
       ( "deadline",
         [

@@ -63,6 +63,11 @@ let test_wire_roundtrip () =
       Wire.Sync { since = 0; max = 0 };
       Wire.Sync { since = 123456789; max = 256 };
       Wire.Handoff;
+      Wire.Update { i = 0; delta = 0.5 };
+      Wire.Update { i = 123456; delta = -1.25e-300 };
+      Wire.Ingest [ (3, 0.5); (7, -0.25); (3, 1.5) ];
+      Wire.Ingest [];
+      Wire.Batch [ Wire.Update { i = 2; delta = 1.0 }; Wire.Point 2 ];
     ];
   List.iter roundtrip_reply
     [
@@ -94,6 +99,8 @@ let test_wire_roundtrip () =
           body = Wire.Ship_snapshot "sealed-bytes\x00\x01\x02";
         };
       Wire.Handoff_ack { seq = 99; role = "primary" };
+      Wire.Acked { seq = 0 };
+      Wire.Acked { seq = 123456789 };
     ]
 
 let test_wire_float_exact () =
@@ -168,7 +175,41 @@ let test_wire_batch_constraints () =
         (Wire.encode_request (Wire.Batch [ Wire.Sync { since = 0; max = 1 } ])));
   Alcotest.check_raises "handoff in batch"
     (Invalid_argument "Wire: HANDOFF inside BATCH") (fun () ->
-      ignore (Wire.encode_request (Wire.Batch [ Wire.Handoff ])))
+      ignore (Wire.encode_request (Wire.Batch [ Wire.Handoff ])));
+  Alcotest.check_raises "ingest in batch"
+    (Invalid_argument "Wire: INGEST inside BATCH") (fun () ->
+      ignore (Wire.encode_request (Wire.Batch [ Wire.Ingest [ (1, 1.0) ] ])))
+
+(* The storm artifact: a CRC-sealed text form mirroring SHIP batches,
+   validated as a unit below the frame layer. *)
+let test_wire_storm_codec () =
+  let roundtrip deltas =
+    match Wire.decode_storm (Wire.encode_storm deltas) with
+    | Ok got ->
+        check "storm round-trips bit-exactly" true
+          (List.for_all2
+             (fun (i, d) (i', d') ->
+               i = i' && Int64.bits_of_float d = Int64.bits_of_float d')
+             deltas got)
+    | Error reason -> Alcotest.fail ("storm rejected: " ^ reason)
+  in
+  roundtrip [];
+  roundtrip [ (0, 0.1 +. 0.2) ];
+  roundtrip [ (3, 0.5); (7, -0.25); (3, 1.5); (1023, 1e-300) ];
+  (* Every single-byte flip anywhere in the artifact — header, delta
+     line, trailer — is rejected as a unit. *)
+  let sealed = Wire.encode_storm [ (3, 0.5); (7, -0.25) ] in
+  for pos = 0 to String.length sealed - 2 do
+    let b = Bytes.of_string sealed in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+    match Wire.decode_storm (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "flipped byte %d accepted" pos)
+  done;
+  (* A torn artifact (lost trailer) never yields a delta prefix. *)
+  match Wire.decode_storm (String.sub sealed 0 (String.length sealed / 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "torn storm accepted"
 
 let test_wire_text () =
   let ok line expected =
@@ -182,14 +223,29 @@ let test_wire_text () =
   ok "QUANTILE 0.5" (Wire.Quantile 0.5);
   ok "STATS" Wire.Stats;
   ok "SHUTDOWN" Wire.Shutdown;
+  ok "UPDATE 3 0.5" (Wire.Update { i = 3; delta = 0.5 });
+  ok "UPDATE 0 -1.25" (Wire.Update { i = 0; delta = -1.25 });
   List.iter
     (fun line ->
       match Wire.parse_text_request line with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail ("accepted: " ^ line))
-    [ ""; "ping"; "POINT"; "POINT x"; "RANGE 1"; "QUANTILE a"; "NOPE 1" ];
+    [
+      "";
+      "ping";
+      "POINT";
+      "POINT x";
+      "RANGE 1";
+      "QUANTILE a";
+      "NOPE 1";
+      "UPDATE 3";
+      "UPDATE x 0.5";
+      "UPDATE 3 x";
+      "INGEST 3";
+    ];
   checks "pong" "PONG\n" (Wire.render_text_reply Wire.Pong);
   checks "value" "VALUE 5.25\n" (Wire.render_text_reply (Wire.Value 5.25));
+  checks "acked" "ACKED seq=42\n" (Wire.render_text_reply (Wire.Acked { seq = 42 }));
   checks "stats end-terminated" "a 1\nEND\n"
     (Wire.render_text_reply (Wire.Stats_text "a 1\n"));
   checks "overload" "OVERLOAD bound=4 depth=4 tier=minmax\n"
@@ -430,14 +486,86 @@ let test_mix_of_string () =
   (match Loadgen.mix_of_string "point=1" with
   | Ok m ->
       check "omitted kinds are zero" true
-        (m = { Loadgen.point = 1; range = 0; quantile = 0; ping = 0 })
+        (m = { Loadgen.point = 1; range = 0; quantile = 0; ping = 0; update = 0 })
   | Error reason -> Alcotest.fail reason);
   List.iter
     (fun s ->
       match Loadgen.mix_of_string s with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail ("accepted: " ^ s))
-    [ ""; "point"; "point=x"; "point=-1"; "nope=3"; "point=0,range=0" ]
+    [ ""; "point"; "point=x"; "point=-1"; "nope=3"; "point=0,range=0" ];
+  (match Loadgen.mix_of_string "point=2,update=3" with
+  | Ok m ->
+      check "update weight parses" true
+        (m = { Loadgen.point = 2; range = 0; quantile = 0; ping = 0; update = 3 })
+  | Error reason -> Alcotest.fail reason)
+
+(* run_multi with a single connection draws exactly the schedule run
+   always drew: the historical single-connection transcript (and its
+   pinned CRCs) is the nconns=1 special case, not a near miss. *)
+let test_run_multi_single_equals_run () =
+  (* A pure in-process echo rpc keeps this a schedule test — no
+     server, no socket, fully deterministic. *)
+  let echo req =
+    let reply_of = function
+      | Wire.Point _ -> Wire.Value 1.5
+      | Wire.Range _ -> Wire.Value 2.5
+      | Wire.Quantile _ -> Wire.Quantile_pos 3
+      | Wire.Ping -> Wire.Pong
+      | Wire.Update _ -> Wire.Acked { seq = 9 }
+      | _ -> Wire.Error { code = Wire.Internal; message = "unexpected" }
+    in
+    match req with
+    | Wire.Batch rs -> Ok (List.map reply_of rs)
+    | r -> Ok [ reply_of r ]
+  in
+  let mix = { Loadgen.default_mix with update = 2 } in
+  let buf_a = Buffer.create 1024 and buf_b = Buffer.create 1024 in
+  let run_summary =
+    match
+      Loadgen.run ~rpc:echo ~seed:23 ~requests:30 ~batch:4 ~n:64 ~mix
+        ~out:(Buffer.add_string buf_a) ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  let multi_summary =
+    match
+      Loadgen.run_multi ~rpcs:[| echo |] ~seed:23 ~requests:30 ~batch:4 ~n:64
+        ~mix ~out:(Buffer.add_string buf_b) ()
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  checks "one-connection run_multi = run, byte for byte"
+    (Buffer.contents buf_a) (Buffer.contents buf_b);
+  checks "total CRC equal" run_summary.Loadgen.transcript_crc
+    multi_summary.Loadgen.totals.Loadgen.transcript_crc;
+  checki "one connection fingerprinted" 1
+    (Array.length multi_summary.Loadgen.connection_crcs);
+  checks "the sole connection's CRC is the whole transcript's"
+    run_summary.Loadgen.transcript_crc
+    multi_summary.Loadgen.connection_crcs.(0);
+  (* Multi-connection runs are reproducible, and the per-connection
+     subsequences cover the whole transcript. *)
+  let multi () =
+    let buf = Buffer.create 1024 in
+    match
+      Loadgen.run_multi
+        ~rpcs:[| echo; echo; echo |]
+        ~seed:23 ~requests:30 ~batch:4 ~n:64 ~mix
+        ~out:(Buffer.add_string buf) ()
+    with
+    | Ok m -> (Buffer.contents buf, m)
+    | Error e -> Alcotest.fail (Validate.to_string e)
+  in
+  let ta, ma = multi () in
+  let tb, mb = multi () in
+  checks "three-connection interleave reproducible" ta tb;
+  check "per-connection CRCs reproducible" true
+    (ma.Loadgen.connection_crcs = mb.Loadgen.connection_crcs);
+  check "the interleave differs from the single-connection schedule" true
+    (ta <> Buffer.contents buf_a)
 
 let () =
   Alcotest.run "server"
@@ -450,6 +578,7 @@ let () =
             test_wire_corruption;
           Alcotest.test_case "batch constraints" `Quick
             test_wire_batch_constraints;
+          Alcotest.test_case "storm artifact codec" `Quick test_wire_storm_codec;
           Alcotest.test_case "text mode" `Quick test_wire_text;
         ] );
       ( "admit",
@@ -468,5 +597,9 @@ let () =
           Alcotest.test_case "connect error" `Quick test_client_connect_error;
         ] );
       ( "loadgen",
-        [ Alcotest.test_case "mix parsing" `Quick test_mix_of_string ] );
+        [
+          Alcotest.test_case "mix parsing" `Quick test_mix_of_string;
+          Alcotest.test_case "multi-connection schedule" `Quick
+            test_run_multi_single_equals_run;
+        ] );
     ]
