@@ -70,33 +70,104 @@ let cases =
            ignore (Ladder.serve ~obs ~data:data64 ~budget:8 rel1)));
   ]
 
+(* Flat-vs-reference memo kernel pairs (docs/KERNELS.md): identical
+   DP, identical state count, different storage — the ratio within a
+   pair is the payoff of the flat layout. The recorded rows carry
+   ns_per_state (ns_per_run / dp_states) so per-state cost is
+   comparable across sizes. *)
+(* A separate rng keeps these draws out of the main rng stream, so the
+   pre-existing cases keep benchmarking the exact same inputs as older
+   recordings. The same two arrays feed both the timed cases and the
+   state count below. *)
+let kernel_data128 =
+  Signal.random_walk ~rng:(Prng.create ~seed:2718) ~n:128 ~step:3.
+
+let kernel_data64 =
+  Signal.random_walk ~rng:(Prng.create ~seed:2719) ~n:64 ~step:3.
+
+let kernel_cases =
+  let data128 = kernel_data128 in
+  let data64 = kernel_data64 in
+  [
+    Test.make ~name:"KERNEL/minmax-flat:128"
+      (Staged.stage (fun () ->
+           ignore
+             (Minmax_dp.solve ~impl:Minmax_dp.Flat ~data:data128 ~budget:8 rel1)));
+    Test.make ~name:"KERNEL/minmax-reference:128"
+      (Staged.stage (fun () ->
+           ignore
+             (Minmax_dp.solve ~impl:Minmax_dp.Reference ~data:data128 ~budget:8
+                rel1)));
+    Test.make ~name:"KERNEL/md-flat:64"
+      (Staged.stage (fun () ->
+           ignore
+             (Approx_abs.solve_1d ~impl:Wavesyn_core.Md_dp.Flat ~data:data64
+                ~budget:8 ~epsilon:0.25 ())));
+    Test.make ~name:"KERNEL/md-reference:64"
+      (Staged.stage (fun () ->
+           ignore
+             (Approx_abs.solve_1d ~impl:Wavesyn_core.Md_dp.Reference
+                ~data:data64 ~budget:8 ~epsilon:0.25 ())));
+  ]
+
+(* dp_states per run of the state-counted cases above (deterministic,
+   so one extra solve per case suffices); keyed by the grouped case
+   name for the ns_per_state column. *)
+let kernel_states () =
+  let minmax =
+    (Minmax_dp.solve ~data:kernel_data128 ~budget:8 rel1).Minmax_dp.dp_states
+  in
+  let nd = Ndarray.of_flat_array ~dims:[| 64 |] kernel_data64 in
+  let md =
+    (Approx_abs.solve ~data:nd ~budget:8 ~epsilon:0.25 ()).Approx_abs.dp_states
+  in
+  [
+    ("smoke/KERNEL/minmax-flat:128", minmax);
+    ("smoke/KERNEL/minmax-reference:128", minmax);
+    ("smoke/KERNEL/md-flat:64", md);
+    ("smoke/KERNEL/md-reference:64", md);
+  ]
+
 (* Sequential-vs-pooled pairs for the deterministic solver pool
    (docs/PARALLELISM.md). The pooled runs return bit-identical results;
    only the wall clock may differ, and only on multicore hosts — the
    recorded BENCH_par.json notes the host's core count so a 1-core
    container's numbers are not read as a parallelism regression. *)
-let par_cases pool4 =
+(* The shared fan-out inputs, drawn once so the seq and pool4 passes
+   time the same data. *)
+let par_inputs () =
   let grid = Ndarray.init ~dims:[| 8; 8 |] (fun _ -> Prng.float rng 50.) in
   let measures = Array.init 3 (fun _ -> signal 64) in
   let data64 = signal 64 in
+  (grid, measures, data64)
+
+(* The sequential halves run in the pool-free pass: merely having idle
+   worker domains alive skews every measurement on a small host (the
+   multi-domain GC coordinates across them), so the seq twins must be
+   timed with no pool in existence to be an honest -j1 baseline. *)
+let par_seq_cases (grid, measures, data64) =
   [
     Test.make ~name:"PAR/approx-abs-seq:8x8"
       (Staged.stage (fun () ->
            ignore (Approx_abs.solve ~data:grid ~budget:12 ~epsilon:0.25 ())));
+    Test.make ~name:"PAR/multi-measure-seq:3x64-b12"
+      (Staged.stage (fun () ->
+           ignore (Multi_measure.solve ~measures ~budget:12 rel1)));
+    Test.make ~name:"PAR/budget-for-seq:64"
+      (Staged.stage (fun () ->
+           ignore (Minmax_dp.budget_for ~data:data64 ~target:2.5 rel1)));
+  ]
+
+let par_pool_cases pool4 (grid, measures, data64) =
+  [
     Test.make ~name:"PAR/approx-abs-pool4:8x8"
       (Staged.stage (fun () ->
            ignore
              (Approx_abs.solve ~pool:pool4 ~data:grid ~budget:12 ~epsilon:0.25
                 ())));
-    Test.make ~name:"PAR/multi-measure-seq:3x64-b12"
-      (Staged.stage (fun () ->
-           ignore (Multi_measure.solve ~measures ~budget:12 rel1)));
     Test.make ~name:"PAR/multi-measure-pool4:3x64-b12"
       (Staged.stage (fun () ->
            ignore (Multi_measure.solve ~pool:pool4 ~measures ~budget:12 rel1)));
-    Test.make ~name:"PAR/budget-for-seq:64"
-      (Staged.stage (fun () ->
-           ignore (Minmax_dp.budget_for ~data:data64 ~target:2.5 rel1)));
     Test.make ~name:"PAR/budget-for-pool4:64"
       (Staged.stage (fun () ->
            ignore
@@ -144,7 +215,7 @@ let srv_cases =
            ignore (Admit.note_round admit ~shed:0)));
   ]
 
-let benchmark pool4 =
+let benchmark tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -152,11 +223,8 @@ let benchmark pool4 =
   let cfg =
     Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~stabilize:true ()
   in
-  let tests =
-    Test.make_grouped ~name:"smoke" ~fmt:"%s/%s"
-      (cases @ srv_cases @ par_cases pool4)
-  in
-  let raw = Benchmark.all cfg instances tests in
+  let grouped = Test.make_grouped ~name:"smoke" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
   Analyze.all ols Instance.monotonic_clock raw
 
 let json_escape s =
@@ -169,36 +237,56 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_rows oc ~schema ~extra rows =
+(* [states] maps a case name to its per-run DP state count; such rows
+   also carry dp_states and the derived ns_per_state column. *)
+let write_rows oc ~schema ~extra ?(states = []) rows =
   Printf.fprintf oc "{\n  \"schema\": \"%s\",%s\n  \"results\": [\n" schema
     extra;
   List.iteri
     (fun k (name, ns) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
-        (json_escape name) ns
+      let state_cols =
+        match List.assoc_opt name states with
+        | Some s when s > 0 ->
+            Printf.sprintf ", \"dp_states\": %d, \"ns_per_state\": %.2f" s
+              (ns /. float_of_int s)
+        | _ -> ""
+      in
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f%s}%s\n"
+        (json_escape name) ns state_cols
         (if k = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n"
 
+let rows_of results =
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> x
+        | _ -> Float.nan
+      in
+      (name, ns) :: acc)
+    results []
+
 let () =
   let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
+  let inputs = par_inputs () in
+  (* Pass 1, pool-free: every sequential case (see par_seq_cases on
+     why no pool may exist here). Pass 2: the pooled twins, with the
+     4-domain pool alive only for this pass. *)
+  let seq_results =
+    benchmark (cases @ kernel_cases @ srv_cases @ par_seq_cases inputs)
+  in
   let pool4 = Pool.create ~domains:4 () in
-  let results = benchmark pool4 in
+  let pool_results = benchmark (par_pool_cases pool4 inputs) in
   Pool.shutdown pool4;
   let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (x :: _) -> x
-          | _ -> Float.nan
-        in
-        (name, ns) :: acc)
-      results []
+    rows_of seq_results @ rows_of pool_results
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  let states = kernel_states () in
   let oc = open_out out in
-  write_rows oc ~schema:"wavesyn-bench-smoke/1" ~extra:"" rows;
+  write_rows oc ~schema:"wavesyn-bench-smoke/2" ~extra:"" ~states rows;
   close_out oc;
   (* The PAR pairs also land in their own file, tagged with the host's
      core count: on a 1-core container the pooled numbers legitimately

@@ -203,6 +203,25 @@ let build_synopsis ?pool ?(epsilon = 0.25) ~data ~budget ~sanity = function
                 approx-abs, l2, greedy-maxerr, prob-var or prob-bias)";
            })
 
+(* Like [build_synopsis] but also reports the DP's state count for
+   --dp-stats ([None] for non-DP algorithms). The counts are pinned in
+   docs/KERNELS.md and checked by cram/kernels.t. *)
+let build_synopsis_stats ?pool ?(epsilon = 0.25) ~data ~budget ~sanity algo =
+  match algo with
+  | "minmax-rel" | "minmax-abs" ->
+      let metric =
+        if algo = "minmax-abs" then Metrics.Abs else Metrics.Rel { sanity }
+      in
+      let r = Minmax_dp.solve ~data ~budget metric in
+      (r.Minmax_dp.synopsis, Some (r.Minmax_dp.dp_states, None))
+  | "approx-abs" ->
+      let n = Array.length data in
+      let nd = Wavesyn_util.Ndarray.of_flat_array ~dims:[| n |] data in
+      let r = Approx_abs.solve ?pool ~data:nd ~budget ~epsilon () in
+      let syn = Synopsis.make ~n (Synopsis.Md.coeffs r.Approx_abs.synopsis) in
+      (syn, Some (r.Approx_abs.dp_states, Some r.Approx_abs.sweeps))
+  | other -> (build_synopsis ?pool ~epsilon ~data ~budget ~sanity other, None)
+
 let metric_of_minmax_algo ~sanity ~flag algo =
   match algo with
   | "minmax-abs" -> Metrics.Abs
@@ -262,8 +281,36 @@ let threshold_cmd =
             close_out oc;
             Printf.printf "wrote %s\n" path)
   in
+  let dp_stats_arg =
+    Arg.(value & flag
+         & info [ "dp-stats" ]
+             ~doc:"Also print the number of dynamic-program states the solve \
+                   computed (DP algorithms only; the per-kernel counts are \
+                   documented in docs/KERNELS.md).")
+  in
   let run file gen n seed algo budget sanity target out deadline_ms ladder
-      epsilon jobs =
+      epsilon jobs dp_stats =
+    (if dp_stats then
+       match algo with
+       | ("minmax-rel" | "minmax-abs" | "approx-abs")
+         when not (ladder || deadline_ms <> None) ->
+           ()
+       | "minmax-rel" | "minmax-abs" | "approx-abs" ->
+           die
+             (Validate.Bad_option
+                {
+                  what = "--dp-stats";
+                  reason = "cannot be combined with --ladder/--deadline-ms";
+                })
+       | _ ->
+           die
+             (Validate.Bad_option
+                {
+                  what = "--dp-stats";
+                  reason =
+                    "requires a DP algorithm (minmax-rel, minmax-abs or \
+                     approx-abs)";
+                }));
     let data = load_data file gen n seed in
     let pool0 = pool_of_jobs jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool0) @@ fun () ->
@@ -293,9 +340,9 @@ let threshold_cmd =
       write_out syn out
     end
     else begin
-      let syn =
+      let syn, stats =
         match target with
-        | None -> build_synopsis ?pool ~epsilon ~data ~budget ~sanity algo
+        | None -> build_synopsis_stats ?pool ~epsilon ~data ~budget ~sanity algo
         | Some t ->
             let metric = metric_of_minmax_algo ~sanity ~flag:"--target" algo in
             let { Minmax_dp.best; feasible } =
@@ -313,13 +360,31 @@ let threshold_cmd =
                          (Synopsis.size best.Minmax_dp.synopsis)
                          best.Minmax_dp.max_err;
                    });
-            best.Minmax_dp.synopsis
+            (best.Minmax_dp.synopsis, Some (best.Minmax_dp.dp_states, None))
       in
       let approx = Synopsis.reconstruct syn in
       let summary = Metrics.summary ~sanity ~data ~approx () in
       Printf.printf "algorithm: %s  budget: %d  retained: %d  N: %d\n" algo
         budget (Synopsis.size syn) (Array.length data);
       Printf.printf "synopsis: %s\n" (Synopsis.describe syn);
+      if dp_stats then begin
+        match stats with
+        | None ->
+            die
+              (Validate.Bad_option
+                 {
+                   what = "--dp-stats";
+                   reason =
+                     "requires a DP algorithm (minmax-rel, minmax-abs or \
+                      approx-abs)";
+                 })
+        | Some (states, sweeps) ->
+            Printf.printf "dp-states: algo=%s n=%d budget=%d states=%d%s\n"
+              algo (Array.length data) budget states
+              (match sweeps with
+              | None -> ""
+              | Some s -> Printf.sprintf " sweeps=%d" s)
+      end;
       Format.printf "errors: %a@." Metrics.pp_summary summary;
       write_out syn out
     end
@@ -328,7 +393,7 @@ let threshold_cmd =
     (Cmd.info "threshold" ~doc:"Build a synopsis and report its errors.")
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
           $ budget_arg $ sanity_arg $ target_arg $ out_arg $ deadline_arg
-          $ ladder_arg $ epsilon_arg $ jobs_arg)
+          $ ladder_arg $ epsilon_arg $ jobs_arg $ dp_stats_arg)
 
 (* --- evaluate --- *)
 

@@ -1,0 +1,87 @@
+The benchgate tool gates recorded bench JSON deterministically — no
+benchmark runs here, only fixture files.
+
+On a single-core recording the pooled gate records an explicit SKIP
+(not a silent pass) and the baseline gate still runs:
+
+  $ cat > one_core.json <<'EOF'
+  > {
+  >   "schema": "wavesyn-bench-par/1",
+  >   "host_recommended_domains": 1,
+  >   "results": [
+  >     {"name": "smoke/PAR/solver-pool4:64", "ns_per_run": 2000.0},
+  >     {"name": "smoke/PAR/solver-seq:64", "ns_per_run": 1000.0}
+  >   ]
+  > }
+  > EOF
+  $ wavesyn-benchgate one_core.json
+  benchgate: SKIP pooled-gate: host_recommended_domains=1 < 4 — a 4-domain pool on this host is oversubscription, not parallelism
+
+On a >= 4-core recording the pooled twin must at least match the
+sequential run:
+
+  $ cat > four_core_good.json <<'EOF'
+  > {
+  >   "schema": "wavesyn-bench-par/1",
+  >   "host_recommended_domains": 8,
+  >   "results": [
+  >     {"name": "smoke/PAR/solver-pool4:64", "ns_per_run": 400.0},
+  >     {"name": "smoke/PAR/solver-seq:64", "ns_per_run": 1000.0}
+  >   ]
+  > }
+  > EOF
+  $ wavesyn-benchgate four_core_good.json
+  benchgate: PASS pooled-gate: smoke/PAR/solver-seq:64 speedup 2.50x >= 1.00x
+
+  $ cat > four_core_bad.json <<'EOF'
+  > {
+  >   "schema": "wavesyn-bench-par/1",
+  >   "host_recommended_domains": 8,
+  >   "results": [
+  >     {"name": "smoke/PAR/solver-pool4:64", "ns_per_run": 2000.0},
+  >     {"name": "smoke/PAR/solver-seq:64", "ns_per_run": 1000.0}
+  >   ]
+  > }
+  > EOF
+  $ wavesyn-benchgate four_core_bad.json
+  benchgate: FAIL pooled-gate: smoke/PAR/solver-seq:64 speedup 0.50x < 1.00x (seq 1000.0 ns, pool4 2000.0 ns)
+  benchgate: 1 failure(s)
+  [1]
+
+A required speedup above break-even:
+
+  $ wavesyn-benchgate --min-speedup 3.0 four_core_good.json
+  benchgate: FAIL pooled-gate: smoke/PAR/solver-seq:64 speedup 2.50x < 3.00x (seq 1000.0 ns, pool4 400.0 ns)
+  benchgate: 1 failure(s)
+  [1]
+
+The baseline gate fails sequential (-j1) regressions beyond the slack
+and passes within it:
+
+  $ cat > regressed.json <<'EOF'
+  > {
+  >   "schema": "wavesyn-bench-par/1",
+  >   "host_recommended_domains": 1,
+  >   "results": [
+  >     {"name": "smoke/PAR/solver-pool4:64", "ns_per_run": 2000.0},
+  >     {"name": "smoke/PAR/solver-seq:64", "ns_per_run": 1500.0}
+  >   ]
+  > }
+  > EOF
+  $ wavesyn-benchgate --baseline one_core.json regressed.json
+  benchgate: SKIP pooled-gate: host_recommended_domains=1 < 4 — a 4-domain pool on this host is oversubscription, not parallelism
+  benchgate: FAIL baseline-gate: smoke/PAR/solver-seq:64 regressed: 1500.0 ns > 1250.0 ns (baseline 1000.0 + 25%)
+  benchgate: 1 failure(s)
+  [1]
+  $ wavesyn-benchgate --baseline one_core.json --max-regression 0.6 regressed.json
+  benchgate: SKIP pooled-gate: host_recommended_domains=1 < 4 — a 4-domain pool on this host is oversubscription, not parallelism
+  benchgate: PASS baseline-gate: smoke/PAR/solver-seq:64 1500.0 ns <= 1600.0 ns (baseline 1000.0 + 60%)
+
+A file from another schema family is refused:
+
+  $ cat > other.json <<'EOF'
+  > {"schema": "someone-elses/1", "results": []}
+  > EOF
+  $ wavesyn-benchgate other.json
+  benchgate: other.json: unexpected schema "someone-elses/1"
+  [2]

@@ -1,0 +1,25 @@
+The DP state counts pinned in docs/KERNELS.md must match what the CLI
+actually computes on the fixed input (--gen bumps -n 32 --seed 7,
+budget 5). One drifting without the other fails this test: the doc is
+a contract, not prose. The approx-abs line runs at --jobs 4 — the
+pooled sweep must report the same count as the doc's (sequential)
+pinned line, per the bit-identity contract.
+
+  $ wavesyn threshold --gen bumps -n 32 --seed 7 --algo minmax-rel --budget 5 --dp-stats | grep '^dp-states' > got.txt
+  $ wavesyn threshold --gen bumps -n 32 --seed 7 --algo minmax-abs --budget 5 --dp-stats | grep '^dp-states' >> got.txt
+  $ wavesyn threshold --gen bumps -n 32 --seed 7 --algo approx-abs --budget 5 --dp-stats --jobs 4 | grep '^dp-states' >> got.txt
+  $ sed -n '/dp-states:begin/,/dp-states:end/p' ../docs/KERNELS.md | grep '^dp-states' > doc.txt
+  $ diff doc.txt got.txt
+
+--dp-stats is refused for algorithms that run no DP:
+
+  $ wavesyn threshold --gen bumps -n 32 --seed 7 --algo l2 --budget 5 --dp-stats >/dev/null
+  wavesyn: --dp-stats: requires a DP algorithm (minmax-rel, minmax-abs or approx-abs)
+  [2]
+
+The dual-search path reports the states of its chosen solve, and the
+count is pool-invariant there too:
+
+  $ wavesyn threshold --gen bumps -n 32 --seed 7 --algo minmax-rel --target 0.5 --dp-stats | grep '^dp-states' > seq.txt
+  $ wavesyn threshold --gen bumps -n 32 --seed 7 --algo minmax-rel --target 0.5 --dp-stats --jobs 4 | grep '^dp-states' > par.txt
+  $ diff seq.txt par.txt

@@ -39,7 +39,7 @@ let tau_candidates ~wavelet =
     List.init (kmax - kmin + 1) (fun i -> Float.pow 2. (float_of_int (kmin + i)))
   end
 
-let solve_tree ?pool ~tree ~budget ~epsilon () =
+let solve_tree ?pool ?impl ~tree ~budget ~epsilon () =
   if epsilon <= 0. || epsilon > 1. then
     invalid_arg "Approx_abs: epsilon must be in (0, 1]";
   let data = Md_tree.data tree in
@@ -49,6 +49,18 @@ let solve_tree ?pool ~tree ~budget ~epsilon () =
   let d = Md_tree.ndim tree in
   let total = Ndarray.size data in
   let logn = Float.max 1. (Float.log (float_of_int total) /. Float.log 2.) in
+  (* Everything τ-independent is hoisted out of the sweep: the wavelet
+     values and their magnitudes (read per DP probe by every candidate)
+     and the DP skeleton of the shared tree (see Md_dp.skeleton). All
+     are immutable after this point, so pooled candidates share them. *)
+  let ncoeffs = Ndarray.size wavelet in
+  let vals = Array.init ncoeffs (Ndarray.get_flat wavelet) in
+  let mags = Array.map Float.abs vals in
+  let sk =
+    match impl with
+    | Some Md_dp.Reference -> None
+    | _ -> Some (Md_dp.skeleton ~tree)
+  in
   let evaluate coeffs =
     let synopsis = Synopsis.Md.make ~dims coeffs in
     (Metrics.of_md_synopsis Metrics.Abs ~data synopsis, synopsis)
@@ -58,8 +70,8 @@ let solve_tree ?pool ~tree ~budget ~epsilon () =
      so candidates can run on any domain. *)
   let run_tau tau =
     let forced_count = ref 0 in
-    for i = 0 to Ndarray.size wavelet - 1 do
-      if Float.abs (Ndarray.get_flat wavelet i) > tau then incr forced_count
+    for i = 0 to ncoeffs - 1 do
+      if mags.(i) > tau then incr forced_count
     done;
     let k_tau = epsilon *. tau /. (float_of_int (1 lsl d) *. logn) in
     let max_scaled = r /. k_tau in
@@ -69,21 +81,17 @@ let solve_tree ?pool ~tree ~budget ~epsilon () =
     else begin
       let cfg =
         {
-          Md_dp.coeff_value =
-            (fun pos -> Float.floor (Ndarray.get_flat wavelet pos /. k_tau));
+          Md_dp.coeff_value = (fun pos -> Float.floor (vals.(pos) /. k_tau));
           round_error = Fun.id;
           key_of_error = (fun e -> int_of_float e);
-          forced =
-            (fun pos -> Float.abs (Ndarray.get_flat wavelet pos) > tau);
+          forced = (fun pos -> mags.(pos) > tau);
           leaf_denominator = (fun _ -> 1.);
         }
       in
-      match Md_dp.run ~tree ~budget cfg with
+      match Md_dp.run ?impl ?skeleton:sk ~tree ~budget cfg with
       | None -> None
       | Some { Md_dp.retained; dp_states; _ } ->
-          let coeffs =
-            List.map (fun pos -> (pos, Ndarray.get_flat wavelet pos)) retained
-          in
+          let coeffs = List.map (fun pos -> (pos, vals.(pos))) retained in
           let err, syn = evaluate coeffs in
           Some (err, syn, tau, dp_states)
     end
@@ -92,8 +100,9 @@ let solve_tree ?pool ~tree ~budget ~epsilon () =
   let outcomes =
     match pool with
     | Some p when Array.length candidates > 1 ->
-        Pool.map_chunked p (Array.length candidates) (fun i ->
-            run_tau candidates.(i))
+        let items = Array.length candidates in
+        let grain = Pool.default_grain ~items ~domains:(Pool.domains p) in
+        Pool.map_chunked ~grain p items (fun i -> run_tau candidates.(i))
     | _ -> Array.map run_tau candidates
   in
   (* Merge in ascending-τ order with a strict '<': the first-best
@@ -114,11 +123,11 @@ let solve_tree ?pool ~tree ~budget ~epsilon () =
   let max_err, synopsis, tau = !best in
   { max_err; synopsis; tau; dp_states = !states; sweeps = !sweeps }
 
-let solve ?pool ~data ~budget ~epsilon () =
-  solve_tree ?pool ~tree:(Md_tree.of_data data) ~budget ~epsilon ()
+let solve ?pool ?impl ~data ~budget ~epsilon () =
+  solve_tree ?pool ?impl ~tree:(Md_tree.of_data data) ~budget ~epsilon ()
 
-let solve_1d ?pool ~data ~budget ~epsilon () =
+let solve_1d ?pool ?impl ~data ~budget ~epsilon () =
   let n = Array.length data in
   let nd = Ndarray.of_flat_array ~dims:[| n |] data in
-  let r = solve ?pool ~data:nd ~budget ~epsilon () in
+  let r = solve ?pool ?impl ~data:nd ~budget ~epsilon () in
   (r.max_err, Synopsis.make ~n (Synopsis.Md.coeffs r.synopsis))

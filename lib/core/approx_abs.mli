@@ -22,6 +22,7 @@ type result = {
 
 val solve_tree :
   ?pool:Wavesyn_par.Pool.t ->
+  ?impl:Md_dp.impl ->
   tree:Wavesyn_haar.Md_tree.t ->
   budget:int ->
   epsilon:float ->
@@ -38,10 +39,16 @@ val solve_tree :
     scaled coefficient magnitude [R / K_τ] would exceed the safe
     [2^62] integer-key range are skipped (they cannot be keyed
     exactly); {!result.sweeps} counts only the τ values actually
-    run. *)
+    run.
+
+    The wavelet values, their magnitudes and the DP skeleton of the
+    tree are computed once and shared by every τ candidate (and every
+    pool domain); see [docs/KERNELS.md]. [impl] picks the [Md_dp] memo
+    kernel (default flat) — results are bit-identical either way. *)
 
 val solve :
   ?pool:Wavesyn_par.Pool.t ->
+  ?impl:Md_dp.impl ->
   data:Wavesyn_util.Ndarray.t ->
   budget:int ->
   epsilon:float ->
@@ -51,6 +58,7 @@ val solve :
 
 val solve_1d :
   ?pool:Wavesyn_par.Pool.t ->
+  ?impl:Md_dp.impl ->
   data:float array ->
   budget:int ->
   epsilon:float ->

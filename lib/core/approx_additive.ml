@@ -63,7 +63,7 @@ let make_rounding ~epsilon ~vmin ~vmax =
   in
   { round; key }
 
-let solve_tree ?on_state ~tree ~budget ~epsilon metric =
+let solve_tree ?on_state ?impl ~tree ~budget ~epsilon metric =
   if epsilon <= 0. || epsilon > 1. then
     invalid_arg "Approx_additive: epsilon must be in (0, 1]";
   let data = Md_tree.data tree in
@@ -95,7 +95,7 @@ let solve_tree ?on_state ~tree ~budget ~epsilon metric =
           (fun cell -> Metrics.denominator metric (Ndarray.get data cell));
       }
     in
-    match Md_dp.run ?on_state ~tree ~budget cfg with
+    match Md_dp.run ?on_state ?impl ~tree ~budget cfg with
     | None -> assert false (* nothing is forced, so always feasible *)
     | Some { Md_dp.value; retained; dp_states } ->
         let coeffs =
@@ -106,12 +106,13 @@ let solve_tree ?on_state ~tree ~budget ~epsilon metric =
         { bound = value; synopsis; measured; dp_states }
   end
 
-let solve ?on_state ~data ~budget ~epsilon metric =
-  solve_tree ?on_state ~tree:(Md_tree.of_data data) ~budget ~epsilon metric
+let solve ?on_state ?impl ~data ~budget ~epsilon metric =
+  solve_tree ?on_state ?impl ~tree:(Md_tree.of_data data) ~budget ~epsilon
+    metric
 
-let solve_1d ?on_state ~data ~budget ~epsilon metric =
+let solve_1d ?on_state ?impl ~data ~budget ~epsilon metric =
   let nd = Ndarray.of_flat_array ~dims:[| Array.length data |] data in
-  let r = solve ?on_state ~data:nd ~budget ~epsilon metric in
+  let r = solve ?on_state ?impl ~data:nd ~budget ~epsilon metric in
   (* D = 1 flat wavelet positions coincide with Haar1d indices. *)
   let syn =
     Synopsis.make ~n:(Array.length data) (Synopsis.Md.coeffs r.synopsis)

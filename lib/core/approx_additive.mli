@@ -26,6 +26,7 @@ type result = {
 
 val solve_tree :
   ?on_state:(unit -> unit) ->
+  ?impl:Md_dp.impl ->
   tree:Wavesyn_haar.Md_tree.t ->
   budget:int ->
   epsilon:float ->
@@ -33,10 +34,13 @@ val solve_tree :
   result
 (** [epsilon] must be in (0, 1]. [on_state] is forwarded to
     {!Md_dp.run}: called once per fresh DP state, may raise to abort
-    (see [Wavesyn_robust.Deadline]). *)
+    (see [Wavesyn_robust.Deadline]). [impl] picks the [Md_dp] memo
+    kernel (default flat; bit-identical results, see
+    [docs/KERNELS.md]). *)
 
 val solve :
   ?on_state:(unit -> unit) ->
+  ?impl:Md_dp.impl ->
   data:Wavesyn_util.Ndarray.t ->
   budget:int ->
   epsilon:float ->
@@ -45,6 +49,7 @@ val solve :
 
 val solve_1d :
   ?on_state:(unit -> unit) ->
+  ?impl:Md_dp.impl ->
   data:float array ->
   budget:int ->
   epsilon:float ->

@@ -10,6 +10,8 @@ module Metrics = Wavesyn_synopsis.Metrics
 
 type split_strategy = Binary_search | Linear_scan
 
+type impl = Flat | Reference
+
 type result = { max_err : float; synopsis : Synopsis.t; dp_states : int }
 
 type entry = { value : float; retained : bool; left_allot : int }
@@ -44,9 +46,12 @@ let best_split ~strategy ~total ~f ~g =
           if v < best_v then (v, b') else (best_v, best_b))
         (Float.infinity, 0) candidates
 
-let solve_tree ?(split = Binary_search) ?(cap_budget = true)
-    ?(on_state = fun () -> ()) ~tree ~budget metric =
-  if budget < 0 then invalid_arg "Minmax_dp.solve: negative budget";
+(* --- the reference kernel: the original tuple-keyed memo Hashtbl ---
+
+   Kept verbatim as the equivalence oracle for the flat kernel
+   (test/test_kernels.ml asserts bit-identical results), and as the
+   spill path when a flat table would not fit under [dense_limit]. *)
+let solve_tree_reference ~split ~cap_budget ~on_state ~tree ~budget metric =
   let n = Error_tree.n tree in
   let coeffs = Error_tree.coeffs tree in
   let data = Error_tree.data tree in
@@ -142,9 +147,205 @@ let solve_tree ?(split = Binary_search) ?(cap_budget = true)
         (Hashtbl.length memo) max_err);
   { max_err; synopsis; dp_states = Hashtbl.length memo }
 
+(* --- the flat kernel ---
+
+   Same recurrence, same evaluation order (bit-identical results, the
+   same dp_states count), but the memo is contiguous storage instead of
+   a tuple-keyed Hashtbl: per (node, ancestor-mask) the budget row is a
+   dense slice [value.(base + b)] / [choice.(base + b)], where the
+   packed choice word is [(left_allot lsl 1) lor retained] and [-1]
+   marks an unvisited state. Two layouts share the row shape:
+
+   - dense: when the whole table (sum over nodes of
+     [2^depth * row_width]) fits under [dense_limit], one backing
+     array with per-node offsets — index [offset.(j) + mask * width_j
+     + b], no hashing at all;
+   - rows: otherwise, rows are allocated on first touch and found by
+     the packed int key [(mask lsl node_bits) lor j] — one immediate-
+     int Hashtbl probe per (node, mask), amortized over the whole
+     budget row that the split search scans.
+
+   Either way a probe allocates nothing (the old kernel boxed a
+   3-tuple key per probe and scattered entries across the heap; see
+   docs/KERNELS.md for the layout contract and measured effect). *)
+
+let default_dense_limit = 1 lsl 22
+
+let solve_tree_flat ~split ~cap_budget ~on_state ~dense_limit ~tree ~budget
+    metric =
+  let n = Error_tree.n tree in
+  let coeffs = Error_tree.coeffs tree in
+  let data = Error_tree.data tree in
+  let states = ref 0 in
+  let leaf_error j incoming =
+    let d = data.(j - n) in
+    Float.abs (d -. incoming) /. Metrics.denominator metric d
+  in
+  (* Row width per node: the budget coordinate is capped at the
+     subtree's coefficient count (default) or runs to the full budget
+     (uncapped ablation). *)
+  let widths =
+    Array.init n (fun j ->
+        (if cap_budget then
+           Stdlib.min budget (Error_tree.subtree_coeff_count tree j)
+         else budget)
+        + 1)
+  in
+  let depths = Array.init n (fun j -> Error_tree.depth tree j) in
+  let node_bits =
+    let b = ref 1 in
+    while 1 lsl !b < n do incr b done;
+    !b
+  in
+  (* Predicted dense size; [-1] when it overflows the limit and rows
+     must be allocated lazily instead. *)
+  let dense_total =
+    let t = ref 0 in
+    (try
+       for j = 0 to n - 1 do
+         t := !t + ((1 lsl depths.(j)) * widths.(j));
+         if !t > dense_limit then raise Exit
+       done
+     with Exit -> t := -1);
+    !t
+  in
+  let probe_choice, probe_value, store =
+    if dense_total >= 0 then begin
+      let offsets = Array.make n 0 in
+      let acc = ref 0 in
+      for j = 0 to n - 1 do
+        offsets.(j) <- !acc;
+        acc := !acc + ((1 lsl depths.(j)) * widths.(j))
+      done;
+      let values = Array.make (Stdlib.max 1 dense_total) Float.nan in
+      let choices = Array.make (Stdlib.max 1 dense_total) (-1) in
+      ( (fun j mask b -> choices.(offsets.(j) + (mask * widths.(j)) + b)),
+        (fun j mask b -> values.(offsets.(j) + (mask * widths.(j)) + b)),
+        fun j mask b v c ->
+          let i = offsets.(j) + (mask * widths.(j)) + b in
+          values.(i) <- v;
+          choices.(i) <- c )
+    end
+    else begin
+      let rows : (int, float array * int array) Hashtbl.t =
+        Hashtbl.create 4096
+      in
+      let row j mask =
+        let key = (mask lsl node_bits) lor j in
+        match Hashtbl.find_opt rows key with
+        | Some r -> r
+        | None ->
+            let r = (Array.make widths.(j) Float.nan, Array.make widths.(j) (-1)) in
+            Hashtbl.replace rows key r;
+            r
+      in
+      ( (fun j mask b ->
+          let _, cs = row j mask in
+          cs.(b)),
+        (fun j mask b ->
+          let vs, _ = row j mask in
+          vs.(b)),
+        fun j mask b v c ->
+          let vs, cs = row j mask in
+          vs.(b) <- v;
+          cs.(b) <- c )
+    end
+  in
+  let cap j b = if cap_budget then Stdlib.min b (widths.(j) - 1) else b in
+  let rec solve j b mask incoming =
+    if j >= n then leaf_error j incoming
+    else begin
+      let b = cap j b in
+      let packed = probe_choice j mask b in
+      if packed >= 0 then probe_value j mask b
+      else begin
+        on_state ();
+        incr states;
+        let c = coeffs.(j) in
+        let bit = 1 lsl depths.(j) in
+        let drop_value, drop_allot =
+          if j = 0 then (solve 1 b mask incoming, b)
+          else
+            best_split ~strategy:split ~total:b
+              ~f:(fun b' -> solve (2 * j) b' mask incoming)
+              ~g:(fun b'' -> solve ((2 * j) + 1) b'' mask incoming)
+        in
+        let keep =
+          if b = 0 || c = 0. then None
+          else if j = 0 then
+            Some (solve 1 (b - 1) (mask lor bit) (incoming +. c), b - 1)
+          else begin
+            let v, b' =
+              best_split ~strategy:split ~total:(b - 1)
+                ~f:(fun b' -> solve (2 * j) b' (mask lor bit) (incoming +. c))
+                ~g:(fun b'' ->
+                  solve ((2 * j) + 1) b'' (mask lor bit) (incoming -. c))
+            in
+            Some (v, b')
+          end
+        in
+        let value, retained, left_allot =
+          match keep with
+          | Some (kv, kb) when kv < drop_value -> (kv, true, kb)
+          | _ -> (drop_value, false, drop_allot)
+        in
+        store j mask b value ((left_allot lsl 1) lor Bool.to_int retained);
+        value
+      end
+    end
+  in
+  let max_err = solve 0 budget 0 0. in
+  (* Retrace the stored choices to materialize the synopsis. *)
+  let rec trace j b mask incoming acc =
+    if j >= n then acc
+    else begin
+      let b = cap j b in
+      let packed = probe_choice j mask b in
+      let retained = packed land 1 = 1 in
+      let left_allot = packed lsr 1 in
+      let c = coeffs.(j) in
+      let bit = 1 lsl depths.(j) in
+      if retained then begin
+        let acc = j :: acc in
+        if j = 0 then trace 1 (b - 1) (mask lor bit) (incoming +. c) acc
+        else begin
+          let acc = trace (2 * j) left_allot (mask lor bit) (incoming +. c) acc in
+          trace
+            ((2 * j) + 1)
+            (b - 1 - left_allot)
+            (mask lor bit) (incoming -. c) acc
+        end
+      end
+      else if j = 0 then trace 1 b mask incoming acc
+      else begin
+        let acc = trace (2 * j) left_allot mask incoming acc in
+        trace ((2 * j) + 1) (b - left_allot) mask incoming acc
+      end
+    end
+  in
+  let retained = trace 0 budget 0 0. [] in
+  let synopsis =
+    Synopsis.make ~n (List.map (fun j -> (j, coeffs.(j))) retained)
+  in
+  Log.debug (fun m ->
+      m "solved n=%d budget=%d states=%d max_err=%g (flat %s)" n budget !states
+        max_err
+        (if dense_total >= 0 then "dense" else "rows"));
+  { max_err; synopsis; dp_states = !states }
+
+let solve_tree ?(split = Binary_search) ?(cap_budget = true)
+    ?(on_state = fun () -> ()) ?(impl = Flat)
+    ?(dense_limit = default_dense_limit) ~tree ~budget metric =
+  if budget < 0 then invalid_arg "Minmax_dp.solve: negative budget";
+  match impl with
+  | Reference -> solve_tree_reference ~split ~cap_budget ~on_state ~tree ~budget metric
+  | Flat ->
+      solve_tree_flat ~split ~cap_budget ~on_state ~dense_limit ~tree ~budget
+        metric
+
 type budget_search = { best : result; feasible : bool }
 
-let budget_for ?pool ?on_state ~data ~target metric =
+let budget_for ?pool ?on_state ?impl ~data ~target metric =
   if not (Float_util.is_pow2 (Array.length data)) then
     invalid_arg "Minmax_dp.budget_for: data length must be a power of two";
   let tree = Error_tree.of_data data in
@@ -157,7 +358,7 @@ let budget_for ?pool ?on_state ~data ~target metric =
      particular the final answer reuses the last probe instead of
      re-solving at [hi]. *)
   let cache : (int, result) Hashtbl.t = Hashtbl.create 16 in
-  let solve_fresh b = solve_tree ?on_state ~tree ~budget:b metric in
+  let solve_fresh b = solve_tree ?on_state ?impl ~tree ~budget:b metric in
   let solve_b b =
     match Hashtbl.find_opt cache b with
     | Some r -> r
@@ -205,8 +406,8 @@ let budget_for ?pool ?on_state ~data ~target metric =
   let best = solve_b !hi in
   { best; feasible = best.max_err <= target }
 
-let solve ?split ?cap_budget ?on_state ~data ~budget metric =
+let solve ?split ?cap_budget ?on_state ?impl ?dense_limit ~data ~budget metric =
   if not (Float_util.is_pow2 (Array.length data)) then
     invalid_arg "Minmax_dp.solve: data length must be a power of two";
-  solve_tree ?split ?cap_budget ?on_state ~tree:(Error_tree.of_data data)
-    ~budget metric
+  solve_tree ?split ?cap_budget ?on_state ?impl ?dense_limit
+    ~tree:(Error_tree.of_data data) ~budget metric

@@ -16,6 +16,12 @@
     total running time is [O(N^2 B log B)] and the memo table holds
     [O(N B)] live entries per level in the worst case (Theorem 3.1).
 
+    The memo's storage layout (contiguous per-(node, ancestor-mask)
+    budget rows, with a dense single-array fast path and a lazy-row
+    spill path) and its allocation profile are specified in
+    [docs/KERNELS.md]; {!impl} selects the legacy Hashtbl kernel for
+    equivalence testing.
+
     Optimality is validated against {!Brute_force.optimal_1d} in the
     test suite. *)
 
@@ -23,6 +29,14 @@ type split_strategy =
   | Binary_search
       (** the paper's O(log B) crossover search (default) *)
   | Linear_scan  (** O(B) scan over allotments; for ablation (E12) *)
+
+type impl =
+  | Flat
+      (** contiguous budget rows, packed choice words (default; see
+          [docs/KERNELS.md]) *)
+  | Reference
+      (** the original tuple-keyed memo Hashtbl, kept as the
+          bit-identical equivalence oracle ([test/test_kernels.ml]) *)
 
 type result = {
   max_err : float;  (** optimal value [M[0, B, {}]] *)
@@ -35,6 +49,8 @@ val solve :
   ?split:split_strategy ->
   ?cap_budget:bool ->
   ?on_state:(unit -> unit) ->
+  ?impl:impl ->
+  ?dense_limit:int ->
   data:float array ->
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->
@@ -51,7 +67,20 @@ val solve :
     [on_state] is invoked once per freshly computed DP state (a memo
     miss) and may raise to abort the solve cooperatively — this is how
     [Wavesyn_robust.Deadline] bounds the DP's runtime. The default does
-    nothing. *)
+    nothing. Aborting mid-solve simply discards the partially filled
+    table, whatever the [impl].
+
+    [impl] picks the memo kernel (default {!Flat}); every field of the
+    result — [max_err] bits, the synopsis, [dp_states] — is identical
+    across kernels. [dense_limit] (default {!default_dense_limit}
+    entries) bounds the flat kernel's eagerly allocated dense table;
+    predicted sizes above it switch to lazily allocated rows. Both
+    knobs exist for testing and memory tuning; see [docs/KERNELS.md]. *)
+
+val default_dense_limit : int
+(** Ceiling (in table entries, one float + one int word each) under
+    which the flat kernel preallocates the whole dense table
+    ([2^22] entries, about 64 MiB). *)
 
 type budget_search = {
   best : result;
@@ -70,6 +99,7 @@ type budget_search = {
 val budget_for :
   ?pool:Wavesyn_par.Pool.t ->
   ?on_state:(unit -> unit) ->
+  ?impl:impl ->
   data:float array ->
   target:float ->
   Wavesyn_synopsis.Metrics.error_metric ->
@@ -92,6 +122,8 @@ val solve_tree :
   ?split:split_strategy ->
   ?cap_budget:bool ->
   ?on_state:(unit -> unit) ->
+  ?impl:impl ->
+  ?dense_limit:int ->
   tree:Wavesyn_haar.Error_tree.t ->
   budget:int ->
   Wavesyn_synopsis.Metrics.error_metric ->

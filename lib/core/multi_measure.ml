@@ -33,7 +33,11 @@ let finalize ?pool ~trees ~budgets metric =
   let m = Array.length trees in
   let results =
     match pool with
-    | Some p when m > 1 -> Pool.map_chunked p m solve_one
+    | Some p when m > 1 ->
+        (* Whole-measure solves are few and heavy; default_grain keeps
+           them one per chunk until m outgrows the pool. *)
+        let grain = Pool.default_grain ~items:m ~domains:(Pool.domains p) in
+        Pool.map_chunked ~grain p m solve_one
     | _ -> Array.init m solve_one
   in
   let per_measure_err = Array.map (fun r -> r.Minmax_dp.max_err) results in
@@ -61,7 +65,14 @@ let solve ?pool ~measures ~budget metric =
   in
   let flat =
     match pool with
-    | Some p when m * width > 1 -> Pool.map_chunked p (m * width) curve_cell
+    | Some p when m * width > 1 ->
+        (* Curve cells are many and cheap-but-skewed (cost grows with
+           the budget coordinate); the default grain batches them into
+           ~4 chunks per domain so chunk overhead amortizes while the
+           help-while-wait scheduler still levels the skew. *)
+        let items = m * width in
+        let grain = Pool.default_grain ~items ~domains:(Pool.domains p) in
+        Pool.map_chunked ~grain p items curve_cell
     | _ -> Array.init (m * width) curve_cell
   in
   let curves = Array.init m (fun i -> Array.sub flat (i * width) width) in

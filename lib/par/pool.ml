@@ -4,6 +4,8 @@ module Mclock = Wavesyn_obs.Mclock
 
 type instruments = {
   tasks : Metric.counter;
+  chunks : Metric.counter;
+  grain : Metric.gauge;
   chunk_ms : Metric.histogram;
 }
 
@@ -33,8 +35,14 @@ let instruments_of obs =
     (fun reg ->
       {
         tasks =
+          Registry.counter reg ~help:"items completed by pooled fan-outs"
+            ~unit_:"items" "par.tasks";
+        chunks =
           Registry.counter reg ~help:"chunks executed by the domain pool"
-            ~unit_:"chunks" "par.tasks";
+            ~unit_:"chunks" "par.chunks";
+        grain =
+          Registry.gauge reg ~help:"grain (items per chunk) of the most recent fan-out"
+            ~unit_:"items" "par.grain";
         chunk_ms =
           Registry.histogram reg ~help:"wall-clock time of one pool chunk"
             ~unit_:"ms" "par.chunk.ms";
@@ -58,7 +66,7 @@ let execute_one t b =
   (match t.instruments with
   | None -> ()
   | Some ins ->
-      Metric.incr ins.tasks;
+      Metric.incr ins.chunks;
       Metric.observe ins.chunk_ms (Mclock.ms_since t0));
   Mutex.lock t.mutex;
   b.completed <- b.completed + 1;
@@ -113,6 +121,20 @@ let create ?obs ~domains () =
 
 let domains t = t.domains
 
+(* Grain heuristic: a chunk must amortize the pool's per-chunk overhead
+   (one mutex round trip plus a cache-cold start, microseconds), while
+   leaving enough chunks for the help-while-wait scheduler to balance
+   cost skew across domains. Four chunks per domain is the sweet spot
+   measured in bench/smoke.ml for the DP fan-outs: coarser grains
+   starve domains when per-item cost is skewed (the multi-measure
+   error-curve cells grow with the budget coordinate), finer grains pay
+   pool overhead per item. *)
+let chunks_per_domain = 4
+
+let default_grain ~items ~domains =
+  if items <= 0 then 1
+  else Stdlib.max 1 (items / (Stdlib.max 1 domains * chunks_per_domain))
+
 (* Submit [total] chunks and help until they are all done. The helper
    loop also steals chunks of other live batches: a worker blocked here
    on a nested submit keeps the pool making progress, so nesting cannot
@@ -139,8 +161,8 @@ let run_batch t ~total run =
   in
   help ()
 
-let map_chunked ?(chunk = 1) t n f =
-  if chunk < 1 then invalid_arg "Pool.map_chunked: chunk must be >= 1";
+let map_chunked ?(grain = 1) t n f =
+  if grain < 1 then invalid_arg "Pool.map_chunked: grain must be >= 1";
   if n < 0 then invalid_arg "Pool.map_chunked: negative size";
   if t.stop then invalid_arg "Pool: submit after shutdown";
   if n = 0 then [||]
@@ -148,9 +170,9 @@ let map_chunked ?(chunk = 1) t n f =
     let out = Array.make n None in
     let failure = ref None in
     let fail_mutex = Mutex.create () in
-    let nchunks = (n + chunk - 1) / chunk in
+    let nchunks = (n + grain - 1) / grain in
     let run k =
-      let lo = k * chunk and hi = Stdlib.min n ((k + 1) * chunk) in
+      let lo = k * grain and hi = Stdlib.min n ((k + 1) * grain) in
       try
         for i = lo to hi - 1 do
           out.(i) <- Some (f i)
@@ -167,15 +189,23 @@ let map_chunked ?(chunk = 1) t n f =
       for k = 0 to nchunks - 1 do
         run k
       done
-    else run_batch t ~total:nchunks run;
+    else begin
+      (match t.instruments with
+      | None -> ()
+      | Some ins -> Metric.set ins.grain (float_of_int grain));
+      run_batch t ~total:nchunks run;
+      match t.instruments with
+      | None -> ()
+      | Some ins -> Metric.incr ~by:n ins.tasks
+    end;
     (match !failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let reduce_ordered ?chunk t ~n ~task ~merge ~init =
-  Array.fold_left merge init (map_chunked ?chunk t n task)
+let reduce_ordered ?grain t ~n ~task ~merge ~init =
+  Array.fold_left merge init (map_chunked ?grain t n task)
 
 let shutdown t =
   Mutex.lock t.mutex;

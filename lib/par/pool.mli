@@ -29,18 +29,28 @@ val create : ?obs:Wavesyn_obs.Registry.t -> domains:int -> unit -> t
     submitting thread is the remaining member). [domains >= 1] or
     [Invalid_argument] is raised. When [obs] is given, the pool
     registers the [par.*] instruments documented in
-    [docs/PARALLELISM.md] ([par.pool.domains] gauge, [par.tasks]
-    counter, [par.chunk.ms] histogram) and records into them. *)
+    [docs/PARALLELISM.md] ([par.pool.domains] gauge, [par.tasks] and
+    [par.chunks] counters, [par.grain] gauge, [par.chunk.ms]
+    histogram) and records into them. *)
 
 val domains : t -> int
 (** The pool size passed to {!create} (including the submitter). *)
 
-val map_chunked : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+val default_grain : items:int -> domains:int -> int
+(** The grain (items per chunk) the solvers use when fanning [items]
+    sub-problems over [domains] domains: [max 1 (items / (domains *
+    4))], i.e. about four chunks per domain. Coarse enough that a
+    chunk amortizes the pool's per-chunk overhead, fine enough that
+    the help-while-wait scheduler can still balance cost skew (see
+    docs/KERNELS.md for the measured per-state costs this is derived
+    from, docs/PARALLELISM.md for how to re-measure). *)
+
+val map_chunked : ?grain:int -> t -> int -> (int -> 'a) -> 'a array
 (** [map_chunked pool n f] is [[| f 0; f 1; …; f (n-1) |]], with the
-    index range split into chunks of [chunk] consecutive indices
+    index range split into chunks of [grain] consecutive indices
     (default [1]) executed across the pool. Results are written into
     their own slots, so the returned array is identical to the
-    sequential map regardless of [domains] or scheduling.
+    sequential map regardless of [domains], [grain] or scheduling.
 
     If one or more tasks raise, the exception of the {e
     lowest-indexed} failing chunk is re-raised (with its backtrace)
@@ -48,11 +58,11 @@ val map_chunked : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
     safe to call from another domain: it should only read shared data
     (all wavesyn trees and arrays passed to solvers are immutable).
 
-    Raises [Invalid_argument] on [n < 0], [chunk < 1], or a pool that
+    Raises [Invalid_argument] on [n < 0], [grain < 1], or a pool that
     was already {!shutdown}. *)
 
 val reduce_ordered :
-  ?chunk:int ->
+  ?grain:int ->
   t ->
   n:int ->
   task:(int -> 'a) ->

@@ -16,8 +16,15 @@
      accessors). Section headings ([{1 ...}]) close with [*)] and
      therefore cover the vals they introduce.
 
-   Usage: doclint DIR...  — walks each directory for [.mli] files,
-   prints one line per violation and exits 1 if any were found. *)
+   Markdown pages ([.md] under the walked directories, i.e. docs/)
+   are linted too: they must open with a [#] title, code fences must
+   balance, and every backticked repo path starting with [lib/] or
+   [docs/] must exist — so a doc page (docs/KERNELS.md and friends)
+   cannot drift to dangling file references without failing the gate.
+
+   Usage: doclint DIR...  — walks each directory for [.mli] and [.md]
+   files, prints one line per violation and exits 1 if any were
+   found. *)
 
 let violations = ref 0
 
@@ -122,17 +129,93 @@ let lint_file file =
     end
   done
 
-let rec walk dir =
+(* --- markdown pages --- *)
+
+(* Backticked spans of [line], without the backticks. *)
+let backtick_spans line =
+  let n = String.length line in
+  let spans = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = '`' then begin
+      let j = ref (!i + 1) in
+      while !j < n && line.[!j] <> '`' do
+        incr j
+      done;
+      if !j < n then begin
+        spans := String.sub line (!i + 1) (!j - !i - 1) :: !spans;
+        i := !j + 1
+      end
+      else i := n
+    end
+    else incr i
+  done;
+  List.rev !spans
+
+(* A span that looks like a repo path we can verify: lib/... or
+   docs/... (the trees this lint walks). Other prefixes (bench/,
+   test/, bin/...) are left unchecked — they are outside the lint's
+   sandbox. An optional ":<line>" suffix is ignored. *)
+let checkable_path span =
+  let span =
+    match String.index_opt span ':' with
+    | Some i -> String.sub span 0 i
+    | None -> span
+  in
+  let has_prefix p =
+    String.length span > String.length p
+    && String.sub span 0 (String.length p) = p
+  in
+  if
+    (has_prefix "lib/" || has_prefix "docs/")
+    && String.for_all
+         (function
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | '/' ->
+               true
+           | _ -> false)
+         span
+    && span.[String.length span - 1] <> '/'
+  then Some span
+  else None
+
+(* [root] is the directory that contains lib/ and docs/ (the parent of
+   the walked tree), so references resolve the way a reader at the
+   repo root would. *)
+let lint_md ~root file =
+  let lines = Array.of_list (read_lines file) in
+  let n = Array.length lines in
+  (if n = 0 || not (starts_with "# " lines.(0)) then
+     complain file 1 "markdown page must open with a # title");
+  let fences = ref 0 in
+  Array.iteri
+    (fun i line ->
+      if starts_with "```" line then incr fences
+      else if !fences mod 2 = 0 then
+        (* outside code fences: verify backticked repo paths *)
+        List.iter
+          (fun span ->
+            match checkable_path span with
+            | None -> ()
+            | Some path ->
+                if not (Sys.file_exists (Filename.concat root path)) then
+                  complain file (i + 1)
+                    (Printf.sprintf "dangling path reference: %s" path))
+          (backtick_spans line))
+    lines;
+  if !fences mod 2 <> 0 then complain file n "unbalanced ``` code fences"
+
+let rec walk ~root dir =
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.iter (fun entry ->
          let path = Filename.concat dir entry in
-         if Sys.is_directory path then walk path
-         else if Filename.check_suffix entry ".mli" then lint_file path)
+         if Sys.is_directory path then walk ~root path
+         else if Filename.check_suffix entry ".mli" then lint_file path
+         else if Filename.check_suffix entry ".md" then lint_md ~root path)
 
 let () =
   let dirs = List.tl (Array.to_list Sys.argv) in
   if dirs = [] then (prerr_endline "usage: doclint DIR..."; exit 2);
-  List.iter walk dirs;
+  List.iter (fun dir -> walk ~root:(Filename.dirname dir) dir) dirs;
   if !violations > 0 then begin
     Printf.printf "doclint: %d violation(s)\n" !violations;
     exit 1
