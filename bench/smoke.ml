@@ -28,6 +28,7 @@ module Ndarray = Wavesyn_util.Ndarray
 module Pool = Wavesyn_par.Pool
 module Wire = Wavesyn_server.Wire
 module Admit = Wavesyn_server.Admit
+module Shard = Wavesyn_server.Shard
 
 let rng = Prng.create ~seed:31415
 let signal n = Signal.random_walk ~rng ~n ~step:3.
@@ -179,6 +180,43 @@ let par_pool_cases pool4 (grid, measures, data64) =
    request, decoding a framed reply (CRC check included), and a full
    offer/drain cycle through the bounded admission queue. Recorded in
    BENCH_server.json so later protocol changes show up as perf moves. *)
+(* One scatter-gather round through the Shard router (in-process rpc
+   stubs answering exact sums, so the row isolates routing and merge
+   overhead): a point, a cross-shard range and a quantile bisection,
+   at 1 shard vs 4 — the per-request cost of the sharded front-end. *)
+let srv_shard_case ~shards =
+  let n = 256 in
+  let data = Array.init n (fun i -> float_of_int (((i * 37) mod 101) + 3)) in
+  let ranges =
+    match Shard.split ~n ~shards with Ok r -> r | Error e -> failwith e
+  in
+  let rpc_of { Shard.lo; hi } =
+    let slice = Array.sub data lo (hi - lo + 1) in
+    fun req ->
+      match req with
+      | Wire.Point i -> Ok [ Wire.Value slice.(i) ]
+      | Wire.Range { lo; hi } ->
+          let s = ref 0. in
+          for i = lo to hi do
+            s := !s +. slice.(i)
+          done;
+          Ok [ Wire.Value !s ]
+      | _ -> Ok [ Wire.Pong ]
+  in
+  let router =
+    match
+      Shard.router ~n ~ranges (Array.of_list (List.map rpc_of ranges))
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  Test.make
+    ~name:(Printf.sprintf "SRV/shard-route-mixed:%d" shards)
+    (Staged.stage (fun () ->
+         ignore (Shard.eval router (Wire.Point (n / 2)));
+         ignore (Shard.eval router (Wire.Range { lo = 7; hi = n - 9 }));
+         ignore (Shard.eval router (Wire.Quantile 0.5))))
+
 let srv_cases =
   let batch =
     Wire.Batch
@@ -213,6 +251,8 @@ let srv_cases =
            done;
            ignore (Admit.take_batch admit);
            ignore (Admit.note_round admit ~shed:0)));
+    srv_shard_case ~shards:1;
+    srv_shard_case ~shards:4;
   ]
 
 let benchmark tests =

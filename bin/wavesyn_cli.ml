@@ -38,6 +38,8 @@ module Client = Wavesyn_server.Client
 module Loadgen = Wavesyn_server.Loadgen
 module Failover = Wavesyn_server.Failover
 module Replica = Wavesyn_server.Replica
+module Endpoint = Wavesyn_server.Endpoint
+module Shard = Wavesyn_server.Shard
 
 open Cmdliner
 
@@ -498,7 +500,29 @@ let connect_arg =
   Arg.(value & opt (some string) None
        & info [ "connect" ] ~docv:"SOCK"
            ~doc:"Talk to the query server listening on the Unix-domain \
-                 socket $(docv) instead of working locally.")
+                 socket $(docv) instead of working locally (or \
+                 $(b,tcp:HOST:PORT) for a TCP server).")
+
+let connect_tcp_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect-tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Talk to the query server listening on TCP $(docv) — \
+                 shorthand for --connect tcp:$(docv).")
+
+(* One endpoint from the two spellings; [--connect tcp:...] and
+   [--connect-tcp ...] are the same thing, so passing both is a usage
+   error even when they agree. *)
+let merge_connect connect connect_tcp =
+  match (connect, connect_tcp) with
+  | Some _, Some _ ->
+      die
+        (Validate.Bad_option
+           {
+             what = "--connect/--connect-tcp";
+             reason = "pass either --connect or --connect-tcp, not both";
+           })
+  | None, Some host_port -> Some ("tcp:" ^ host_port)
+  | connect, None -> connect
 
 let wait_arg =
   Arg.(value & opt float 0.
@@ -641,9 +665,9 @@ let query_cmd =
             | Error e -> die e)
         | _ -> bad "bad cell index")
   in
-  let run file gen n seed algo budget sanity connect wait_ms timeout_ms ping
-      point q server_stats shutdown updates storm lo hi =
-    match connect with
+  let run file gen n seed algo budget sanity connect connect_tcp wait_ms
+      timeout_ms ping point q server_stats shutdown updates storm lo hi =
+    match merge_connect connect connect_tcp with
     | Some path ->
         let write_actions =
           match (updates, storm) with
@@ -723,9 +747,10 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Answer a query from a local synopsis or a running server.")
     Term.(const run $ file_arg $ gen_arg $ n_arg $ seed_arg $ algo_arg
-          $ budget_arg $ sanity_arg $ connect_arg $ wait_arg $ timeout_arg
-          $ ping_arg $ point_arg $ q_arg $ server_stats_arg $ shutdown_arg
-          $ update_arg $ storm_arg $ lo_arg $ hi_arg)
+          $ budget_arg $ sanity_arg $ connect_arg $ connect_tcp_arg
+          $ wait_arg $ timeout_arg $ ping_arg $ point_arg $ q_arg
+          $ server_stats_arg $ shutdown_arg $ update_arg $ storm_arg
+          $ lo_arg $ hi_arg)
 
 (* --- serve / recover: the durable supervised store --- *)
 
@@ -989,10 +1014,11 @@ let stats_cmd =
          & info [ "store" ] ~docv:"DIR"
              ~doc:"Store directory holding snapshots, journal and manifest.")
   in
-  let run store connect wait_ms timeout_ms prom jobs =
+  let run store connect connect_tcp wait_ms timeout_ms prom jobs =
     (* stats is read-only and single-domain today; the flag is validated
        for interface uniformity with threshold/serve. *)
     Pool.shutdown (pool_of_jobs jobs);
+    let connect = merge_connect connect connect_tcp in
     let store =
       match (store, connect) with
       | Some _, Some _ ->
@@ -1073,17 +1099,144 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Inspect a store read-only, or scrape a running server's \
              metrics.")
-    Term.(const run $ store_opt_arg $ connect_arg $ wait_arg $ timeout_arg
-          $ prom_arg $ jobs_arg)
+    Term.(const run $ store_opt_arg $ connect_arg $ connect_tcp_arg
+          $ wait_arg $ timeout_arg $ prom_arg $ jobs_arg)
 
 (* --- server / loadgen: the network serving layer (docs/SERVING.md) --- *)
 
+(* Sharded serving (server --shards / --shard-ranges): the front-end
+   spawns one in-process shard server per key range on a derived
+   endpoint — TCP base port + 1 + k, or SOCK.shardK — then serves the
+   public endpoint through a Shard router over client connections to
+   them. In-memory only: each shard cuts its slice of the dataset; a
+   per-shard durable store rides behind its own shard server. *)
+let shard_endpoint listen k =
+  match Endpoint.parse listen with
+  | Ok (Endpoint.Tcp { host; port }) ->
+      Printf.sprintf "tcp:%s:%d" host (port + 1 + k)
+  | _ -> Printf.sprintf "%s.shard%d" listen k
+
+let serve_sharded ~obs ~pool ~listen ~data ~budget ~metric ~epsilon ~queue
+    ~idle_ms ?max_requests ~conn_fault ?crash_after ~recut_every ~wait_ms
+    ~jobs ~shards ~shard_ranges () =
+  let n = Array.length data in
+  let ranges =
+    match shard_ranges with
+    | Some spec -> (
+        match Shard.parse_ranges ~n spec with
+        | Ok ranges -> ranges
+        | Error reason ->
+            die (Validate.Bad_option { what = "--shard-ranges"; reason }))
+    | None -> (
+        match Shard.split ~n ~shards with
+        | Ok ranges -> ranges
+        | Error reason ->
+            die (Validate.Bad_option { what = "--shards"; reason }))
+  in
+  (* Build the front-end config first so bad --queue/--idle-ms die
+     before any shard domain is spawned. *)
+  let cfg =
+    match
+      Server.config ~budget ~metric ~epsilon ~queue_bound:queue ~idle_ms
+        ?max_requests ~conn_fault ?crash_after ~recut_every ~path:listen data
+    with
+    | cfg -> cfg
+    | exception Invalid_argument reason ->
+        die (Validate.Bad_option { what = "server"; reason })
+  in
+  let endpoints = List.mapi (fun k _ -> shard_endpoint listen k) ranges in
+  let domains =
+    List.map2
+      (fun endpoint { Shard.lo; hi } ->
+        let slice = Array.sub data lo (hi - lo + 1) in
+        Domain.spawn (fun () ->
+            let pool = Pool.create ~domains:jobs () in
+            Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+            let cfg =
+              Server.config ~budget ~metric ~epsilon ~queue_bound:queue
+                ~idle_ms ~path:endpoint slice
+            in
+            match Server.run (Server.create ~pool cfg) with
+            | Ok () -> ()
+            | Error _ -> ()))
+      endpoints ranges
+  in
+  (* The bounded-retry connect rides out the gap between a shard
+     domain's spawn and its bind. *)
+  let clients =
+    List.map
+      (fun endpoint ->
+        connect_client ~wait_ms:(Float.max wait_ms 5_000.) endpoint)
+      endpoints
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Client.close clients;
+      List.iter Domain.join domains)
+  @@ fun () ->
+  let rpcs =
+    Array.of_list (List.map (fun c req -> Client.request c req) clients)
+  in
+  let router =
+    match Shard.router ~n ~ranges rpcs with
+    | Ok router -> router
+    | Error reason -> die (Validate.Bad_option { what = "--shards"; reason })
+  in
+  let server = Server.create ~obs ~pool ~router cfg in
+  Printf.printf "server: listening on %s n=%d budget=%d queue=%d jobs=%d\n%!"
+    listen n budget queue jobs;
+  Printf.printf "server: shards=%d ranges=%s\n%!" (List.length ranges)
+    (String.concat ","
+       (List.map
+          (fun { Shard.lo; hi } -> Printf.sprintf "%d-%d" lo hi)
+          ranges));
+  let result = Server.run server in
+  (* Shards outlive the front-end's loop only long enough to be told
+     to stop; their sockets close before the summary prints. *)
+  Shard.shutdown router;
+  ok_or_die result;
+  if Server.crashed server then begin
+    Printf.printf "server: crashed (simulated kill)\n";
+    exit 137
+  end;
+  if Server.drained server then Printf.printf "server: drained (sigterm)\n";
+  let s = Server.stats server in
+  Printf.printf
+    "server: connections=%d requests=%d admitted=%d shed=%d errors=%d \
+     recuts=%d tier=%s\n"
+    s.Server.accepted s.Server.requests s.Server.admitted s.Server.shed
+    s.Server.errors s.Server.recuts s.Server.tier
+
 let server_cmd =
   let listen_arg =
-    Arg.(required & opt (some string) None
+    Arg.(value & opt (some string) None
          & info [ "listen" ] ~docv:"SOCK"
              ~doc:"Unix-domain socket path to listen on (a stale socket \
-                   file left by a dead server is replaced).")
+                   file left by a dead server is replaced), or \
+                   $(b,tcp:HOST:PORT) for a TCP listener.")
+  in
+  let listen_tcp_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen-tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Listen on TCP $(docv) — shorthand for --listen \
+                   tcp:$(docv).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Partition the key domain into $(docv) contiguous \
+                   key-range shards (a power of two dividing the domain \
+                   size), each served by an in-process shard server on a \
+                   derived endpoint (TCP port base+1+k, or SOCK.shardK), \
+                   behind this scatter-gather front-end. Merged replies are \
+                   byte-identical for any shard count (docs/SERVING.md).")
+  in
+  let shard_ranges_arg =
+    Arg.(value & opt (some string) None
+         & info [ "shard-ranges" ] ~docv:"SPEC"
+             ~doc:"Explicit shard partition $(b,LO-HI,LO-HI,...) — \
+                   inclusive ranges tiling the domain contiguously, each a \
+                   power-of-two length. Overrides --shards.")
   in
   let store_opt_arg =
     Arg.(value & opt (some string) None
@@ -1149,9 +1302,31 @@ let server_cmd =
                    $(docv) applied updates; in between, only dirtied \
                    error-tree subtrees are re-solved.")
   in
-  let run listen store follower_of file gen n seed metric_name sanity budget
-      epsilon queue idle_ms max_requests wait_ms chaos chaos_rate chaos_seed
-      crash_after checkpoint_every no_fsync recut_every jobs =
+  let run listen listen_tcp store follower_of file gen n seed metric_name
+      sanity budget epsilon queue idle_ms max_requests wait_ms chaos
+      chaos_rate chaos_seed crash_after checkpoint_every no_fsync recut_every
+      shards shard_ranges jobs =
+    let listen =
+      match (listen, listen_tcp) with
+      | Some _, Some _ ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--listen/--listen-tcp";
+                 reason = "pass either --listen or --listen-tcp, not both";
+               })
+      | Some endpoint, None -> endpoint
+      | None, Some host_port -> "tcp:" ^ host_port
+      | None, None ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--listen/--listen-tcp";
+                 reason = "a listen endpoint is required";
+               })
+    in
+    if shards < 1 then
+      die (Validate.Bad_option { what = "--shards"; reason = "must be at least 1" });
     let obs = Registry.create () in
     (* Matching the serve loop's convention: the pool's par.* metrics
        join the exposition only when it can actually fan out. *)
@@ -1160,6 +1335,24 @@ let server_cmd =
     let conn_fault =
       fault_of_chaos ~rate:chaos_rate ~seed:chaos_seed chaos
     in
+    if shards > 1 || shard_ranges <> None then begin
+      (match (store, follower_of) with
+      | None, None -> ()
+      | _ ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--shards";
+                 reason =
+                   "sharded serving is in-memory (--file/--gen); a \
+                    per-shard store rides behind its own shard server";
+               }));
+      serve_sharded ~obs ~pool ~listen ~data:(load_data file gen n seed)
+        ~budget ~metric:(metric_of_name ~sanity metric_name) ~epsilon ~queue
+        ~idle_ms ?max_requests ~conn_fault ?crash_after ~recut_every ~wait_ms
+        ~jobs ~shards ~shard_ranges ()
+    end
+    else begin
     let no_file_gen () =
       if file <> None || gen <> None then
         die
@@ -1318,21 +1511,24 @@ let server_cmd =
       Printf.printf "server: updates=%d seq=%d bound=%g\n" s.Server.updates
         (match live_store with Some sup -> Supervisor.seq sup | None -> 0)
         s.Server.bound
+    end
   in
   Cmd.v
     (Cmd.info "server"
-       ~doc:"Serve synopsis queries over a Unix-domain socket.")
-    Term.(const run $ listen_arg $ store_opt_arg $ follower_arg $ file_arg
-          $ gen_arg $ n_arg $ seed_arg $ metric_arg $ sanity_arg $ budget_arg
-          $ epsilon_arg $ queue_arg $ idle_arg $ max_requests_arg $ wait_arg
-          $ chaos_arg $ chaos_rate_arg $ chaos_seed_arg $ crash_after_arg
-          $ checkpoint_arg $ no_fsync_arg $ recut_every_arg $ jobs_arg)
+       ~doc:"Serve synopsis queries over a Unix-domain or TCP socket.")
+    Term.(const run $ listen_arg $ listen_tcp_arg $ store_opt_arg
+          $ follower_arg $ file_arg $ gen_arg $ n_arg $ seed_arg $ metric_arg
+          $ sanity_arg $ budget_arg $ epsilon_arg $ queue_arg $ idle_arg
+          $ max_requests_arg $ wait_arg $ chaos_arg $ chaos_rate_arg
+          $ chaos_seed_arg $ crash_after_arg $ checkpoint_arg $ no_fsync_arg
+          $ recut_every_arg $ shards_arg $ shard_ranges_arg $ jobs_arg)
 
 let loadgen_cmd =
-  let connect_req_arg =
-    Arg.(required & opt (some string) None
+  let connect_opt_arg =
+    Arg.(value & opt (some string) None
          & info [ "connect" ] ~docv:"SOCK"
-             ~doc:"Unix-domain socket of the server under load.")
+             ~doc:"Unix-domain socket of the server under load (or \
+                   $(b,tcp:HOST:PORT) for a TCP server).")
   in
   let requests_arg =
     Arg.(value & opt int 64
@@ -1380,9 +1576,20 @@ let loadgen_cmd =
                    retry.* / client.failover.* when failing over) to \
                    $(docv) ($(b,-) for stdout) after the run.")
   in
-  let run connect wait_ms timeout_ms failover_to chaos chaos_rate chaos_seed
-      metrics seed requests batch mix connections n out =
+  let run connect connect_tcp wait_ms timeout_ms failover_to chaos chaos_rate
+      chaos_seed metrics seed requests batch mix connections n out =
     check_timeout timeout_ms;
+    let connect =
+      match merge_connect connect connect_tcp with
+      | Some endpoint -> endpoint
+      | None ->
+          die
+            (Validate.Bad_option
+               {
+                 what = "--connect/--connect-tcp";
+                 reason = "the server endpoint is required";
+               })
+    in
     let mix =
       match Loadgen.mix_of_string mix with
       | Ok m -> m
@@ -1480,10 +1687,10 @@ let loadgen_cmd =
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a server with a seeded, reproducible workload.")
-    Term.(const run $ connect_req_arg $ wait_arg $ timeout_arg $ failover_arg
-          $ chaos_arg $ chaos_rate_arg $ chaos_seed_arg $ metrics_arg
-          $ seed_arg $ requests_arg $ batch_arg $ mix_arg $ connections_arg
-          $ n_arg $ out_arg)
+    Term.(const run $ connect_opt_arg $ connect_tcp_arg $ wait_arg
+          $ timeout_arg $ failover_arg $ chaos_arg $ chaos_rate_arg
+          $ chaos_seed_arg $ metrics_arg $ seed_arg $ requests_arg
+          $ batch_arg $ mix_arg $ connections_arg $ n_arg $ out_arg)
 
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in

@@ -87,6 +87,7 @@ synopsis one ladder tier down.
   counter    server.requests{kind="point"}                2 requests
   counter    server.requests{kind="quantile"}             3 requests
   counter    server.requests{kind="range"}                2 requests
+  counter    server.requests{kind="retier"}               0 requests
   counter    server.requests{kind="shutdown"}             0 requests
   counter    server.requests{kind="stats"}                1 requests
   counter    server.requests{kind="sync"}                 0 requests

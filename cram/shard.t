@@ -1,0 +1,157 @@
+TCP transport and key-range sharded scatter-gather serving
+(docs/SERVING.md), end to end: a TCP listener answers the same
+protocol as a Unix-domain socket, a taken port is a structured error,
+and the sharded front-end's merged transcripts are byte-identical to
+the unsharded server's for every shard count and --jobs value.
+
+  $ SOCK_DIR=$(mktemp -d)
+
+Byte-identity needs an exactly-reconstructing configuration:
+integer-valued data and a budget covering the domain, so every
+partial sum is exact in float arithmetic in any association order.
+
+  $ awk 'BEGIN { for (i = 0; i < 64; i++) print (i * 37) % 101 + 3 }' \
+  >   > data.txt
+
+A TCP server: --listen-tcp HOST:PORT instead of a socket path. The
+same wire protocol, framing and CRC guard run over the connection.
+
+  $ timeout 60 wavesyn server --listen-tcp 127.0.0.1:19473 --file data.txt \
+  >   --budget 64 --max-requests 500 > tcp.log 2>&1 &
+
+  $ wavesyn query --connect-tcp 127.0.0.1:19473 --wait-ms 5000 --ping
+  PONG
+  $ wavesyn query --connect-tcp 127.0.0.1:19473 --point 26
+  VALUE 56
+  $ wavesyn query --connect-tcp 127.0.0.1:19473 0 63
+  VALUE 3377
+  $ wavesyn query --connect-tcp 127.0.0.1:19473 --quantile 0.5
+  QPOS 32
+
+Binding a second server on the live port is a structured I/O error
+naming the endpoint (exit 66), not a crash.
+
+  $ wavesyn server --listen-tcp 127.0.0.1:19473 --file data.txt --budget 64
+  server: listening on tcp:127.0.0.1:19473 n=64 budget=64 queue=64 jobs=1
+  wavesyn: tcp:127.0.0.1:19473: Address already in use
+  [66]
+
+A dead port with no retry budget fails fast with the same exit code.
+
+  $ wavesyn query --connect-tcp 127.0.0.1:19999 --wait-ms 0 --ping
+  wavesyn: tcp:127.0.0.1:19999: Connection refused
+  [66]
+
+  $ wavesyn query --connect-tcp 127.0.0.1:19473 --shutdown
+  BYE
+  $ wait
+
+Exactly one endpoint:
+
+  $ wavesyn query --connect $SOCK_DIR/x.sock --connect-tcp 127.0.0.1:1 --ping
+  wavesyn: --connect/--connect-tcp: pass either --connect or --connect-tcp, not both
+  [2]
+
+The sharded topologies. --shards N splits the domain into N equal
+key ranges, each served by its own shard server on a derived endpoint
+(port+1+k over TCP, path.shardK over Unix sockets), behind a
+scatter-gather front-end on the public endpoint; --shard-ranges pins
+an explicit partition. Four servers over the same data: unsharded
+Unix, 4-shard TCP at --jobs 1 and --jobs 4, and a single-shard routed
+topology.
+
+  $ U=$SOCK_DIR/u.sock
+  $ R=$SOCK_DIR/r.sock
+  $ timeout 60 wavesyn server --listen $U --file data.txt --budget 64 \
+  >   --max-requests 500 > u.log 2>&1 &
+  $ timeout 60 wavesyn server --listen-tcp 127.0.0.1:19480 --file data.txt \
+  >   --budget 64 --shards 4 --max-requests 500 > s4.log 2>&1 &
+  $ timeout 60 wavesyn server --listen-tcp 127.0.0.1:19490 --file data.txt \
+  >   --budget 64 --shards 4 --jobs 4 --max-requests 500 > s4j4.log 2>&1 &
+  $ timeout 60 wavesyn server --listen $R --file data.txt --budget 64 \
+  >   --shard-ranges 0-63 --max-requests 500 > r1.log 2>&1 &
+
+The same seeded schedule against all four produces byte-identical
+transcripts with the same CRC — the positional-merge contract.
+
+  $ wavesyn loadgen --connect $U --wait-ms 5000 --requests 60 --batch 3 \
+  >   -n 64 --seed 11 --out u.txt
+  loadgen: sent=60 replies=60 overloads=0 errors=0 crc=7831d453
+  $ wavesyn loadgen --connect-tcp 127.0.0.1:19480 --wait-ms 5000 \
+  >   --requests 60 --batch 3 -n 64 --seed 11 --out s4.txt
+  loadgen: sent=60 replies=60 overloads=0 errors=0 crc=7831d453
+  $ wavesyn loadgen --connect-tcp 127.0.0.1:19490 --wait-ms 5000 \
+  >   --requests 60 --batch 3 -n 64 --seed 11 --out s4j4.txt
+  loadgen: sent=60 replies=60 overloads=0 errors=0 crc=7831d453
+  $ wavesyn loadgen --connect $R --wait-ms 5000 --requests 60 --batch 3 \
+  >   -n 64 --seed 11 --out r1.txt
+  loadgen: sent=60 replies=60 overloads=0 errors=0 crc=7831d453
+  $ cmp u.txt s4.txt && cmp u.txt s4j4.txt && cmp u.txt r1.txt \
+  >   && echo transcripts identical
+  transcripts identical
+
+Per-connection determinism when --connections does not divide
+--requests: 20 requests over 3 connections leave a short tail, and
+every topology fingerprints each connection's subsequence
+identically.
+
+  $ wavesyn loadgen --connect $U --requests 20 --batch 2 -n 64 --seed 7 \
+  >   --connections 3 --out mu.txt
+  loadgen: sent=20 replies=20 overloads=0 errors=0 crc=75cda203
+  loadgen: conn=0 crc=3b84d61a
+  loadgen: conn=1 crc=0d7ec437
+  loadgen: conn=2 crc=b77c6b4e
+  $ wavesyn loadgen --connect-tcp 127.0.0.1:19480 --requests 20 --batch 2 \
+  >   -n 64 --seed 7 --connections 3 --out ms.txt
+  loadgen: sent=20 replies=20 overloads=0 errors=0 crc=75cda203
+  loadgen: conn=0 crc=3b84d61a
+  loadgen: conn=1 crc=0d7ec437
+  loadgen: conn=2 crc=b77c6b4e
+  $ cmp mu.txt ms.txt && echo multi-connection transcripts identical
+  multi-connection transcripts identical
+
+STATS through the front-end carries its own table plus one section
+per shard, in shard-index order.
+
+  $ wavesyn stats --connect-tcp 127.0.0.1:19480 | grep '^== shard'
+  == shard 0 [0, 15] ==
+  == shard 1 [16, 31] ==
+  == shard 2 [32, 47] ==
+  == shard 3 [48, 63] ==
+
+Shutdown fans out: stopping the front-end stops its shards too.
+
+  $ wavesyn query --connect $U --shutdown
+  BYE
+  $ wavesyn query --connect-tcp 127.0.0.1:19480 --shutdown
+  BYE
+  $ wavesyn query --connect-tcp 127.0.0.1:19490 --shutdown
+  BYE
+  $ wavesyn query --connect $R --shutdown
+  BYE
+  $ wait
+
+  $ sed "s#$SOCK_DIR#SOCKDIR#g" s4.log
+  server: listening on tcp:127.0.0.1:19480 n=64 budget=64 queue=64 jobs=1
+  server: shards=4 ranges=0-15,16-31,32-47,48-63
+  server: connections=6 requests=32 admitted=74 shed=0 errors=0 recuts=1 tier=minmax
+  $ sed "s#$SOCK_DIR#SOCKDIR#g" r1.log
+  server: listening on SOCKDIR/r.sock n=64 budget=64 queue=64 jobs=1
+  server: shards=1 ranges=0-63
+  server: connections=2 requests=21 admitted=56 shed=0 errors=0 recuts=1 tier=minmax
+
+Partition validation dies before anything binds:
+
+  $ wavesyn server --listen $SOCK_DIR/bad.sock --file data.txt --shards 3
+  wavesyn: --shards: shard count 3 is not a power of two
+  [2]
+  $ wavesyn server --listen $SOCK_DIR/bad.sock --file data.txt \
+  >   --shard-ranges 0-15,32-63
+  wavesyn: --shard-ranges: shard ranges must tile the domain contiguously: expected lo 16, got 32
+  [2]
+  $ wavesyn server --listen $SOCK_DIR/bad.sock --file data.txt --shards 2 \
+  >   --store nope
+  wavesyn: --shards: sharded serving is in-memory (--file/--gen); a per-shard store rides behind its own shard server
+  [2]
+
+  $ rm -rf $SOCK_DIR

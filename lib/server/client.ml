@@ -1,9 +1,12 @@
 (* Blocking client for the query server's binary protocol: connect
-   with a bounded retry (the server may still be binding its socket),
-   send one frame, read exactly the replies that frame commands. *)
+   with a bounded retry (the server may still be binding its socket or
+   port), send one frame, read exactly the replies that frame
+   commands. Targets are endpoint strings — a Unix socket path, or
+   "tcp:HOST:PORT" for TCP (see Endpoint). *)
 
 module Validate = Wavesyn_robust.Validate
 module Deadline = Wavesyn_robust.Deadline
+module Retry = Wavesyn_robust.Retry
 
 type t = {
   fd : Unix.file_descr;
@@ -12,39 +15,91 @@ type t = {
   mutable rlen : int;
 }
 
-let retry_pause_s = 0.02
+(* A nonblocking TCP connect parks the three-way handshake in the
+   kernel and returns EINPROGRESS; the socket turns writable when the
+   handshake resolves, and SO_ERROR then says how. A handshake that
+   never resolves (blackholed SYN) is bounded here rather than by the
+   connect-retry deadline, so a single dead target cannot absorb the
+   whole retry budget. *)
+let handshake_wait_ms = 5_000.
 
-let connect ?(wait_ms = 0.) ?timeout_ms path =
+let finish_tcp_handshake fd =
+  let deadline = Deadline.now_ms () +. handshake_wait_ms in
+  let rec wait () =
+    let remaining_s = (deadline -. Deadline.now_ms ()) /. 1000. in
+    if remaining_s <= 0. then
+      raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+    else
+      match Unix.select [] [ fd ] [] remaining_s with
+      | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+      | _, _ :: _, _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  match Unix.getsockopt_error fd with
+  | None -> ()
+  | Some e -> raise (Unix.Unix_error (e, "connect", ""))
+
+let connect ?(wait_ms = 0.) ?timeout_ms target =
   (match timeout_ms with
   | Some ms when ms <= 0. ->
       invalid_arg "Client.connect: timeout_ms must be positive"
   | _ -> ());
-  let deadline = Deadline.now_ms () +. wait_ms in
-  let rec go () =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match
-      (* The kernel deadline bounds every blocking read and write on
-         the socket, so a blackholed server surfaces as a structured
-         [Timeout] instead of a hang. *)
-      Option.iter
-        (fun ms ->
-          Unix.setsockopt_float fd Unix.SO_RCVTIMEO (ms /. 1000.);
-          Unix.setsockopt_float fd Unix.SO_SNDTIMEO (ms /. 1000.))
-        timeout_ms;
-      Unix.connect fd (Unix.ADDR_UNIX path)
-    with
-    | () -> Ok { fd; timeout_ms; rbuf = Bytes.create 4096; rlen = 0 }
-    | exception Unix.Unix_error (e, _, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        if Deadline.now_ms () < deadline then begin
-          Unix.sleepf retry_pause_s;
-          go ()
-        end
-        else
-          Error
-            (Validate.Io_error { path; reason = Unix.error_message e })
-  in
-  go ()
+  let io_error reason = Error (Validate.Io_error { path = target; reason }) in
+  match Endpoint.parse target with
+  | Error reason -> io_error reason
+  | Ok ep -> (
+      match Endpoint.sockaddr ep with
+      | Error reason -> io_error reason
+      | Ok addr ->
+          let deadline = Deadline.now_ms () +. wait_ms in
+          (* One seeded backoff schedule covers every retryable
+             pre-connection failure: a Unix socket still binding
+             (ENOENT/ECONNREFUSED), a TCP listener not yet up
+             (ECONNREFUSED), an interrupted or timed-out handshake
+             (EINTR/ETIMEDOUT). Deterministic delays, bounded by the
+             caller's [wait_ms]. *)
+          let policy =
+            Retry.policy ~base_ms:2. ~factor:2. ~max_ms:50. ~seed:0x1009 ()
+          in
+          let rec go attempt =
+            let fd = Unix.socket (Endpoint.domain ep) Unix.SOCK_STREAM 0 in
+            match
+              (match ep with
+              | Endpoint.Unix_path _ -> Unix.connect fd addr
+              | Endpoint.Tcp _ ->
+                  Unix.set_nonblock fd;
+                  (try Unix.connect fd addr
+                   with
+                  | Unix.Unix_error
+                      ( ( Unix.EINPROGRESS | Unix.EINTR | Unix.EAGAIN
+                        | Unix.EWOULDBLOCK ),
+                        _,
+                        _ ) ->
+                      finish_tcp_handshake fd);
+                  Unix.clear_nonblock fd;
+                  (* Request/reply framing must not sit out a Nagle
+                     delay: every frame is small and latency-bound. *)
+                  Unix.setsockopt fd Unix.TCP_NODELAY true);
+              (* The kernel deadline bounds every blocking read and
+                 write on the socket, so a blackholed server surfaces
+                 as a structured [Timeout] instead of a hang. *)
+              Option.iter
+                (fun ms ->
+                  Unix.setsockopt_float fd Unix.SO_RCVTIMEO (ms /. 1000.);
+                  Unix.setsockopt_float fd Unix.SO_SNDTIMEO (ms /. 1000.))
+                timeout_ms
+            with
+            | () -> Ok { fd; timeout_ms; rbuf = Bytes.create 4096; rlen = 0 }
+            | exception Unix.Unix_error (e, _, _) ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                if Deadline.now_ms () < deadline then begin
+                  Unix.sleepf (Retry.delay_ms policy ~attempt /. 1000.);
+                  go (attempt + 1)
+                end
+                else io_error (Unix.error_message e)
+          in
+          go 1)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

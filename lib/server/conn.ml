@@ -160,9 +160,13 @@ let read t ~now_ms =
             then `More
             else drain ()
           end
-      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-          `More
-      | exception Unix.Unix_error _ -> `Eof
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `More
+      | exception Unix.Unix_error (EINTR, _, _) -> drain ()
+      | exception Unix.Unix_error _ ->
+          (* ECONNRESET and friends — a TCP peer aborting mid-frame —
+             end the connection like a clean close; partial buffered
+             bytes die with it. *)
+          `Eof
     in
     let status = drain () in
     (List.rev !events, status)

@@ -125,7 +125,9 @@ type t = {
   repl : repl_tele option;
   upd : upd_tele option;
   live : Incremental.t option;
+  router : Shard.t option;
   mutable role : string;
+  mutable tier_floor : int;
   mutable synopsis : Synopsis.t;
   mutable tier_name : string;
   mutable listen_fd : Unix.file_descr option;
@@ -162,8 +164,26 @@ let sync_from_live t live =
    synopsis served at a given pressure level is deterministic. Over a
    live store this is a {e full} incremental-state re-cut against the
    stream's current data; otherwise it re-cuts the static dataset. *)
-let recut t =
-  let top = Admit.top_of_pressure (Admit.pressure t.admit) in
+let rec recut t =
+  let level = max (Admit.pressure t.admit) t.tier_floor in
+  let top = Admit.top_of_pressure level in
+  match t.router with
+  | Some r ->
+      (* Scatter-gather front-end: no synopsis of its own to cut.
+         Broadcast the pressure level so every shard re-cuts to the
+         tier this server's OVERLOAD replies advertise. *)
+      Shard.retier r level;
+      t.tier_name <-
+        Ladder.tier_name
+          (match top with
+          | `Minmax -> Ladder.Minmax
+          | `Approx -> Ladder.Approx_additive { epsilon = t.cfg.epsilon }
+          | `Greedy -> Ladder.Greedy_maxerr);
+      t.total_recuts <- t.total_recuts + 1;
+      Metric.incr t.c_recuts
+  | None -> route_free_recut t ~top
+
+and route_free_recut t ~top =
   match t.live with
   | Some live -> (
       match
@@ -198,7 +218,7 @@ let role_gauge_value = function
   | "follower" -> 1.
   | _ -> -1.
 
-let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
+let create ?obs ?trace ?pool ?on_handoff ?on_drain ?router cfg =
   let obs = match obs with Some r -> r | None -> Registry.create () in
   let pool =
     match pool with Some p -> p | None -> Pool.create ~domains:1 ()
@@ -212,7 +232,8 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
     and quantile = make "quantile" and stats = make "stats"
     and batch = make "batch" and shutdown = make "shutdown"
     and sync = make "sync" and handoff = make "handoff"
-    and update = make "update" and ingest = make "ingest" in
+    and update = make "update" and ingest = make "ingest"
+    and retier = make "retier" in
     function
     | Wire.Ping -> ping
     | Wire.Point _ -> point
@@ -225,6 +246,7 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
     | Wire.Handoff -> handoff
     | Wire.Update _ -> update
     | Wire.Ingest _ -> ingest
+    | Wire.Retier _ -> retier
   in
   let repl =
     match cfg.ship with
@@ -304,7 +326,9 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
       repl;
       upd;
       live;
+      router;
       role = cfg.role;
+      tier_floor = 0;
       synopsis = Synopsis.make ~n:(Array.length cfg.data) [];
       tier_name = "none";
       listen_fd = None;
@@ -341,6 +365,14 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain cfg =
      [Incremental.create]; adopt it instead of cutting twice. *)
   (match t.live with Some live -> sync_from_live t live | None -> recut t);
   t
+
+(* The STATS body: this server's own table, plus — behind a router —
+   every shard's table under a shard header, in shard-index order. *)
+let stats_text t =
+  let own = Registry.render_table t.obs in
+  match t.router with
+  | None -> own
+  | Some r -> own ^ Shard.stats_sections r
 
 let stats t =
   {
@@ -391,7 +423,7 @@ let eval_one t req =
           in
           Wire.Error { code; message = reason })
   | Wire.Ping | Wire.Stats | Wire.Batch _ | Wire.Shutdown | Wire.Sync _
-  | Wire.Handoff | Wire.Update _ | Wire.Ingest _ ->
+  | Wire.Handoff | Wire.Update _ | Wire.Ingest _ | Wire.Retier _ ->
       Wire.Error { code = Wire.Internal; message = "not an admitted kind" }
 
 (* --- the serving round --- *)
@@ -581,10 +613,24 @@ let storm_reply t sup deltas =
    double-apply — exactly-once lands on the at-most-once journal. The
    serving synopsis then folds in the dirty subtrees (or takes the
    cadenced full re-cut) before any of the round's reads evaluate. *)
+let routed_writes t r writes =
+  List.iter
+    (fun (slot, req) ->
+      let reply = Shard.write r req in
+      (match (reply, req) with
+      | Wire.Acked _, Wire.Update _ -> t.total_updates <- t.total_updates + 1
+      | Wire.Acked _, Wire.Ingest deltas ->
+          t.total_updates <- t.total_updates + List.length deltas
+      | _ -> ());
+      count_error t reply;
+      slot.s_reply <- Some reply)
+    writes
+
 let apply_writes t writes =
-  match writes with
-  | [] -> ()
-  | writes ->
+  match (writes, t.router) with
+  | [], _ -> ()
+  | writes, Some r -> routed_writes t r writes
+  | writes, None ->
       let sup =
         match t.cfg.store with Some s -> s | None -> assert false
       in
@@ -608,7 +654,10 @@ let apply_writes t writes =
         | Some live ->
             let stream = Supervisor.stream sup in
             (if Incremental.due_full live then
-               let top = Admit.top_of_pressure (Admit.pressure t.admit) in
+               let top =
+                 Admit.top_of_pressure
+                   (max (Admit.pressure t.admit) t.tier_floor)
+               in
                ignore (Incremental.full_cut ~top live stream)
              else Incremental.refresh live stream);
             sync_from_live t live
@@ -635,22 +684,22 @@ let process_request t ~(slots : slot list ref) ~evals ~writes conn request =
   (* Writes take a slot now (order!) but are applied only after the
      round's crash check — see [apply_writes]. *)
   let stage_write request =
-    match t.cfg.store with
-    | None ->
+    match (t.cfg.store, t.router) with
+    | None, None ->
         push
           (Wire.Error
              {
                code = Wire.Unanswerable;
                message = "read-only server: no live store";
              })
-    | Some _ ->
+    | _ ->
         let slot = { s_conn = conn; s_reply = None } in
         slots := slot :: !slots;
         writes := (slot, request) :: !writes
   in
   match request with
   | Wire.Ping -> push Wire.Pong
-  | Wire.Stats -> push (Wire.Stats_text (Registry.render_table t.obs))
+  | Wire.Stats -> push (Wire.Stats_text (stats_text t))
   | Wire.Shutdown ->
       t.running <- false;
       push Wire.Bye;
@@ -691,11 +740,11 @@ let process_request t ~(slots : slot list ref) ~evals ~writes conn request =
         (fun r ->
           match r with
           | Wire.Ping -> push Wire.Pong
-          | Wire.Stats -> push (Wire.Stats_text (Registry.render_table t.obs))
+          | Wire.Stats -> push (Wire.Stats_text (stats_text t))
           | Wire.Point _ | Wire.Range _ | Wire.Quantile _ -> admit r
           | Wire.Update _ -> stage_write r
           | Wire.Batch _ | Wire.Shutdown | Wire.Sync _ | Wire.Handoff
-          | Wire.Ingest _ ->
+          | Wire.Ingest _ | Wire.Retier _ ->
               push
                 (Wire.Error
                    {
@@ -703,6 +752,15 @@ let process_request t ~(slots : slot list ref) ~evals ~writes conn request =
                      message = "illegal BATCH entry";
                    }))
         reqs
+  | Wire.Retier level ->
+      (* Shard control plane: a sharded front-end forwards its own
+         pressure here so every shard re-cuts to the tier the
+         front-end's OVERLOAD replies advertise. The floor composes
+         with local pressure by max, so a shard under its own direct
+         overload never serves {e above} what its own admission allows. *)
+      t.tier_floor <- max 0 level;
+      recut t;
+      push Wire.Pong
   | Wire.Update _ | Wire.Ingest _ -> stage_write request
   | Wire.Point _ | Wire.Range _ | Wire.Quantile _ -> admit request
 
@@ -710,8 +768,23 @@ let process_request t ~(slots : slot list ref) ~evals ~writes conn request =
    kind fanned out positionally over the pool — results land back in
    their slots, so per-connection reply order is request order no
    matter how the pool schedules the work. *)
-let evaluate_round t evals =
+let rec evaluate_round t evals =
   ignore (Admit.take_batch t.admit);
+  match t.router with
+  | Some r ->
+      (* Scatter-gather is synchronous RPC, not pool work: shards are
+         walked in shard-index order per request, requests in arrival
+         order, so the merged transcript is independent of this
+         front-end's [--jobs]. *)
+      List.iter
+        (fun (slot, req) ->
+          let reply = Shard.eval r req in
+          count_error t reply;
+          slot.s_reply <- Some reply)
+        (List.rev evals)
+  | None -> pooled_round t evals
+
+and pooled_round t evals =
   let evals = Array.of_list (List.rev evals) in
   let by_kind tag =
     let group =
@@ -747,29 +820,58 @@ let evaluate_round t evals =
 exception Bind_error of Validate.error
 
 let listen_on path =
-  (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-  | _ ->
-      raise
-        (Bind_error (Validate.Io_error { path; reason = "exists and is not a socket" }))
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let bind_error reason =
+    raise (Bind_error (Validate.Io_error { path; reason }))
+  in
+  let ep =
+    match Endpoint.parse path with
+    | Ok ep -> ep
+    | Error reason -> bind_error reason
+  in
+  (match ep with
+  | Endpoint.Tcp _ -> ()
+  | Endpoint.Unix_path p -> (
+      (* A stale socket file from a dead server is reclaimed; anything
+         else at the path is the operator's file, not ours to unlink. *)
+      match Unix.lstat p with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink p
+      | _ -> bind_error "exists and is not a socket"
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()));
+  let addr =
+    match Endpoint.sockaddr ep with
+    | Ok addr -> addr
+    | Error reason -> bind_error reason
+  in
+  let fd = Unix.socket (Endpoint.domain ep) Unix.SOCK_STREAM 0 in
   match
-    Unix.bind fd (Unix.ADDR_UNIX path);
+    (match ep with
+    | Endpoint.Tcp _ ->
+        (* A restart must not lose the port to TIME_WAIT remnants of
+           its own previous connections. A port held by a {e live}
+           listener still fails the bind (EADDRINUSE) below — as a
+           structured error, never a raw [Unix_error]. *)
+        Unix.setsockopt fd Unix.SO_REUSEADDR true
+    | Endpoint.Unix_path _ -> ());
+    Unix.bind fd addr;
     Unix.listen fd 64;
     Unix.set_nonblock fd
   with
   | () -> fd
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise
-        (Bind_error
-           (Validate.Io_error { path; reason = Unix.error_message e }))
+      bind_error (Unix.error_message e)
 
 let accept_ready t listen_fd ~now_ms =
   let rec go () =
     match Unix.accept ~cloexec:true listen_fd with
-    | fd, _ ->
+    | fd, peer ->
+        (match peer with
+        | Unix.ADDR_INET _ -> (
+            (* Reply frames are small and latency-bound; a Nagle delay
+               on them is pure loss. *)
+            try Unix.setsockopt fd Unix.TCP_NODELAY true
+            with Unix.Unix_error _ -> ())
+        | Unix.ADDR_UNIX _ -> ());
         let id = t.next_id in
         t.next_id <- id + 1;
         t.total_accepted <- t.total_accepted + 1;
@@ -842,7 +944,10 @@ let run_exn t =
       Hashtbl.iter (fun _ c -> Conn.close c) t.conns;
       Hashtbl.reset t.conns;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      try Unix.unlink t.cfg.path with Unix.Unix_error _ -> ())
+      match Endpoint.parse t.cfg.path with
+      | Ok (Endpoint.Unix_path p) -> (
+          try Unix.unlink p with Unix.Unix_error _ -> ())
+      | Ok (Endpoint.Tcp _) | Error _ -> ())
   @@ fun () ->
   while t.running do
     let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in

@@ -1,4 +1,4 @@
-(** The query server: a select loop over a Unix-domain socket
+(** The query server: a select loop over a Unix-domain or TCP socket
     answering synopsis queries with deterministic replies.
 
     Replies are a pure function of the serving synopsis and the
@@ -8,6 +8,20 @@
     {!Admit} queue bound) applies per serving round, and a [BATCH]
     frame lands in one round, which makes overload shedding
     reproducible. Per connection, replies always keep request order.
+
+    The listen endpoint is an {!Endpoint} string: a plain path is a
+    Unix-domain socket, ["tcp:HOST:PORT"] a TCP listener (with
+    [SO_REUSEADDR], and [TCP_NODELAY] on accepted connections). The
+    framing, determinism and drain semantics are transport-independent.
+
+    A server created with a {!Shard} router is a {e scatter-gather
+    front-end}: it owns no synopsis, forwards each admitted read and
+    staged write through the router (shards walked in shard-index
+    order, requests in arrival order — independent of the pool size),
+    answers [STATS] with its own table plus every shard's, and
+    broadcasts its admission pressure to the shards as [RETIER] so
+    overload degradation stays byte-identical to an unsharded
+    server's.
 
     Overload feeds back into quality, not availability: pressure from
     shedding steps the serving synopsis down the
@@ -89,6 +103,7 @@ val create :
   ?pool:Wavesyn_par.Pool.t ->
   ?on_handoff:(unit -> int) ->
   ?on_drain:(unit -> unit) ->
+  ?router:Shard.t ->
   config ->
   t
 (** Build the serving state and cut the initial synopsis at the
@@ -96,6 +111,12 @@ val create :
     [server.*] metrics of [docs/OBSERVABILITY.md]; [trace] records
     [server.recut] and [server.round] spans; [pool] (sequential when
     absent) evaluates admitted requests — the caller shuts it down.
+    [router] makes this server a sharded front-end: reads and writes
+    route through it instead of a local synopsis ([data] then only
+    fixes the domain length for the shards' combined key space), and
+    pressure changes broadcast [RETIER] instead of re-cutting. The
+    caller owns the router's backends and shuts the shards down after
+    {!run} returns (e.g. {!Shard.shutdown}).
 
     [on_handoff] runs when a [HANDOFF] request promotes this server:
     it must promote the backing store and return its authoritative

@@ -1,0 +1,91 @@
+(** Key-range sharding: the partition map and the scatter-gather
+    router that serves a domain split across shard servers.
+
+    The domain [\[0, n)] is tiled by contiguous key ranges, one shard
+    per range, each shard an ordinary {!Server} over its sub-domain.
+    The router owns no synopsis: POINT and UPDATE forward to the
+    owning shard with the cell rebased to shard-local coordinates,
+    RANGE scatter-gathers per-shard sub-range sums merged in
+    shard-index order, QUANTILE re-runs the [Quantiles.estimate]
+    bisection over composed per-shard prefix sums, and INGEST storms
+    split per owner after global validation. Every fan-out walks the
+    shards in shard-index order — never arrival order — so merged
+    replies are a pure function of the request schedule and shard
+    states, and byte-identical to the unsharded server's on
+    exactly-reconstructing configurations (see docs/SERVING.md). *)
+
+(** One shard's key range, inclusive on both ends. *)
+type range = { lo : int; hi : int }
+
+type rpc = Wire.request -> (Wire.reply list, Wavesyn_robust.Validate.error) result
+(** A shard backend: sends one request, returns the reply frames in
+    order. [Server.create] wires these to {!Client.request} or
+    [Failover.rpc] so the router is transport- and failover-agnostic. *)
+
+val split : n:int -> shards:int -> (range list, string) result
+(** [split ~n ~shards] tiles [\[0, n)] into [shards] equal contiguous
+    ranges. The count must be a power of two dividing [n], so each
+    sub-domain is itself a wavelet domain; the error is a
+    human-readable reason otherwise. *)
+
+val parse_ranges : n:int -> string -> (range list, string) result
+(** Parse an explicit ["LO-HI,LO-HI,..."] partition spec (the CLI's
+    [--shard-ranges]). The ranges must tile [\[0, n)] contiguously and
+    each length must be a power of two. *)
+
+val check_ranges : n:int -> range list -> (unit, string) result
+(** Validate that ranges tile [\[0, n)] contiguously with nonempty
+    power-of-two lengths. [split] and [parse_ranges] outputs always
+    pass; use this on ranges built by hand. *)
+
+(** A scatter-gather router over a fixed shard topology. *)
+type t
+
+val router :
+  n:int -> ?seqs:int array -> ranges:range list -> rpc array -> (t, string) result
+(** [router ~n ~ranges rpcs] builds a router for domain [\[0, n)] with
+    [rpcs.(k)] serving [List.nth ranges k]. [seqs] seeds the per-shard
+    journal sequences (from each shard store's recovered sequence), so
+    the first ACKED global sequence continues the pre-shard history;
+    it defaults to all zeros. Errors on a range list that fails
+    {!check_ranges} or does not match the backend count. *)
+
+val shard_count : t -> int
+(** Number of shards behind the router. *)
+
+val ranges : t -> range list
+(** The partition map, in shard-index order. *)
+
+val owner : t -> int -> int
+(** [owner t i] is the index of the shard whose range contains cell
+    [i], which must be inside the domain. *)
+
+val seq : t -> int
+(** The global journal sequence: the sum of the per-shard sequences
+    last acknowledged through this router. *)
+
+val eval : t -> Wire.request -> Wire.reply
+(** Answer a read (POINT, RANGE, QUANTILE) by scatter-gather, with
+    domain validation and error messages mirroring the unsharded
+    server's. A shard transport failure surfaces as an
+    [Error {code = Internal}] reply naming the shard. *)
+
+val write : t -> Wire.request -> Wire.reply
+(** Apply a write (UPDATE, INGEST) through the owning shard(s). Storms
+    are validated globally before any shard sees a delta — the same
+    atomic-on-validation contract and messages as the unsharded path —
+    then split per owner and applied in shard-index order. ACKED
+    replies carry the global sequence ({!seq}). *)
+
+val retier : t -> int -> unit
+(** Broadcast the router's admission pressure level to every shard
+    (the RETIER verb) so overload degradation matches the unsharded
+    ladder. No-op when the level is unchanged; best-effort per shard. *)
+
+val shutdown : t -> unit
+(** Broadcast SHUTDOWN to every shard, in shard-index order. *)
+
+val stats_sections : t -> string
+(** Per-shard STATS tables, each under a ["== shard k [lo, hi] =="]
+    header, concatenated in shard-index order — appended to the
+    router's own table by the server's STATS reply. *)

@@ -37,6 +37,7 @@ type request =
   | Handoff
   | Update of { i : int; delta : float }
   | Ingest of (int * float) list
+  | Retier of int
 
 type ship_body =
   | Ship_none
@@ -197,6 +198,7 @@ let request_kind = function
   | Handoff -> 0x09
   | Update _ -> 0x0A
   | Ingest _ -> 0x0B
+  | Retier _ -> 0x0C
 
 let reply_kind = function
   | Pong -> 0x81
@@ -226,6 +228,7 @@ let rec put_request_payload buf = function
       put_i64 buf i;
       put_f64 buf delta
   | Ingest deltas -> Buffer.add_string buf (encode_storm deltas)
+  | Retier level -> put_i64 buf level
   | Batch reqs ->
       put_i64 buf (List.length reqs);
       List.iter
@@ -236,6 +239,7 @@ let rec put_request_payload buf = function
           | Sync _ -> invalid_arg "Wire: SYNC inside BATCH"
           | Handoff -> invalid_arg "Wire: HANDOFF inside BATCH"
           | Ingest _ -> invalid_arg "Wire: INGEST inside BATCH"
+          | Retier _ -> invalid_arg "Wire: RETIER inside BATCH"
           | _ -> ());
           Buffer.add_uint8 buf (request_kind r);
           put_request_payload buf r)
@@ -362,6 +366,7 @@ let decode_request ~kind payload =
       match decode_storm payload with
       | Ok deltas -> Ingest deltas
       | Stdlib.Error reason -> raise (Corrupt_payload reason))
+  | 0x0C -> exact 8 (Retier (get_i64 payload 0))
   | k -> raise (Corrupt_payload (Printf.sprintf "unknown request kind 0x%02x" k))
 
 let decode_reply ~kind payload =
@@ -486,6 +491,7 @@ let describe_request r =
         (* Storm bodies are deliberately not rendered: transcripts must
            stay stable however the sealed artifact is laid out. *)
         Printf.sprintf "INGEST n=%d" (List.length deltas)
+    | Retier level -> Printf.sprintf "RETIER %d" level
   in
   go r
 

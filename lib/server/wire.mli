@@ -53,6 +53,13 @@ type request =
           a flipped bit is caught at the artifact layer as well as the
           frame layer. Applied in order under one {!reply.Acked} naming
           the last assigned sequence. Rejected inside a [Batch]. *)
+  | Retier of int
+      (** shard control plane: serve at the ladder tier pressure level
+          [level] commands (0 minmax, 1 approx, 2+ greedy) until told
+          otherwise. A sharded front-end broadcasts its own pressure to
+          its shards with this, so overload degradation stays
+          byte-identical to the unsharded server's. Answered by
+          {!reply.Pong}; binary-only and rejected inside a [Batch]. *)
 
 (** The bulk payload of a {!reply.Ship}: either a {!Journal} batch
     (the normal cursor advance) or a whole sealed {!Snapshot} (the
@@ -154,9 +161,10 @@ val describe_reply : reply -> string
 val parse_text_request : string -> (request, string) result
 (** Parse one text-mode line (["PING"], ["POINT 3"], ["RANGE 0 7"],
     ["QUANTILE 0.5"], ["STATS"], ["SHUTDOWN"], ["HANDOFF"],
-    ["UPDATE 3 0.5"]). The error is a human-readable reason. [SYNC]
-    and [INGEST] are deliberately binary-only: their payloads are bulk
-    artifacts a line protocol cannot frame. *)
+    ["UPDATE 3 0.5"]). The error is a human-readable reason. [SYNC],
+    [INGEST] and [RETIER] are deliberately binary-only: the first two
+    carry bulk artifacts a line protocol cannot frame, the last is
+    shard control plane, not an operator verb. *)
 
 val render_text_reply : reply -> string
 (** Text-mode rendering, newline-terminated. [Stats_text] emits the
