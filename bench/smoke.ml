@@ -29,6 +29,8 @@ module Pool = Wavesyn_par.Pool
 module Wire = Wavesyn_server.Wire
 module Admit = Wavesyn_server.Admit
 module Shard = Wavesyn_server.Shard
+module Rcache = Wavesyn_adaptive.Rcache
+module Fusion = Wavesyn_adaptive.Fusion
 
 let rng = Prng.create ~seed:31415
 let signal n = Signal.random_walk ~rng ~n ~step:3.
@@ -217,6 +219,42 @@ let srv_shard_case ~shards =
          ignore (Shard.eval router (Wire.Range { lo = 7; hi = n - 9 }));
          ignore (Shard.eval router (Wire.Quantile 0.5))))
 
+(* The result-cache A/B twin (docs/ADAPTIVE.md): the serving loop's
+   per-request range evaluation over a hot set of 8 distinct ranges
+   asked 64 times — the repeated traffic a cache exists for. The
+   nocache row evaluates every probe through the shared fusion plan;
+   the cache row consults an Rcache first, exactly like the server's
+   cache check. wavesyn-benchgate requires the cache row to beat its
+   nocache twin — a cache that does not pay for its lookups fails the
+   gate. *)
+let srv_cache_case ~cache =
+  let n = 256 in
+  let data = Array.init n (fun i -> float_of_int (((i * 37) mod 101) + 3)) in
+  let syn = Greedy_l2.threshold ~data ~budget:32 in
+  let plan = Fusion.plan syn in
+  let hot =
+    Array.init 8 (fun i ->
+        let lo = (i * 29) mod (n / 2) in
+        (lo, lo + 63))
+  in
+  let eval (lo, hi) = Fusion.range_sum plan ~lo ~hi in
+  if not cache then
+    Test.make ~name:"SRV/range-eval-nocache:64"
+      (Staged.stage (fun () ->
+           for i = 0 to 63 do
+             ignore (eval hot.(i land 7))
+           done))
+  else
+    let c : (int * int, float) Rcache.t = Rcache.create ~cap:64 () in
+    Test.make ~name:"SRV/range-eval-cache:64"
+      (Staged.stage (fun () ->
+           for i = 0 to 63 do
+             let key = hot.(i land 7) in
+             match Rcache.find c ~epoch:0 key with
+             | Some v -> ignore v
+             | None -> Rcache.add c ~epoch:0 key (eval key)
+           done))
+
 let srv_cases =
   let batch =
     Wire.Batch
@@ -253,6 +291,8 @@ let srv_cases =
            ignore (Admit.note_round admit ~shed:0)));
     srv_shard_case ~shards:1;
     srv_shard_case ~shards:4;
+    srv_cache_case ~cache:false;
+    srv_cache_case ~cache:true;
   ]
 
 let benchmark tests =

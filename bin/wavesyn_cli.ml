@@ -1117,8 +1117,8 @@ let shard_endpoint listen k =
   | _ -> Printf.sprintf "%s.shard%d" listen k
 
 let serve_sharded ~obs ~pool ~listen ~data ~budget ~metric ~epsilon ~queue
-    ~idle_ms ?max_requests ~conn_fault ?crash_after ~recut_every ~wait_ms
-    ~jobs ~shards ~shard_ranges () =
+    ~idle_ms ?max_requests ~conn_fault ?crash_after ~recut_every ~cache
+    ~wait_ms ~jobs ~shards ~shard_ranges () =
   let n = Array.length data in
   let ranges =
     match shard_ranges with
@@ -1138,7 +1138,8 @@ let serve_sharded ~obs ~pool ~listen ~data ~budget ~metric ~epsilon ~queue
   let cfg =
     match
       Server.config ~budget ~metric ~epsilon ~queue_bound:queue ~idle_ms
-        ?max_requests ~conn_fault ?crash_after ~recut_every ~path:listen data
+        ?max_requests ~conn_fault ?crash_after ~recut_every ~cache
+        ~path:listen data
     with
     | cfg -> cfg
     | exception Invalid_argument reason ->
@@ -1302,10 +1303,36 @@ let server_cmd =
                    $(docv) applied updates; in between, only dirtied \
                    error-tree subtrees are re-solved.")
   in
+  let cache_arg =
+    Arg.(value & flag
+         & info [ "cache" ]
+             ~doc:"Enable the deterministic result cache: successful RANGE \
+                   and QUANTILE replies are memoised and invalidated exactly \
+                   when a write is acked or the synopsis is re-cut, so \
+                   transcripts are byte-identical with the cache on or off \
+                   (docs/ADAPTIVE.md). Registers the serve.cache.* metrics. \
+                   With --shards, also memoises per-shard sub-range sums in \
+                   the router.")
+  in
+  let tiers_arg =
+    Arg.(value & opt int 0
+         & info [ "tiers" ] ~docv:"L"
+             ~doc:"Pre-cut $(docv) ladder levels from the observed query \
+                   mix so a pressure change swaps synopses in O(1) instead \
+                   of re-cutting; rebuilt every --adapt-every rounds. \
+                   Registers the adaptive.* metrics. 0 (the default) serves \
+                   the classic re-cut path. Not combinable with --shards.")
+  in
+  let adapt_every_arg =
+    Arg.(value & opt int 32
+         & info [ "adapt-every" ] ~docv:"R"
+             ~doc:"Rebuild the pre-cut tier set from the observed query mix \
+                   every $(docv) request-carrying rounds (with --tiers).")
+  in
   let run listen listen_tcp store follower_of file gen n seed metric_name
       sanity budget epsilon queue idle_ms max_requests wait_ms chaos
       chaos_rate chaos_seed crash_after checkpoint_every no_fsync recut_every
-      shards shard_ranges jobs =
+      cache tiers adapt_every shards shard_ranges jobs =
     let listen =
       match (listen, listen_tcp) with
       | Some _, Some _ ->
@@ -1347,10 +1374,19 @@ let server_cmd =
                    "sharded serving is in-memory (--file/--gen); a \
                     per-shard store rides behind its own shard server";
                }));
+      if tiers > 0 then
+        die
+          (Validate.Bad_option
+             {
+               what = "--tiers";
+               reason =
+                 "a scatter-gather front-end owns no synopsis to pre-cut; \
+                  pre-cut tiers are unsharded only";
+             });
       serve_sharded ~obs ~pool ~listen ~data:(load_data file gen n seed)
         ~budget ~metric:(metric_of_name ~sanity metric_name) ~epsilon ~queue
-        ~idle_ms ?max_requests ~conn_fault ?crash_after ~recut_every ~wait_ms
-        ~jobs ~shards ~shard_ranges ()
+        ~idle_ms ?max_requests ~conn_fault ?crash_after ~recut_every ~cache
+        ~wait_ms ~jobs ~shards ~shard_ranges ()
     end
     else begin
     let no_file_gen () =
@@ -1454,7 +1490,7 @@ let server_cmd =
       match
         Server.config ~budget ~metric ~epsilon ~queue_bound:queue ~idle_ms
           ?max_requests ?ship ~role ~conn_fault ?crash_after ?store:live_store
-          ~recut_every ~path:listen data
+          ~recut_every ~cache ~tiers ~adapt_every ~path:listen data
       with
       | cfg -> cfg
       | exception Invalid_argument reason ->
@@ -1521,7 +1557,8 @@ let server_cmd =
           $ sanity_arg $ budget_arg $ epsilon_arg $ queue_arg $ idle_arg
           $ max_requests_arg $ wait_arg $ chaos_arg $ chaos_rate_arg
           $ chaos_seed_arg $ crash_after_arg $ checkpoint_arg $ no_fsync_arg
-          $ recut_every_arg $ shards_arg $ shard_ranges_arg $ jobs_arg)
+          $ recut_every_arg $ cache_arg $ tiers_arg $ adapt_every_arg
+          $ shards_arg $ shard_ranges_arg $ jobs_arg)
 
 let loadgen_cmd =
   let connect_opt_arg =
@@ -1546,7 +1583,18 @@ let loadgen_cmd =
              ~doc:"Relative request-kind weights, e.g. \
                    point=4,range=3,quantile=2,ping=1,update=2 (update \
                    sends live point writes — needs a server over a \
-                   store).")
+                   store). The plural keys of the accuracy workload \
+                   (points/ranges/selectivities/quantiles) are accepted as \
+                   aliases; a selectivity query is sent as its RANGE sum.")
+  in
+  let hot_arg =
+    Arg.(value & opt int 0
+         & info [ "hot" ] ~docv:"K"
+             ~doc:"Draw every request from a pre-drawn hot set of $(docv) \
+                   requests (seeded, so still fully deterministic) instead \
+                   of fresh parameters each time — the repeated queries a \
+                   server-side result cache ($(b,server --cache)) can hit. \
+                   0 (the default) is the historical unrepeated stream.")
   in
   let connections_arg =
     Arg.(value & opt int 1
@@ -1577,7 +1625,7 @@ let loadgen_cmd =
                    $(docv) ($(b,-) for stdout) after the run.")
   in
   let run connect connect_tcp wait_ms timeout_ms failover_to chaos chaos_rate
-      chaos_seed metrics seed requests batch mix connections n out =
+      chaos_seed metrics seed requests batch mix hot connections n out =
     check_timeout timeout_ms;
     let connect =
       match merge_connect connect connect_tcp with
@@ -1659,7 +1707,7 @@ let loadgen_cmd =
     @@ fun () ->
     let msummary =
       match
-        Loadgen.run_multi ?obs ~rpcs ~seed ~requests ~batch ~n ~mix
+        Loadgen.run_multi ?obs ~hot ~rpcs ~seed ~requests ~batch ~n ~mix
           ~out:(output_string oc) ()
       with
       | result -> ok_or_die result
@@ -1690,7 +1738,7 @@ let loadgen_cmd =
     Term.(const run $ connect_opt_arg $ connect_tcp_arg $ wait_arg
           $ timeout_arg $ failover_arg $ chaos_arg $ chaos_rate_arg
           $ chaos_seed_arg $ metrics_arg $ seed_arg $ requests_arg
-          $ batch_arg $ mix_arg $ connections_arg $ n_arg $ out_arg)
+          $ batch_arg $ mix_arg $ hot_arg $ connections_arg $ n_arg $ out_arg)
 
 let main =
   let doc = "Deterministic wavelet thresholding for maximum-error metrics." in

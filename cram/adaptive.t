@@ -1,0 +1,168 @@
+Workload-adaptive serving (docs/ADAPTIVE.md) end to end: the
+deterministic result cache, the sharded sub-range memo, and pre-cut
+tier ladders. The contract under test: transcripts are byte-identical
+cache-on vs cache-off, across --jobs values and shard counts — the
+cache shows up only in throughput and the serve.cache.* counters.
+
+  $ SOCK_DIR=$(mktemp -d)
+
+An exactly-reconstructing dataset (integer values, budget covering the
+domain), so cached and recomputed replies agree to the bit in every
+topology.
+
+  $ awk 'BEGIN { for (i = 0; i < 64; i++) print (i * 37) % 101 + 3 }' \
+  >   > data.txt
+
+One mix vocabulary: the load generator accepts the plural kind keys of
+the accuracy workload (points/ranges/selectivities/quantiles), so one
+spec string drives both. Parse errors are structured and exit 2.
+
+  $ wavesyn loadgen --connect $SOCK_DIR/x.sock --mix "points=1,bogus=3"
+  wavesyn: --mix: unknown mix kind "bogus"
+  [2]
+  $ wavesyn loadgen --connect $SOCK_DIR/x.sock --mix "points=0,ranges=0"
+  wavesyn: --mix: mix has no positive weight
+  [2]
+
+Three servers over the same data: cache off, cache on, and cache on
+with a four-domain pool. --hot 6 pre-draws a six-request hot set and
+schedules every request from it — the repeated traffic a result cache
+exists for, still a pure function of the seed.
+
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/nc.sock --file data.txt \
+  >   --budget 64 --max-requests 500 > nc.log 2>&1 &
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/c1.sock --file data.txt \
+  >   --budget 64 --cache --max-requests 500 > c1.log 2>&1 &
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/c4.sock --file data.txt \
+  >   --budget 64 --cache --jobs 4 --max-requests 500 > c4.log 2>&1 &
+
+  $ wavesyn loadgen --connect $SOCK_DIR/nc.sock --wait-ms 5000 --requests 48 \
+  >   --batch 4 -n 64 --seed 29 --hot 6 --mix "ranges=6,quantiles=2" \
+  >   --out nc.txt
+  loadgen: sent=48 replies=48 overloads=0 errors=0 crc=35dc1e5e
+  $ wavesyn loadgen --connect $SOCK_DIR/c1.sock --wait-ms 5000 --requests 48 \
+  >   --batch 4 -n 64 --seed 29 --hot 6 --mix "ranges=6,quantiles=2" \
+  >   --out c1.txt
+  loadgen: sent=48 replies=48 overloads=0 errors=0 crc=35dc1e5e
+  $ wavesyn loadgen --connect $SOCK_DIR/c4.sock --wait-ms 5000 --requests 48 \
+  >   --batch 4 -n 64 --seed 29 --hot 6 --mix "ranges=6,quantiles=2" \
+  >   --out c4.txt
+  loadgen: sent=48 replies=48 overloads=0 errors=0 crc=35dc1e5e
+  $ cmp nc.txt c1.txt && cmp nc.txt c4.txt && echo transcripts identical
+  transcripts identical
+
+The cached servers answered the repeats from the cache — counters over
+the wire, deterministic because the schedule is seeded. Six distinct
+requests can miss at most six times per epoch.
+
+  $ wavesyn stats --connect $SOCK_DIR/c1.sock | grep -E 'serve\.cache'
+  counter    serve.cache.hits                             40 requests
+  counter    serve.cache.invalidations                    1 flushes
+  counter    serve.cache.misses                           8 requests
+  gauge      serve.cache.size                             6 entries
+
+The cache-off server exports no serve.cache family at all: the metric
+families are flag-gated, so historical stats tables stay byte-stable.
+
+  $ wavesyn stats --connect $SOCK_DIR/nc.sock | grep -c 'serve\.cache'
+  0
+  [1]
+
+  $ wavesyn query --connect $SOCK_DIR/nc.sock --shutdown
+  BYE
+  $ wavesyn query --connect $SOCK_DIR/c1.sock --shutdown
+  BYE
+  $ wavesyn query --connect $SOCK_DIR/c4.sock --shutdown
+  BYE
+  $ wait
+
+Sharded front-ends with --cache at shard counts {1,2,4}: the reply
+cache plus the router's per-shard sub-range memo must not disturb the
+positional-merge contract — every transcript matches the unsharded
+cache-off run byte for byte.
+
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/s1.sock --file data.txt \
+  >   --budget 64 --cache --shard-ranges 0-63 --max-requests 500 \
+  >   > s1.log 2>&1 &
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/s2.sock --file data.txt \
+  >   --budget 64 --cache --shards 2 --max-requests 500 > s2.log 2>&1 &
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/s4.sock --file data.txt \
+  >   --budget 64 --cache --shards 4 --jobs 4 --max-requests 500 \
+  >   > s4.log 2>&1 &
+
+  $ wavesyn loadgen --connect $SOCK_DIR/s1.sock --wait-ms 5000 --requests 48 \
+  >   --batch 4 -n 64 --seed 29 --hot 6 --mix "ranges=6,quantiles=2" \
+  >   --out s1.txt
+  loadgen: sent=48 replies=48 overloads=0 errors=0 crc=35dc1e5e
+  $ wavesyn loadgen --connect $SOCK_DIR/s2.sock --wait-ms 5000 --requests 48 \
+  >   --batch 4 -n 64 --seed 29 --hot 6 --mix "ranges=6,quantiles=2" \
+  >   --out s2.txt
+  loadgen: sent=48 replies=48 overloads=0 errors=0 crc=35dc1e5e
+  $ wavesyn loadgen --connect $SOCK_DIR/s4.sock --wait-ms 5000 --requests 48 \
+  >   --batch 4 -n 64 --seed 29 --hot 6 --mix "ranges=6,quantiles=2" \
+  >   --out s4.txt
+  loadgen: sent=48 replies=48 overloads=0 errors=0 crc=35dc1e5e
+  $ cmp nc.txt s1.txt && cmp nc.txt s2.txt && cmp nc.txt s4.txt \
+  >   && echo sharded transcripts identical
+  sharded transcripts identical
+
+  $ wavesyn query --connect $SOCK_DIR/s1.sock --shutdown
+  BYE
+  $ wavesyn query --connect $SOCK_DIR/s2.sock --shutdown
+  BYE
+  $ wavesyn query --connect $SOCK_DIR/s4.sock --shutdown
+  BYE
+  $ wait
+
+Pre-cut tiers are an unsharded feature — a scatter-gather front-end
+owns no synopsis to pre-cut, and says so before anything binds.
+
+  $ wavesyn server --listen $SOCK_DIR/bad.sock --file data.txt --shards 2 \
+  >   --tiers 3
+  wavesyn: --tiers: a scatter-gather front-end owns no synopsis to pre-cut; pre-cut tiers are unsharded only
+  [2]
+
+A tiered server under overload swaps to a pre-cut synopsis instead of
+re-cutting on the hot path: OVERLOAD replies advertise the precut
+tier, the ladder of degraded budgets follows the observed mix, and the
+schedule stays byte-identical across pool sizes.
+
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/t1.sock --file data.txt \
+  >   --budget 8 --queue 3 --tiers 3 --adapt-every 4 --max-requests 500 \
+  >   > t1.log 2>&1 &
+  $ timeout 60 wavesyn server --listen $SOCK_DIR/t4.sock --file data.txt \
+  >   --budget 8 --queue 3 --tiers 3 --adapt-every 4 --jobs 4 \
+  >   --max-requests 500 > t4.log 2>&1 &
+
+  $ wavesyn loadgen --connect $SOCK_DIR/t1.sock --wait-ms 5000 --requests 48 \
+  >   --batch 8 -n 64 --seed 17 --mix "points=2,ranges=5,quantiles=3" \
+  >   --out t1.txt
+  loadgen: sent=48 replies=48 overloads=30 errors=0 crc=9ea62800
+  $ wavesyn loadgen --connect $SOCK_DIR/t4.sock --wait-ms 5000 --requests 48 \
+  >   --batch 8 -n 64 --seed 17 --mix "points=2,ranges=5,quantiles=3" \
+  >   --out t4.txt
+  loadgen: sent=48 replies=48 overloads=30 errors=0 crc=9ea62800
+  $ cmp t1.txt t4.txt && echo tiered transcripts identical
+  tiered transcripts identical
+  $ grep -o 'tier=.*' t1.txt | sort -u
+  tier=precut(b=4,approx(eps=0.25))
+  tier=precut(b=4,greedy-maxerr)
+  tier=precut(b=8,minmax)
+
+The profiler's observed mix, exported as adaptive.observed counters:
+
+  $ wavesyn stats --connect $SOCK_DIR/t1.sock | grep 'adaptive\.observed'
+  counter    adaptive.observed{kind="point"}              10 requests
+  counter    adaptive.observed{kind="quantile"}           8 requests
+  counter    adaptive.observed{kind="range"}              30 requests
+  counter    adaptive.observed{kind="selectivity"}        0 requests
+
+  $ wavesyn query --connect $SOCK_DIR/t1.sock --shutdown
+  BYE
+  $ wavesyn query --connect $SOCK_DIR/t4.sock --shutdown
+  BYE
+  $ wait
+  $ sed "s#$SOCK_DIR#SOCKDIR#" t1.log
+  server: listening on SOCKDIR/t1.sock n=64 budget=8 queue=3 jobs=1
+  server: connections=3 requests=8 admitted=18 shed=30 errors=0 recuts=6 tier=precut(b=4,greedy-maxerr)
+  $ rm -rf $SOCK_DIR

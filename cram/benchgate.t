@@ -16,6 +16,7 @@ On a single-core recording the pooled gate records an explicit SKIP
   > EOF
   $ wavesyn-benchgate one_core.json
   benchgate: SKIP pooled-gate: host_recommended_domains=1 < 4 — a 4-domain pool on this host is oversubscription, not parallelism
+  benchgate: SKIP cache-gate: no -nocache rows recorded
 
 On a >= 4-core recording the pooled twin must at least match the
 sequential run:
@@ -32,6 +33,7 @@ sequential run:
   > EOF
   $ wavesyn-benchgate four_core_good.json
   benchgate: PASS pooled-gate: smoke/PAR/solver-seq:64 speedup 2.50x >= 1.00x
+  benchgate: SKIP cache-gate: no -nocache rows recorded
 
   $ cat > four_core_bad.json <<'EOF'
   > {
@@ -45,6 +47,7 @@ sequential run:
   > EOF
   $ wavesyn-benchgate four_core_bad.json
   benchgate: FAIL pooled-gate: smoke/PAR/solver-seq:64 speedup 0.50x < 1.00x (seq 1000.0 ns, pool4 2000.0 ns)
+  benchgate: SKIP cache-gate: no -nocache rows recorded
   benchgate: 1 failure(s)
   [1]
 
@@ -52,6 +55,7 @@ A required speedup above break-even:
 
   $ wavesyn-benchgate --min-speedup 3.0 four_core_good.json
   benchgate: FAIL pooled-gate: smoke/PAR/solver-seq:64 speedup 2.50x < 3.00x (seq 1000.0 ns, pool4 400.0 ns)
+  benchgate: SKIP cache-gate: no -nocache rows recorded
   benchgate: 1 failure(s)
   [1]
 
@@ -70,12 +74,69 @@ and passes within it:
   > EOF
   $ wavesyn-benchgate --baseline one_core.json regressed.json
   benchgate: SKIP pooled-gate: host_recommended_domains=1 < 4 — a 4-domain pool on this host is oversubscription, not parallelism
+  benchgate: SKIP cache-gate: no -nocache rows recorded
   benchgate: FAIL baseline-gate: smoke/PAR/solver-seq:64 regressed: 1500.0 ns > 1250.0 ns (baseline 1000.0 + 25%)
   benchgate: 1 failure(s)
   [1]
   $ wavesyn-benchgate --baseline one_core.json --max-regression 0.6 regressed.json
   benchgate: SKIP pooled-gate: host_recommended_domains=1 < 4 — a 4-domain pool on this host is oversubscription, not parallelism
+  benchgate: SKIP cache-gate: no -nocache rows recorded
   benchgate: PASS baseline-gate: smoke/PAR/solver-seq:64 1500.0 ns <= 1600.0 ns (baseline 1000.0 + 60%)
+
+The cache gate pairs each "-nocache" row with its "-cache" twin — the
+serving result cache must at least break even on the recorded hot set
+(docs/ADAPTIVE.md):
+
+  $ cat > cache_good.json <<'EOF'
+  > {
+  >   "schema": "wavesyn-bench-server/1",
+  >   "results": [
+  >     {"name": "smoke/SRV/range-eval-nocache:64", "ns_per_run": 9000.0},
+  >     {"name": "smoke/SRV/range-eval-cache:64", "ns_per_run": 1000.0}
+  >   ]
+  > }
+  > EOF
+  $ wavesyn-benchgate cache_good.json
+  benchgate: SKIP pooled-gate: no host_recommended_domains recorded
+  benchgate: PASS cache-gate: smoke/SRV/range-eval-nocache:64 speedup 9.00x >= 1.00x
+
+A cache whose hits cost more than the evaluation they skip fails, as
+does an under-powered one against a raised bar:
+
+  $ cat > cache_bad.json <<'EOF'
+  > {
+  >   "schema": "wavesyn-bench-server/1",
+  >   "results": [
+  >     {"name": "smoke/SRV/range-eval-nocache:64", "ns_per_run": 1000.0},
+  >     {"name": "smoke/SRV/range-eval-cache:64", "ns_per_run": 2000.0}
+  >   ]
+  > }
+  > EOF
+  $ wavesyn-benchgate cache_bad.json
+  benchgate: SKIP pooled-gate: no host_recommended_domains recorded
+  benchgate: FAIL cache-gate: smoke/SRV/range-eval-nocache:64 speedup 0.50x < 1.00x (nocache 1000.0 ns, cache 2000.0 ns)
+  benchgate: 1 failure(s)
+  [1]
+  $ wavesyn-benchgate --min-cache-speedup 10.0 cache_good.json
+  benchgate: SKIP pooled-gate: no host_recommended_domains recorded
+  benchgate: FAIL cache-gate: smoke/SRV/range-eval-nocache:64 speedup 9.00x < 10.00x (nocache 9000.0 ns, cache 1000.0 ns)
+  benchgate: 1 failure(s)
+  [1]
+
+A nocache row without a recorded twin is an explicit SKIP, not a
+silent pass:
+
+  $ cat > cache_orphan.json <<'EOF'
+  > {
+  >   "schema": "wavesyn-bench-server/1",
+  >   "results": [
+  >     {"name": "smoke/SRV/range-eval-nocache:64", "ns_per_run": 1000.0}
+  >   ]
+  > }
+  > EOF
+  $ wavesyn-benchgate cache_orphan.json
+  benchgate: SKIP pooled-gate: no host_recommended_domains recorded
+  benchgate: SKIP cache-gate: smoke/SRV/range-eval-nocache:64 has no smoke/SRV/range-eval-cache:64 twin
 
 A file from another schema family is refused:
 

@@ -1,0 +1,50 @@
+(** Deterministic result cache: an epoch-keyed memo table.
+
+    A polymorphic memo whose validity is governed by a single integer
+    {e epoch} supplied on every operation — for the serving tier, a
+    counter advanced exactly when the journal sequence moves (UPDATE /
+    INGEST acked) or the serving synopsis is re-cut. An epoch mismatch
+    flushes the whole table before the operation proceeds, so entries
+    computed against an older serving state can never answer. When the
+    epoch is a pure function of the request schedule, so is the entire
+    cache state — the determinism contract docs/ADAPTIVE.md states and
+    the cram suite pins (byte-identical transcripts cache-on vs
+    cache-off).
+
+    Capacity is bounded by flush-on-full: inserting a fresh key into a
+    full table clears the table first. The eviction pattern therefore
+    depends only on the insert sequence, never on recency clocks. *)
+
+type ('k, 'v) t
+
+val create : ?obs:Wavesyn_obs.Registry.t -> ?cap:int -> unit -> ('k, 'v) t
+(** An empty cache holding at most [cap] entries (default 4096). With
+    [obs], registers the [serve.cache.hits] / [serve.cache.misses] /
+    [serve.cache.invalidations] counters and the [serve.cache.size]
+    gauge of docs/OBSERVABILITY.md. Raises [Invalid_argument] on
+    [cap < 1]. *)
+
+val find : ('k, 'v) t -> epoch:int -> 'k -> 'v option
+(** Sync to [epoch] (flushing on a change), then look up. Counted as a
+    hit or miss. *)
+
+val add : ('k, 'v) t -> epoch:int -> 'k -> 'v -> unit
+(** Sync to [epoch], then insert. A key already present is left as is
+    (the stored value was computed under this epoch and is identical
+    by determinism); a fresh key into a full table flushes first. *)
+
+val size : _ t -> int
+(** Entries currently stored. *)
+
+val hits : _ t -> int
+(** Lookups answered from the table since creation. *)
+
+val misses : _ t -> int
+(** Lookups that fell through since creation. *)
+
+val invalidations : _ t -> int
+(** Whole-table flushes since creation (epoch advances observed at an
+    operation, plus capacity flushes). *)
+
+val epoch : _ t -> int
+(** The epoch the table last synced to. *)

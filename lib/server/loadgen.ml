@@ -15,6 +15,7 @@ module Validate = Wavesyn_robust.Validate
 module Deadline = Wavesyn_robust.Deadline
 module Metric = Wavesyn_obs.Metric
 module Registry = Wavesyn_obs.Registry
+module Workload = Wavesyn_aqp.Workload
 
 type mix = {
   point : int;
@@ -22,57 +23,73 @@ type mix = {
   quantile : int;
   ping : int;
   update : int;
+  selectivity : int;
 }
 
-let default_mix = { point = 4; range = 3; quantile = 2; ping = 1; update = 0 }
+let default_mix =
+  { point = 4; range = 3; quantile = 2; ping = 1; update = 0; selectivity = 0 }
 
-let weight_total m = m.point + m.range + m.quantile + m.ping + m.update
+let weight_total m =
+  m.point + m.range + m.quantile + m.ping + m.update + m.selectivity
 
+(* The spec language (and its error strings) is Workload's: the plural
+   kind keys of [Workload.mix_of_string] are accepted as aliases, so
+   one "points=10,ranges=70,..." spec drives both the accuracy
+   workload and this generator. *)
 let mix_of_string s =
-  let parse_entry acc entry =
+  let apply acc (key, w) =
     Result.bind acc @@ fun m ->
-    match String.split_on_char '=' (String.trim entry) with
-    | [ key; v ] -> (
-        match int_of_string_opt v with
-        | Some w when w >= 0 -> (
-            match key with
-            | "point" -> Ok { m with point = w }
-            | "range" -> Ok { m with range = w }
-            | "quantile" -> Ok { m with quantile = w }
-            | "ping" -> Ok { m with ping = w }
-            | "update" -> Ok { m with update = w }
-            | _ -> Error (Printf.sprintf "unknown mix kind %S" key))
-        | _ -> Error (Printf.sprintf "bad mix weight %S" v))
-    | _ -> Error (Printf.sprintf "bad mix entry %S (want kind=weight)" entry)
+    match key with
+    | "point" | "points" -> Ok { m with point = w }
+    | "range" | "ranges" -> Ok { m with range = w }
+    | "quantile" | "quantiles" -> Ok { m with quantile = w }
+    | "selectivity" | "selectivities" -> Ok { m with selectivity = w }
+    | "ping" -> Ok { m with ping = w }
+    | "update" -> Ok { m with update = w }
+    | _ -> Error (Printf.sprintf "unknown mix kind %S" key)
   in
-  let zero = { point = 0; range = 0; quantile = 0; ping = 0; update = 0 } in
+  let zero =
+    { point = 0; range = 0; quantile = 0; ping = 0; update = 0; selectivity = 0 }
+  in
   match
-    List.fold_left parse_entry (Ok zero) (String.split_on_char ',' s)
+    Result.bind (Workload.parse_weights s) (fun kvs ->
+        List.fold_left apply (Ok zero) kvs)
   with
   | Error _ as e -> e
   | Ok m when weight_total m = 0 -> Error "mix has no positive weight"
   | Ok m -> Ok m
 
-(* The update branch is deliberately the last else, after Ping: a mix
-   with [update = 0] draws the exact sequence the pre-write-path
-   generator drew, keeping historical schedules (and their pinned
-   transcript CRCs) byte-identical. *)
+(* Queries go on the wire in Workload's vocabulary. Selectivity has no
+   wire verb of its own: it travels as the RANGE sum the client would
+   divide by the total, drawn with Workload's selectivity bounds. *)
+let to_wire = function
+  | Workload.Point i -> Wire.Point i
+  | Workload.Range_sum (lo, hi) | Workload.Selectivity (lo, hi) ->
+      Wire.Range { lo; hi }
+  | Workload.Quantile q -> Wire.Quantile q
+
+(* Parameter draws delegate to [Workload]'s canonical per-kind
+   generators, so an A/B run exercises exactly the distribution the
+   serving profiler observes. Branch order is frozen for CRC history:
+   update stays right after Ping (a mix with [update = 0] draws the
+   exact sequence the pre-write-path generator drew) and the
+   selectivity branch — new last — is unreachable at weight 0, keeping
+   every historical schedule (and its pinned transcript CRCs)
+   byte-identical. *)
 let gen_request rng ~n mix =
   let r = Prng.int rng (weight_total mix) in
-  if r < mix.point then Wire.Point (Prng.int rng n)
-  else if r < mix.point + mix.range then begin
-    let lo = Prng.int rng n in
-    let hi = lo + Prng.int rng (n - lo) in
-    Wire.Range { lo; hi }
-  end
+  if r < mix.point then to_wire (Workload.draw_point rng ~n)
+  else if r < mix.point + mix.range then to_wire (Workload.draw_range rng ~n)
   else if r < mix.point + mix.range + mix.quantile then
-    Wire.Quantile (Prng.float rng 1.0)
+    to_wire (Workload.draw_quantile rng)
   else if r < mix.point + mix.range + mix.quantile + mix.ping then Wire.Ping
-  else begin
+  else if r < mix.point + mix.range + mix.quantile + mix.ping + mix.update
+  then begin
     let i = Prng.int rng n in
     let delta = Prng.float rng 2.0 -. 1.0 in
     Wire.Update { i; delta }
   end
+  else to_wire (Workload.draw_selectivity rng ~n)
 
 type summary = {
   sent : int;
@@ -87,13 +104,14 @@ type multi_summary = {
   connection_crcs : string array;
 }
 
-let run_multi ?obs ~rpcs ~seed ~requests ~batch ~n ~mix ~out () =
+let run_multi ?obs ?(hot = 0) ~rpcs ~seed ~requests ~batch ~n ~mix ~out () =
   let nconns = Array.length rpcs in
   if nconns < 1 then
     invalid_arg "Loadgen.run_multi: need at least one connection";
   if requests < 0 then invalid_arg "Loadgen.run: negative request count";
   if batch < 1 then invalid_arg "Loadgen.run: batch must be at least 1";
   if n < 1 then invalid_arg "Loadgen.run: n must be at least 1";
+  if hot < 0 then invalid_arg "Loadgen.run: hot must not be negative";
   let h_rtt =
     Option.map
       (fun reg ->
@@ -102,6 +120,26 @@ let run_multi ?obs ~rpcs ~seed ~requests ~batch ~n ~mix ~out () =
       obs
   in
   let rng = Prng.create ~seed in
+  (* A hot set makes repeats: [hot] requests are drawn up front from
+     the same Prng (in index order, so the schedule stays a pure
+     function of the seed), then every scheduled request is an index
+     draw into the set. Random parameter draws essentially never
+     repeat, so this is the knob that gives a result cache something
+     to hit. With [hot = 0] the draw sequence is the historical one. *)
+  let hot_set =
+    if hot = 0 then [||]
+    else begin
+      let set = Array.make hot Wire.Ping in
+      for i = 0 to hot - 1 do
+        set.(i) <- gen_request rng ~n mix
+      done;
+      set
+    end
+  in
+  let next_request () =
+    if hot = 0 then gen_request rng ~n mix
+    else hot_set.(Prng.int rng hot)
+  in
   let crc = ref (Crc32.string "") in
   let conn_crcs = Array.make nconns (Crc32.string "") in
   let sent = ref 0 and replies = ref 0 in
@@ -127,7 +165,7 @@ let run_multi ?obs ~rpcs ~seed ~requests ~batch ~n ~mix ~out () =
          draws exactly the schedule {!run} always drew. *)
       let conn = if nconns = 1 then 0 else Prng.int rng nconns in
       let k = Stdlib.min batch remaining in
-      let reqs = List.init k (fun _ -> gen_request rng ~n mix) in
+      let reqs = List.init k (fun _ -> next_request ()) in
       let frame = if k = 1 then List.hd reqs else Wire.Batch reqs in
       sent := !sent + k;
       let t0 = Deadline.now_ms () in
@@ -166,7 +204,7 @@ let run_multi ?obs ~rpcs ~seed ~requests ~batch ~n ~mix ~out () =
           connection_crcs = Array.map Crc32.to_hex conn_crcs;
         }
 
-let run ?obs ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
+let run ?obs ?hot ~rpc ~seed ~requests ~batch ~n ~mix ~out () =
   Result.map
     (fun m -> m.totals)
-    (run_multi ?obs ~rpcs:[| rpc |] ~seed ~requests ~batch ~n ~mix ~out ())
+    (run_multi ?obs ?hot ~rpcs:[| rpc |] ~seed ~requests ~batch ~n ~mix ~out ())

@@ -11,23 +11,33 @@
 
 (** Relative draw weights of the request kinds; zero disables a
     kind. [update] draws [UPDATE] point-write frames (delta uniform in
-    [[-1, 1)]) — weight it only against a live server. *)
+    [[-1, 1)]) — weight it only against a live server. [selectivity]
+    draws [Wavesyn_aqp.Workload]-style selectivity queries; they
+    travel on the wire as the equivalent [RANGE] sum. Query parameters
+    are drawn by [Workload]'s canonical per-kind generators, so the
+    generated stream matches the distribution the serving profiler
+    observes. *)
 type mix = {
   point : int;
   range : int;
   quantile : int;
   ping : int;
   update : int;
+  selectivity : int;
 }
 
 val default_mix : mix
-(** [point=4, range=3, quantile=2, ping=1, update=0] — write traffic
-    is strictly opt-in, and a zero update weight reproduces the
-    historical draw sequence exactly. *)
+(** [point=4, range=3, quantile=2, ping=1, update=0, selectivity=0] —
+    write traffic is strictly opt-in, and zero update and selectivity
+    weights reproduce the historical draw sequence exactly. *)
 
 val mix_of_string : string -> (mix, string) result
 (** Parse ["point=4,range=3,quantile=2,ping=1,update=2"]-style specs;
-    omitted kinds get weight 0. Errors on unknown kinds, malformed or
+    omitted kinds get weight 0. The plural kind keys of
+    [Wavesyn_aqp.Workload.mix_of_string]
+    (["points=10,ranges=70,selectivities=10,quantiles=10"]) are
+    accepted as aliases, so one spec string drives both the accuracy
+    workload and this generator. Errors on unknown kinds, malformed or
     negative weights, and an all-zero mix. *)
 
 type summary = {
@@ -49,6 +59,7 @@ type multi_summary = {
 
 val run :
   ?obs:Wavesyn_obs.Registry.t ->
+  ?hot:int ->
   rpc:
     (Wire.request -> (Wire.reply list, Wavesyn_robust.Validate.error) result) ->
   seed:int ->
@@ -67,11 +78,16 @@ val run :
     range, point and update parameters are drawn inside it. With
     [obs], round-trip times land in the [loadgen.rtt.ms] histogram.
     Fails with the first transport error; [OVERLOAD]/[ERROR] replies
-    are counted, not failures. Raises [Invalid_argument] on a negative
-    request count, batch < 1 or n < 1. *)
+    are counted, not failures. With [hot = K > 0], K requests are
+    pre-drawn from the same Prng and every scheduled request is a
+    seeded index draw into that hot set — the repeats a result cache
+    needs, still a pure function of the seed ([hot = 0], the default,
+    is the historical unrepeated stream). Raises [Invalid_argument] on
+    a negative request count, batch < 1, n < 1 or hot < 0. *)
 
 val run_multi :
   ?obs:Wavesyn_obs.Registry.t ->
+  ?hot:int ->
   rpcs:
     (Wire.request -> (Wire.reply list, Wavesyn_robust.Validate.error) result)
     array ->

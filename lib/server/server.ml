@@ -19,6 +19,11 @@ module Synopsis = Wavesyn_synopsis.Synopsis
 module Metrics = Wavesyn_synopsis.Metrics
 module Range_query = Wavesyn_synopsis.Range_query
 module Quantiles = Wavesyn_aqp.Quantiles
+module Workload = Wavesyn_aqp.Workload
+module Profiler = Wavesyn_adaptive.Profiler
+module Tiers = Wavesyn_adaptive.Tiers
+module Rcache = Wavesyn_adaptive.Rcache
+module Fusion = Wavesyn_adaptive.Fusion
 module Validate = Wavesyn_robust.Validate
 module Ladder = Wavesyn_robust.Ladder
 module Deadline = Wavesyn_robust.Deadline
@@ -53,17 +58,24 @@ type config = {
   crash_after : int option;
   store : Supervisor.t option;
   recut_every : int;
+  cache : bool;
+  tiers : int;
+  adapt_every : int;
 }
 
 let config ?(budget = 8) ?(metric = Metrics.Abs) ?(epsilon = 0.25)
     ?(queue_bound = 64) ?(idle_ms = 30_000.) ?max_requests ?ship
     ?(role = "standalone") ?(conn_fault = Fault.none) ?crash_after ?store
-    ?(recut_every = 32) ~path data =
+    ?(recut_every = 32) ?(cache = false) ?(tiers = 0) ?(adapt_every = 32)
+    ~path data =
   if queue_bound < 1 then
     invalid_arg "Server.config: queue_bound must be at least 1";
   if idle_ms <= 0. then invalid_arg "Server.config: idle_ms must be positive";
   if recut_every < 1 then
     invalid_arg "Server.config: recut_every must be at least 1";
+  if tiers < 0 then invalid_arg "Server.config: tiers must not be negative";
+  if adapt_every < 1 then
+    invalid_arg "Server.config: adapt_every must be at least 1";
   {
     path;
     data;
@@ -79,6 +91,9 @@ let config ?(budget = 8) ?(metric = Metrics.Abs) ?(epsilon = 0.25)
     crash_after;
     store;
     recut_every;
+    cache;
+    tiers;
+    adapt_every;
   }
 
 type stats = {
@@ -126,6 +141,16 @@ type t = {
   upd : upd_tele option;
   live : Incremental.t option;
   router : Shard.t option;
+  profiler : Profiler.t option;
+  cache : (string, Wire.reply) Rcache.t option;
+  mutable tiers_state : Tiers.t option;
+  mutable epoch : int;
+      (* result-cache validity epoch: bumped on every event that can
+         change what a read returns — the serving synopsis adopted or
+         re-cut, a routed write acked — so the cache flushes exactly
+         then and its state stays a pure function of the request
+         schedule *)
+  mutable rounds_seen : int;  (* request-carrying rounds, for cadences *)
   mutable role : string;
   mutable tier_floor : int;
   mutable synopsis : Synopsis.t;
@@ -153,18 +178,34 @@ type t = {
 let with_span t name f =
   match t.trace with None -> f () | Some sink -> Trace.with_span sink name f
 
+let bump_epoch t = t.epoch <- t.epoch + 1
+
 (* Adopt the incremental solver's current answer as the served state. *)
 let sync_from_live t live =
+  bump_epoch t;
   t.synopsis <- Incremental.synopsis live;
   t.tier_name <- Incremental.tier live;
   t.bound <- Incremental.bound live
 
+(* The journal sequence the pre-cut tiers must have been built at to
+   be served: a read-only server's data never moves. *)
+let tiers_seq t =
+  match t.cfg.store with Some sup -> Supervisor.seq sup | None -> 0
+
+let tiers_data t =
+  match t.cfg.store with
+  | Some sup -> Wavesyn_stream.Stream_synopsis.current_data (Supervisor.stream sup)
+  | None -> t.cfg.data
+
 (* Re-cut the serving synopsis at the ladder tier the current pressure
    allows. No deadline: tier choice is by pressure alone, so the
-   synopsis served at a given pressure level is deterministic. Over a
-   live store this is a {e full} incremental-state re-cut against the
-   stream's current data; otherwise it re-cuts the static dataset. *)
+   synopsis served at a given pressure level is deterministic. With
+   fresh pre-cut tiers the re-cut is an O(1) swap to the pre-built
+   synopsis for this level; otherwise, over a live store this is a
+   {e full} incremental-state re-cut against the stream's current
+   data, and a static dataset is re-cut in place. *)
 let rec recut t =
+  bump_epoch t;
   let level = max (Admit.pressure t.admit) t.tier_floor in
   let top = Admit.top_of_pressure level in
   match t.router with
@@ -181,9 +222,27 @@ let rec recut t =
           | `Greedy -> Ladder.Greedy_maxerr);
       t.total_recuts <- t.total_recuts + 1;
       Metric.incr t.c_recuts
-  | None -> route_free_recut t ~top
+  | None -> route_free_recut t ~level ~top
 
-and route_free_recut t ~top =
+(* Pre-cut fast path: a tier set built at the current journal sequence
+   serves this pressure level by an O(1) swap. A stale set (the store
+   moved since it was built) never serves — the plain re-cut below
+   runs instead, and the set is replaced at the next adapt cadence. *)
+and tier_swap t ~level =
+  match t.tiers_state with
+  | Some ts when Tiers.fresh ts ~seq:(tiers_seq t) ->
+      let e = Tiers.select ts ~level in
+      t.synopsis <- e.Tiers.e_synopsis;
+      t.tier_name <- e.Tiers.e_name;
+      t.bound <- e.Tiers.e_bound;
+      t.total_recuts <- t.total_recuts + 1;
+      Metric.incr t.c_recuts;
+      true
+  | _ -> false
+
+and route_free_recut t ~level ~top =
+  if tier_swap t ~level then ()
+  else
   match t.live with
   | Some live -> (
       match
@@ -212,6 +271,26 @@ and route_free_recut t ~top =
              greedy floor is total); keep serving the previous
              synopsis. *)
           ())
+
+(* (Re)build the pre-cut tier ladder from the observed query mix (the
+   default mix until the profiler has seen anything), at the store's
+   current data and sequence. Never installed behind a router — a
+   scatter-gather front-end owns no synopsis to pre-cut. *)
+let rebuild_tiers t =
+  if t.cfg.tiers > 0 && t.router = None then
+    let mix =
+      match t.profiler with
+      | Some p when Profiler.total p > 0 -> Profiler.observed p
+      | _ -> Workload.default_mix
+    in
+    match
+      with_span t "server.precut" @@ fun () ->
+      Tiers.build ~epsilon:t.cfg.epsilon ~metric:t.cfg.metric
+        ~data:(tiers_data t) ~budget:t.cfg.budget ~levels:t.cfg.tiers ~mix
+        ~seq:(tiers_seq t)
+    with
+    | Ok ts -> t.tiers_state <- Some ts
+    | Error _ -> t.tiers_state <- None
 
 let role_gauge_value = function
   | "primary" -> 0.
@@ -327,6 +406,14 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain ?router cfg =
       upd;
       live;
       router;
+      (* Adaptive instruments are strictly flag-gated so a server run
+         without them registers exactly the historical metric families
+         (the stats tables the cram suite pins byte for byte). *)
+      profiler = (if cfg.tiers > 0 then Some (Profiler.create ~obs ()) else None);
+      cache = (if cfg.cache then Some (Rcache.create ~obs ()) else None);
+      tiers_state = None;
+      epoch = 0;
+      rounds_seen = 0;
       role = cfg.role;
       tier_floor = 0;
       synopsis = Synopsis.make ~n:(Array.length cfg.data) [];
@@ -364,6 +451,18 @@ let create ?obs ?trace ?pool ?on_handoff ?on_drain ?router cfg =
   (* Over a live store the initial full cut already ran inside
      [Incremental.create]; adopt it instead of cutting twice. *)
   (match t.live with Some live -> sync_from_live t live | None -> recut t);
+  (* A cached sharded front-end also memoises sub-range sums inside
+     the router, so a QUANTILE bisection's repeated prefix probes skip
+     their shard RPCs (see Shard.set_cache for why this preserves
+     replies). *)
+  (match (router, cfg.cache) with
+  | Some r, true -> Shard.set_cache r ~cap:4096
+  | _ -> ());
+  (* The initial tier set is cut from the default mix (nothing has
+     been observed yet) and adopted immediately, so a --tiers server
+     serves a pre-cut synopsis from its first request on. *)
+  rebuild_tiers t;
+  (match t.tiers_state with Some _ -> recut t | None -> ());
   t
 
 (* The STATS body: this server's own table, plus — behind a router —
@@ -391,7 +490,11 @@ let registry t = t.obs
 
 (* --- query evaluation (pure reads of the serving synopsis) --- *)
 
-let eval_one t req =
+(* With [plan], range and quantile work goes through the round's
+   shared fusion plan — bit-identical to the per-call path by
+   {!Fusion}'s contract, so the reply stream does not depend on
+   whether a plan was built. *)
+let eval_one ?plan t req =
   let n = Synopsis.n t.synopsis in
   match req with
   | Wire.Point i ->
@@ -403,7 +506,12 @@ let eval_one t req =
           }
       else Wire.Value (Synopsis.reconstruct_point t.synopsis i)
   | Wire.Range { lo; hi } -> (
-      match Range_query.range_sum t.synopsis ~lo ~hi with
+      let sum () =
+        match plan with
+        | Some p -> Fusion.range_sum p ~lo ~hi
+        | None -> Range_query.range_sum t.synopsis ~lo ~hi
+      in
+      match sum () with
       | v -> Wire.Value v
       | exception Invalid_argument _ ->
           Wire.Error
@@ -414,7 +522,12 @@ let eval_one t req =
                   hi (n - 1);
             })
   | Wire.Quantile q -> (
-      match Quantiles.estimate t.synopsis ~q with
+      let estimate () =
+        match plan with
+        | Some p -> Fusion.quantile p ~q
+        | None -> Quantiles.estimate t.synopsis ~q
+      in
+      match estimate () with
       | pos -> Wire.Quantile_pos pos
       | exception Invalid_argument reason ->
           let code =
@@ -425,6 +538,32 @@ let eval_one t req =
   | Wire.Ping | Wire.Stats | Wire.Batch _ | Wire.Shutdown | Wire.Sync _
   | Wire.Handoff | Wire.Update _ | Wire.Ingest _ | Wire.Retier _ ->
       Wire.Error { code = Wire.Internal; message = "not an admitted kind" }
+
+(* --- the result cache (RANGE / QUANTILE replies, epoch-guarded) --- *)
+
+(* Keys are the canonical request text, so two requests hit the same
+   entry exactly when their wire forms coincide. Only successful
+   replies are stored: errors are cheap to recompute and overload
+   replies are round state, not synopsis state. *)
+let cacheable_req = function
+  | Wire.Range _ | Wire.Quantile _ -> true
+  | _ -> false
+
+let cacheable_reply = function
+  | Wire.Value _ | Wire.Quantile_pos _ -> true
+  | _ -> false
+
+let cache_find t req =
+  match t.cache with
+  | Some c when cacheable_req req ->
+      Rcache.find c ~epoch:t.epoch (Wire.describe_request req)
+  | _ -> None
+
+let cache_store t req reply =
+  match t.cache with
+  | Some c when cacheable_req req && cacheable_reply reply ->
+      Rcache.add c ~epoch:t.epoch (Wire.describe_request req) reply
+  | _ -> ()
 
 (* --- the serving round --- *)
 
@@ -618,9 +757,12 @@ let routed_writes t r writes =
     (fun (slot, req) ->
       let reply = Shard.write r req in
       (match (reply, req) with
-      | Wire.Acked _, Wire.Update _ -> t.total_updates <- t.total_updates + 1
+      | Wire.Acked _, Wire.Update _ ->
+          t.total_updates <- t.total_updates + 1;
+          bump_epoch t
       | Wire.Acked _, Wire.Ingest deltas ->
-          t.total_updates <- t.total_updates + List.length deltas
+          t.total_updates <- t.total_updates + List.length deltas;
+          bump_epoch t
       | _ -> ());
       count_error t reply;
       slot.s_reply <- Some reply)
@@ -671,6 +813,18 @@ let process_request t ~(slots : slot list ref) ~evals ~writes conn request =
     slots := { s_conn = conn; s_reply = Some reply } :: !slots
   in
   let admit request =
+    (* The profiler observes the queryable stream itself — shed
+       requests included: the mix that overloads the server is exactly
+       the one the next tier rebuild should adapt to. A selectivity
+       query travels as its RANGE sum, so it is observed as one. *)
+    (match t.profiler with
+    | Some p -> (
+        match request with
+        | Wire.Point _ -> Profiler.observe p `Point
+        | Wire.Range _ -> Profiler.observe p `Range
+        | Wire.Quantile _ -> Profiler.observe p `Quantile
+        | _ -> ())
+    | None -> ());
     let slot = { s_conn = conn; s_reply = None } in
     if Admit.offer t.admit (List.length !evals) then begin
       slots := slot :: !slots;
@@ -767,7 +921,15 @@ let process_request t ~(slots : slot list ref) ~evals ~writes conn request =
 (* Evaluate the round's admitted requests, batched by query kind, each
    kind fanned out positionally over the pool — results land back in
    their slots, so per-connection reply order is request order no
-   matter how the pool schedules the work. *)
+   matter how the pool schedules the work.
+
+   The result cache is consulted in a single-threaded pre-pass over
+   the round in arrival order (so its hit/miss counters are
+   schedule-deterministic), and filled after evaluation, also in
+   arrival order. A hit short-circuits {e only} the evaluation: the
+   request already took its admission slot, so the shed schedule — and
+   with it the pressure trajectory — is byte-identical cache-on vs
+   cache-off. *)
 let rec evaluate_round t evals =
   ignore (Admit.take_batch t.admit);
   match t.router with
@@ -778,7 +940,14 @@ let rec evaluate_round t evals =
          front-end's [--jobs]. *)
       List.iter
         (fun (slot, req) ->
-          let reply = Shard.eval r req in
+          let reply =
+            match cache_find t req with
+            | Some reply -> reply
+            | None ->
+                let reply = Shard.eval r req in
+                cache_store t req reply;
+                reply
+          in
           count_error t reply;
           slot.s_reply <- Some reply)
         (List.rev evals)
@@ -786,23 +955,52 @@ let rec evaluate_round t evals =
 
 and pooled_round t evals =
   let evals = Array.of_list (List.rev evals) in
+  (* Cache pre-pass: hits fill their slots now; only misses reach the
+     pool. *)
+  let pending =
+    match t.cache with
+    | None -> evals
+    | Some _ ->
+        Array.of_list
+          (List.filter
+             (fun (slot, req) ->
+               match cache_find t req with
+               | Some reply ->
+                   count_error t reply;
+                   slot.s_reply <- Some reply;
+                   false
+               | None -> true)
+             (Array.to_list evals))
+  in
+  (* One fusion plan is shared by every range and quantile in the
+     round — built in the serving thread, immutable under the pool. *)
+  let plan =
+    if
+      Array.exists
+        (fun (_, r) ->
+          match r with Wire.Range _ | Wire.Quantile _ -> true | _ -> false)
+        pending
+    then Some (Fusion.plan t.synopsis)
+    else None
+  in
+  let group_of tag =
+    Array.of_list
+      (List.filter
+         (fun (_, r) ->
+           match (tag, r) with
+           | `Point, Wire.Point _
+           | `Range, Wire.Range _
+           | `Quantile, Wire.Quantile _ ->
+               true
+           | _ -> false)
+         (Array.to_list pending))
+  in
   let by_kind tag =
-    let group =
-      Array.of_list
-        (List.filter
-           (fun (_, r) ->
-             match (tag, r) with
-             | `Point, Wire.Point _
-             | `Range, Wire.Range _
-             | `Quantile, Wire.Quantile _ ->
-                 true
-             | _ -> false)
-           (Array.to_list evals))
-    in
+    let group = group_of tag in
     if Array.length group > 0 then begin
       let replies =
         Pool.map_chunked t.pool (Array.length group) (fun i ->
-            eval_one t (snd group.(i)))
+            eval_one ?plan t (snd group.(i)))
       in
       Array.iteri
         (fun i (slot, _) ->
@@ -811,9 +1009,52 @@ and pooled_round t evals =
         group
     end
   in
+  (* Ranges additionally dedup: identical spans are evaluated once (in
+     first-appearance order) and the reply fanned back to every slot —
+     sound because evaluation is a pure function of the span and the
+     plan. *)
+  let range_round () =
+    let group = group_of `Range in
+    if Array.length group > 0 then begin
+      let index = Hashtbl.create 16 in
+      let rev_uniq = ref [] and count = ref 0 in
+      let slot_idx =
+        Array.map
+          (fun (_, req) ->
+            match Hashtbl.find_opt index req with
+            | Some j -> j
+            | None ->
+                let j = !count in
+                Hashtbl.add index req j;
+                rev_uniq := req :: !rev_uniq;
+                Stdlib.incr count;
+                j)
+          group
+      in
+      let uniq = Array.of_list (List.rev !rev_uniq) in
+      let replies =
+        Pool.map_chunked t.pool (Array.length uniq) (fun j ->
+            eval_one ?plan t uniq.(j))
+      in
+      Array.iteri
+        (fun i (slot, _) ->
+          let reply = replies.(slot_idx.(i)) in
+          count_error t reply;
+          slot.s_reply <- Some reply)
+        group
+    end
+  in
   by_kind `Point;
-  by_kind `Range;
-  by_kind `Quantile
+  range_round ();
+  by_kind `Quantile;
+  (* Fill the cache from the round's fresh results, in arrival order. *)
+  if t.cache <> None then
+    Array.iter
+      (fun (slot, req) ->
+        match slot.s_reply with
+        | Some reply -> cache_store t req reply
+        | None -> ())
+      pending
 
 (* --- the select loop --- *)
 
@@ -1042,7 +1283,18 @@ let run_exn t =
          pure function of the request schedule, not of timing. *)
       if !slots <> [] then begin
         Metric.observe t.h_round (Deadline.now_ms () -. t0);
-        if Admit.note_round t.admit ~shed then recut t
+        t.rounds_seen <- t.rounds_seen + 1;
+        if Admit.note_round t.admit ~shed then recut t;
+        (* Adapt cadence: every [adapt_every] request-carrying rounds
+           the tier set is re-cut from the mix observed so far, then
+           adopted at the current pressure level. Counted in rounds —
+           not wall time — so the rebuild schedule is a pure function
+           of the request schedule. *)
+        if t.cfg.tiers > 0 && t.rounds_seen mod t.cfg.adapt_every = 0
+        then begin
+          rebuild_tiers t;
+          recut t
+        end
       end;
       if limit_reached t then t.running <- false;
       if !term then begin

@@ -70,6 +70,25 @@ type config = {
       (** applied updates between full ladder re-cuts of a live
           server's synopsis (the incremental solver's
           [full_every]) *)
+  cache : bool;
+      (** enable the deterministic result cache: successful [RANGE] /
+          [QUANTILE] replies are memoised against an epoch advanced
+          exactly when the serving state can change (a write acked, a
+          re-cut), so the transcript is byte-identical cache-on vs
+          cache-off — hits skip only the evaluation, never their
+          admission slot. Registers the [serve.cache.*] metrics. On a
+          sharded front-end, also memoises per-shard sub-range sums
+          inside the router. *)
+  tiers : int;
+      (** when positive, pre-cut this many ladder levels
+          ({!Wavesyn_adaptive.Tiers}) from the observed query mix so a
+          pressure change swaps synopses in O(1) instead of re-cutting;
+          registers the [adaptive.*] metrics. 0 (the default) serves
+          the historical re-cut path. Not supported behind a
+          router. *)
+  adapt_every : int;
+      (** request-carrying rounds between tier-set rebuilds from the
+          profiler's observed mix (only meaningful with [tiers > 0]) *)
 }
 
 val config :
@@ -85,15 +104,19 @@ val config :
   ?crash_after:int ->
   ?store:Wavesyn_robust.Supervisor.t ->
   ?recut_every:int ->
+  ?cache:bool ->
+  ?tiers:int ->
+  ?adapt_every:int ->
   path:string ->
   float array ->
   config
 (** Defaults: budget 8, absolute error, ε 0.25, queue bound 64, idle
     timeout 30 s, no request limit, no ship source, role
     ["standalone"], no connection faults, no simulated crash, no live
-    store, full re-cut every 32 applied updates. Raises
-    [Invalid_argument] on a non-positive queue bound, idle timeout or
-    [recut_every]. *)
+    store, full re-cut every 32 applied updates, result cache off,
+    no pre-cut tiers, tier rebuild every 32 rounds. Raises
+    [Invalid_argument] on a non-positive queue bound, idle timeout,
+    [recut_every] or [adapt_every], or a negative [tiers]. *)
 
 type t
 

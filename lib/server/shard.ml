@@ -20,6 +20,7 @@
    docs/SERVING.md for the precise statement. *)
 
 module Validate = Wavesyn_robust.Validate
+module Rcache = Wavesyn_adaptive.Rcache
 
 type range = { lo : int; hi : int }
 
@@ -106,6 +107,13 @@ type t = {
          unsharded sequence when every write lands on exactly one
          shard. *)
   mutable level : int;  (* last pressure level broadcast via RETIER *)
+  mutable memo : (int * int * int, float) Rcache.t option;
+      (* optional sub-range sum memo, keyed (shard, lo, hi) in
+         shard-local coordinates; see {!set_cache} *)
+  mutable memo_epoch : int;
+      (* bumped on every event that can change a shard's synopsis —
+         write acks and RETIER broadcasts — so the memo flushes exactly
+         then *)
 }
 
 let router ~n ?seqs ~ranges rpcs =
@@ -126,11 +134,25 @@ let router ~n ?seqs ~ranges rpcs =
                 invalid_arg "Shard.router: seqs length mismatch"
               else Array.copy s
         in
-        Ok { n; ranges = Array.of_list ranges; rpcs; seqs; level = 0 }
+        Ok
+          {
+            n;
+            ranges = Array.of_list ranges;
+            rpcs;
+            seqs;
+            level = 0;
+            memo = None;
+            memo_epoch = 0;
+          }
 
 let shard_count t = Array.length t.ranges
 let ranges t = Array.to_list t.ranges
 let seq t = Array.fold_left ( + ) 0 t.seqs
+
+let set_cache t ~cap = t.memo <- Some (Rcache.create ~cap ())
+let memo_hits t = match t.memo with Some m -> Rcache.hits m | None -> 0
+let memo_misses t = match t.memo with Some m -> Rcache.misses m | None -> 0
+let bump_epoch t = t.memo_epoch <- t.memo_epoch + 1
 
 let owner t i =
   let rec go k = if i <= t.ranges.(k).hi then k else go (k + 1) in
@@ -160,11 +182,31 @@ let call t k req =
 exception Routed of Wire.reply
 
 (* Shard-local range sum, for the scatter-gather merge paths. Anything
-   but a VALUE aborts the merge and surfaces as this request's reply. *)
+   but a VALUE aborts the merge and surfaces as this request's reply.
+
+   With a memo installed ({!set_cache}) the sub-range RPC is skipped
+   on a hit — sound because the memo epoch is bumped on every event
+   that can change a shard's synopsis (write acks, RETIER), and
+   reply-preserving because the router's synchronous one-RPC-per-round
+   fan-out means a shard backend never sheds (its per-round admission
+   count is always 1), so a skipped RPC cannot change any shard's
+   pressure history. Non-VALUE replies are never memoised. *)
 let value t k ~lo ~hi =
-  match call t k (Wire.Range { lo; hi }) with
-  | Wire.Value v -> v
-  | other -> raise (Routed other)
+  let compute () =
+    match call t k (Wire.Range { lo; hi }) with
+    | Wire.Value v -> v
+    | other -> raise (Routed other)
+  in
+  match t.memo with
+  | None -> compute ()
+  | Some memo -> (
+      let key = (k, lo, hi) in
+      match Rcache.find memo ~epoch:t.memo_epoch key with
+      | Some v -> v
+      | None ->
+          let v = compute () in
+          Rcache.add memo ~epoch:t.memo_epoch key v;
+          v)
 
 (* Mirror of [Quantiles.estimate] over composed per-shard prefix sums:
    same validity checks, same messages, same bisection — [cumulative]
@@ -286,7 +328,9 @@ let ingest t deltas =
         (fun k sub ->
           if sub <> [] && !failed = None then
             match call t k (Wire.Ingest (List.rev sub)) with
-            | Wire.Acked { seq } -> t.seqs.(k) <- seq
+            | Wire.Acked { seq } ->
+                t.seqs.(k) <- seq;
+                bump_epoch t
             | other -> failed := Some other)
         subs;
       (match !failed with
@@ -309,6 +353,7 @@ let write t req =
         match call t k (Wire.Update { i = i - t.ranges.(k).lo; delta }) with
         | Wire.Acked { seq = shard_seq } ->
             t.seqs.(k) <- shard_seq;
+            bump_epoch t;
             Wire.Acked { seq = seq t }
         | other -> other
       end
@@ -320,6 +365,7 @@ let write t req =
 let retier t level =
   if level <> t.level then begin
     t.level <- level;
+    bump_epoch t;
     (* Best effort, shard-index order: an unreachable shard keeps its
        old tier and its failover client sorts it out on the next
        request. *)

@@ -64,6 +64,23 @@ val seq : t -> int
 (** The global journal sequence: the sum of the per-shard sequences
     last acknowledged through this router. *)
 
+val set_cache : t -> cap:int -> unit
+(** Install a sub-range sum memo of at most [cap] entries
+    ({!Wavesyn_adaptive.Rcache}, keyed [(shard, lo, hi)] in
+    shard-local coordinates). A memo hit skips the sub-range RPC a
+    RANGE merge or QUANTILE bisection would have sent; the memo is
+    flushed on every event that can change a shard's synopsis — write
+    acks and RETIER broadcasts — so merged replies are byte-identical
+    memo-on vs memo-off (see docs/ADAPTIVE.md). Raises
+    [Invalid_argument] on [cap < 1]. *)
+
+val memo_hits : t -> int
+(** Sub-range sums answered from the memo; 0 when none is installed. *)
+
+val memo_misses : t -> int
+(** Sub-range sums that went to a shard despite an installed memo; 0
+    when none is installed. *)
+
 val eval : t -> Wire.request -> Wire.reply
 (** Answer a read (POINT, RANGE, QUANTILE) by scatter-gather, with
     domain validation and error messages mirroring the unsharded

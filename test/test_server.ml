@@ -486,7 +486,15 @@ let test_mix_of_string () =
   (match Loadgen.mix_of_string "point=1" with
   | Ok m ->
       check "omitted kinds are zero" true
-        (m = { Loadgen.point = 1; range = 0; quantile = 0; ping = 0; update = 0 })
+        (m
+        = {
+            Loadgen.point = 1;
+            range = 0;
+            quantile = 0;
+            ping = 0;
+            update = 0;
+            selectivity = 0;
+          })
   | Error reason -> Alcotest.fail reason);
   List.iter
     (fun s ->
@@ -497,7 +505,15 @@ let test_mix_of_string () =
   (match Loadgen.mix_of_string "point=2,update=3" with
   | Ok m ->
       check "update weight parses" true
-        (m = { Loadgen.point = 2; range = 0; quantile = 0; ping = 0; update = 3 })
+        (m
+        = {
+            Loadgen.point = 2;
+            range = 0;
+            quantile = 0;
+            ping = 0;
+            update = 3;
+            selectivity = 0;
+          })
   | Error reason -> Alcotest.fail reason)
 
 (* run_multi with a single connection draws exactly the schedule run

@@ -16,11 +16,18 @@
      noise) against the old recording. This is the "-j1 must not pay
      for the pool" contract of docs/KERNELS.md.
 
+   - cache gate: every "-nocache" case must be beaten (or at least
+     matched, scaled by --min-cache-speedup) by its "-cache" twin —
+     the result-cache A/B rows of BENCH_server.json
+     (docs/ADAPTIVE.md). A cache whose hits cost more than the
+     evaluation they skip is a regression, and fails here.
+
    Exit status: 0 when every active check passes (skips included),
    1 on any FAIL, 2 on usage or parse errors.
 
    Usage: benchgate [--min-speedup F] [--max-regression F]
-                    [--baseline OLD.json] NEW.json *)
+                    [--min-cache-speedup F] [--baseline OLD.json]
+                    NEW.json *)
 
 let fail_count = ref 0
 
@@ -33,8 +40,8 @@ let skipf fmt = Printf.printf ("benchgate: SKIP " ^^ fmt ^^ "\n")
 
 let usage () =
   prerr_endline
-    "usage: benchgate [--min-speedup F] [--max-regression F] [--baseline \
-     OLD.json] NEW.json";
+    "usage: benchgate [--min-speedup F] [--min-cache-speedup F] \
+     [--max-regression F] [--baseline OLD.json] NEW.json";
   exit 2
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("benchgate: " ^ s); exit 2) fmt
@@ -205,6 +212,41 @@ let pooled_gate ~min_speedup b =
                   name speedup min_speedup seq_ns pool_ns)
         (seq_rows b)
 
+(* The "-cache" suffix is a substring of "-nocache", so the gate keys
+   on the nocache rows and derives each twin by splicing the "no" out —
+   matching on "-cache" directly would pair every nocache row with
+   itself. *)
+let cache_gate ~min_cache_speedup b =
+  let nocache_rows =
+    List.filter (fun (name, _) -> contains ~sub:"-nocache" name) b.rows
+  in
+  if nocache_rows = [] then
+    skipf "cache-gate: no -nocache rows recorded"
+  else
+    List.iter
+      (fun (name, nocache_ns) ->
+        let twin =
+          let parts = String.split_on_char '-' name in
+          String.concat "-"
+            (List.map (fun p ->
+                 if String.length p >= 7 && String.sub p 0 7 = "nocache" then
+                   "cache" ^ String.sub p 7 (String.length p - 7)
+                 else p)
+                parts)
+        in
+        match List.assoc_opt twin b.rows with
+        | None -> skipf "cache-gate: %s has no %s twin" name twin
+        | Some cache_ns ->
+            let speedup = nocache_ns /. cache_ns in
+            if speedup >= min_cache_speedup then
+              passf "cache-gate: %s speedup %.2fx >= %.2fx" name speedup
+                min_cache_speedup
+            else
+              failf "cache-gate: %s speedup %.2fx < %.2fx (nocache %.1f ns, \
+                     cache %.1f ns)"
+                name speedup min_cache_speedup nocache_ns cache_ns)
+      nocache_rows
+
 let baseline_gate ~max_regression ~old_b b =
   List.iter
     (fun (name, new_ns) ->
@@ -225,6 +267,7 @@ let baseline_gate ~max_regression ~old_b b =
 
 let () =
   let min_speedup = ref 1.0 in
+  let min_cache_speedup = ref 1.0 in
   let max_regression = ref 0.25 in
   let baseline = ref None in
   let file = ref None in
@@ -232,6 +275,9 @@ let () =
     | [] -> ()
     | "--min-speedup" :: v :: rest ->
         min_speedup := (try float_of_string v with _ -> usage ());
+        args rest
+    | "--min-cache-speedup" :: v :: rest ->
+        min_cache_speedup := (try float_of_string v with _ -> usage ());
         args rest
     | "--max-regression" :: v :: rest ->
         max_regression := (try float_of_string v with _ -> usage ());
@@ -250,6 +296,7 @@ let () =
   if not (contains ~sub:"wavesyn-bench-" b.schema) then
     die "%s: unexpected schema %S" file b.schema;
   pooled_gate ~min_speedup:!min_speedup b;
+  cache_gate ~min_cache_speedup:!min_cache_speedup b;
   (match !baseline with
   | None -> ()
   | Some old_file -> baseline_gate ~max_regression:!max_regression
